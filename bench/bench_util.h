@@ -1,0 +1,95 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/types.h"
+#include "sim/experiment.h"
+
+namespace sb::bench {
+
+/// Command-line knobs common to all harnesses:
+///   --quick          shorter simulations (CI smoke mode)
+///   --seed=N         override the experiment seed
+///   --duration-ms=N  override simulated window
+struct Options {
+  bool quick = false;
+  std::uint64_t seed = 1234;
+  TimeNs duration = milliseconds(600);
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--quick") {
+        o.quick = true;
+        o.duration = milliseconds(240);
+      } else if (a.rfind("--seed=", 0) == 0) {
+        o.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+      } else if (a.rfind("--duration-ms=", 0) == 0) {
+        o.duration = milliseconds(std::strtoll(a.c_str() + 14, nullptr, 10));
+      } else if (a == "--help" || a == "-h") {
+        std::cout << "options: --quick --seed=N --duration-ms=N\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown option: " << a << "\n";
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+};
+
+/// One figure bar: the same workload under the baseline policy and under
+/// SmartBalance with both objectives — Eq. 11 verbatim (sum of per-core
+/// IPS/W ratios) and this library's global IPS/W objective (see
+/// DESIGN.md §5 for why Eq. 11 alone under-determines the allocation).
+struct GainRow {
+  std::string label;
+  double baseline_mips_w = 0;
+  double smart_eq11_mips_w = 0;
+  double smart_mips_w = 0;       // global objective (library default)
+  double gain_eq11_pct = 0;
+  double gain_pct = 0;
+  std::uint64_t migrations = 0;  // global-objective run
+};
+
+/// Runs `workload` under `baseline` and both SmartBalance variants on
+/// `platform`, returning the normalized-efficiency row (the unit of
+/// Figs. 4 and 5).
+inline GainRow run_gain(const std::string& label,
+                        const arch::Platform& platform,
+                        const sim::SimulationConfig& cfg,
+                        const sim::WorkloadBuilder& workload,
+                        const sim::BalancerFactory& baseline) {
+  const auto runs = sim::compare_policies(
+      platform, cfg, workload,
+      {{"baseline", baseline},
+       {"smartbalance-eq11",
+        sim::smartbalance_factory(core::SmartBalanceConfig(),
+                                  /*paper_eq11_objective=*/true)},
+       {"smartbalance", sim::smartbalance_factory()}});
+  GainRow row;
+  row.label = label;
+  row.baseline_mips_w = runs[0].result.ips_per_watt / 1e6;
+  row.smart_eq11_mips_w = runs[1].result.ips_per_watt / 1e6;
+  row.smart_mips_w = runs[2].result.ips_per_watt / 1e6;
+  row.gain_eq11_pct =
+      100.0 * (sim::efficiency_ratio(runs[1].result, runs[0].result) - 1.0);
+  row.gain_pct =
+      100.0 * (sim::efficiency_ratio(runs[2].result, runs[0].result) - 1.0);
+  row.migrations = runs[2].result.migrations;
+  return row;
+}
+
+inline void header(const std::string& title, const std::string& paper_claim) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Paper reference: " << paper_claim << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace sb::bench

@@ -1,0 +1,60 @@
+// Fig. 6 — Average error in performance and power prediction across the
+// benchmark suite, using the leave-one-benchmark-out methodology: the
+// predictor is trained without the benchmark under test, then its IPC and
+// power predictions for every ordered core-type pair are compared against
+// ground truth.
+//
+// Paper claim: "runtime prediction of performance and power incurs an
+// average error of 4.2% and 5% respectively".
+#include <iostream>
+
+#include "arch/platform.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/trainer.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+
+int main(int argc, char** argv) {
+  using namespace sb;
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::header("Fig. 6: performance & power prediction error (per "
+                "benchmark, leave-one-out)",
+                "average error 4.2% (performance) / 5% (power)");
+
+  const auto platform = arch::Platform::quad_heterogeneous();
+  const perf::PerfModel perf(platform);
+  const power::PowerModel power(platform, perf);
+  core::PredictorTrainer::Config tcfg;
+  tcfg.seed = opt.seed;
+  if (opt.quick) tcfg.replicas = 4;
+  const core::PredictorTrainer trainer(perf, power, tcfg);
+
+  auto grouped = core::PredictorTrainer::profiles_by_benchmark();
+  const auto report = trainer.leave_one_out(grouped);
+
+  TextTable t({"benchmark", "perf error %", "power error %"});
+  CsvWriter csv("fig6_prediction_error.csv",
+                {"benchmark", "perf_err_pct", "power_err_pct"});
+  for (const auto& pe : report.per_profile) {
+    t.add_row({pe.name, TextTable::fmt(pe.perf_err_pct, 2),
+               TextTable::fmt(pe.power_err_pct, 2)});
+    csv.row({pe.name, TextTable::fmt(pe.perf_err_pct, 4),
+             TextTable::fmt(pe.power_err_pct, 4)});
+  }
+  std::cout << t << "\nAverage: perf "
+            << TextTable::fmt(report.avg_perf_err_pct, 2) << " % (paper 4.2 %), power "
+            << TextTable::fmt(report.avg_power_err_pct, 2)
+            << " % (paper 5 %)\n";
+
+  // Also report the in-sample (trained on everything) error, a lower bound.
+  const auto all = core::PredictorTrainer::default_training_profiles();
+  const auto model = trainer.train(all);
+  const auto in_sample = trainer.evaluate(model, all);
+  std::cout << "In-sample reference: perf "
+            << TextTable::fmt(in_sample.avg_perf_err_pct, 2) << " %, power "
+            << TextTable::fmt(in_sample.avg_power_err_pct, 2) << " %\n"
+            << "Series written to fig6_prediction_error.csv\n";
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Google-benchmark micro benchmarks for the hot paths: the fixed-point
+// primitives the in-kernel optimizer relies on, one SA iteration, the
+// predictor, characterization-matrix construction, CFS runqueue operations
+// and a full simulated epoch.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "arch/platform.h"
+#include "common/fixed_math.h"
+#include "common/rng.h"
+#include "core/objective.h"
+#include "core/sa_optimizer.h"
+#include "core/trainer.h"
+#include "os/cfs_runqueue.h"
+#include "os/kernel.h"
+#include "os/vanilla_balancer.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+#include "workload/benchmarks.h"
+
+namespace {
+
+using namespace sb;
+
+void BM_FixedExpNeg(benchmark::State& state) {
+  Rng rng(1);
+  Fixed x = Fixed::from_double(-rng.uniform(0.0, 10.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixed_exp_neg(x));
+    x = Fixed::from_raw((x.raw() * 31) % (10 << 16) - (5 << 16));
+  }
+}
+BENCHMARK(BM_FixedExpNeg);
+
+void BM_LibmExp(benchmark::State& state) {
+  Rng rng(1);
+  double x = -rng.uniform(0.0, 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(std::exp(x));
+    x = x < -10 ? -0.1 : x - 0.37;
+  }
+}
+BENCHMARK(BM_LibmExp);
+
+void BM_FixedSqrt(benchmark::State& state) {
+  Fixed x = Fixed::from_double(3.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixed_sqrt(x));
+    x += Fixed::from_double(0.01);
+    if (x > Fixed::from_int(100)) x = Fixed::from_double(0.5);
+  }
+}
+BENCHMARK(BM_FixedSqrt);
+
+void BM_RngRandi(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.randi(0, 1000));
+}
+BENCHMARK(BM_RngRandi);
+
+void BM_SaOptimize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = 2 * n;
+  Rng rng(3);
+  Matrix s(m, n), p(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      s.at(i, j) = rng.uniform(0.1, 4.0);
+      p.at(i, j) = rng.uniform(0.05, 3.0);
+    }
+  }
+  std::vector<CoreId> init(m, 0);
+  core::EnergyEfficiencyObjective obj;
+  core::SaConfig cfg;
+  cfg.max_iterations = 1000;
+  const core::SaOptimizer opt(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.optimize(s, p, obj, init));
+  }
+  state.counters["ns/iter"] = benchmark::Counter(
+      1000.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_SaOptimize)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PredictIpc(benchmark::State& state) {
+  const auto platform = arch::Platform::quad_heterogeneous();
+  const perf::PerfModel perf(platform);
+  const power::PowerModel power(platform, perf);
+  const core::PredictorTrainer trainer(perf, power);
+  const auto model =
+      trainer.train(core::PredictorTrainer::default_training_profiles());
+  Rng rng(2);
+  const auto obs = trainer.synthesize_observation(
+      core::PredictorTrainer::default_training_profiles()[3], 0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_ipc(obs, 2, 2000, 1000));
+  }
+}
+BENCHMARK(BM_PredictIpc);
+
+void BM_IntervalModelEvaluate(benchmark::State& state) {
+  const perf::IntervalModel m;
+  const auto profile =
+      workload::BenchmarkLibrary::get("canneal").phases[0].profile;
+  const auto core = arch::big_core();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.evaluate(profile, core, 120.0, 1.3));
+  }
+}
+BENCHMARK(BM_IntervalModelEvaluate);
+
+void BM_CfsEnqueuePop(benchmark::State& state) {
+  os::CfsRunqueue rq;
+  double v = 0;
+  for (int i = 0; i < 64; ++i) rq.enqueue(i, v += 1.0, 1024);
+  ThreadId last = 64;
+  for (auto _ : state) {
+    const ThreadId t = rq.pop_leftmost();
+    rq.enqueue(t, v += 1.0, 1024);
+    benchmark::DoNotOptimize(last = t);
+  }
+}
+BENCHMARK(BM_CfsEnqueuePop);
+
+void BM_TrainPredictor(benchmark::State& state) {
+  const auto platform = arch::Platform::quad_heterogeneous();
+  const perf::PerfModel perf(platform);
+  const power::PowerModel power(platform, perf);
+  core::PredictorTrainer::Config cfg;
+  cfg.replicas = 4;
+  const core::PredictorTrainer trainer(perf, power, cfg);
+  const auto profiles = core::PredictorTrainer::default_training_profiles();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.train(profiles));
+  }
+}
+BENCHMARK(BM_TrainPredictor)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedEpoch(benchmark::State& state) {
+  // Host cost of simulating one 60 ms epoch of an 8-thread quad-core HMP
+  // under the vanilla balancer (the simulator's bulk throughput metric).
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto platform = arch::Platform::quad_heterogeneous();
+    sim::SimulationConfig cfg;
+    cfg.duration = milliseconds(60);
+    sim::Simulation s(platform, cfg);
+    s.set_balancer(std::make_unique<os::VanillaBalancer>());
+    s.add_benchmark("bodytrack", 8);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.run());
+  }
+}
+BENCHMARK(BM_SimulatedEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Table 2 — Heterogeneous Core Configuration Parameters.
+//
+// Prints the four core types' microarchitectural parameters together with
+// the *model-derived* rows the paper produced with gem5+McPAT: peak
+// throughput (IPC), peak power, and area. Paper values for the derived
+// rows: IPC 4.18 / 2.60 / 1.31 / 0.91; power 8.62 / 1.41 / 0.53 / 0.095 W.
+#include <iostream>
+#include <sstream>
+
+#include "arch/platform.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+
+int main(int argc, char** argv) {
+  using namespace sb;
+  (void)bench::Options::parse(argc, argv);
+  bench::header("Table 2: heterogeneous core configuration parameters",
+                "derived peak IPC 4.18/2.60/1.31/0.91, peak power "
+                "8.62/1.41/0.53/0.095 W (gem5+McPAT, 22nm)");
+
+  const auto platform = arch::Platform::quad_heterogeneous();
+  const perf::PerfModel perf(platform);
+  const power::PowerModel power(platform, perf);
+
+  TextTable t({"Parameter", "Huge Core", "Big Core", "Medium Core",
+               "Small Core"});
+  auto row_i = [&](const std::string& label, auto get) {
+    std::vector<std::string> cells{label};
+    for (CoreTypeId ty = 0; ty < platform.num_types(); ++ty) {
+      std::ostringstream os;
+      os << get(platform.params_of_type(ty));
+      cells.push_back(os.str());
+    }
+    t.add_row(cells);
+  };
+  row_i("Issue width (x1)", [](const auto& p) { return p.issue_width; });
+  row_i("LQ/SQ size (x2)", [](const auto& p) {
+    return std::to_string(p.lq_size) + "/" + std::to_string(p.sq_size);
+  });
+  row_i("IQ size (x3)", [](const auto& p) { return p.iq_size; });
+  row_i("ROB size (x4)", [](const auto& p) { return p.rob_size; });
+  row_i("Int/float regs (x5)", [](const auto& p) { return p.num_regs; });
+  row_i("L1$I size KB (x6)", [](const auto& p) { return p.l1i_kb; });
+  row_i("L1$D size KB (x7)", [](const auto& p) { return p.l1d_kb; });
+  row_i("Freq. (MHz)", [](const auto& p) { return p.freq_mhz; });
+  row_i("Voltage (V)", [](const auto& p) { return p.vdd; });
+
+  std::vector<double> peak_ipc, peak_power, area;
+  for (CoreTypeId ty = 0; ty < platform.num_types(); ++ty) {
+    peak_ipc.push_back(perf.peak_ipc(ty));
+    peak_power.push_back(power.peak_power_w(ty));
+    area.push_back(platform.params_of_type(ty).area_mm2);
+  }
+  t.add_row("Peak throughput IPC*", peak_ipc, 2);
+  t.add_row("Peak power (W)*", peak_power, 3);
+  t.add_row("Area (mm2)*", area, 2);
+
+  std::cout << t
+            << "* derived by this library's interval/power models "
+               "(paper: gem5+McPAT estimates)\n\n";
+
+  TextTable ref({"Derived row", "paper", "measured (Huge/Big/Medium/Small)"});
+  std::ostringstream ipc_m;
+  ipc_m << TextTable::fmt(peak_ipc[0], 2) << "/" << TextTable::fmt(peak_ipc[1], 2)
+        << "/" << TextTable::fmt(peak_ipc[2], 2) << "/"
+        << TextTable::fmt(peak_ipc[3], 2);
+  ref.add_row({"Peak IPC", "4.18/2.60/1.31/0.91", ipc_m.str()});
+  std::ostringstream pw_m;
+  pw_m << TextTable::fmt(peak_power[0], 2) << "/"
+       << TextTable::fmt(peak_power[1], 2) << "/"
+       << TextTable::fmt(peak_power[2], 2) << "/"
+       << TextTable::fmt(peak_power[3], 3);
+  ref.add_row({"Peak power (W)", "8.62/1.41/0.53/0.095", pw_m.str()});
+  std::cout << ref;
+  return 0;
+}

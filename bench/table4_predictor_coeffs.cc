@@ -1,0 +1,43 @@
+// Table 4 — Predictor coefficient matrix Θ.
+//
+// Regenerates the 12-row (src→dst core-type pair) × 10-column coefficient
+// table by running the offline profiling + least-squares training pipeline
+// (paper §4.2.2) on the benchmark library. Absolute coefficient values
+// depend on the substrate models; the *structure* matches the paper: a
+// strong positive ipc_src term predicting downward (big→small) with small
+// magnitude, larger magnitudes and constants predicting upward, and
+// degenerate (near-zero) columns where a source type exposes no variation.
+#include <iostream>
+
+#include "arch/platform.h"
+#include "bench_util.h"
+#include "core/trainer.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+
+int main(int argc, char** argv) {
+  using namespace sb;
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::header("Table 4: predictor coefficient matrix",
+                "12 src->dst rows x [FR mr_$i mr_$d I_msh I_bsh mr_b mr_itlb "
+                "mr_dtlb ipc_src const]");
+
+  const auto platform = arch::Platform::quad_heterogeneous();
+  const perf::PerfModel perf(platform);
+  const power::PowerModel power(platform, perf);
+  core::PredictorTrainer::Config cfg;
+  cfg.seed = opt.seed;
+  const core::PredictorTrainer trainer(perf, power, cfg);
+  const auto model =
+      trainer.train(core::PredictorTrainer::default_training_profiles());
+
+  model.print(std::cout, platform);
+
+  std::cout << "\nPower interpolation (Eq. 9): p = a1*ipc + a0 per type\n";
+  for (CoreTypeId t = 0; t < platform.num_types(); ++t) {
+    const auto [a1, a0] = model.power_coeffs(t);
+    std::cout << "  " << platform.params_of_type(t).name << ": a1=" << a1
+              << " W/IPC, a0=" << a0 << " W\n";
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Quickstart: simulate a 4-type heterogeneous MPSoC running two PARSEC
+// benchmarks under the vanilla Linux balancer and under SmartBalance, and
+// compare energy efficiency.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "arch/platform.h"
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+
+int main() {
+  using namespace sb;
+
+  // 1. A platform: one Huge, Big, Medium and Small core (paper Table 2).
+  const arch::Platform platform = arch::Platform::quad_heterogeneous();
+
+  // 2. A workload: 4 threads of bodytrack + 4 threads of x264 (crew input,
+  //    high rate), throughput mode over a 600 ms window.
+  sim::SimulationConfig cfg;
+  cfg.duration = milliseconds(600);
+  cfg.label = "quickstart";
+  const auto workload = [](sim::Simulation& s) {
+    s.add_benchmark("bodytrack", 4);
+    s.add_benchmark("x264_H_crew", 4);
+  };
+
+  // 3. Run the same workload under both policies.
+  const auto runs = sim::compare_policies(
+      platform, cfg, workload,
+      {{"vanilla", sim::vanilla_factory()},
+       {"smartbalance", sim::smartbalance_factory()}});
+
+  for (const auto& run : runs) {
+    sim::print_result(std::cout, run.result);
+    std::cout << '\n';
+  }
+
+  const double gain =
+      sim::efficiency_ratio(runs[1].result, runs[0].result) - 1.0;
+  std::cout << "SmartBalance energy-efficiency gain over vanilla: "
+            << 100.0 * gain << " %\n";
+  return 0;
+}

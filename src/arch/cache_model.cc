@@ -1,0 +1,42 @@
+#include "arch/cache_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sb::arch {
+
+double cache_miss_rate(double ref_rate, double footprint_kb, double size_kb,
+                       double alpha, double floor, double cap) {
+  if (size_kb <= 0 || footprint_kb < 0) {
+    throw std::invalid_argument("cache_miss_rate: non-positive size");
+  }
+  if (ref_rate <= 0) return floor;
+  const double pressure = std::min(1.0, footprint_kb / size_kb);
+  const double mr = ref_rate * std::pow(pressure, alpha);
+  return std::clamp(mr, floor, cap);
+}
+
+double tlb_miss_rate(double ref_rate, double footprint_kb, int entries,
+                     double page_kb, double floor, double cap) {
+  if (entries <= 0 || page_kb <= 0) {
+    throw std::invalid_argument("tlb_miss_rate: non-positive reach");
+  }
+  const double reach_kb = static_cast<double>(entries) * page_kb;
+  const double pressure = std::min(1.0, footprint_kb / reach_kb);
+  // TLB locality falls off faster than cache locality (pages are coarse),
+  // hence the squared pressure term.
+  const double mr = ref_rate * pressure * pressure;
+  return std::clamp(mr, floor, cap);
+}
+
+double CacheWarmupModel::miss_factor(std::uint64_t insts_since_migration) const {
+  if (insts_since_migration >= window_insts_ || window_insts_ == 0) return 1.0;
+  const double progress = static_cast<double>(insts_since_migration) /
+                          static_cast<double>(window_insts_);
+  // Linear decay of the *excess* factor: simple, monotone, and cheap to
+  // evaluate once per scheduling segment.
+  return cold_factor_ - (cold_factor_ - 1.0) * progress;
+}
+
+}  // namespace sb::arch

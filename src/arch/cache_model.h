@@ -1,0 +1,54 @@
+// Analytic private-cache and TLB miss behaviour.
+//
+// The paper's platform has private L1/L2 per core (§5); the load balancer
+// observes only *miss rates*. We model a workload's per-access miss rate as
+// a power law in the ratio of its working-set footprint to the cache size —
+// the classic sqrt/power-law locality rule — capped to [floor, cap]. This
+// yields the property Eq. 8's predictor depends on: miss rates on different
+// core types are smooth, correlated functions of the same workload.
+#pragma once
+
+#include <cstdint>
+
+namespace sb::arch {
+
+/// Per-access miss rate of a workload with `footprint_kb` working set and
+/// locality exponent `alpha` (≈0.5 streaming … ≈2 highly local) on a cache
+/// of `size_kb`, where `ref_rate` is the workload's miss rate when the cache
+/// exactly fits half the footprint... more precisely:
+///
+///   mr(size) = ref_rate * min(1, footprint/size)^alpha
+///
+/// so a cache larger than the footprint drives misses toward zero (cold
+/// misses only, modeled by `floor`).
+double cache_miss_rate(double ref_rate, double footprint_kb, double size_kb,
+                       double alpha, double floor = 1e-5, double cap = 0.5);
+
+/// TLB miss rate given reach: entries × page size versus footprint.
+double tlb_miss_rate(double ref_rate, double footprint_kb, int entries,
+                     double page_kb = 4.0, double floor = 1e-7,
+                     double cap = 0.2);
+
+/// Post-migration cache-warmup transient. After a thread migrates, its
+/// private-cache state is cold: miss rates are multiplied by a factor that
+/// decays from `cold_factor` to 1 over `window_insts` retired instructions.
+/// This is the physical cost that makes thrashing migrations expensive and
+/// is charged to every policy identically (vanilla, GTS, SmartBalance).
+class CacheWarmupModel {
+ public:
+  CacheWarmupModel(double cold_factor = 3.0,
+                   std::uint64_t window_insts = 400'000)
+      : cold_factor_(cold_factor), window_insts_(window_insts) {}
+
+  /// Miss-rate multiplier (≥ 1) after `insts_since_migration` instructions.
+  double miss_factor(std::uint64_t insts_since_migration) const;
+
+  double cold_factor() const { return cold_factor_; }
+  std::uint64_t window_insts() const { return window_insts_; }
+
+ private:
+  double cold_factor_;
+  std::uint64_t window_insts_;
+};
+
+}  // namespace sb::arch

@@ -1,0 +1,144 @@
+#include "arch/core_params.h"
+
+namespace sb::arch {
+
+bool CoreParams::same_microarchitecture(const CoreParams& o) const {
+  return issue_width == o.issue_width && lq_size == o.lq_size &&
+         sq_size == o.sq_size && iq_size == o.iq_size &&
+         rob_size == o.rob_size && num_regs == o.num_regs &&
+         l1i_kb == o.l1i_kb && l1d_kb == o.l1d_kb && freq_mhz == o.freq_mhz &&
+         vdd == o.vdd && pipeline_depth == o.pipeline_depth &&
+         predictor_quality == o.predictor_quality &&
+         tlb_entries == o.tlb_entries;
+}
+
+CoreParams huge_core() {
+  CoreParams p;
+  p.name = "Huge";
+  p.issue_width = 8;
+  p.lq_size = 32;
+  p.sq_size = 32;
+  p.iq_size = 64;
+  p.rob_size = 192;
+  p.num_regs = 256;
+  p.l1i_kb = 64;
+  p.l1d_kb = 64;
+  p.freq_mhz = 2000;
+  p.vdd = 1.0;
+  p.area_mm2 = 11.99;
+  p.pipeline_depth = 18;
+  p.predictor_quality = 0.55;
+  p.tlb_entries = 64;
+  p.peak_power_w = 8.62;
+  return p;
+}
+
+CoreParams big_core() {
+  CoreParams p;
+  p.name = "Big";
+  p.issue_width = 4;
+  p.lq_size = 16;
+  p.sq_size = 16;
+  p.iq_size = 32;
+  p.rob_size = 128;
+  p.num_regs = 128;
+  p.l1i_kb = 32;
+  p.l1d_kb = 32;
+  p.freq_mhz = 1500;
+  p.vdd = 0.8;
+  p.area_mm2 = 5.08;
+  p.pipeline_depth = 15;
+  p.predictor_quality = 0.75;
+  p.tlb_entries = 64;
+  p.peak_power_w = 1.41;
+  return p;
+}
+
+CoreParams medium_core() {
+  CoreParams p;
+  p.name = "Medium";
+  p.issue_width = 2;
+  p.lq_size = 8;
+  p.sq_size = 8;
+  p.iq_size = 16;
+  p.rob_size = 64;
+  p.num_regs = 64;
+  p.l1i_kb = 16;
+  p.l1d_kb = 16;
+  p.freq_mhz = 1000;
+  p.vdd = 0.7;
+  p.area_mm2 = 3.04;
+  p.pipeline_depth = 12;
+  p.predictor_quality = 1.0;
+  p.tlb_entries = 32;
+  p.peak_power_w = 0.53;
+  return p;
+}
+
+CoreParams small_core() {
+  CoreParams p;
+  p.name = "Small";
+  p.issue_width = 1;
+  p.lq_size = 8;
+  p.sq_size = 8;
+  p.iq_size = 16;
+  p.rob_size = 64;
+  p.num_regs = 64;
+  p.l1i_kb = 16;
+  p.l1d_kb = 16;
+  p.freq_mhz = 500;
+  p.vdd = 0.6;
+  p.area_mm2 = 2.27;
+  p.pipeline_depth = 8;
+  p.predictor_quality = 1.3;
+  p.tlb_entries = 32;
+  p.peak_power_w = 0.095;
+  return p;
+}
+
+CoreParams a15_core() {
+  // Cortex-A15-class out-of-order triple-issue core; numbers follow public
+  // A15 descriptions scaled into the same modeling framework as Table 2.
+  CoreParams p;
+  p.name = "A15";
+  p.issue_width = 3;
+  p.lq_size = 16;
+  p.sq_size = 16;
+  p.iq_size = 48;
+  p.rob_size = 128;
+  p.num_regs = 128;
+  p.l1i_kb = 32;
+  p.l1d_kb = 32;
+  p.freq_mhz = 1600;
+  p.vdd = 0.9;
+  p.area_mm2 = 4.5;
+  p.pipeline_depth = 15;
+  p.predictor_quality = 0.7;
+  p.tlb_entries = 64;
+  p.peak_power_w = 1.8;
+  return p;
+}
+
+CoreParams a7_core() {
+  // Cortex-A7-class partial-dual-issue in-order core.
+  CoreParams p;
+  p.name = "A7";
+  p.issue_width = 1;
+  p.lq_size = 8;
+  p.sq_size = 8;
+  p.iq_size = 16;
+  p.rob_size = 48;
+  p.num_regs = 64;
+  p.l1i_kb = 32;
+  p.l1d_kb = 32;
+  p.freq_mhz = 1000;
+  p.vdd = 0.7;
+  p.area_mm2 = 0.9;
+  p.pipeline_depth = 8;
+  p.predictor_quality = 1.2;
+  p.tlb_entries = 32;
+  p.peak_power_w = 0.28;
+  return p;
+}
+
+}  // namespace sb::arch

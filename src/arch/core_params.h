@@ -1,0 +1,76 @@
+// Heterogeneous core-type descriptions.
+//
+// A core type r (paper §3) is "the combination of micro-architectural
+// features and their nominal performance and power (voltage/frequency)".
+// CoreParams carries exactly the Table 2 parameter set (x1..x7, F, Vdd,
+// area) plus the few pipeline-quality knobs the mechanistic performance
+// model needs that gem5 configures implicitly (pipeline depth, branch
+// predictor quality, TLB reach).
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace sb::arch {
+
+struct CoreParams {
+  std::string name;
+
+  // --- Table 2 microarchitectural features (x1..x7) ---
+  int issue_width = 1;       // x1
+  int lq_size = 8;           // x2 (load queue)
+  int sq_size = 8;           // x2 (store queue)
+  int iq_size = 16;          // x3 (instruction queue)
+  int rob_size = 64;         // x4 (reorder buffer)
+  int num_regs = 64;         // x5 (int = float physical registers)
+  double l1i_kb = 16;        // x6
+  double l1d_kb = 16;        // x7
+
+  // --- Nominal operating point ---
+  double freq_mhz = 500;     // F
+  double vdd = 0.6;          // V_DD
+
+  // --- Physical ---
+  double area_mm2 = 2.0;     // A (22 nm, McPAT-style estimate)
+
+  // --- Pipeline-quality knobs (implicit in the paper's gem5 configs) ---
+  int pipeline_depth = 10;          // branch misprediction flush penalty base
+  double predictor_quality = 1.0;   // multiplier on a workload's intrinsic
+                                    // mispredict rate (<1 = better predictor)
+  int tlb_entries = 32;             // unified I/D TLB entries per side
+
+  // --- Calibration target (Table 2 "Peak Power") ---
+  // The power model solves for effective switched capacitance such that the
+  // core dissipates this at peak IPC; see sb::power::PowerModel.
+  double peak_power_w = 0.1;
+
+  double freq_ghz() const { return freq_mhz / 1000.0; }
+
+  /// Cycles elapsed in `dt` nanoseconds at nominal frequency.
+  double cycles_in(TimeNs dt) const {
+    return static_cast<double>(dt) * freq_ghz();
+  }
+
+  /// Nanoseconds needed to retire `cycles` cycles.
+  double ns_for_cycles(double cycles) const { return cycles / freq_ghz(); }
+
+  /// Structural equality on every field except name.
+  bool same_microarchitecture(const CoreParams& o) const;
+};
+
+/// Table 2 "Huge" core: 8-wide, 192-entry ROB, 64 KB L1s, 2 GHz @ 1.0 V.
+CoreParams huge_core();
+/// Table 2 "Big" core: 4-wide, 128-entry ROB, 32 KB L1s, 1.5 GHz @ 0.8 V.
+CoreParams big_core();
+/// Table 2 "Medium" core: 2-wide, 64-entry ROB, 16 KB L1s, 1 GHz @ 0.7 V.
+CoreParams medium_core();
+/// Table 2 "Small" core: 1-wide, 64-entry ROB, 16 KB L1s, 500 MHz @ 0.6 V.
+CoreParams small_core();
+
+/// Cortex-A15-class "big" core for the big.LITTLE comparison (Fig. 5).
+CoreParams a15_core();
+/// Cortex-A7-class "LITTLE" core for the big.LITTLE comparison (Fig. 5).
+CoreParams a7_core();
+
+}  // namespace sb::arch

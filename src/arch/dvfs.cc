@@ -1,0 +1,69 @@
+#include "arch/dvfs.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sb::arch {
+
+OppTable::OppTable(std::vector<OperatingPoint> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("OppTable: empty");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].freq_mhz <= 0 || points_[i].vdd <= 0) {
+      throw std::invalid_argument("OppTable: non-positive point");
+    }
+    if (i > 0) {
+      if (points_[i].freq_mhz <= points_[i - 1].freq_mhz) {
+        throw std::invalid_argument("OppTable: frequencies must increase");
+      }
+      if (points_[i].vdd < points_[i - 1].vdd) {
+        throw std::invalid_argument("OppTable: voltage must not decrease");
+      }
+    }
+  }
+}
+
+OppTable OppTable::nominal_only(const CoreParams& params) {
+  return OppTable({OperatingPoint{params.freq_mhz, params.vdd}});
+}
+
+OppTable OppTable::typical_for(const CoreParams& params) {
+  std::vector<OperatingPoint> pts;
+  for (double r : {0.4, 0.6, 0.8, 1.0}) {
+    OperatingPoint p;
+    p.freq_mhz = params.freq_mhz * r;
+    // Affine V/f: ~70% of nominal voltage at the lowest frequency.
+    p.vdd = params.vdd * (0.5 + 0.5 * r);
+    pts.push_back(p);
+  }
+  return OppTable(std::move(pts));
+}
+
+const OperatingPoint& OppTable::at(std::size_t i) const {
+  if (i >= points_.size()) throw std::out_of_range("OppTable::at");
+  return points_[i];
+}
+
+std::size_t OppTable::index_for_at_least(double freq_mhz) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].freq_mhz >= freq_mhz) return i;
+  }
+  return points_.size() - 1;
+}
+
+double dynamic_scale(const OperatingPoint& opp, const CoreParams& nominal) {
+  if (nominal.freq_mhz <= 0 || nominal.vdd <= 0) {
+    throw std::invalid_argument("dynamic_scale: bad nominal");
+  }
+  const double v = opp.vdd / nominal.vdd;
+  const double f = opp.freq_mhz / nominal.freq_mhz;
+  return v * v * f;
+}
+
+double leakage_scale(const OperatingPoint& opp, const CoreParams& nominal) {
+  if (nominal.vdd <= 0) throw std::invalid_argument("leakage_scale: bad nominal");
+  const double v = opp.vdd / nominal.vdd;
+  return v * v * v;
+}
+
+}  // namespace sb::arch

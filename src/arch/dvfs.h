@@ -1,0 +1,63 @@
+// Dynamic voltage/frequency scaling support.
+//
+// The paper fixes all cores' voltages and frequencies "to show the effect
+// of architectural heterogeneity" but notes the approach "is not limited by
+// the voltage and frequency of the cores" (§5). This module provides the
+// machinery to lift that restriction: per-core-type operating-point (OPP)
+// tables and the voltage/frequency scaling rules the power model applies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/core_params.h"
+
+namespace sb::arch {
+
+/// One DVFS operating point.
+struct OperatingPoint {
+  double freq_mhz = 0;
+  double vdd = 0;
+
+  bool operator==(const OperatingPoint&) const = default;
+};
+
+/// An ordered (ascending frequency) table of operating points for one core
+/// type. Immutable after construction.
+class OppTable {
+ public:
+  /// Points must be non-empty with strictly increasing frequency and
+  /// non-decreasing voltage; throws std::invalid_argument otherwise.
+  explicit OppTable(std::vector<OperatingPoint> points);
+
+  /// Single-point table at the core's nominal operating point (the paper's
+  /// fixed-V/f configuration).
+  static OppTable nominal_only(const CoreParams& params);
+
+  /// A typical 4-level table: {40%, 60%, 80%, 100%} of nominal frequency
+  /// with near-affine voltage scaling down to ~70% of nominal Vdd.
+  static OppTable typical_for(const CoreParams& params);
+
+  std::size_t size() const { return points_.size(); }
+  const OperatingPoint& at(std::size_t i) const;
+  const OperatingPoint& lowest() const { return points_.front(); }
+  const OperatingPoint& highest() const { return points_.back(); }
+
+  /// Index of the slowest point with freq >= `freq_mhz` (size()-1 if none).
+  std::size_t index_for_at_least(double freq_mhz) const;
+
+  const std::vector<OperatingPoint>& points() const { return points_; }
+
+ private:
+  std::vector<OperatingPoint> points_;
+};
+
+/// Dynamic-power scale factor of running at `opp` relative to nominal:
+/// (V² f) / (V_nom² f_nom).
+double dynamic_scale(const OperatingPoint& opp, const CoreParams& nominal);
+
+/// Leakage scale factor: (V / V_nom)³ (the same V³ law the PowerModel's
+/// calibration uses).
+double leakage_scale(const OperatingPoint& opp, const CoreParams& nominal);
+
+}  // namespace sb::arch

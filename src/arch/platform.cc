@@ -1,0 +1,98 @@
+#include "arch/platform.h"
+
+#include <stdexcept>
+
+namespace sb::arch {
+
+CoreTypeId Platform::add_core_type(const CoreParams& params) {
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].name == params.name) {
+      if (!types_[i].same_microarchitecture(params)) {
+        throw std::logic_error("core type name reused with different parameters: " +
+                               params.name);
+      }
+      return static_cast<CoreTypeId>(i);
+    }
+  }
+  types_.push_back(params);
+  return static_cast<CoreTypeId>(types_.size() - 1);
+}
+
+void Platform::add_cores(CoreTypeId type, int count) {
+  if (type < 0 || type >= num_types()) throw std::out_of_range("bad CoreTypeId");
+  if (count < 0) throw std::invalid_argument("negative core count");
+  for (int i = 0; i < count; ++i) core_types_.push_back(type);
+}
+
+void Platform::add_cores(const CoreParams& params, int count) {
+  add_cores(add_core_type(params), count);
+}
+
+std::vector<CoreId> Platform::cores_of_type(CoreTypeId t) const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (core_types_[static_cast<std::size_t>(c)] == t) out.push_back(c);
+  }
+  return out;
+}
+
+CoreTypeId Platform::type_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].name == name) return static_cast<CoreTypeId>(i);
+  }
+  throw std::out_of_range("unknown core type: " + name);
+}
+
+double Platform::total_area_mm2() const {
+  double a = 0.0;
+  for (CoreId c = 0; c < num_cores(); ++c) a += params_of(c).area_mm2;
+  return a;
+}
+
+void Platform::validate() const {
+  if (num_cores() == 0) throw std::logic_error("platform has no cores");
+  for (const auto& t : types_) {
+    if (t.freq_mhz <= 0 || t.vdd <= 0 || t.issue_width <= 0 ||
+        t.rob_size <= 0 || t.l1i_kb <= 0 || t.l1d_kb <= 0 ||
+        t.area_mm2 <= 0 || t.peak_power_w <= 0) {
+      throw std::logic_error("invalid core parameters for type " + t.name);
+    }
+  }
+}
+
+Platform Platform::quad_heterogeneous() {
+  Platform p;
+  p.add_cores(huge_core(), 1);
+  p.add_cores(big_core(), 1);
+  p.add_cores(medium_core(), 1);
+  p.add_cores(small_core(), 1);
+  p.validate();
+  return p;
+}
+
+Platform Platform::scaled_heterogeneous(int per_type) {
+  Platform p;
+  p.add_cores(huge_core(), per_type);
+  p.add_cores(big_core(), per_type);
+  p.add_cores(medium_core(), per_type);
+  p.add_cores(small_core(), per_type);
+  p.validate();
+  return p;
+}
+
+Platform Platform::octa_big_little() {
+  Platform p;
+  p.add_cores(a15_core(), 4);
+  p.add_cores(a7_core(), 4);
+  p.validate();
+  return p;
+}
+
+Platform Platform::homogeneous(const CoreParams& params, int n) {
+  Platform p;
+  p.add_cores(params, n);
+  p.validate();
+  return p;
+}
+
+}  // namespace sb::arch

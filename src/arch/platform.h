@@ -1,0 +1,81 @@
+// Platform: the set of cores C = {c_1..c_n} and core types R = {r_1..r_q}
+// with the typing function γ : C → R (paper §3).
+//
+// A Platform is immutable once built; builders below construct the two
+// evaluation platforms of the paper (quad-core 4-type HMP and octa-core
+// big.LITTLE) plus arbitrary custom configurations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/core_params.h"
+#include "common/types.h"
+
+namespace sb::arch {
+
+class Platform {
+ public:
+  /// Registers a core type; returns its id. Types with identical names must
+  /// have identical microarchitectures (name is the identity key).
+  CoreTypeId add_core_type(const CoreParams& params);
+
+  /// Instantiates `count` cores of an existing type.
+  void add_cores(CoreTypeId type, int count);
+
+  /// Convenience: registers the type (or reuses it by name) and adds cores.
+  void add_cores(const CoreParams& params, int count);
+
+  // --- Queries ---
+  int num_cores() const { return static_cast<int>(core_types_.size()); }
+  int num_types() const { return static_cast<int>(types_.size()); }
+
+  /// γ(c): the type of core `c`.
+  CoreTypeId type_of(CoreId c) const { return core_types_.at(checked(c)); }
+
+  const CoreParams& params_of(CoreId c) const {
+    return types_.at(static_cast<std::size_t>(type_of(c)));
+  }
+  const CoreParams& params_of_type(CoreTypeId t) const {
+    return types_.at(static_cast<std::size_t>(t));
+  }
+
+  /// All cores of a given type, ascending core id.
+  std::vector<CoreId> cores_of_type(CoreTypeId t) const;
+
+  /// Looks a type up by name; throws std::out_of_range if absent.
+  CoreTypeId type_by_name(const std::string& name) const;
+
+  /// Total die area of all cores (for reporting).
+  double total_area_mm2() const;
+
+  /// Throws std::logic_error unless the platform has >= 1 core.
+  void validate() const;
+
+  // --- Builders for the paper's evaluation platforms ---
+
+  /// One core of each Table 2 type: Huge, Big, Medium, Small (ids 0..3).
+  /// This is the paper's primary 4-core 4-type HMP (Figs. 4a/4b, 6, 7a).
+  static Platform quad_heterogeneous();
+
+  /// `per_type` cores of each Table 2 type (used by the scalability study).
+  static Platform scaled_heterogeneous(int per_type);
+
+  /// 4×A15 + 4×A7 octa-core big.LITTLE (Fig. 5). Cores 0-3 are big.
+  static Platform octa_big_little();
+
+  /// n identical cores (baseline sanity configurations).
+  static Platform homogeneous(const CoreParams& params, int n);
+
+ private:
+  std::size_t checked(CoreId c) const {
+    if (c < 0 || c >= num_cores()) throw std::out_of_range("bad CoreId");
+    return static_cast<std::size_t>(c);
+  }
+
+  std::vector<CoreParams> types_;
+  std::vector<CoreTypeId> core_types_;  // index = CoreId
+};
+
+}  // namespace sb::arch

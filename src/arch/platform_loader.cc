@@ -1,0 +1,132 @@
+#include "arch/platform_loader.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "arch/core_params.h"
+
+namespace sb::arch {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& why) {
+  throw std::runtime_error("platform description line " +
+                           std::to_string(line) + ": " + why);
+}
+
+/// Field accessors keyed by name (shared by the loader and the writer).
+struct Field {
+  double CoreParams::* dmember = nullptr;
+  int CoreParams::* imember = nullptr;
+};
+
+const std::map<std::string, Field>& fields() {
+  static const std::map<std::string, Field> kFields = {
+      {"issue_width", {nullptr, &CoreParams::issue_width}},
+      {"lq_size", {nullptr, &CoreParams::lq_size}},
+      {"sq_size", {nullptr, &CoreParams::sq_size}},
+      {"iq_size", {nullptr, &CoreParams::iq_size}},
+      {"rob_size", {nullptr, &CoreParams::rob_size}},
+      {"num_regs", {nullptr, &CoreParams::num_regs}},
+      {"pipeline_depth", {nullptr, &CoreParams::pipeline_depth}},
+      {"tlb_entries", {nullptr, &CoreParams::tlb_entries}},
+      {"l1i_kb", {&CoreParams::l1i_kb, nullptr}},
+      {"l1d_kb", {&CoreParams::l1d_kb, nullptr}},
+      {"freq_mhz", {&CoreParams::freq_mhz, nullptr}},
+      {"vdd", {&CoreParams::vdd, nullptr}},
+      {"area_mm2", {&CoreParams::area_mm2, nullptr}},
+      {"predictor_quality", {&CoreParams::predictor_quality, nullptr}},
+      {"peak_power_w", {&CoreParams::peak_power_w, nullptr}},
+  };
+  return kFields;
+}
+
+}  // namespace
+
+Platform load_platform(std::istream& is) {
+  Platform platform;
+  CoreParams current = medium_core();
+  int count = 0;
+  bool in_block = false;
+  std::size_t lineno = 0;
+
+  auto flush = [&]() {
+    if (!in_block) return;
+    platform.add_cores(current, count);
+    in_block = false;
+  };
+
+  std::string line;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank
+
+    if (key == "core") {
+      flush();
+      std::string name, count_tok;
+      if (!(ls >> name >> count_tok) || count_tok.size() < 2 ||
+          count_tok[0] != 'x') {
+        fail(lineno, "expected 'core <name> x<count>'");
+      }
+      count = std::atoi(count_tok.c_str() + 1);
+      if (count <= 0) fail(lineno, "core count must be positive");
+      current = medium_core();  // defaults
+      current.name = name;
+      in_block = true;
+      continue;
+    }
+
+    if (!in_block) fail(lineno, "field before any 'core' block: " + key);
+    const auto it = fields().find(key);
+    if (it == fields().end()) fail(lineno, "unknown field: " + key);
+    double value = 0;
+    if (!(ls >> value)) fail(lineno, "missing numeric value for " + key);
+    std::string extra;
+    if (ls >> extra) fail(lineno, "trailing junk after " + key);
+    if (it->second.dmember) {
+      current.*(it->second.dmember) = value;
+    } else {
+      current.*(it->second.imember) = static_cast<int>(value);
+    }
+  }
+  flush();
+  platform.validate();
+  return platform;
+}
+
+Platform load_platform_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot read platform file: " + path);
+  return load_platform(is);
+}
+
+void save_platform(std::ostream& os, const Platform& platform) {
+  for (CoreTypeId t = 0; t < platform.num_types(); ++t) {
+    const CoreParams& p = platform.params_of_type(t);
+    os << "core " << p.name << " x" << platform.cores_of_type(t).size()
+       << "\n";
+    const CoreParams defaults = [] {
+      auto d = medium_core();
+      return d;
+    }();
+    for (const auto& [name, field] : fields()) {
+      double v, dv;
+      if (field.dmember) {
+        v = p.*(field.dmember);
+        dv = defaults.*(field.dmember);
+      } else {
+        v = p.*(field.imember);
+        dv = defaults.*(field.imember);
+      }
+      if (v != dv) os << "  " << name << ' ' << v << "\n";
+    }
+  }
+}
+
+}  // namespace sb::arch

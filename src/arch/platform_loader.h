@@ -1,0 +1,39 @@
+// Text-format platform descriptions.
+//
+// Lets users define custom heterogeneous platforms without recompiling
+// (sbsim --platform-file=...). Format: '#' comments, blank lines ignored;
+// each core type is a block started by `core <name> x<count>` followed by
+// `key value` lines; unspecified keys keep the defaults of a Medium-class
+// core. Example:
+//
+//   # 2 prime + 4 efficiency cores
+//   core Prime x2
+//     issue_width 6
+//     rob_size 256
+//     freq_mhz 2800
+//     vdd 0.95
+//     area_mm2 8.0
+//     peak_power_w 4.5
+//   core Eff x4
+//     issue_width 2
+//     freq_mhz 1400
+//     peak_power_w 0.4
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/platform.h"
+
+namespace sb::arch {
+
+/// Parses a platform description; throws std::runtime_error with a line
+/// number on malformed input, std::logic_error via Platform::validate() on
+/// physically invalid parameters.
+Platform load_platform(std::istream& is);
+Platform load_platform_file(const std::string& path);
+
+/// Writes `platform` in the same format (round-trips with load_platform).
+void save_platform(std::ostream& os, const Platform& platform);
+
+}  // namespace sb::arch

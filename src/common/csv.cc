@@ -1,0 +1,64 @@
+#include "common/csv.h"
+
+#include <stdexcept>
+
+namespace sb {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : file_(path), to_file_(true), columns_(header.size()) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_line(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+CsvWriter::CsvWriter(const std::vector<std::string>& header)
+    : to_file_(false), columns_(header.size()) {
+  write_line(header);
+  rows_ = 0;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("CsvWriter: column count mismatch");
+  write_line(cells);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << v;
+    s.push_back(os.str());
+  }
+  row(s);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += escape(cells[i]);
+  }
+  line += '\n';
+  if (to_file_) {
+    file_ << line;
+  } else {
+    buffer_ << line;
+  }
+}
+
+}  // namespace sb

@@ -1,0 +1,49 @@
+// Minimal CSV emission for experiment harnesses. Each bench binary can dump
+// its series as CSV next to the human-readable table so plots can be
+// regenerated outside the repo.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sb {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// In-memory variant (for tests); contents retrievable via str().
+  explicit CsvWriter(const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; must match the header's column count.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void row(const std::vector<double>& cells);
+
+  /// Buffered contents (in-memory mode only; empty when writing to a file).
+  std::string str() const { return buffer_.str(); }
+
+  std::size_t rows_written() const { return rows_; }
+
+  /// Escapes a cell per RFC 4180 (quotes fields containing , " or newline).
+  static std::string escape(const std::string& cell);
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+
+  std::ofstream file_;
+  std::ostringstream buffer_;
+  bool to_file_ = false;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace sb

@@ -1,0 +1,21 @@
+#include "common/fixed_point.h"
+
+#include <cstdint>
+
+namespace sb {
+
+Fixed fixed_sqrt(Fixed v) {
+  if (v.raw() <= 0) return kFixedZero;
+  // sqrt of Q16.16: compute integer sqrt of raw << 16 so the result is
+  // again Q16.16 (sqrt(x * 2^16) = sqrt(x) * 2^8; we need * 2^16).
+  std::uint64_t n = static_cast<std::uint64_t>(v.raw()) << 16;
+  std::uint64_t x = n;
+  std::uint64_t y = (x + 1) / 2;
+  while (y < x) {  // Newton iteration on integers, monotonically decreasing.
+    x = y;
+    y = (x + n / x) / 2;
+  }
+  return Fixed::from_raw(static_cast<std::int32_t>(x));
+}
+
+}  // namespace sb

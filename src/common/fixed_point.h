@@ -1,0 +1,99 @@
+// Q16.16 fixed-point arithmetic.
+//
+// Algorithm 1 of the paper replaces floating point inside the kernel-resident
+// simulated-annealing optimizer with "custom fixed-point implementations of
+// rand and e^x that trade off performance with uniformity and precision".
+// This type is that substrate: a 32-bit signed value with 16 fractional bits,
+// with intermediate products widened to 64 bits so multiplication never
+// silently wraps for in-range operands.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace sb {
+
+/// Signed Q16.16 fixed-point number. Range ±32767.9999, resolution 2^-16.
+class Fixed {
+ public:
+  static constexpr int kFractionBits = 16;
+  static constexpr std::int32_t kOne = 1 << kFractionBits;
+
+  constexpr Fixed() = default;
+
+  /// Constructs from a raw Q16.16 bit pattern.
+  static constexpr Fixed from_raw(std::int32_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  /// Constructs from an integer value (saturating is the caller's problem;
+  /// in-kernel uses stay far below the ±32k range).
+  static constexpr Fixed from_int(std::int32_t v) {
+    return from_raw(v << kFractionBits);
+  }
+
+  /// Constructs from a double, rounding to nearest representable.
+  static Fixed from_double(double v) {
+    return from_raw(static_cast<std::int32_t>(std::lround(v * kOne)));
+  }
+
+  constexpr std::int32_t raw() const { return raw_; }
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / kOne;
+  }
+  /// Truncates toward negative infinity.
+  constexpr std::int32_t to_int() const { return raw_ >> kFractionBits; }
+
+  constexpr Fixed operator-() const { return from_raw(-raw_); }
+
+  constexpr Fixed& operator+=(Fixed o) {
+    raw_ += o.raw_;
+    return *this;
+  }
+  constexpr Fixed& operator-=(Fixed o) {
+    raw_ -= o.raw_;
+    return *this;
+  }
+  constexpr Fixed& operator*=(Fixed o) {
+    raw_ = static_cast<std::int32_t>(
+        (static_cast<std::int64_t>(raw_) * o.raw_) >> kFractionBits);
+    return *this;
+  }
+  constexpr Fixed& operator/=(Fixed o) {
+    raw_ = static_cast<std::int32_t>(
+        (static_cast<std::int64_t>(raw_) << kFractionBits) / o.raw_);
+    return *this;
+  }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) { return a += b; }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) { return a -= b; }
+  friend constexpr Fixed operator*(Fixed a, Fixed b) { return a *= b; }
+  friend constexpr Fixed operator/(Fixed a, Fixed b) { return a /= b; }
+
+  friend constexpr auto operator<=>(Fixed a, Fixed b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Fixed f) {
+    return os << f.to_double();
+  }
+
+ private:
+  std::int32_t raw_ = 0;
+};
+
+inline constexpr Fixed kFixedZero = Fixed::from_raw(0);
+inline constexpr Fixed kFixedOne = Fixed::from_raw(Fixed::kOne);
+
+/// Integer square root of a fixed-point value (result is fixed-point).
+/// Used by Algorithm 1's perturbation-radius term sqrt(perturb).
+Fixed fixed_sqrt(Fixed v);
+
+/// Absolute value.
+constexpr Fixed fixed_abs(Fixed v) {
+  return v.raw() < 0 ? Fixed::from_raw(-v.raw()) : v;
+}
+
+}  // namespace sb

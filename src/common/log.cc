@@ -1,0 +1,35 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace sb {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  std::cerr << "[sb:" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace sb

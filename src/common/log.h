@@ -1,0 +1,48 @@
+// Lightweight leveled logging. Default level is Warn so test and bench
+// output stays clean; simulations raise it when --verbose is passed.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sb {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold: messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `msg` to stderr with a level prefix if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+/// Stream-style builder: materializes the message only if it will be emitted.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= log_level()) {}
+  ~LogLine() {
+    if (enabled_) log_message(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+
+}  // namespace sb

@@ -1,0 +1,66 @@
+// Streaming and batch statistics used by metrics collection, the predictor
+// trainer (error reporting), and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sb {
+
+/// Numerically stable streaming mean/variance (Welford) with min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (0..100) of `values` by linear interpolation.
+/// Sorts a copy; intended for end-of-run reporting, not hot paths.
+double percentile(std::vector<double> values, double p);
+
+/// Geometric mean; values must be positive. Returns 0 for empty input.
+double geometric_mean(const std::vector<double>& values);
+
+/// Simple fixed-width histogram for overhead distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sb

@@ -1,0 +1,42 @@
+// ASCII table rendering for the per-table/per-figure benchmark harnesses.
+// The goal is that each bench binary prints rows directly comparable to the
+// paper's tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sb {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row of pre-formatted cells. Short rows are padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row where numeric cells are formatted with `precision`
+  /// significant decimal digits after the point.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a header separator.
+  std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+  /// Formats a double with fixed precision (shared helper for harnesses).
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a one-line section banner (used by benches to delimit experiments).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace sb

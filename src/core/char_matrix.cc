@@ -1,0 +1,82 @@
+#include "core/char_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sb::core {
+
+CharacterizationMatrices build_characterization(
+    const std::vector<ThreadObservation>& observations,
+    const PredictorModel& predictor, const arch::Platform& platform,
+    const std::vector<arch::OperatingPoint>* core_opps) {
+  const std::size_t m = observations.size();
+  const auto n = static_cast<std::size_t>(platform.num_cores());
+  if (core_opps && core_opps->size() != n) {
+    throw std::invalid_argument("build_characterization: opp vector size");
+  }
+  CharacterizationMatrices out;
+  out.s = Matrix(m, n);
+  out.p = Matrix(m, n);
+  out.tids.reserve(m);
+  out.current.reserve(m);
+
+  const auto freq_of = [&](CoreId c) {
+    return core_opps ? (*core_opps)[static_cast<std::size_t>(c)].freq_mhz
+                     : platform.params_of(c).freq_mhz;
+  };
+  const auto power_scale_of = [&](CoreId c) {
+    if (!core_opps) return 1.0;
+    // Dynamic-power V²f scaling relative to the nominal point. The leakage
+    // share scales with V³ instead; using the dynamic law for the total is
+    // a small, conservative approximation (see header).
+    return arch::dynamic_scale((*core_opps)[static_cast<std::size_t>(c)],
+                               platform.params_of(c));
+  };
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const ThreadObservation& o = observations[i];
+    out.tids.push_back(o.tid);
+    out.current.push_back(o.core);
+
+    // Unmeasured threads (never ran long enough): neutral prior — assume a
+    // modest IPC everywhere so the optimizer parks them on efficient cores
+    // until real measurements arrive.
+    if (!o.measured && o.instructions == 0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto c = static_cast<CoreId>(j);
+        const CoreTypeId t = platform.type_of(c);
+        const double ipc = 0.5;
+        out.s.at(i, j) = ipc * freq_of(c) / 1000.0;  // GIPS
+        out.p.at(i, j) = predictor.predict_power(t, ipc) * power_scale_of(c);
+      }
+      continue;
+    }
+
+    const double src_freq =
+        o.freq_mhz > 0
+            ? o.freq_mhz
+            : (o.core_type >= 0 ? platform.params_of_type(o.core_type).freq_mhz
+                                : platform.params_of_type(0).freq_mhz);
+
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto c = static_cast<CoreId>(j);
+      const CoreTypeId t = platform.type_of(c);
+      const double dst_freq = freq_of(c);
+      double ipc;
+      double watts;
+      if (t == o.core_type && std::abs(dst_freq - src_freq) < 1e-6) {
+        ipc = o.ipc;                        // measured (Eq. 4)
+        watts = std::max(1e-4, o.power_w);  // measured (Eq. 5)
+      } else {
+        ipc = predictor.predict_ipc(o, t, src_freq, dst_freq);
+        watts = predictor.predict_power(t, ipc) * power_scale_of(c);
+      }
+      out.s.at(i, j) = ipc * dst_freq / 1000.0;  // GIPS
+      out.p.at(i, j) = watts;
+    }
+  }
+  return out;
+}
+
+}  // namespace sb::core

@@ -1,0 +1,18 @@
+#include "core/features.h"
+
+namespace sb::core {
+
+const std::array<std::string, kNumFeatures>& feature_names() {
+  static const std::array<std::string, kNumFeatures> kNames = {
+      "FR",    "mr_$i",   "mr_$d",   "I_msh",    "I_bsh",
+      "mr_b",  "mr_itlb", "mr_dtlb", "ipc_src",  "const"};
+  return kNames;
+}
+
+std::array<double, kNumFeatures> make_features(const ThreadObservation& obs,
+                                               double freq_ratio) {
+  return {freq_ratio, obs.mr_l1i,  obs.mr_l1d, obs.imsh, obs.ibsh,
+          obs.mr_branch, obs.mr_itlb, obs.mr_dtlb, obs.ipc, 1.0};
+}
+
+}  // namespace sb::core

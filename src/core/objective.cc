@@ -1,0 +1,9 @@
+#include "core/objective.h"
+
+namespace sb::core {
+
+std::unique_ptr<BalanceObjective> make_energy_efficiency_objective() {
+  return std::make_unique<EnergyEfficiencyObjective>();
+}
+
+}  // namespace sb::core

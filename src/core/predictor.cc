@@ -1,0 +1,182 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/matrix.h"
+
+namespace sb::core {
+
+PredictorModel::PredictorModel(int num_types) : num_types_(num_types) {
+  if (num_types <= 0) throw std::invalid_argument("PredictorModel: num_types");
+  theta_.resize(static_cast<std::size_t>(num_types) *
+                static_cast<std::size_t>(num_types));
+  power_.resize(static_cast<std::size_t>(num_types));
+  for (auto& t : theta_) t.fill(0.0);
+  for (auto& p : power_) p = {0.0, 0.0};
+}
+
+std::size_t PredictorModel::pair_index(CoreTypeId src, CoreTypeId dst) const {
+  if (src < 0 || src >= num_types_ || dst < 0 || dst >= num_types_) {
+    throw std::out_of_range("PredictorModel: bad core type");
+  }
+  return static_cast<std::size_t>(src * num_types_ + dst);
+}
+
+const std::array<double, kNumFeatures>& PredictorModel::theta(
+    CoreTypeId src, CoreTypeId dst) const {
+  return theta_[pair_index(src, dst)];
+}
+
+void PredictorModel::set_theta(CoreTypeId src, CoreTypeId dst,
+                               const std::array<double, kNumFeatures>& c) {
+  theta_[pair_index(src, dst)] = c;
+}
+
+std::array<double, 2> PredictorModel::power_coeffs(CoreTypeId t) const {
+  if (t < 0 || t >= num_types_) throw std::out_of_range("power_coeffs");
+  return power_[static_cast<std::size_t>(t)];
+}
+
+void PredictorModel::set_power_coeffs(CoreTypeId t, double alpha1,
+                                      double alpha0) {
+  if (t < 0 || t >= num_types_) throw std::out_of_range("set_power_coeffs");
+  power_[static_cast<std::size_t>(t)] = {alpha1, alpha0};
+}
+
+void PredictorModel::set_ipc_bounds(double floor, double ceiling) {
+  if (floor <= 0 || ceiling <= floor) {
+    throw std::invalid_argument("PredictorModel: bad ipc bounds");
+  }
+  ipc_floor_ = floor;
+  ipc_ceiling_ = ceiling;
+}
+
+double PredictorModel::predict_ipc(const ThreadObservation& obs,
+                                   CoreTypeId dst, double src_freq_mhz,
+                                   double dst_freq_mhz) const {
+  if (dst_freq_mhz <= 0 || src_freq_mhz <= 0) {
+    throw std::invalid_argument("predict_ipc: bad frequency");
+  }
+  if (obs.core_type == dst) return std::clamp(obs.ipc, ipc_floor_, ipc_ceiling_);
+  const auto x = make_features(obs, src_freq_mhz / dst_freq_mhz);
+  const auto& th = theta(obs.core_type, dst);
+  double y = 0;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) y += th[i] * x[i];
+  return std::clamp(y, ipc_floor_, ipc_ceiling_);
+}
+
+double PredictorModel::predict_power(CoreTypeId dst, double ipc) const {
+  const auto [a1, a0] = power_coeffs(dst);
+  return std::max(1e-4, a1 * ipc + a0);
+}
+
+void PredictorModel::save(std::ostream& os) const {
+  os << "smartbalance-predictor v1\n";
+  os << "types " << num_types_ << "\n";
+  os << std::setprecision(17);
+  os << "ipc_bounds " << ipc_floor_ << ' ' << ipc_ceiling_ << "\n";
+  for (CoreTypeId s = 0; s < num_types_; ++s) {
+    for (CoreTypeId d = 0; d < num_types_; ++d) {
+      if (s == d) continue;
+      os << "theta " << s << ' ' << d;
+      for (double v : theta(s, d)) os << ' ' << v;
+      os << "\n";
+    }
+  }
+  for (CoreTypeId t = 0; t < num_types_; ++t) {
+    const auto [a1, a0] = power_coeffs(t);
+    os << "power " << t << ' ' << a1 << ' ' << a0 << "\n";
+  }
+}
+
+void PredictorModel::save_to_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("PredictorModel: cannot write " + path);
+  save(os);
+}
+
+PredictorModel PredictorModel::load(std::istream& is) {
+  auto fail = [](const std::string& why) -> PredictorModel {
+    throw std::runtime_error("PredictorModel::load: " + why);
+  };
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "smartbalance-predictor" ||
+      version != "v1") {
+    return fail("bad header");
+  }
+  std::string key;
+  int num_types = 0;
+  if (!(is >> key >> num_types) || key != "types" || num_types <= 0) {
+    return fail("bad type count");
+  }
+  PredictorModel m(num_types);
+  double floor = 0, ceiling = 0;
+  if (!(is >> key >> floor >> ceiling) || key != "ipc_bounds") {
+    return fail("bad ipc bounds");
+  }
+  m.set_ipc_bounds(floor, ceiling);
+  while (is >> key) {
+    if (key == "theta") {
+      int s = 0, d = 0;
+      std::array<double, kNumFeatures> th{};
+      if (!(is >> s >> d)) return fail("truncated theta row");
+      for (auto& v : th) {
+        if (!(is >> v)) return fail("truncated theta coefficients");
+      }
+      if (s < 0 || s >= num_types || d < 0 || d >= num_types || s == d) {
+        return fail("theta indices out of range");
+      }
+      m.set_theta(s, d, th);
+    } else if (key == "power") {
+      int t = 0;
+      double a1 = 0, a0 = 0;
+      if (!(is >> t >> a1 >> a0)) return fail("truncated power row");
+      if (t < 0 || t >= num_types) return fail("power index out of range");
+      m.set_power_coeffs(t, a1, a0);
+    } else {
+      return fail("unknown record: " + key);
+    }
+  }
+  return m;
+}
+
+PredictorModel PredictorModel::load_from_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("PredictorModel: cannot read " + path);
+  return load(is);
+}
+
+bool PredictorModel::operator==(const PredictorModel& o) const {
+  return num_types_ == o.num_types_ && theta_ == o.theta_ &&
+         power_ == o.power_ && ipc_floor_ == o.ipc_floor_ &&
+         ipc_ceiling_ == o.ipc_ceiling_;
+}
+
+void PredictorModel::print(std::ostream& os,
+                           const arch::Platform& platform) const {
+  os << std::left << std::setw(18) << "Predictor IPC";
+  for (const auto& n : feature_names()) os << std::setw(10) << n;
+  os << '\n';
+  for (CoreTypeId s = 0; s < num_types_; ++s) {
+    for (CoreTypeId d = 0; d < num_types_; ++d) {
+      if (s == d) continue;
+      os << std::setw(18)
+         << (platform.params_of_type(s).name + "->" +
+             platform.params_of_type(d).name);
+      const auto& th = theta(s, d);
+      os << std::fixed << std::setprecision(3);
+      for (double v : th) os << std::setw(10) << v;
+      os.unsetf(std::ios::fixed);
+      os << '\n';
+    }
+  }
+}
+
+}  // namespace sb::core

@@ -1,0 +1,78 @@
+// Cross-core-type performance and power prediction (Eqs. 8 & 9).
+//
+// For every ordered pair of core types (src → dst) the model holds a linear
+// coefficient vector Θ over the 10-feature characterization (Table 4);
+// predicted IPC on dst is Θ · X^T, and predicted IPS is that times F_dst.
+// Power on the destination type is the linear IPC→power interpolation of
+// Eq. 9 with per-type (α1, α0) from offline profiling.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <vector>
+
+#include "arch/platform.h"
+#include "core/features.h"
+
+namespace sb::core {
+
+class PredictorModel {
+ public:
+  /// An untrained model for `num_types` core types (all coefficients zero).
+  explicit PredictorModel(int num_types);
+
+  int num_types() const { return num_types_; }
+
+  /// Θ for src→dst (src != dst). Row layout matches Table 4.
+  const std::array<double, kNumFeatures>& theta(CoreTypeId src,
+                                                CoreTypeId dst) const;
+  void set_theta(CoreTypeId src, CoreTypeId dst,
+                 const std::array<double, kNumFeatures>& coeffs);
+
+  /// Power interpolation coefficients for a destination type:
+  /// p̂ = α1 · ipc + α0 (Eq. 9).
+  std::array<double, 2> power_coeffs(CoreTypeId t) const;
+  void set_power_coeffs(CoreTypeId t, double alpha1, double alpha0);
+
+  /// Predicted IPC of the observed thread on a core of type `dst` whose
+  /// nominal frequency is `dst_freq_mhz` (used for the FR feature). Result
+  /// is clamped to [ipc_floor, ipc_ceiling].
+  double predict_ipc(const ThreadObservation& obs, CoreTypeId dst,
+                     double src_freq_mhz, double dst_freq_mhz) const;
+
+  /// Predicted average power of running at `ipc` on type `dst`, clamped to
+  /// be physically positive.
+  double predict_power(CoreTypeId dst, double ipc) const;
+
+  /// Bounds applied to predictions (defaults cover all Table 2 types).
+  void set_ipc_bounds(double floor, double ceiling);
+
+  /// Writes the Θ table in the layout of Table 4 ("src->dst" rows).
+  void print(std::ostream& os, const arch::Platform& platform) const;
+
+  // --- Persistence -----------------------------------------------------
+  // A trained model is deployed as a plain-text blob (the kernel module
+  // loads it at boot; retraining happens offline). Format: a versioned
+  // header, then one line per Θ row and per power pair.
+
+  /// Serializes the full model (Θ + power coefficients + bounds).
+  void save(std::ostream& os) const;
+  void save_to_file(const std::string& path) const;
+
+  /// Reconstructs a model; throws std::runtime_error on malformed input.
+  static PredictorModel load(std::istream& is);
+  static PredictorModel load_from_file(const std::string& path);
+
+  bool operator==(const PredictorModel& o) const;
+
+ private:
+  std::size_t pair_index(CoreTypeId src, CoreTypeId dst) const;
+
+  int num_types_;
+  std::vector<std::array<double, kNumFeatures>> theta_;
+  std::vector<std::array<double, 2>> power_;
+  double ipc_floor_ = 0.02;
+  double ipc_ceiling_ = 8.0;
+};
+
+}  // namespace sb::core

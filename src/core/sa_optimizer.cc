@@ -1,0 +1,337 @@
+#include "core/sa_optimizer.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/fixed_math.h"
+
+namespace sb::core {
+namespace {
+
+/// Incrementally maintained objective state: per-core occupancy-weighted
+/// sums plus either additive terms (J = Σ term_j) or fractional
+/// contributions (J = Σnum_j / Σden_j), depending on the objective.
+class ObjectiveState {
+ public:
+  ObjectiveState(const Matrix& s, const Matrix& p,
+                 const BalanceObjective& objective,
+                 const std::vector<CoreId>& allocation,
+                 const std::vector<double>* demand_gips = nullptr)
+      : s_(s),
+        p_(p),
+        obj_(objective),
+        demand_(demand_gips),
+        fractional_(objective.fractional()) {
+    const std::size_t n = s.cols();
+    sums_.assign(n, CoreSums{});
+    for (std::size_t i = 0; i < allocation.size(); ++i) {
+      add_thread(i, allocation[i]);
+    }
+    contrib_.assign(n, {0.0, 0.0});
+    for (std::size_t j = 0; j < n; ++j) recompute_contribution(j);
+    recompute_total();
+  }
+
+  double total() const { return total_; }
+
+  /// Occupancy of thread `row` on core column `j`: CPU-bound threads
+  /// (negative demand) take a full share; duty-cycled threads occupy the
+  /// fraction needed to serve their wall-clock demand on this core's speed.
+  double occupancy(std::size_t row, std::size_t j) const {
+    if (!demand_) return 1.0;
+    const double d = (*demand_)[row];
+    if (d < 0) return 1.0;
+    const double cap = s_.at(row, j);
+    if (cap <= 0) return 1.0;
+    return std::clamp(d / cap, 0.02, 1.0);
+  }
+
+  void add_thread(std::size_t row, CoreId c) {
+    const auto j = static_cast<std::size_t>(c);
+    const double u = occupancy(row, j);
+    sums_[j].gips += u * s_.at(row, j);
+    sums_[j].watts += u * p_.at(row, j);
+    sums_[j].load += u;
+    ++sums_[j].nthreads;
+  }
+
+  void remove_thread(std::size_t row, CoreId c) {
+    const auto j = static_cast<std::size_t>(c);
+    const double u = occupancy(row, j);
+    sums_[j].gips -= u * s_.at(row, j);
+    sums_[j].watts -= u * p_.at(row, j);
+    sums_[j].load -= u;
+    --sums_[j].nthreads;
+  }
+
+  /// Recomputes the contributions of the (at most two) cores touched by a
+  /// move and returns the objective delta.
+  double refresh_cores(CoreId a, CoreId b) {
+    const double before = total_;
+    recompute_contribution(static_cast<std::size_t>(a));
+    if (b != a) recompute_contribution(static_cast<std::size_t>(b));
+    recompute_total();
+    return total_ - before;
+  }
+
+ private:
+  void recompute_contribution(std::size_t j) {
+    if (fractional_) {
+      sum_num_ -= contrib_[j][0];
+      sum_den_ -= contrib_[j][1];
+      contrib_[j] = obj_.core_fraction(sums_[j], static_cast<CoreId>(j));
+      sum_num_ += contrib_[j][0];
+      sum_den_ += contrib_[j][1];
+    } else {
+      sum_num_ -= contrib_[j][0];
+      contrib_[j] = {obj_.core_term(sums_[j], static_cast<CoreId>(j)), 0.0};
+      sum_num_ += contrib_[j][0];
+    }
+  }
+
+  void recompute_total() {
+    total_ = fractional_ ? (sum_den_ > 0 ? sum_num_ / sum_den_ : 0.0)
+                         : sum_num_;
+  }
+
+  const Matrix& s_;
+  const Matrix& p_;
+  const BalanceObjective& obj_;
+  const std::vector<double>* demand_;
+  const bool fractional_;
+  std::vector<CoreSums> sums_;
+  std::vector<std::array<double, 2>> contrib_;
+  double sum_num_ = 0.0;
+  double sum_den_ = 0.0;
+  double total_ = 0.0;
+};
+
+bool allowed_on(const std::vector<std::bitset<kMaxCores>>* affinity,
+                std::size_t row, CoreId c) {
+  if (!affinity) return true;
+  return (*affinity)[row].test(static_cast<std::size_t>(c));
+}
+
+}  // namespace
+
+int sa_auto_iterations(int num_cores, int num_threads) {
+  // ~12 proposals per (thread, core) pair, saturating where the measured
+  // per-iteration cost (~0.1 us, see bench/micro_benchmarks) would push a
+  // pass beyond a few milliseconds of the 60 ms epoch (Fig. 8a: "for larger
+  // configurations we limit the number of iterations").
+  const long nm = static_cast<long>(num_cores) * num_threads;
+  return static_cast<int>(std::min<long>(100 + 12 * nm, 60000));
+}
+
+double evaluate_allocation(const Matrix& s, const Matrix& p,
+                           const BalanceObjective& objective,
+                           const std::vector<CoreId>& allocation) {
+  if (s.rows() != allocation.size() || p.rows() != allocation.size() ||
+      s.cols() != p.cols()) {
+    throw std::invalid_argument("evaluate_allocation: shape mismatch");
+  }
+  ObjectiveState state(s, p, objective, allocation);
+  return state.total();
+}
+
+SaResult SaOptimizer::optimize(
+    const Matrix& s, const Matrix& p, const BalanceObjective& objective,
+    std::vector<CoreId> initial,
+    const std::vector<std::bitset<kMaxCores>>* affinity,
+    const std::vector<double>* demand_gips) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t m = s.rows();
+  const auto n = static_cast<std::int64_t>(s.cols());
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument("SaOptimizer: empty problem");
+  }
+  if (p.rows() != m || p.cols() != s.cols() || initial.size() != m) {
+    throw std::invalid_argument("SaOptimizer: shape mismatch");
+  }
+  if (demand_gips && demand_gips->size() != m) {
+    throw std::invalid_argument("SaOptimizer: demand size mismatch");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (initial[i] < 0 || initial[i] >= n) {
+      throw std::invalid_argument("SaOptimizer: bad initial allocation");
+    }
+  }
+
+  // Ψ as the paper's flat slot array: m slots per core, entry = thread row
+  // or -1. Each thread starts in a slot of its current core.
+  const std::int64_t slots = n * static_cast<std::int64_t>(m);
+  std::vector<std::int32_t> psi(static_cast<std::size_t>(slots), -1);
+  {
+    std::vector<std::size_t> next_free(static_cast<std::size_t>(n), 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto c = static_cast<std::size_t>(initial[i]);
+      const std::size_t slot = c * m + next_free[c]++;
+      psi[slot] = static_cast<std::int32_t>(i);
+    }
+  }
+  auto core_of_slot = [m](std::int64_t slot) {
+    return static_cast<CoreId>(slot / static_cast<std::int64_t>(m));
+  };
+
+  ObjectiveState state(s, p, objective, initial, demand_gips);
+  SaResult best;
+  best.initial_objective = state.total();
+  best.allocation = initial;
+  best.objective = state.total();
+
+  Rng rng(cfg_.seed);
+  const int iters = cfg_.max_iterations > 0
+                        ? cfg_.max_iterations
+                        : sa_auto_iterations(static_cast<int>(n),
+                                             static_cast<int>(m));
+  Fixed perturb = Fixed::from_double(cfg_.initial_perturb);
+  const Fixed dperturb = Fixed::from_double(cfg_.perturb_decay);
+  double accept =
+      std::max(1e-9, cfg_.initial_accept_rel * std::abs(state.total()));
+  const double daccept = cfg_.accept_decay;
+
+  std::vector<CoreId> current = initial;
+  double current_obj = state.total();
+
+  for (int it = 0; it < iters; ++it) {
+    // --- Propose: perturbation-radius slot swap (Algorithm 1) ---
+    const std::int64_t pos = rng.randi(0, slots);
+    const double radius = fixed_sqrt(perturb).to_double();
+    std::int64_t offset = static_cast<std::int64_t>(
+        radius * static_cast<double>(rng.randi(-pos, slots - pos)));
+    std::int64_t pos_new = std::clamp<std::int64_t>(pos + offset, 0, slots - 1);
+    // Once the radius collapses, the scaled offset truncates to (nearly)
+    // zero and every proposal would degenerate into a same-slot or
+    // same-core no-op, silently ending the search. Fall back to a uniform
+    // draw so each iteration still proposes a real move — slot indices
+    // carry no topology, so this preserves Algorithm 1's semantics.
+    if (pos_new == pos ||
+        core_of_slot(pos_new) == core_of_slot(pos)) {
+      pos_new = rng.randi(0, slots);
+    }
+
+    const std::int32_t ta = psi[static_cast<std::size_t>(pos)];
+    const std::int32_t tb = psi[static_cast<std::size_t>(pos_new)];
+    const CoreId ca = core_of_slot(pos);
+    const CoreId cb = core_of_slot(pos_new);
+
+    // Decay schedules advance every iteration regardless of move validity.
+    perturb = perturb * dperturb;
+    if (perturb.raw() < 16) perturb = Fixed::from_raw(16);  // keep radius > 0
+    accept *= daccept;
+
+    if (pos == pos_new || ca == cb) continue;          // no-op
+    if (ta < 0 && tb < 0) continue;                    // empty↔empty
+    if (ta >= 0 && !allowed_on(affinity, static_cast<std::size_t>(ta), cb)) {
+      continue;  // affinity forbids
+    }
+    if (tb >= 0 && !allowed_on(affinity, static_cast<std::size_t>(tb), ca)) {
+      continue;
+    }
+
+    // --- Apply tentatively, evaluating only the two affected cores ---
+    if (ta >= 0) {
+      state.remove_thread(static_cast<std::size_t>(ta), ca);
+      state.add_thread(static_cast<std::size_t>(ta), cb);
+    }
+    if (tb >= 0) {
+      state.remove_thread(static_cast<std::size_t>(tb), cb);
+      state.add_thread(static_cast<std::size_t>(tb), ca);
+    }
+    const double diff = state.refresh_cores(ca, cb);
+
+    bool take = diff > 0;
+    if (!take) {
+      if (cfg_.fixed_point_acceptance) {
+        // probability = e^(diff/accept) computed in Q16.16; accepted when
+        // randi() mod round(1/probability) == 0, as in the paper's listing.
+        const double ratio = std::max(-15.9, diff / accept);
+        const Fixed prob = fixed_exp_neg(Fixed::from_double(ratio));
+        if (prob.raw() > 0) {
+          const std::uint32_t inv = static_cast<std::uint32_t>(
+              std::max<std::int64_t>(1, Fixed::kOne / prob.raw()));
+          take = (rng.randi() % inv) == 0;
+        }
+      } else {
+        take = rng.uniform() < std::exp(diff / accept);
+      }
+    }
+
+    if (take) {
+      std::swap(psi[static_cast<std::size_t>(pos)],
+                psi[static_cast<std::size_t>(pos_new)]);
+      if (ta >= 0) current[static_cast<std::size_t>(ta)] = cb;
+      if (tb >= 0) current[static_cast<std::size_t>(tb)] = ca;
+      current_obj += diff;
+      if (diff > 0) {
+        ++best.improved;
+      } else {
+        ++best.accepted_worse;
+      }
+      if (current_obj > best.objective) {
+        best.objective = current_obj;
+        best.allocation = current;
+      }
+    } else {
+      // Revert the tentative sums.
+      if (ta >= 0) {
+        state.remove_thread(static_cast<std::size_t>(ta), cb);
+        state.add_thread(static_cast<std::size_t>(ta), ca);
+      }
+      if (tb >= 0) {
+        state.remove_thread(static_cast<std::size_t>(tb), ca);
+        state.add_thread(static_cast<std::size_t>(tb), cb);
+      }
+      state.refresh_cores(ca, cb);
+    }
+  }
+
+  best.iterations = iters;
+  best.host_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  return best;
+}
+
+SaResult exhaustive_optimum(const Matrix& s, const Matrix& p,
+                            const BalanceObjective& objective) {
+  const std::size_t m = s.rows();
+  const std::size_t n = s.cols();
+  if (m == 0 || n == 0) throw std::invalid_argument("exhaustive: empty");
+  double states = 1;
+  for (std::size_t i = 0; i < m; ++i) {
+    states *= static_cast<double>(n);
+    if (states > 16e6) {
+      throw std::invalid_argument("exhaustive_optimum: too many states");
+    }
+  }
+
+  std::vector<CoreId> alloc(m, 0);
+  SaResult best;
+  best.allocation = alloc;
+  best.objective = evaluate_allocation(s, p, objective, alloc);
+  best.initial_objective = best.objective;
+
+  const auto total = static_cast<std::uint64_t>(states);
+  for (std::uint64_t code = 1; code < total; ++code) {
+    std::uint64_t x = code;
+    for (std::size_t i = 0; i < m; ++i) {
+      alloc[i] = static_cast<CoreId>(x % n);
+      x /= n;
+    }
+    const double v = evaluate_allocation(s, p, objective, alloc);
+    if (v > best.objective) {
+      best.objective = v;
+      best.allocation = alloc;
+    }
+  }
+  best.iterations = static_cast<int>(std::min<std::uint64_t>(
+      total, static_cast<std::uint64_t>(std::numeric_limits<int>::max())));
+  return best;
+}
+
+}  // namespace sb::core

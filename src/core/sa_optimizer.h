@@ -1,0 +1,98 @@
+// Run-time simulated-annealing thread allocator — Algorithm 1.
+//
+// The allocation Ψ is encoded exactly as the paper's uni-dimensional array
+// of n·m slots (m slots per core); a thread occupies one slot, the rest are
+// empty. A move swaps two slots chosen with a perturbation radius that
+// decays by Opt_Δperturb each iteration: a thread↔empty swap is a
+// migration, a thread↔thread swap exchanges two threads' cores. Worse
+// solutions are accepted with probability e^(diff/accept) evaluated in
+// Q16.16 fixed point with the paper's `randi() mod 1/probability == 0`
+// acceptance test, and `accept` decays by Opt_Δaccept. The objective is
+// re-evaluated incrementally: only the two affected cores' terms change.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/objective.h"
+
+namespace sb::core {
+
+struct SaConfig {
+  /// Iteration budget (Opt_max_iter); 0 = auto-scale from (n, m) with the
+  /// Fig. 8(a) rule.
+  int max_iterations = 0;
+  double initial_perturb = 1.0;   // Opt_perturb
+  double perturb_decay = 0.98;    // Opt_Δperturb
+  /// Initial acceptance temperature as a fraction of |J(Ψ₀)|.
+  double initial_accept_rel = 0.05;  // Opt_accept (relative)
+  double accept_decay = 0.95;        // Opt_Δaccept
+  std::uint64_t seed = 1;
+  /// Paper-faithful fixed-point e^x + modulo acceptance; false switches to
+  /// double-precision Metropolis (ablation baseline).
+  bool fixed_point_acceptance = true;
+};
+
+/// Iteration budget used when SaConfig::max_iterations == 0. Grows with the
+/// problem and saturates to bound overhead at scale (Fig. 8a: "for larger
+/// configurations we limit the number of iterations").
+int sa_auto_iterations(int num_cores, int num_threads);
+
+struct SaResult {
+  std::vector<CoreId> allocation;  // thread row -> core
+  double objective = 0;
+  double initial_objective = 0;
+  int iterations = 0;
+  int accepted_worse = 0;
+  int improved = 0;
+  TimeNs host_ns = 0;  // wall-clock cost of the search (Fig. 7 overhead)
+};
+
+class SaOptimizer {
+ public:
+  SaOptimizer() : SaOptimizer(SaConfig()) {}
+  explicit SaOptimizer(SaConfig cfg) : cfg_(cfg) {}
+
+  /// Finds an allocation maximizing Σ_j objective.core_term(core j sums).
+  /// `s` and `p` are the m×n characterization matrices (GIPS / watts);
+  /// `initial` the current allocation; `affinity` (optional) per-thread
+  /// allowed-core masks.
+  ///
+  /// `demand_gips` (optional) realizes Algorithm 1's thread utilization
+  /// vector U in speed-invariant form: entry i is the thread's *demanded*
+  /// throughput (util × measured GIPS, i.e. instructions per wall-clock
+  /// second including its sleep time). A negative entry marks a CPU-bound
+  /// thread (unbounded demand: it consumes a full share wherever it runs).
+  /// On core j a duty-cycled thread occupies util_ij = min(1, d_i / s_ij)
+  /// of the core, contributing util_ij·s_ij GIPS and util_ij·p_ij watts —
+  /// so slow cores that cannot sustain the demand are correctly penalized,
+  /// and sleepy threads don't look like full load.
+  SaResult optimize(const Matrix& s, const Matrix& p,
+                    const BalanceObjective& objective,
+                    std::vector<CoreId> initial,
+                    const std::vector<std::bitset<kMaxCores>>* affinity =
+                        nullptr,
+                    const std::vector<double>* demand_gips = nullptr) const;
+
+  const SaConfig& config() const { return cfg_; }
+
+ private:
+  SaConfig cfg_;
+};
+
+/// Exhaustive optimum for small instances (n^m enumeration); used by tests
+/// and by the Fig. 8 distance-to-optimal study. Throws std::invalid_argument
+/// if n^m exceeds ~16M states.
+SaResult exhaustive_optimum(const Matrix& s, const Matrix& p,
+                            const BalanceObjective& objective);
+
+/// Evaluates Σ_j core_term for an explicit allocation (reference/debug).
+double evaluate_allocation(const Matrix& s, const Matrix& p,
+                           const BalanceObjective& objective,
+                           const std::vector<CoreId>& allocation);
+
+}  // namespace sb::core

@@ -1,0 +1,135 @@
+#include "core/sensing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sb::core {
+
+SensingSubsystem::SensingSubsystem(const arch::Platform& platform, Config cfg,
+                                   Rng rng)
+    : platform_(platform), cfg_(cfg), rng_(rng) {}
+
+double SensingSubsystem::noisy(double v, double sigma) {
+  if (sigma <= 0) return v;
+  return std::max(0.0, v * (1.0 + sigma * rng_.gaussian()));
+}
+
+ThreadObservation SensingSubsystem::reduce(const os::EpochSample& s) {
+  ThreadObservation o;
+  o.tid = s.tid;
+  o.core = s.core;
+  o.core_type = s.core >= 0 ? platform_.type_of(s.core) : -1;
+  o.runtime = s.runtime;
+  o.util = s.util;
+
+  const auto& c = s.counters;
+  const double sig = cfg_.counter_noise_sigma;
+  // Each counter is read with independent relative error; ratios inherit
+  // noise from both numerator and denominator, as on real hardware.
+  const double inst_total = noisy(static_cast<double>(c.inst_total), sig);
+  const double inst_mem = noisy(static_cast<double>(c.inst_mem), sig);
+  const double inst_branch = noisy(static_cast<double>(c.inst_branch), sig);
+  const double mispred = noisy(static_cast<double>(c.branch_mispred), sig);
+  const double l1i_a = noisy(static_cast<double>(c.l1i_access), sig);
+  const double l1i_m = noisy(static_cast<double>(c.l1i_miss), sig);
+  const double l1d_a = noisy(static_cast<double>(c.l1d_access), sig);
+  const double l1d_m = noisy(static_cast<double>(c.l1d_miss), sig);
+  const double itlb_a = noisy(static_cast<double>(c.itlb_access), sig);
+  const double itlb_m = noisy(static_cast<double>(c.itlb_miss), sig);
+  const double dtlb_a = noisy(static_cast<double>(c.dtlb_access), sig);
+  const double dtlb_m = noisy(static_cast<double>(c.dtlb_miss), sig);
+  const double active_cyc =
+      noisy(static_cast<double>(c.active_cycles()), sig);
+
+  auto ratio = [](double num, double den) { return den > 0 ? num / den : 0.0; };
+  o.instructions = c.inst_total;
+  o.ipc = ratio(inst_total, active_cyc);
+  o.imsh = ratio(inst_mem, inst_total);
+  o.ibsh = ratio(inst_branch, inst_total);
+  o.mr_branch = ratio(mispred, inst_branch);
+  o.mr_l1i = ratio(l1i_m, l1i_a);
+  o.mr_l1d = ratio(l1d_m, l1d_a);
+  o.mr_itlb = ratio(itlb_m, itlb_a);
+  o.mr_dtlb = ratio(dtlb_m, dtlb_a);
+
+  // Measured throughput while executing: IPS = IPC × F (paper §4.2.1).
+  // Under DVFS the sample carries the core's actual frequency.
+  o.freq_mhz = s.freq_mhz > 0
+                   ? s.freq_mhz
+                   : (o.core >= 0 ? platform_.params_of(s.core).freq_mhz : 0.0);
+  o.ips = o.ipc * o.freq_mhz * 1e6;
+
+  // Per-thread power from the sensed energy over execution time (Eq. 5).
+  const double energy = noisy(s.energy_j, cfg_.energy_noise_sigma);
+  o.power_w = s.runtime > 0 ? energy / to_seconds(s.runtime) : 0.0;
+
+  o.measured = s.runtime >= cfg_.min_runtime && c.inst_total > 0;
+  return o;
+}
+
+std::vector<ThreadObservation> SensingSubsystem::observe(
+    const std::vector<os::EpochSample>& samples) {
+  std::vector<ThreadObservation> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    ThreadObservation o = reduce(s);
+    // A freshly migrated thread's counters reflect cold caches, not the
+    // core; keep the previous characterization until it has warmed up
+    // (otherwise every migration makes the new core look bad and the old
+    // one look good, and the loop ping-pongs).
+    if (o.measured && !s.warm && last_good_.count(s.tid) > 0) {
+      ThreadObservation cached = last_good_.at(s.tid);
+      cached.util = s.util;
+      cached.runtime = s.runtime;
+      out.push_back(cached);
+      continue;
+    }
+    if (o.measured) {
+      const auto it = last_good_.find(s.tid);
+      if (cfg_.smoothing > 0 && it != last_good_.end() &&
+          it->second.core_type == o.core_type) {
+        const double h = std::min(cfg_.smoothing, 0.95);
+        auto blend = [h](double prev, double fresh) {
+          return h * prev + (1.0 - h) * fresh;
+        };
+        const ThreadObservation& prev = it->second;
+        o.ipc = blend(prev.ipc, o.ipc);
+        o.ips = blend(prev.ips, o.ips);
+        o.power_w = blend(prev.power_w, o.power_w);
+        o.imsh = blend(prev.imsh, o.imsh);
+        o.ibsh = blend(prev.ibsh, o.ibsh);
+        o.mr_branch = blend(prev.mr_branch, o.mr_branch);
+        o.mr_l1i = blend(prev.mr_l1i, o.mr_l1i);
+        o.mr_l1d = blend(prev.mr_l1d, o.mr_l1d);
+        o.mr_itlb = blend(prev.mr_itlb, o.mr_itlb);
+        o.mr_dtlb = blend(prev.mr_dtlb, o.mr_dtlb);
+      }
+      last_good_[s.tid] = o;
+    } else {
+      const auto it = last_good_.find(s.tid);
+      if (it != last_good_.end()) {
+        // Stale but characterized: reuse the last measurement, refreshed
+        // with the current utilization.
+        o = it->second;
+        o.util = s.util;
+        o.runtime = s.runtime;
+      }
+    }
+    out.push_back(o);
+  }
+  garbage_collect(samples);
+  return out;
+}
+
+void SensingSubsystem::garbage_collect(
+    const std::vector<os::EpochSample>& samples) {
+  if (last_good_.size() < 2 * samples.size() + 16) return;
+  std::unordered_map<ThreadId, ThreadObservation> kept;
+  for (const auto& s : samples) {
+    const auto it = last_good_.find(s.tid);
+    if (it != last_good_.end()) kept.insert(*it);
+  }
+  last_good_ = std::move(kept);
+}
+
+}  // namespace sb::core

@@ -1,0 +1,66 @@
+// SmartBalance sensing subsystem (paper §4.1).
+//
+// Converts the kernel's per-thread epoch accumulators (drained at the epoch
+// boundary) into ThreadObservations, applying the measurement imperfections
+// a real platform has: multiplicative gaussian noise on each hardware
+// counter (sampling skew, non-atomic reads) and on per-thread energy (the
+// power-sensor path). Threads that slept through an epoch produce no fresh
+// measurement; the subsystem retains each thread's last good observation so
+// the balancer still has a (stale) characterization — exactly the situation
+// the paper's closed loop must tolerate.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/platform.h"
+#include "common/rng.h"
+#include "core/features.h"
+#include "os/kernel.h"
+
+namespace sb::core {
+
+class SensingSubsystem {
+ public:
+  struct Config {
+    double counter_noise_sigma = 0.005;  // 0.5% per-counter
+    double energy_noise_sigma = 0.010;   // 1% on per-thread energy
+    /// Minimum execution time in an epoch for a fresh measurement to be
+    /// considered statistically valid.
+    TimeNs min_runtime = microseconds(300);
+    /// EWMA weight of *history* when blending successive measurements of a
+    /// thread on the same core type: 0 = paper-faithful point sampling of
+    /// the last epoch, higher = characterize the thread's average behaviour
+    /// across its program phases. Damps allocation thrash for workloads
+    /// whose phases alternate faster than they migrate usefully (x264's
+    /// per-frame ME/encode cycle). History resets on core-type change.
+    double smoothing = 0.6;
+  };
+
+  SensingSubsystem(const arch::Platform& platform, Config cfg, Rng rng);
+  SensingSubsystem(const arch::Platform& platform, Rng rng)
+      : SensingSubsystem(platform, Config(), rng) {}
+
+  /// Processes one epoch's samples into observations. Every alive thread
+  /// yields exactly one observation: fresh if it ran long enough, the
+  /// cached previous one otherwise (marked measured=false if never seen).
+  std::vector<ThreadObservation> observe(
+      const std::vector<os::EpochSample>& samples);
+
+  /// Drops cached observations for threads no longer present.
+  void garbage_collect(const std::vector<os::EpochSample>& samples);
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  ThreadObservation reduce(const os::EpochSample& s);
+  double noisy(double v, double sigma);
+
+  const arch::Platform& platform_;
+  Config cfg_;
+  Rng rng_;
+  std::unordered_map<ThreadId, ThreadObservation> last_good_;
+};
+
+}  // namespace sb::core

@@ -1,0 +1,146 @@
+#include "core/smart_balance.h"
+
+#include <chrono>
+
+namespace sb::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TimeNs elapsed_ns(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
+
+}  // namespace
+
+SmartBalancePolicy::SmartBalancePolicy(
+    const arch::Platform& platform, PredictorModel model,
+    SmartBalanceConfig cfg, std::unique_ptr<BalanceObjective> objective)
+    : platform_(platform),
+      model_(std::move(model)),
+      cfg_(cfg),
+      objective_(objective ? std::move(objective)
+                           : make_energy_efficiency_objective()),
+      sensing_(platform, cfg.sensing, Rng(cfg.seed ^ 0x5e25ULL)),
+      optimizer_([&] {
+        SaConfig sa = cfg.sa;
+        sa.seed = cfg.seed ^ 0x0a0aULL;
+        return sa;
+      }()) {}
+
+void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs /*now*/) {
+  ++passes_;
+  last_ = os::BalancePassStats{};
+
+  // ---- Phase 1: SENSE -----------------------------------------------------
+  const auto t0 = Clock::now();
+  const auto samples = kernel.drain_epoch_samples();
+  // Read every core's power sensor: this is the platform's measurement
+  // heartbeat (per-thread energy attribution in EpochSample is derived from
+  // the same sensors; reading them keeps their windows aligned per epoch).
+  for (CoreId c = 0; c < kernel.num_cores(); ++c) {
+    (void)kernel.sensors().read_joules(c);
+  }
+  auto observations = sensing_.observe(samples);
+  // Sparse virtual sensing (§6.4): cores without a physical power sensor
+  // fall back to the Eq. 9 interpolation as a virtual sensor.
+  if (!cfg_.power_sensor_cores.all()) {
+    for (auto& o : observations) {
+      if (o.core >= 0 && o.core_type >= 0 &&
+          !cfg_.power_sensor_cores.test(static_cast<std::size_t>(o.core))) {
+        o.power_w = model_.predict_power(o.core_type, o.ipc);
+      }
+    }
+  }
+  const auto t1 = Clock::now();
+
+  if (observations.empty()) {
+    last_.sense_host_ns = elapsed_ns(t0, t1);
+    sense_ns_.add(static_cast<double>(last_.sense_host_ns));
+    return;
+  }
+
+  // ---- Phase 2: PREDICT ---------------------------------------------------
+  if (kernel.config().enable_dvfs) {
+    // Predict at each core's *current* operating point.
+    std::vector<arch::OperatingPoint> opps;
+    opps.reserve(static_cast<std::size_t>(kernel.num_cores()));
+    for (CoreId c = 0; c < kernel.num_cores(); ++c) {
+      opps.push_back(kernel.core_opp(c));
+    }
+    last_mx_ = build_characterization(observations, model_, platform_, &opps);
+  } else {
+    last_mx_ = build_characterization(observations, model_, platform_);
+  }
+  const auto t2 = Clock::now();
+
+  // ---- Phase 3: BALANCE ---------------------------------------------------
+  std::vector<CoreId> initial(last_mx_.num_threads());
+  std::vector<std::bitset<kMaxCores>> affinity(last_mx_.num_threads());
+  std::vector<double> demand(last_mx_.num_threads());
+  std::bitset<kMaxCores> online;
+  for (CoreId c = 0; c < kernel.num_cores(); ++c) {
+    if (kernel.core_online(c)) online.set(static_cast<std::size_t>(c));
+  }
+  for (std::size_t i = 0; i < last_mx_.num_threads(); ++i) {
+    const auto& t = kernel.task(last_mx_.tids[i]);
+    initial[i] = t.cpu;
+    affinity[i] = t.cpus_allowed & online;  // hot-unplugged cores excluded
+    // Algorithm 1's utilization vector U, in speed-invariant form: the
+    // thread's demanded GIPS (duty cycle × measured throughput on its
+    // current core). CPU-bound threads (util ≈ 1) have unbounded demand.
+    const double u = observations[i].util;
+    if (u >= 0.9 || initial[i] < 0) {
+      demand[i] = -1.0;
+    } else {
+      demand[i] =
+          u * last_mx_.s.at(i, static_cast<std::size_t>(initial[i]));
+    }
+    // Migration cooldown: recently moved threads are frozen in place until
+    // re-characterized on the new core type.
+    const auto it = migrated_at_pass_.find(t.tid);
+    if (cfg_.migration_cooldown_epochs > 0 && it != migrated_at_pass_.end() &&
+        passes_ - it->second <=
+            static_cast<std::uint64_t>(cfg_.migration_cooldown_epochs)) {
+      affinity[i].reset();
+      affinity[i].set(static_cast<std::size_t>(t.cpu));
+    }
+  }
+  // Fresh annealing trajectory each epoch (deterministic per pass index).
+  SaConfig sa_cfg = optimizer_.config();
+  sa_cfg.seed = cfg_.seed ^ (0x0a0aULL + passes_ * 0x9e3779b9ULL);
+  const SaResult result =
+      SaOptimizer(sa_cfg).optimize(last_mx_.s, last_mx_.p, *objective_,
+                                   initial, &affinity, &demand);
+  const auto t3 = Clock::now();
+
+  // Apply the new allocation (set_cpus_allowed_ptr / migrate analogue).
+  const double gain_threshold =
+      result.initial_objective > 0
+          ? result.initial_objective * (1.0 + cfg_.min_relative_gain)
+          : 0.0;
+  int migrations = 0;
+  if (result.objective > gain_threshold) {
+    for (std::size_t i = 0; i < last_mx_.num_threads(); ++i) {
+      if (result.allocation[i] != initial[i]) {
+        kernel.migrate(last_mx_.tids[i], result.allocation[i]);
+        migrated_at_pass_[last_mx_.tids[i]] = passes_;
+        ++migrations;
+      }
+    }
+  }
+
+  last_.sense_host_ns = elapsed_ns(t0, t1);
+  last_.predict_host_ns = elapsed_ns(t1, t2);
+  last_.optimize_host_ns = elapsed_ns(t2, t3);
+  last_.migrations = migrations;
+  sense_ns_.add(static_cast<double>(last_.sense_host_ns));
+  predict_ns_.add(static_cast<double>(last_.predict_host_ns));
+  optimize_ns_.add(static_cast<double>(last_.optimize_host_ns));
+  migrations_.add(static_cast<double>(migrations));
+  if (result.initial_objective > 0) {
+    objective_gain_.add(result.objective / result.initial_objective - 1.0);
+  }
+}
+
+}  // namespace sb::core

@@ -1,0 +1,103 @@
+// SmartBalance: the closed-loop sense → predict → balance policy (§4).
+//
+// Installed in place of the kernel's rebalance_domains(); fires once per
+// epoch (60 ms default, covering L = 10 CFS periods of 6 ms). Each pass:
+//   1. SENSE    — drain per-thread counters and per-core power sensors,
+//                 apply measurement noise, produce ThreadObservations.
+//   2. PREDICT  — estimate each thread's IPS/power on its current core
+//                 (Eqs. 4–7) and predict them on every other core type
+//                 (Eqs. 8–9), filling S(k) and P(k).
+//   3. BALANCE  — run the fixed-point SA optimizer (Algorithm 1) on
+//                 J = Σ ω_j IPS_j/P_j starting from the current allocation
+//                 and migrate threads whose assignment changed.
+//
+// Host wall-clock of every phase is recorded per pass for the Fig. 7
+// overhead study.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/char_matrix.h"
+#include "core/objective.h"
+#include "core/predictor.h"
+#include "core/sa_optimizer.h"
+#include "core/sensing.h"
+#include "os/kernel.h"
+#include "os/load_balancer.h"
+
+namespace sb::core {
+
+struct SmartBalanceConfig {
+  /// Epoch length T_Epoch (covers L CFS scheduling periods).
+  TimeNs epoch = milliseconds(60);
+  SaConfig sa;
+  SensingSubsystem::Config sensing;
+  std::uint64_t seed = 99;
+  /// Apply a new allocation only if its predicted objective exceeds the
+  /// current one by this relative margin. Hysteresis against noise-driven
+  /// migration thrash: prediction error (Fig. 6, ~4-5%) would otherwise
+  /// reshuffle near-equivalent allocations every epoch, paying cache-warmup
+  /// costs for no real gain.
+  double min_relative_gain = 0.02;
+  /// After migrating a thread, freeze it on its new core for this many
+  /// epochs: the first post-migration epoch measures cold caches and the
+  /// characterization history restarts on the new core type, so letting the
+  /// optimizer move the thread again immediately would act on the noisiest
+  /// possible data (and ping-pong). 0 disables.
+  int migration_cooldown_epochs = 2;
+
+  /// Sparse virtual sensing (paper §6.4): cores whose bit is set have a
+  /// physical power sensor; threads measured on other cores get their power
+  /// from the Eq. 9 virtual sensor (p̂ = α1·ipc + α0 for the core's type)
+  /// instead of a reading. Default: every core instrumented.
+  std::bitset<kMaxCores> power_sensor_cores = std::bitset<kMaxCores>().set();
+};
+
+class SmartBalancePolicy final : public os::LoadBalancer {
+ public:
+  /// `model` must be trained for the platform's core types (PredictorTrainer).
+  SmartBalancePolicy(const arch::Platform& platform, PredictorModel model,
+                     SmartBalanceConfig cfg = SmartBalanceConfig(),
+                     std::unique_ptr<BalanceObjective> objective = nullptr);
+
+  TimeNs interval() const override { return cfg_.epoch; }
+  void on_balance(os::Kernel& kernel, TimeNs now) override;
+  std::string name() const override { return "smartbalance"; }
+  os::BalancePassStats last_pass_stats() const override { return last_; }
+  std::uint64_t passes() const override { return passes_; }
+
+  // --- Introspection for experiments ---
+  const RunningStats& sense_ns() const { return sense_ns_; }
+  const RunningStats& predict_ns() const { return predict_ns_; }
+  const RunningStats& optimize_ns() const { return optimize_ns_; }
+  const RunningStats& migrations_per_pass() const { return migrations_; }
+  const RunningStats& objective_gain() const { return objective_gain_; }
+  const PredictorModel& model() const { return model_; }
+  const SmartBalanceConfig& config() const { return cfg_; }
+
+  /// The most recent characterization matrices (empty before first pass).
+  const CharacterizationMatrices& last_matrices() const { return last_mx_; }
+
+ private:
+  const arch::Platform& platform_;
+  PredictorModel model_;
+  SmartBalanceConfig cfg_;
+  std::unique_ptr<BalanceObjective> objective_;
+  SensingSubsystem sensing_;
+  SaOptimizer optimizer_;
+
+  os::BalancePassStats last_;
+  std::uint64_t passes_ = 0;
+  RunningStats sense_ns_;
+  RunningStats predict_ns_;
+  RunningStats optimize_ns_;
+  RunningStats migrations_;
+  RunningStats objective_gain_;
+  CharacterizationMatrices last_mx_;
+  std::unordered_map<ThreadId, std::uint64_t> migrated_at_pass_;
+};
+
+}  // namespace sb::core

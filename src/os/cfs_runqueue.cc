@@ -1,0 +1,55 @@
+#include "os/cfs_runqueue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sb::os {
+
+void CfsRunqueue::enqueue(ThreadId tid, double vruntime, std::uint32_t weight) {
+  const auto [it, inserted] = queue_.insert(Entry{vruntime, tid, weight});
+  if (!inserted) throw std::logic_error("CfsRunqueue: duplicate enqueue");
+  total_weight_ += weight;
+  update_min_vruntime(queue_.begin()->vruntime);
+}
+
+bool CfsRunqueue::remove(ThreadId tid, double vruntime) {
+  // Entries are keyed by (vruntime, tid); vruntime is immutable while queued
+  // so direct erase works.
+  const auto it = queue_.find(Entry{vruntime, tid, 0});
+  if (it == queue_.end() || it->tid != tid) return false;
+  total_weight_ -= it->weight;
+  queue_.erase(it);
+  return true;
+}
+
+ThreadId CfsRunqueue::pop_leftmost() {
+  if (queue_.empty()) return kInvalidThread;
+  const auto it = queue_.begin();
+  const ThreadId tid = it->tid;
+  update_min_vruntime(it->vruntime);
+  total_weight_ -= it->weight;
+  queue_.erase(it);
+  return tid;
+}
+
+double CfsRunqueue::leftmost_vruntime() const {
+  if (queue_.empty()) throw std::logic_error("CfsRunqueue: empty");
+  return queue_.begin()->vruntime;
+}
+
+ThreadId CfsRunqueue::leftmost() const {
+  return queue_.empty() ? kInvalidThread : queue_.begin()->tid;
+}
+
+void CfsRunqueue::update_min_vruntime(double v) {
+  min_vruntime_ = std::max(min_vruntime_, v);
+}
+
+std::vector<ThreadId> CfsRunqueue::queued() const {
+  std::vector<ThreadId> out;
+  out.reserve(queue_.size());
+  for (const auto& e : queue_) out.push_back(e.tid);
+  return out;
+}
+
+}  // namespace sb::os

@@ -1,0 +1,63 @@
+// Completely Fair Scheduler runqueue.
+//
+// Orders runnable tasks by virtual runtime (the kernel uses a red-black
+// tree; std::set of (vruntime, tid) pairs gives the same O(log n) ops and
+// leftmost-pick semantics). Tracks min_vruntime monotonically so newly
+// woken or newly forked tasks can be placed without starving the queue.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sb::os {
+
+class CfsRunqueue {
+ public:
+  /// Inserts a runnable task. Caller must ensure it is not already queued.
+  void enqueue(ThreadId tid, double vruntime, std::uint32_t weight);
+
+  /// Removes a specific task; returns false if it was not queued.
+  bool remove(ThreadId tid, double vruntime);
+
+  /// Pops the task with the smallest vruntime; kInvalidThread if empty.
+  ThreadId pop_leftmost();
+
+  /// Smallest queued vruntime (peek); only valid when !empty().
+  double leftmost_vruntime() const;
+  ThreadId leftmost() const;
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  /// Monotone floor for placing new arrivals (CFS min_vruntime).
+  double min_vruntime() const { return min_vruntime_; }
+  /// Raises min_vruntime (never lowers it).
+  void update_min_vruntime(double v);
+
+  /// Sum of queued tasks' weights (used by timeslice computation and by
+  /// the vanilla balancer's notion of load).
+  std::uint64_t total_weight() const { return total_weight_; }
+
+  /// Snapshot of queued thread ids (ascending vruntime).
+  std::vector<ThreadId> queued() const;
+
+ private:
+  struct Entry {
+    double vruntime;
+    ThreadId tid;
+    std::uint32_t weight;
+    bool operator<(const Entry& o) const {
+      if (vruntime != o.vruntime) return vruntime < o.vruntime;
+      return tid < o.tid;
+    }
+  };
+
+  std::set<Entry> queue_;
+  double min_vruntime_ = 0.0;
+  std::uint64_t total_weight_ = 0;
+};
+
+}  // namespace sb::os

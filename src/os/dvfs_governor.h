@@ -1,0 +1,75 @@
+// cpufreq-style DVFS governors.
+//
+// Orthogonal to load balancing (as in Linux): the governor picks each
+// core's operating point from its OPP table based on recent busy time,
+// while the balancer decides thread placement. Enabled by
+// KernelConfig::enable_dvfs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sb::os {
+
+class Kernel;
+
+class DvfsGovernor {
+ public:
+  virtual ~DvfsGovernor() = default;
+
+  /// Interval between on_tick invocations.
+  virtual TimeNs interval() const = 0;
+  virtual void on_tick(Kernel& kernel, TimeNs now) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Always the highest operating point (Linux "performance").
+class PerformanceGovernor final : public DvfsGovernor {
+ public:
+  TimeNs interval() const override { return milliseconds(100); }
+  void on_tick(Kernel& kernel, TimeNs now) override;
+  std::string name() const override { return "performance"; }
+};
+
+/// Always the lowest operating point (Linux "powersave").
+class PowersaveGovernor final : public DvfsGovernor {
+ public:
+  TimeNs interval() const override { return milliseconds(100); }
+  void on_tick(Kernel& kernel, TimeNs now) override;
+  std::string name() const override { return "powersave"; }
+};
+
+/// Utilization-driven stepping (Linux "ondemand"/"schedutil" flavour):
+/// raise the operating point when the core's busy fraction over the last
+/// tick exceeds `up_threshold`, lower it when below `down_threshold`.
+class OndemandGovernor final : public DvfsGovernor {
+ public:
+  struct Config {
+    TimeNs interval = milliseconds(30);
+    double up_threshold = 0.85;
+    double down_threshold = 0.35;
+    /// Jump straight to the top point on saturation (ondemand behaviour)
+    /// rather than stepping one level.
+    bool boost_to_max = true;
+  };
+
+  OndemandGovernor() : OndemandGovernor(Config()) {}
+  explicit OndemandGovernor(Config cfg) : cfg_(cfg) {}
+
+  TimeNs interval() const override { return cfg_.interval; }
+  void on_tick(Kernel& kernel, TimeNs now) override;
+  std::string name() const override { return "ondemand"; }
+
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  Config cfg_;
+  std::vector<TimeNs> prev_busy_;
+  TimeNs prev_now_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace sb::os

@@ -1,0 +1,61 @@
+// Linaro In-Kernel Switcher (IKS) — Table 1 baseline.
+//
+// IKS pairs each big core with a little core into one *logical* CPU and
+// switches the active member of the pair based on demand: the scheduler
+// only ever sees the logical CPU, so the granularity is a core *pair*
+// (cluster), not an individual task — the coarseness GTS (and the paper)
+// improve upon. We model it faithfully: threads of a pair all run on the
+// pair's active member; the switcher activates the big member when the
+// pair's aggregate utilization crosses an up-threshold and falls back to
+// the little member below a down-threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "os/load_balancer.h"
+
+namespace sb::os {
+
+class IksBalancer final : public LoadBalancer {
+ public:
+  struct Config {
+    TimeNs interval = milliseconds(6);
+    double up_threshold = 0.60;    // pair util above which big is active
+    double down_threshold = 0.30;  // below which little is active
+    CoreTypeId big_type = 0;
+    /// Balance thread counts across logical CPUs (pairs), like the vanilla
+    /// balancer does across physical cores.
+    bool balance_pairs = true;
+  };
+
+  IksBalancer() : IksBalancer(Config()) {}
+  explicit IksBalancer(Config cfg) : cfg_(cfg) {}
+
+  TimeNs interval() const override { return cfg_.interval; }
+  void on_balance(Kernel& kernel, TimeNs now) override;
+  std::string name() const override { return "iks"; }
+  std::uint64_t passes() const override { return passes_; }
+
+  std::uint64_t switches() const { return switches_; }
+
+ private:
+  struct Pair {
+    CoreId big = kInvalidCore;
+    CoreId little = kInvalidCore;
+    bool big_active = false;
+  };
+
+  void init_pairs(Kernel& kernel);
+  CoreId active_core(const Pair& p) const {
+    return p.big_active ? p.big : p.little;
+  }
+
+  Config cfg_;
+  std::vector<Pair> pairs_;
+  std::uint64_t passes_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace sb::os

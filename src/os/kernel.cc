@@ -1,0 +1,760 @@
+#include "os/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace sb::os {
+
+Kernel::Kernel(const arch::Platform& platform, const perf::PerfModel& perf,
+               const power::PowerModel& power, KernelConfig cfg)
+    : platform_(platform),
+      perf_(perf),
+      power_(power),
+      cfg_(cfg),
+      cores_(static_cast<std::size_t>(platform.num_cores())),
+      meter_(platform.num_cores()),
+      sensors_(meter_, cfg.sensor, Rng(cfg.seed ^ 0x5e5e5e5eULL)),
+      bus_(platform.num_cores(), cfg.bus),
+      rng_(cfg.seed) {
+  platform_.validate();
+  if (platform_.num_cores() > kMaxCores) {
+    throw std::invalid_argument("Kernel: platform exceeds kMaxCores");
+  }
+  for (CoreTypeId t = 0; t < platform_.num_types(); ++t) {
+    const auto& params = platform_.params_of_type(t);
+    opp_tables_.push_back(cfg_.enable_dvfs ? arch::OppTable::typical_for(params)
+                                           : arch::OppTable::nominal_only(params));
+  }
+  for (CoreId c = 0; c < platform_.num_cores(); ++c) {
+    CoreState& cs = cores_[static_cast<std::size_t>(c)];
+    cs.asleep = true;
+    cs.sleeping_since = 0;
+    cs.opp_idx = opp_table(c).size() - 1;  // boot at nominal / top
+  }
+}
+
+const arch::OppTable& Kernel::opp_table(CoreId c) const {
+  return opp_tables_[static_cast<std::size_t>(platform_.type_of(c))];
+}
+
+std::size_t Kernel::core_opp_index(CoreId c) const { return core(c).opp_idx; }
+
+const arch::OperatingPoint& Kernel::core_opp(CoreId c) const {
+  return opp_table(c).at(core(c).opp_idx);
+}
+
+void Kernel::set_core_opp(CoreId c, std::size_t opp_index) {
+  CoreState& cs = core(c);
+  if (opp_index >= opp_table(c).size()) {
+    throw std::out_of_range("set_core_opp: bad operating point");
+  }
+  if (opp_index == cs.opp_idx) return;
+  // Flush the running segment at the old frequency, then resume at the new
+  // one (a real cpufreq transition also quiesces the core briefly).
+  const ThreadId running = stop_current(c);
+  cs.opp_idx = opp_index;
+  ++dvfs_transitions_;
+  if (running != kInvalidThread) {
+    Task& t = task_mut(running);
+    t.state = TaskState::Runnable;
+    if (t.runnable_since == kTimeNever) t.runnable_since = now_;
+    cs.rq.enqueue(running, t.vruntime, t.weight);
+  }
+  if (!in_balance_pass_ && cs.running == kInvalidThread) dispatch(c);
+}
+
+void Kernel::set_core_online(CoreId c, bool online) {
+  CoreState& cs = core(c);
+  if (cs.offline == !online) return;
+  if (online) {
+    cs.offline = false;
+    return;
+  }
+  // Validate before mutating: every task currently placed on this core must
+  // have somewhere online to go, and this must not be the last online core.
+  if (num_online_cores() <= 1) {
+    throw std::logic_error("set_core_online: cannot offline the last core");
+  }
+  auto fallback_for = [&](const Task& t) -> CoreId {
+    CoreId best = kInvalidCore;
+    double best_load = 0;
+    for (CoreId o = 0; o < num_cores(); ++o) {
+      if (o == c || core(o).offline || !t.can_run_on(o)) continue;
+      const double load = core_load(o);
+      if (best == kInvalidCore || load < best_load) {
+        best = o;
+        best_load = load;
+      }
+    }
+    return best;
+  };
+  for (const auto& tp : tasks_) {
+    if (tp->alive() && tp->cpu == c && fallback_for(*tp) == kInvalidCore) {
+      throw std::logic_error("set_core_online: task '" + tp->name +
+                             "' has no online core in its affinity mask");
+    }
+  }
+
+  cs.offline = true;
+  // Evacuate: running task first, then the queue, then retarget sleepers.
+  const ThreadId running = stop_current(c);
+  if (running != kInvalidThread) {
+    Task& t = task_mut(running);
+    after_task_stops(t);
+    if (t.state == TaskState::Runnable) {
+      if (t.runnable_since == kTimeNever) t.runnable_since = now_;
+      cs.rq.enqueue(running, t.vruntime, t.weight);
+    } else {
+      advance_util(t, /*active=*/false);
+    }
+  }
+  while (!cs.rq.empty()) {
+    const ThreadId tid = cs.rq.leftmost();
+    migrate(tid, fallback_for(task(tid)));
+  }
+  for (auto& tp : tasks_) {
+    if (tp->alive() && tp->state == TaskState::Sleeping && tp->cpu == c) {
+      tp->cpu = fallback_for(*tp);
+    }
+  }
+  if (!cs.asleep) {
+    cs.asleep = true;
+    cs.sleeping_since = now_;
+  }
+}
+
+int Kernel::num_online_cores() const {
+  int n = 0;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (!core(c).offline) ++n;
+  }
+  return n;
+}
+
+void Kernel::set_governor(std::unique_ptr<DvfsGovernor> governor) {
+  if (governor && !cfg_.enable_dvfs) {
+    throw std::logic_error("set_governor: KernelConfig::enable_dvfs is off");
+  }
+  governor_ = std::move(governor);
+  governor_scheduled_ = false;
+}
+
+std::size_t Kernel::checked(ThreadId tid) const {
+  if (tid < 0 || static_cast<std::size_t>(tid) >= tasks_.size()) {
+    throw std::out_of_range("Kernel: bad ThreadId");
+  }
+  return static_cast<std::size_t>(tid);
+}
+
+Kernel::CoreState& Kernel::core(CoreId c) {
+  if (c < 0 || static_cast<std::size_t>(c) >= cores_.size()) {
+    throw std::out_of_range("Kernel: bad CoreId");
+  }
+  return cores_[static_cast<std::size_t>(c)];
+}
+
+const Kernel::CoreState& Kernel::core(CoreId c) const {
+  return const_cast<Kernel*>(this)->core(c);
+}
+
+// --------------------------------------------------------------------------
+// Task lifecycle
+// --------------------------------------------------------------------------
+
+ThreadId Kernel::fork(workload::ThreadBehavior behavior) {
+  behavior.validate();
+  auto t = std::make_unique<Task>();
+  t->tid = static_cast<ThreadId>(tasks_.size());
+  t->name = behavior.name.empty()
+                ? ("task" + std::to_string(t->tid))
+                : behavior.name;
+  t->nice = behavior.nice;
+  t->weight = nice_to_weight(behavior.nice);
+  t->behavior = std::move(behavior);
+  t->arrived_at = now_;
+  t->util_updated_at = now_;
+  t->state = TaskState::Runnable;
+  Task& ref = *t;
+  tasks_.push_back(std::move(t));
+
+  ref.cpu = pick_fork_core(ref);
+  ref.vruntime = core(ref.cpu).rq.min_vruntime();
+  enqueue_task(ref, /*wakeup=*/false);
+  return ref.tid;
+}
+
+ThreadId Kernel::fork_on(workload::ThreadBehavior behavior, CoreId c) {
+  if (c < 0 || c >= num_cores()) throw std::out_of_range("fork_on: bad core");
+  if (core(c).offline) throw std::logic_error("fork_on: core is offline");
+  behavior.validate();
+  auto t = std::make_unique<Task>();
+  t->tid = static_cast<ThreadId>(tasks_.size());
+  t->name = behavior.name.empty()
+                ? ("task" + std::to_string(t->tid))
+                : behavior.name;
+  t->nice = behavior.nice;
+  t->weight = nice_to_weight(behavior.nice);
+  t->behavior = std::move(behavior);
+  t->arrived_at = now_;
+  t->util_updated_at = now_;
+  t->state = TaskState::Runnable;
+  t->cpu = c;
+  Task& ref = *t;
+  tasks_.push_back(std::move(t));
+
+  ref.vruntime = core(c).rq.min_vruntime();
+  enqueue_task(ref, /*wakeup=*/false);
+  return ref.tid;
+}
+
+CoreId Kernel::pick_fork_core(const Task& t) {
+  const int n = num_cores();
+  for (int i = 0; i < n; ++i) {
+    const CoreId c = static_cast<CoreId>((fork_rr_ + i) % n);
+    if (t.can_run_on(c) && !core(c).offline) {
+      fork_rr_ = (fork_rr_ + i + 1) % n;
+      return c;
+    }
+  }
+  throw std::logic_error("fork: no online core in the task's affinity mask");
+}
+
+void Kernel::set_balancer(std::unique_ptr<LoadBalancer> balancer) {
+  balancer_ = std::move(balancer);
+  balance_scheduled_ = false;
+}
+
+void Kernel::set_nice(ThreadId tid, int nice) {
+  Task& t = task_mut(tid);
+  const std::uint32_t w = nice_to_weight(nice);
+  if (t.state == TaskState::Runnable) {
+    // Re-key the runqueue entry (weight is part of the entry).
+    core(t.cpu).rq.remove(tid, t.vruntime);
+    t.nice = nice;
+    t.weight = w;
+    core(t.cpu).rq.enqueue(tid, t.vruntime, w);
+  } else {
+    t.nice = nice;
+    t.weight = w;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Event machinery
+// --------------------------------------------------------------------------
+
+void Kernel::push_event(TimeNs time, EventType type, std::int64_t a,
+                        std::uint64_t seq) {
+  events_.push(Event{time, type, a, seq, event_order_++});
+}
+
+void Kernel::run_until(TimeNs t) {
+  if (t < now_) throw std::invalid_argument("run_until: time went backwards");
+  if (balancer_ && !balance_scheduled_) {
+    push_event(now_ + balancer_->interval(), EventType::Balance, 0, 0);
+    balance_scheduled_ = true;
+  }
+  if (governor_ && !governor_scheduled_) {
+    push_event(now_ + governor_->interval(), EventType::Governor, 0, 0);
+    governor_scheduled_ = true;
+  }
+  while (!events_.empty() && events_.top().time <= t) {
+    const Event e = events_.top();
+    events_.pop();
+    now_ = std::max(now_, e.time);
+    switch (e.type) {
+      case EventType::SegmentEnd:
+        handle_segment_end(static_cast<CoreId>(e.a), e.seq);
+        break;
+      case EventType::Wake:
+        handle_wake(static_cast<ThreadId>(e.a));
+        break;
+      case EventType::Balance:
+        handle_balance();
+        break;
+      case EventType::Governor:
+        if (governor_) {
+          governor_->on_tick(*this, now_);
+          push_event(now_ + governor_->interval(), EventType::Governor, 0, 0);
+        }
+        break;
+    }
+  }
+  now_ = t;
+  // Make all accounting exact at t: flush running segments and sleep time.
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    CoreState& cs = core(c);
+    if (cs.running != kInvalidThread) {
+      const ThreadId tid = stop_current(c);
+      Task& tk = task_mut(tid);
+      tk.state = TaskState::Runnable;
+      if (tk.runnable_since == kTimeNever) tk.runnable_since = now_;
+      cs.rq.enqueue(tid, tk.vruntime, tk.weight);
+      dispatch(c);
+    } else if (cs.asleep) {
+      account_core_sleep(c);
+    }
+  }
+}
+
+bool Kernel::all_exited() const {
+  for (const auto& t : tasks_) {
+    if (t->alive()) return false;
+  }
+  return !tasks_.empty();
+}
+
+// --------------------------------------------------------------------------
+// Scheduling core
+// --------------------------------------------------------------------------
+
+void Kernel::dispatch(CoreId c) {
+  CoreState& cs = core(c);
+  if (cs.running != kInvalidThread) {
+    throw std::logic_error("dispatch: core already running a task");
+  }
+  if (cs.offline) {
+    // Hot-unplugged: never start work here (evacuation drains the queue).
+    if (!cs.asleep) {
+      cs.asleep = true;
+      cs.sleeping_since = now_;
+    }
+    return;
+  }
+  if (cs.rq.empty()) {
+    if (!cs.asleep) {
+      cs.asleep = true;
+      cs.sleeping_since = now_;
+    }
+    return;
+  }
+  if (cs.asleep) {
+    account_core_sleep(c);
+    cs.asleep = false;
+  }
+
+  const ThreadId tid = cs.rq.pop_leftmost();
+  Task& t = task_mut(tid);
+  if (t.runnable_since != kTimeNever) {
+    const TimeNs waited = now_ - t.runnable_since;
+    t.total_wait += waited;
+    t.max_wait = std::max(t.max_wait, waited);
+    t.runnable_since = kTimeNever;
+  }
+  ++t.dispatches;
+  t.state = TaskState::Running;
+  t.cpu = c;
+  cs.running = tid;
+
+  const arch::CoreParams& params = platform_.params_of(c);
+  const auto nr = cs.rq.size() + 1;
+  const TimeNs period = std::max<TimeNs>(
+      cfg_.sched_latency,
+      cfg_.min_granularity * static_cast<TimeNs>(nr));
+  const std::uint64_t total_w = cs.rq.total_weight() + t.weight;
+  TimeNs slice = static_cast<TimeNs>(
+      static_cast<double>(period) * static_cast<double>(t.weight) /
+      static_cast<double>(total_w));
+  slice = std::max(slice, cfg_.min_granularity);
+
+  // Freeze the per-segment model evaluation (bus latency, cache warmth and
+  // the DVFS operating point change slowly relative to a sub-millisecond
+  // segment).
+  const workload::WorkloadProfile& profile = t.current_profile();
+  const arch::OperatingPoint& opp = core_opp(c);
+  cs.seg_breakdown = perf_.evaluate(profile, c, bus_.effective_latency_ns(),
+                                    cfg_.warmup.miss_factor(
+                                        t.insts_since_migration),
+                                    opp.freq_mhz);
+  cs.seg_activity = profile.activity;
+
+  // Bound the segment by the nearest workload boundary.
+  (void)params;
+  const double ips = cs.seg_breakdown.ipc * opp.freq_mhz / 1000.0;
+  std::uint64_t bound = current_segment_bound(t);
+  TimeNs seg = slice;
+  const double insts_in_slice = static_cast<double>(slice) * ips;
+  if (insts_in_slice > static_cast<double>(bound)) {
+    seg = static_cast<TimeNs>(
+        std::ceil(static_cast<double>(bound) / ips));
+  }
+  seg = std::max<TimeNs>(seg, 1);
+
+  cs.segment_start = now_;
+  cs.slice_end = now_ + slice;
+  ++cs.dispatch_seq;
+  push_event(now_ + seg, EventType::SegmentEnd, c, cs.dispatch_seq);
+}
+
+std::uint64_t Kernel::current_segment_bound(const Task& t) const {
+  const std::uint64_t phase_rem =
+      t.current_phase_length() > t.insts_into_phase
+          ? t.current_phase_length() - t.insts_into_phase
+          : 1;
+  std::uint64_t bound = phase_rem;
+  if (t.behavior.interactive()) {
+    const std::uint64_t burst_rem =
+        t.behavior.burst_instructions > t.insts_into_burst
+            ? t.behavior.burst_instructions - t.insts_into_burst
+            : 1;
+    bound = std::min(bound, burst_rem);
+  }
+  if (t.behavior.total_instructions > 0) {
+    const std::uint64_t total_rem =
+        t.behavior.total_instructions > t.insts_retired
+            ? t.behavior.total_instructions - t.insts_retired
+            : 1;
+    bound = std::min(bound, total_rem);
+  }
+  return bound;
+}
+
+void Kernel::account_segment(CoreId c) {
+  CoreState& cs = core(c);
+  const ThreadId tid = cs.running;
+  if (tid == kInvalidThread) return;
+  Task& t = task_mut(tid);
+  const TimeNs dur = now_ - cs.segment_start;
+  if (dur <= 0) return;
+
+  const arch::OperatingPoint& opp = opp_table(c).at(cs.opp_idx);
+  const double cycles = static_cast<double>(dur) * opp.freq_mhz / 1000.0;
+  double insts_d = cycles * cs.seg_breakdown.ipc;
+  if (t.behavior.total_instructions > 0) {
+    const double total_rem = static_cast<double>(
+        t.behavior.total_instructions - std::min(t.behavior.total_instructions,
+                                                 t.insts_retired));
+    insts_d = std::min(insts_d, total_rem);
+  }
+  const auto insts = static_cast<std::uint64_t>(std::llround(insts_d));
+
+  // Ground-truth counters for the sensing subsystem.
+  const workload::WorkloadProfile& profile = t.current_profile();
+  perf::PerfModel::accumulate_counters(t.epoch_counters, cs.seg_breakdown,
+                                       profile, insts_d, cycles);
+
+  // Energy: busy power at this segment's IPC, activity and DVFS point.
+  const double watts = power_.busy_power_at(
+      platform_.type_of(c), cs.seg_breakdown.ipc, cs.seg_activity, opp);
+  const double joules = watts * to_seconds(dur);
+  meter_.add_busy(c, watts, dur);
+  t.epoch_energy_j += joules;
+  t.lifetime_energy_j += joules;
+  t.epoch_runtime += dur;
+  t.lifetime_runtime += dur;
+  t.epoch_core = c;
+
+  // Shared-bus traffic feedback.
+  bus_.record_traffic(c, insts_d * cs.seg_breakdown.mem_misses_per_inst, dur);
+
+  // CFS bookkeeping.
+  t.vruntime += static_cast<double>(dur) * kNice0Weight /
+                static_cast<double>(t.weight);
+  advance_util(t, /*active=*/true);
+
+  // Workload progress.
+  cs.instructions += insts;
+  t.insts_retired += insts;
+  t.lifetime_insts += insts;
+  t.insts_since_migration += insts;
+  t.insts_into_burst += insts;
+  t.insts_into_phase += insts;
+  while (t.insts_into_phase >= t.current_phase_length()) {
+    t.insts_into_phase -= t.current_phase_length();
+    t.phase_idx = (t.phase_idx + 1) % t.behavior.phases.size();
+  }
+
+  cs.segment_start = now_;
+}
+
+ThreadId Kernel::stop_current(CoreId c) {
+  CoreState& cs = core(c);
+  const ThreadId tid = cs.running;
+  if (tid == kInvalidThread) return kInvalidThread;
+  account_segment(c);
+  cs.running = kInvalidThread;
+  ++cs.dispatch_seq;  // invalidate the pending SegmentEnd event
+  ++context_switches_;
+  return tid;
+}
+
+void Kernel::after_task_stops(Task& t) {
+  if (t.behavior.total_instructions > 0 &&
+      t.insts_retired >= t.behavior.total_instructions) {
+    t.state = TaskState::Exited;
+    t.exited_at = now_;
+    return;
+  }
+  if (t.behavior.interactive() &&
+      t.insts_into_burst >= t.behavior.burst_instructions) {
+    t.state = TaskState::Sleeping;
+    t.insts_into_burst = 0;
+    push_event(now_ + draw_sleep(t.behavior), EventType::Wake, t.tid, 0);
+    return;
+  }
+  t.state = TaskState::Runnable;
+}
+
+void Kernel::handle_segment_end(CoreId c, std::uint64_t seq) {
+  CoreState& cs = core(c);
+  if (seq != cs.dispatch_seq || cs.running == kInvalidThread) return;  // stale
+  const ThreadId tid = cs.running;
+  account_segment(c);
+  cs.running = kInvalidThread;
+  ++cs.dispatch_seq;
+  ++context_switches_;
+
+  Task& t = task_mut(tid);
+  after_task_stops(t);
+  if (t.state == TaskState::Runnable) {
+    if (t.runnable_since == kTimeNever) t.runnable_since = now_;
+    cs.rq.enqueue(tid, t.vruntime, t.weight);
+  } else {
+    advance_util(t, /*active=*/false);
+  }
+  dispatch(c);
+}
+
+void Kernel::handle_wake(ThreadId tid) {
+  Task& t = task_mut(tid);
+  if (t.state != TaskState::Sleeping) return;  // stale (exited or migrated+woken)
+  advance_util(t, /*active=*/false);
+  t.state = TaskState::Runnable;
+
+  CoreId target = t.cpu;
+  if (!t.can_run_on(target) || core(target).offline) {
+    // Affine wakeup fallback: least-loaded allowed online core.
+    double best = -1;
+    for (CoreId c = 0; c < num_cores(); ++c) {
+      if (!t.can_run_on(c) || core(c).offline) continue;
+      const double load = core_load(c);
+      if (best < 0 || load < best) {
+        best = load;
+        target = c;
+      }
+    }
+    if (best < 0) throw std::logic_error("wake: no online core allowed");
+  }
+  t.cpu = target;
+  // Sleeper fairness: don't let a long sleep turn into unbounded credit.
+  t.vruntime = std::max(
+      t.vruntime,
+      core(target).rq.min_vruntime() - static_cast<double>(cfg_.sched_latency));
+  enqueue_task(t, /*wakeup=*/true);
+}
+
+void Kernel::enqueue_task(Task& t, bool wakeup) {
+  CoreState& cs = core(t.cpu);
+  if (t.runnable_since == kTimeNever) t.runnable_since = now_;
+  cs.rq.enqueue(t.tid, t.vruntime, t.weight);
+  if (in_balance_pass_) return;  // dispatch happens after the pass
+
+  if (cs.running == kInvalidThread) {
+    dispatch(t.cpu);
+    return;
+  }
+  if (wakeup && cfg_.wakeup_preemption) {
+    const Task& cur = task(cs.running);
+    // Preempt if the woken task is entitled to run by a clear margin.
+    if (cur.vruntime >
+        t.vruntime + static_cast<double>(cfg_.wakeup_granularity)) {
+      const ThreadId stopped = stop_current(t.cpu);
+      Task& st = task_mut(stopped);
+      st.state = TaskState::Runnable;
+      cs.rq.enqueue(stopped, st.vruntime, st.weight);
+      dispatch(t.cpu);
+    }
+  }
+}
+
+void Kernel::handle_balance() {
+  if (!balancer_) return;
+  in_balance_pass_ = true;
+  // Flush all running segments so counters/sensors are exact at the epoch
+  // boundary (the paper samples counters in schedule(); the epoch boundary
+  // coincides with a timer-driven reschedule).
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    const ThreadId tid = stop_current(c);
+    if (tid != kInvalidThread) {
+      Task& t = task_mut(tid);
+      after_task_stops(t);
+      if (t.state == TaskState::Runnable) {
+        if (t.runnable_since == kTimeNever) t.runnable_since = now_;
+        core(c).rq.enqueue(tid, t.vruntime, t.weight);
+      } else {
+        advance_util(t, /*active=*/false);
+      }
+    }
+  }
+  balancer_->on_balance(*this, now_);
+  ++balance_passes_;
+  in_balance_pass_ = false;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (core(c).running == kInvalidThread) dispatch(c);
+  }
+  push_event(now_ + balancer_->interval(), EventType::Balance, 0, 0);
+}
+
+// --------------------------------------------------------------------------
+// Migration and affinity
+// --------------------------------------------------------------------------
+
+void Kernel::migrate(ThreadId tid, CoreId dest) {
+  if (dest < 0 || dest >= num_cores()) throw std::out_of_range("migrate: core");
+  if (core(dest).offline) {
+    throw std::invalid_argument("migrate: destination core is offline");
+  }
+  Task& t = task_mut(tid);
+  if (!t.alive()) throw std::logic_error("migrate: task exited");
+  if (!t.can_run_on(dest)) {
+    throw std::invalid_argument("migrate: destination not in affinity mask");
+  }
+  if (t.cpu == dest) return;
+
+  const CoreId src = t.cpu;
+  switch (t.state) {
+    case TaskState::Running: {
+      CoreState& scs = core(src);
+      if (scs.running != tid) throw std::logic_error("migrate: cpu mismatch");
+      stop_current(src);
+      t.state = TaskState::Runnable;
+      break;
+    }
+    case TaskState::Runnable:
+      if (!core(src).rq.remove(tid, t.vruntime)) {
+        throw std::logic_error("migrate: runnable task not on runqueue");
+      }
+      break;
+    case TaskState::Sleeping:
+      // Retarget only; it enqueues at `dest` on wake.
+      t.cpu = dest;
+      ++t.migrations;
+      ++total_migrations_;
+      return;
+    case TaskState::Exited:
+      return;  // unreachable (guarded above)
+  }
+
+  // Re-base vruntime into the destination queue's frame.
+  const double rel = std::max(0.0, t.vruntime - core(src).rq.min_vruntime());
+  t.vruntime = core(dest).rq.min_vruntime() + rel;
+  t.cpu = dest;
+  t.insts_since_migration = 0;  // cold caches on the new core
+  ++t.migrations;
+  ++total_migrations_;
+  enqueue_task(t, /*wakeup=*/false);
+  if (!in_balance_pass_ && core(src).running == kInvalidThread) dispatch(src);
+}
+
+void Kernel::set_cpus_allowed(ThreadId tid,
+                              const std::bitset<kMaxCores>& mask) {
+  Task& t = task_mut(tid);
+  if (mask.none()) throw std::invalid_argument("set_cpus_allowed: empty mask");
+  t.cpus_allowed = mask;
+  if (t.alive() && !t.can_run_on(t.cpu)) {
+    // Kick it to the first allowed core.
+    for (CoreId c = 0; c < num_cores(); ++c) {
+      if (t.can_run_on(c)) {
+        if (t.state == TaskState::Sleeping) {
+          t.cpu = c;
+        } else {
+          migrate(tid, c);
+        }
+        return;
+      }
+    }
+    throw std::invalid_argument("set_cpus_allowed: no allowed core exists");
+  }
+}
+
+// --------------------------------------------------------------------------
+// Sensing / accounting helpers
+// --------------------------------------------------------------------------
+
+void Kernel::account_core_sleep(CoreId c) {
+  CoreState& cs = core(c);
+  if (!cs.asleep) return;
+  const TimeNs dur = now_ - cs.sleeping_since;
+  if (dur <= 0) return;
+  meter_.add_sleep(
+      c, power_.sleep_power_at(platform_.type_of(c), core_opp(c)), dur);
+  bus_.record_traffic(c, 0.0, dur);
+  cs.sleeping_since = now_;
+}
+
+void Kernel::advance_util(Task& t, bool active) {
+  t.util_avg = pelt_.advance(t.util_avg, now_ - t.util_updated_at, active);
+  t.util_updated_at = now_;
+}
+
+TimeNs Kernel::draw_sleep(const workload::ThreadBehavior& b) {
+  const double u = rng_.uniform(-1.0, 1.0);
+  const double dur =
+      static_cast<double>(b.sleep_mean_ns) * (1.0 + b.sleep_jitter * u);
+  return std::max<TimeNs>(microseconds(1), static_cast<TimeNs>(dur));
+}
+
+std::vector<ThreadId> Kernel::alive_threads() const {
+  std::vector<ThreadId> out;
+  for (const auto& t : tasks_) {
+    if (t->alive() && t->user_thread) out.push_back(t->tid);
+  }
+  return out;
+}
+
+double Kernel::task_util(ThreadId tid) const {
+  const Task& t = task(tid);
+  const bool active =
+      t.state == TaskState::Running || t.state == TaskState::Runnable;
+  return pelt_.advance(t.util_avg, now_ - t.util_updated_at, active);
+}
+
+double Kernel::core_load(CoreId c) const {
+  const CoreState& cs = core(c);
+  double load = static_cast<double>(cs.rq.total_weight());
+  if (cs.running != kInvalidThread) {
+    load += static_cast<double>(task(cs.running).weight);
+  }
+  return load;
+}
+
+int Kernel::core_nr_running(CoreId c) const {
+  const CoreState& cs = core(c);
+  return static_cast<int>(cs.rq.size()) +
+         (cs.running != kInvalidThread ? 1 : 0);
+}
+
+ThreadId Kernel::core_running(CoreId c) const { return core(c).running; }
+
+std::vector<EpochSample> Kernel::drain_epoch_samples() {
+  std::vector<EpochSample> out;
+  for (auto& tp : tasks_) {
+    Task& t = *tp;
+    if (!t.alive() || !t.user_thread) continue;
+    EpochSample s;
+    s.tid = t.tid;
+    s.core = t.epoch_core != kInvalidCore ? t.epoch_core : t.cpu;
+    s.counters = t.epoch_counters;
+    s.energy_j = t.epoch_energy_j;
+    s.runtime = t.epoch_runtime;
+    s.util = task_util(t.tid);
+    s.weight = t.weight;
+    s.warm = t.insts_since_migration >= cfg_.warmup.window_insts();
+    s.freq_mhz = s.core >= 0 ? core_opp(s.core).freq_mhz
+                             : platform_.params_of_type(0).freq_mhz;
+    out.push_back(s);
+    t.reset_epoch_accumulators();
+  }
+  return out;
+}
+
+std::uint64_t Kernel::total_instructions() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tasks_) total += t->lifetime_insts;
+  return total;
+}
+
+}  // namespace sb::os

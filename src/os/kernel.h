@@ -1,0 +1,266 @@
+// The kernel scheduling simulator.
+//
+// Reproduces the slice of Linux 2.6.x the paper modifies and measures:
+//   * per-core CFS runqueues with vruntime scheduling, nice weights,
+//     timeslice = period · weight / Σweight, wakeup preemption;
+//   * task lifecycle (fork / run / sleep / wake / exit) driven by each
+//     task's workload::ThreadBehavior;
+//   * per-thread hardware-counter accounting at context-switch granularity
+//     (the paper samples HPCs in schedule(); we account at segment end,
+//     which is the same boundary);
+//   * CPU-affinity migration (set_cpus_allowed_ptr analogue) with cache
+//     warmup costs charged by the performance model;
+//   * a pluggable LoadBalancer fired on its own interval, replacing
+//     rebalance_domains().
+//
+// Execution is discrete-event: a core runs its current task in *segments*
+// bounded by the CFS slice, workload phase/burst boundaries, wakeup
+// preemption, balancing epochs and simulation end. Ground-truth
+// instructions, events and energy for each segment come from the
+// mechanistic models (sb::perf, sb::power); the balancer can only observe
+// them through counters and sensors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "arch/cache_model.h"
+#include "arch/dvfs.h"
+#include "arch/memory_system.h"
+#include "arch/platform.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "os/cfs_runqueue.h"
+#include "os/dvfs_governor.h"
+#include "os/load_balancer.h"
+#include "os/pelt.h"
+#include "os/task.h"
+#include "perf/perf_model.h"
+#include "power/energy_meter.h"
+#include "power/power_model.h"
+#include "power/sensor.h"
+
+namespace sb::os {
+
+struct KernelConfig {
+  TimeNs sched_latency = milliseconds(6);      // CFS period target
+  TimeNs min_granularity = microseconds(750);  // minimum timeslice
+  TimeNs wakeup_granularity = milliseconds(1); // preemption hysteresis
+  bool wakeup_preemption = true;
+  std::uint64_t seed = 42;
+  arch::CacheWarmupModel warmup{};
+  arch::SharedBus::Config bus{};
+  power::PowerSensorBank::Config sensor{};
+  /// Gives every core type a 4-point OPP table (OppTable::typical_for) and
+  /// enables set_core_opp / DVFS governors. Off by default: the paper fixes
+  /// all voltages/frequencies to isolate architectural heterogeneity (§5).
+  bool enable_dvfs = false;
+};
+
+/// One thread's sensing record for a balancing epoch (drained by policies).
+struct EpochSample {
+  ThreadId tid = kInvalidThread;
+  CoreId core = kInvalidCore;  // core the thread executed on this epoch
+  perf::HpcCounters counters;  // ground-truth counters (noise is applied by
+                               // the policy's sensing layer)
+  double energy_j = 0.0;
+  TimeNs runtime = 0;
+  double util = 0.0;           // PELT utilization at drain time
+  std::uint32_t weight = kNice0Weight;
+  /// Frequency (MHz) of the core the thread ran on, at drain time; under
+  /// DVFS this can differ from the type's nominal frequency.
+  double freq_mhz = 0.0;
+  /// False while the thread is still refilling its private caches after a
+  /// migration — its counters are transiently depressed and not
+  /// representative of steady-state behaviour on this core.
+  bool warm = true;
+};
+
+class Kernel {
+ public:
+  Kernel(const arch::Platform& platform, const perf::PerfModel& perf,
+         const power::PowerModel& power, KernelConfig cfg = KernelConfig());
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- Task lifecycle -----------------------------------------------------
+  /// Creates a task; initial placement is round-robin over allowed cores
+  /// (vanilla fork placement is heterogeneity-blind).
+  ThreadId fork(workload::ThreadBehavior behavior);
+  /// Creates a task pinned-placed on a specific core (not affinity-pinned).
+  ThreadId fork_on(workload::ThreadBehavior behavior, CoreId core);
+
+  // --- Policy installation -------------------------------------------------
+  void set_balancer(std::unique_ptr<LoadBalancer> balancer);
+  LoadBalancer* balancer() { return balancer_.get(); }
+
+  /// Installs a DVFS governor (requires KernelConfig::enable_dvfs).
+  void set_governor(std::unique_ptr<DvfsGovernor> governor);
+  DvfsGovernor* governor() { return governor_.get(); }
+
+  // --- DVFS (cpufreq analogue) ----------------------------------------------
+  const arch::OppTable& opp_table(CoreId c) const;
+  std::size_t core_opp_index(CoreId c) const;
+  const arch::OperatingPoint& core_opp(CoreId c) const;
+  /// Switches a core's operating point. A running segment is flushed and
+  /// re-dispatched at the new frequency. Counts as a DVFS transition.
+  void set_core_opp(CoreId c, std::size_t opp_index);
+  std::uint64_t dvfs_transitions() const { return dvfs_transitions_; }
+
+  // --- CPU hotplug ----------------------------------------------------------
+  /// Takes a core offline: its tasks are migrated to the least-loaded
+  /// online core their affinity allows (throws std::logic_error if any
+  /// task has nowhere to go, or if this is the last online core), and the
+  /// core power-gates (sleep state) until brought back online. Offline
+  /// cores reject fork/migrate placements and are skipped by wake
+  /// placement; balancers must check core_online().
+  void set_core_online(CoreId c, bool online);
+  bool core_online(CoreId c) const { return !core(c).offline; }
+  int num_online_cores() const;
+
+  // --- Simulation control --------------------------------------------------
+  /// Advances simulated time to `t` (absolute). Accounting is exact at `t`.
+  void run_until(TimeNs t);
+  void run_for(TimeNs dt) { run_until(now_ + dt); }
+  TimeNs now() const { return now_; }
+  bool all_exited() const;
+
+  // --- Balancer / experiment API -------------------------------------------
+  const arch::Platform& platform() const { return platform_; }
+  int num_cores() const { return platform_.num_cores(); }
+
+  const Task& task(ThreadId tid) const { return *tasks_.at(checked(tid)); }
+  std::size_t num_tasks() const { return tasks_.size(); }
+  /// Alive user threads (the set V optimized each epoch).
+  std::vector<ThreadId> alive_threads() const;
+
+  /// PELT utilization advanced to now.
+  double task_util(ThreadId tid) const;
+  /// CFS load of a core: Σ weight of runnable + running tasks.
+  double core_load(CoreId c) const;
+  int core_nr_running(CoreId c) const;
+  /// The thread currently executing on `c` (kInvalidThread if none).
+  ThreadId core_running(CoreId c) const;
+
+  /// Migrates a task to `dest` (must be allowed by its affinity mask).
+  /// Running tasks are stopped (counters flushed) first. Sleeping tasks are
+  /// retargeted and migrate on wake. Resets the cache-warmup window.
+  void migrate(ThreadId tid, CoreId dest);
+  void set_cpus_allowed(ThreadId tid, const std::bitset<kMaxCores>& mask);
+  void set_nice(ThreadId tid, int nice);
+
+  /// Collects and clears every alive thread's epoch accumulators.
+  std::vector<EpochSample> drain_epoch_samples();
+
+  power::PowerSensorBank& sensors() { return sensors_; }
+  const power::EnergyMeter& energy() const { return meter_; }
+  arch::SharedBus& bus() { return bus_; }
+  const perf::PerfModel& perf_model() const { return perf_; }
+  const power::PowerModel& power_model() const { return power_; }
+  const KernelConfig& config() const { return cfg_; }
+
+  // --- Global statistics ----------------------------------------------------
+  std::uint64_t total_instructions() const;
+  std::uint64_t core_instructions(CoreId c) const {
+    return core(c).instructions;
+  }
+  std::uint64_t total_migrations() const { return total_migrations_; }
+  std::uint64_t context_switches() const { return context_switches_; }
+  std::uint64_t balance_passes() const { return balance_passes_; }
+
+ private:
+  enum class EventType { SegmentEnd, Wake, Balance, Governor };
+
+  struct Event {
+    TimeNs time;
+    EventType type;
+    std::int64_t a;        // core (SegmentEnd) or tid (Wake)
+    std::uint64_t seq;     // dispatch sequence (SegmentEnd staleness check)
+    std::uint64_t order;   // global tie-breaker for determinism
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return order > o.order;
+    }
+  };
+
+  struct CoreState {
+    CfsRunqueue rq;
+    ThreadId running = kInvalidThread;
+    TimeNs segment_start = 0;
+    std::uint64_t dispatch_seq = 0;
+    TimeNs sleeping_since = 0;  // core quiescent since (valid when no task
+                                // has ever run or runqueue drained)
+    bool asleep = true;
+    // Frozen per-segment model outputs:
+    perf::PerfBreakdown seg_breakdown;
+    double seg_activity = 1.0;
+    TimeNs slice_end = 0;
+    std::uint64_t instructions = 0;  // lifetime instructions retired here
+    std::size_t opp_idx = 0;         // current DVFS operating point
+    bool offline = false;            // hot-unplugged
+  };
+
+  std::size_t checked(ThreadId tid) const;
+  Task& task_mut(ThreadId tid) { return *tasks_.at(checked(tid)); }
+  CoreState& core(CoreId c);
+  const CoreState& core(CoreId c) const;
+
+  void push_event(TimeNs time, EventType type, std::int64_t a,
+                  std::uint64_t seq);
+  void handle_segment_end(CoreId c, std::uint64_t seq);
+  void handle_wake(ThreadId tid);
+  void handle_balance();
+
+  /// Starts the next task on an idle core (no-op if the runqueue is empty).
+  void dispatch(CoreId c);
+  /// Instructions until the nearest workload boundary (phase, burst, exit).
+  std::uint64_t current_segment_bound(const Task& t) const;
+  /// Accounts the running segment up to now_ and returns the task id;
+  /// leaves the core with no running task. kInvalidThread if none ran.
+  ThreadId stop_current(CoreId c);
+  /// Accounts ground truth for the segment that ran on `c` until now_.
+  void account_segment(CoreId c);
+  /// Charges sleep power for a quiescent core up to now_.
+  void account_core_sleep(CoreId c);
+  /// Places a runnable task on its core's runqueue (+wakeup preemption).
+  void enqueue_task(Task& t, bool wakeup);
+  void advance_util(Task& t, bool active);
+  TimeNs draw_sleep(const workload::ThreadBehavior& b);
+  CoreId pick_fork_core(const Task& t);
+  void after_task_stops(Task& t);
+
+  const arch::Platform& platform_;
+  const perf::PerfModel& perf_;
+  const power::PowerModel& power_;
+  KernelConfig cfg_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<CoreState> cores_;
+  power::EnergyMeter meter_;
+  power::PowerSensorBank sensors_;
+  arch::SharedBus bus_;
+  PeltTracker pelt_;
+  Rng rng_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::uint64_t event_order_ = 0;
+  TimeNs now_ = 0;
+
+  std::unique_ptr<LoadBalancer> balancer_;
+  bool balance_scheduled_ = false;
+  bool in_balance_pass_ = false;
+  std::unique_ptr<DvfsGovernor> governor_;
+  bool governor_scheduled_ = false;
+  std::vector<arch::OppTable> opp_tables_;  // per core type
+  std::uint64_t dvfs_transitions_ = 0;
+
+  int fork_rr_ = 0;
+  std::uint64_t total_migrations_ = 0;
+  std::uint64_t context_switches_ = 0;
+  std::uint64_t balance_passes_ = 0;
+};
+
+}  // namespace sb::os

@@ -1,0 +1,40 @@
+// PELT-style per-entity load/utilization tracking.
+//
+// ARM GTS drives its up/down migration decisions from tracked per-task
+// utilization (the fraction of recent wall time the task was runnable or
+// running), maintained as a geometrically decayed average exactly like the
+// kernel's Per-Entity Load Tracking. SmartBalance also exports it in its
+// thread utilization vector U (Algorithm 1 input).
+#pragma once
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace sb::os {
+
+/// Continuous-time equivalent of PELT: utilization decays toward the
+/// current duty value with half-life `half_life`.
+class PeltTracker {
+ public:
+  explicit PeltTracker(TimeNs half_life = milliseconds(32))
+      : half_life_(half_life) {}
+
+  /// Advances the average over [last_update, now) during which the task was
+  /// active (running/runnable) iff `active`.
+  double advance(double util_avg, TimeNs elapsed, bool active) const {
+    if (elapsed <= 0) return util_avg;
+    const double periods =
+        static_cast<double>(elapsed) / static_cast<double>(half_life_);
+    const double decay = std::exp2(-periods);
+    const double target = active ? 1.0 : 0.0;
+    return target + (util_avg - target) * decay;
+  }
+
+  TimeNs half_life() const { return half_life_; }
+
+ private:
+  TimeNs half_life_;
+};
+
+}  // namespace sb::os

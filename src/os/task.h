@@ -1,0 +1,108 @@
+// Task entity: the kernel's view of a schedulable thread.
+//
+// As in the Linux scheduling subsystem (paper §3), processes and threads are
+// both "task entities" scheduled independently; we keep the same uniformity.
+// A Task carries CFS bookkeeping (weight, vruntime), affinity, workload
+// progress (which phase/burst of its ThreadBehavior it is executing),
+// per-epoch sensing accumulators, and lifetime statistics.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "perf/counters.h"
+#include "workload/profile.h"
+
+namespace sb::os {
+
+enum class TaskState { Runnable, Running, Sleeping, Exited };
+
+const char* to_string(TaskState s);
+
+/// Linux nice-to-weight mapping (kernel/sched/core.c sched_prio_to_weight):
+/// each nice step changes CPU share by ~25%. nice must be in [-20, 19].
+std::uint32_t nice_to_weight(int nice);
+
+/// Weight of nice 0; vruntime advances at wall rate for this weight.
+inline constexpr std::uint32_t kNice0Weight = 1024;
+
+struct Task {
+  ThreadId tid = kInvalidThread;
+  std::string name;
+  workload::ThreadBehavior behavior;
+
+  TaskState state = TaskState::Runnable;
+  int nice = 0;
+  std::uint32_t weight = kNice0Weight;
+
+  /// CFS virtual runtime, in (weighted) nanoseconds.
+  double vruntime = 0.0;
+
+  /// Core the task is assigned to (runqueue membership / running location).
+  CoreId cpu = kInvalidCore;
+  /// Affinity mask (set_cpus_allowed_ptr analogue); defaults to all cores.
+  std::bitset<kMaxCores> cpus_allowed = std::bitset<kMaxCores>().set();
+
+  /// True for user threads; SmartBalance optimizes user threads (the paper
+  /// marks them in sched_fork and focuses on them as the dominant load).
+  bool user_thread = true;
+
+  // --- Workload progress ---
+  std::size_t phase_idx = 0;
+  std::uint64_t insts_into_phase = 0;
+  std::uint64_t insts_into_burst = 0;
+  std::uint64_t insts_retired = 0;
+
+  // --- Migration / cache-warmup state ---
+  std::uint64_t insts_since_migration = 0;
+  std::uint64_t migrations = 0;
+
+  // --- Per-epoch sensing accumulators (drained by the balancer) ---
+  perf::HpcCounters epoch_counters;
+  double epoch_energy_j = 0.0;
+  TimeNs epoch_runtime = 0;
+  /// Core the task last executed on during the epoch (the paper's c_j for
+  /// the measured column of S/P).
+  CoreId epoch_core = kInvalidCore;
+
+  // --- PELT-style utilization (for GTS and reporting) ---
+  double util_avg = 0.0;
+  TimeNs util_updated_at = 0;
+
+  // --- Lifetime statistics ---
+  std::uint64_t lifetime_insts = 0;
+  double lifetime_energy_j = 0.0;
+  TimeNs lifetime_runtime = 0;
+  TimeNs arrived_at = 0;
+  TimeNs exited_at = kTimeNever;
+
+  // --- Scheduling latency (runnable → running) ---
+  TimeNs runnable_since = kTimeNever;  // set at enqueue, cleared at dispatch
+  TimeNs total_wait = 0;               // accumulated runqueue wait
+  TimeNs max_wait = 0;
+  std::uint64_t dispatches = 0;
+
+  bool alive() const { return state != TaskState::Exited; }
+  bool can_run_on(CoreId c) const {
+    return c >= 0 && c < kMaxCores &&
+           cpus_allowed.test(static_cast<std::size_t>(c));
+  }
+
+  const workload::WorkloadProfile& current_profile() const {
+    return behavior.phases[phase_idx % behavior.phases.size()].profile;
+  }
+  std::uint64_t current_phase_length() const {
+    return behavior.phases[phase_idx % behavior.phases.size()].instructions;
+  }
+
+  /// Drains the per-epoch accumulators (counters, energy, runtime).
+  void reset_epoch_accumulators() {
+    epoch_counters.reset();
+    epoch_energy_j = 0.0;
+    epoch_runtime = 0;
+  }
+};
+
+}  // namespace sb::os

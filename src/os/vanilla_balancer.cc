@@ -1,0 +1,57 @@
+#include "os/vanilla_balancer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "os/kernel.h"
+
+namespace sb::os {
+
+void VanillaBalancer::on_balance(Kernel& kernel, TimeNs /*now*/) {
+  ++passes_;
+  const int n = kernel.num_cores();
+  if (n < 2) return;
+
+  for (int move = 0; move < cfg_.max_moves_per_pass; ++move) {
+    // find_busiest_queue / find_idlest_queue over raw CFS load.
+    CoreId busiest = kInvalidCore, idlest = kInvalidCore;
+    double max_load = -1, min_load = -1;
+    int online = 0;
+    double avg = 0;
+    for (CoreId c = 0; c < n; ++c) {
+      if (!kernel.core_online(c)) continue;
+      ++online;
+      const double load = kernel.core_load(c);
+      avg += load;
+      if (busiest == kInvalidCore || load > max_load) {
+        max_load = load;
+        busiest = c;
+      }
+      if (idlest == kInvalidCore || load < min_load) {
+        min_load = load;
+        idlest = c;
+      }
+    }
+    if (busiest == idlest || online < 2) return;
+    avg /= online;
+    if (max_load - min_load <= cfg_.imbalance_pct * std::max(avg, 1.0)) return;
+
+    // Pull one queued (not running) task whose move reduces the imbalance.
+    ThreadId candidate = kInvalidThread;
+    for (ThreadId tid : kernel.alive_threads()) {
+      const Task& t = kernel.task(tid);
+      if (t.state != TaskState::Runnable || t.cpu != busiest) continue;
+      if (!t.can_run_on(idlest)) continue;
+      // Strict improvement required: moving the task must actually shrink
+      // the gap, or back-and-forth churn results (the source core would be
+      // exactly as imbalanced as the destination was).
+      if (min_load + t.weight >= max_load) continue;
+      candidate = tid;
+      break;
+    }
+    if (candidate == kInvalidThread) return;
+    kernel.migrate(candidate, idlest);
+  }
+}
+
+}  // namespace sb::os

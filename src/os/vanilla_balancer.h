@@ -1,0 +1,43 @@
+// The baseline: vanilla Linux CFS load balancing.
+//
+// rebalance_domains() in the stock kernel equalizes *load* (Σ task weights)
+// across cores, completely blind to core heterogeneity — exactly the
+// behaviour Fig. 1(a) of the paper criticizes: "evenly distributes the
+// workload among cores even if the cores have distinct processing
+// capabilities". Each pass pulls queued tasks from the busiest core to the
+// least-loaded core until their loads are within one average task weight,
+// subject to affinity. It fires every CFS period (6 ms), mirroring the
+// periodic softirq balancing cadence.
+#pragma once
+
+#include <cstdint>
+
+#include "os/load_balancer.h"
+
+namespace sb::os {
+
+class VanillaBalancer final : public LoadBalancer {
+ public:
+  struct Config {
+    TimeNs interval = milliseconds(6);
+    /// Load-imbalance tolerance as a fraction of average core load; the
+    /// kernel's imbalance_pct=125 corresponds to 0.25.
+    double imbalance_pct = 0.25;
+    /// Safety valve on migrations per pass (sd->nr_balance_failed analogue).
+    int max_moves_per_pass = 8;
+  };
+
+  VanillaBalancer() : VanillaBalancer(Config()) {}
+  explicit VanillaBalancer(Config cfg) : cfg_(cfg) {}
+
+  TimeNs interval() const override { return cfg_.interval; }
+  void on_balance(Kernel& kernel, TimeNs now) override;
+  std::string name() const override { return "vanilla"; }
+  std::uint64_t passes() const override { return passes_; }
+
+ private:
+  Config cfg_;
+  std::uint64_t passes_ = 0;
+};
+
+}  // namespace sb::os

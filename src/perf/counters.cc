@@ -1,0 +1,24 @@
+#include "perf/counters.h"
+
+namespace sb::perf {
+
+HpcCounters& HpcCounters::operator+=(const HpcCounters& o) {
+  cy_busy += o.cy_busy;
+  cy_idle += o.cy_idle;
+  cy_sleep += o.cy_sleep;
+  inst_total += o.inst_total;
+  inst_mem += o.inst_mem;
+  inst_branch += o.inst_branch;
+  branch_mispred += o.branch_mispred;
+  l1i_access += o.l1i_access;
+  l1i_miss += o.l1i_miss;
+  l1d_access += o.l1d_access;
+  l1d_miss += o.l1d_miss;
+  itlb_access += o.itlb_access;
+  itlb_miss += o.itlb_miss;
+  dtlb_access += o.dtlb_access;
+  dtlb_miss += o.dtlb_miss;
+  return *this;
+}
+
+}  // namespace sb::perf

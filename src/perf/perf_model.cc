@@ -1,0 +1,64 @@
+#include "perf/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sb::perf {
+
+PerfModel::PerfModel(const arch::Platform& platform, IntervalModel::Config cfg)
+    : platform_(platform), model_(cfg) {
+  platform_.validate();
+  peak_ipc_by_type_.reserve(static_cast<std::size_t>(platform_.num_types()));
+  for (CoreTypeId t = 0; t < platform_.num_types(); ++t) {
+    peak_ipc_by_type_.push_back(model_.peak_ipc(platform_.params_of_type(t)));
+  }
+}
+
+PerfBreakdown PerfModel::evaluate(const workload::WorkloadProfile& profile,
+                                  CoreId c, double mem_latency_ns,
+                                  double warmup_factor,
+                                  double freq_mhz_override) const {
+  return model_.evaluate(profile, platform_.params_of(c), mem_latency_ns,
+                         warmup_factor, freq_mhz_override);
+}
+
+PerfBreakdown PerfModel::evaluate_on_type(
+    const workload::WorkloadProfile& profile, CoreTypeId t,
+    double mem_latency_ns, double warmup_factor,
+    double freq_mhz_override) const {
+  return model_.evaluate(profile, platform_.params_of_type(t), mem_latency_ns,
+                         warmup_factor, freq_mhz_override);
+}
+
+double PerfModel::peak_ipc(CoreTypeId t) const {
+  return peak_ipc_by_type_.at(static_cast<std::size_t>(t));
+}
+
+void PerfModel::accumulate_counters(HpcCounters& c, const PerfBreakdown& b,
+                                    const workload::WorkloadProfile& profile,
+                                    double insts, double cycles) {
+  if (insts <= 0 || cycles <= 0) return;
+  auto u = [](double v) {
+    return static_cast<std::uint64_t>(std::llround(std::max(0.0, v)));
+  };
+  const double busy = std::min(cycles, insts * b.cpi_base);
+  c.cy_busy += u(busy);
+  c.cy_idle += u(cycles - busy);
+
+  const double mem = insts * profile.mem_share;
+  const double br = insts * profile.branch_share;
+  c.inst_total += u(insts);
+  c.inst_mem += u(mem);
+  c.inst_branch += u(br);
+  c.branch_mispred += u(br * b.mr_branch);
+  c.l1i_access += u(insts);
+  c.l1i_miss += u(insts * b.mr_l1i);
+  c.l1d_access += u(mem);
+  c.l1d_miss += u(mem * b.mr_l1d);
+  c.itlb_access += u(insts);
+  c.itlb_miss += u(insts * b.mr_itlb);
+  c.dtlb_access += u(mem);
+  c.dtlb_miss += u(mem * b.mr_dtlb);
+}
+
+}  // namespace sb::perf

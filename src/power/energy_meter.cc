@@ -1,0 +1,51 @@
+#include "power/energy_meter.h"
+
+#include <stdexcept>
+
+namespace sb::power {
+
+EnergyMeter::EnergyMeter(int num_cores)
+    : cores_(static_cast<std::size_t>(num_cores)) {
+  if (num_cores <= 0) throw std::invalid_argument("EnergyMeter: no cores");
+}
+
+const EnergyMeter::PerCore& EnergyMeter::at(CoreId c) const {
+  if (c < 0 || static_cast<std::size_t>(c) >= cores_.size()) {
+    throw std::out_of_range("EnergyMeter: bad core");
+  }
+  return cores_[static_cast<std::size_t>(c)];
+}
+
+EnergyMeter::PerCore& EnergyMeter::at(CoreId c) {
+  return const_cast<PerCore&>(static_cast<const EnergyMeter*>(this)->at(c));
+}
+
+void EnergyMeter::add_busy(CoreId c, double power_w, TimeNs duration) {
+  if (duration < 0 || power_w < 0) throw std::invalid_argument("negative charge");
+  at(c).busy_j += power_w * to_seconds(duration);
+  at(c).busy_ns += duration;
+}
+
+void EnergyMeter::add_idle(CoreId c, double power_w, TimeNs duration) {
+  if (duration < 0 || power_w < 0) throw std::invalid_argument("negative charge");
+  at(c).idle_j += power_w * to_seconds(duration);
+  at(c).idle_ns += duration;
+}
+
+void EnergyMeter::add_sleep(CoreId c, double power_w, TimeNs duration) {
+  if (duration < 0 || power_w < 0) throw std::invalid_argument("negative charge");
+  at(c).sleep_j += power_w * to_seconds(duration);
+  at(c).sleep_ns += duration;
+}
+
+double EnergyMeter::total_joules() const {
+  double t = 0;
+  for (const auto& c : cores_) t += c.busy_j + c.idle_j + c.sleep_j;
+  return t;
+}
+
+void EnergyMeter::reset() {
+  for (auto& c : cores_) c = PerCore{};
+}
+
+}  // namespace sb::power

@@ -1,0 +1,54 @@
+// Per-core energy accounting (ground truth).
+//
+// The simulator charges every nanosecond of every core to exactly one of
+// three states — busy (running a thread), idle (awake, empty pipeline) or
+// sleep (quiescent) — so Σ state-durations equals simulated time per core
+// and the experiment's global Joule count is conserved.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sb::power {
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(int num_cores);
+
+  /// Charges `power_w` over `duration` to core `c`'s busy bucket.
+  void add_busy(CoreId c, double power_w, TimeNs duration);
+  void add_idle(CoreId c, double power_w, TimeNs duration);
+  void add_sleep(CoreId c, double power_w, TimeNs duration);
+
+  double busy_joules(CoreId c) const { return at(c).busy_j; }
+  double idle_joules(CoreId c) const { return at(c).idle_j; }
+  double sleep_joules(CoreId c) const { return at(c).sleep_j; }
+  double total_joules(CoreId c) const {
+    const auto& e = at(c);
+    return e.busy_j + e.idle_j + e.sleep_j;
+  }
+  double total_joules() const;
+
+  TimeNs busy_time(CoreId c) const { return at(c).busy_ns; }
+  TimeNs idle_time(CoreId c) const { return at(c).idle_ns; }
+  TimeNs sleep_time(CoreId c) const { return at(c).sleep_ns; }
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+
+  void reset();
+
+ private:
+  struct PerCore {
+    double busy_j = 0, idle_j = 0, sleep_j = 0;
+    TimeNs busy_ns = 0, idle_ns = 0, sleep_ns = 0;
+  };
+
+  const PerCore& at(CoreId c) const;
+  PerCore& at(CoreId c);
+
+  std::vector<PerCore> cores_;
+};
+
+}  // namespace sb::power

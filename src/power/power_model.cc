@@ -1,0 +1,89 @@
+#include "power/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "perf/interval_model.h"
+
+namespace sb::power {
+
+PowerModel::PowerModel(const arch::Platform& platform,
+                       const perf::PerfModel& perf, Config cfg)
+    : platform_(platform), cfg_(cfg) {
+  const auto probe = perf::peak_probe_profile();
+  calib_.reserve(static_cast<std::size_t>(platform_.num_types()));
+  for (CoreTypeId t = 0; t < platform_.num_types(); ++t) {
+    const auto& p = platform_.params_of_type(t);
+    Calib c;
+    c.leak_w = cfg_.leak_coeff * p.area_mm2 * p.vdd * p.vdd * p.vdd;
+    if (c.leak_w >= p.peak_power_w) {
+      throw std::logic_error("PowerModel: leakage exceeds peak power for " +
+                             p.name + "; lower Config::leak_coeff");
+    }
+    c.dyn_peak_w = p.peak_power_w - c.leak_w;
+    c.peak_ipc = perf.peak_ipc(t);
+    c.probe_activity = probe.activity;
+    calib_.push_back(c);
+  }
+}
+
+double PowerModel::busy_power_w(CoreTypeId t, double ipc,
+                                double activity) const {
+  const Calib& c = calib(t);
+  const double util = std::clamp(ipc / c.peak_ipc, 0.0, 1.25);
+  // Dynamic power: a base clock/fetch floor plus a component linear in
+  // commit throughput, all scaled by the workload's switching activity
+  // relative to the calibration probe.
+  const double dyn = c.dyn_peak_w *
+                     (cfg_.base_activity + (1.0 - cfg_.base_activity) * util) *
+                     (activity / c.probe_activity);
+  return c.leak_w + dyn;
+}
+
+double PowerModel::busy_power_core_w(CoreId core, double ipc,
+                                     double activity) const {
+  return busy_power_w(platform_.type_of(core), ipc, activity);
+}
+
+double PowerModel::busy_power_at(CoreTypeId t, double ipc, double activity,
+                                 const arch::OperatingPoint& opp) const {
+  const Calib& c = calib(t);
+  const auto& nominal = platform_.params_of_type(t);
+  const double util = std::clamp(ipc / c.peak_ipc, 0.0, 1.25);
+  const double dyn = c.dyn_peak_w *
+                     (cfg_.base_activity + (1.0 - cfg_.base_activity) * util) *
+                     (activity / c.probe_activity) *
+                     arch::dynamic_scale(opp, nominal);
+  return c.leak_w * arch::leakage_scale(opp, nominal) + dyn;
+}
+
+double PowerModel::sleep_power_at(CoreTypeId t,
+                                  const arch::OperatingPoint& opp) const {
+  return sleep_power_w(t) *
+         arch::leakage_scale(opp, platform_.params_of_type(t));
+}
+
+double PowerModel::idle_power_w(CoreTypeId t) const {
+  const Calib& c = calib(t);
+  return c.leak_w + cfg_.idle_dyn_fraction * c.dyn_peak_w;
+}
+
+double PowerModel::sleep_power_w(CoreTypeId t) const {
+  return cfg_.sleep_leak_fraction * calib(t).leak_w;
+}
+
+double PowerModel::leakage_w(CoreTypeId t) const { return calib(t).leak_w; }
+
+double PowerModel::dynamic_peak_w(CoreTypeId t) const {
+  return calib(t).dyn_peak_w;
+}
+
+double PowerModel::peak_ipc(CoreTypeId t) const { return calib(t).peak_ipc; }
+
+double PowerModel::peak_power_w(CoreTypeId t) const {
+  const Calib& c = calib(t);
+  return busy_power_w(t, c.peak_ipc, c.probe_activity);
+}
+
+}  // namespace sb::power

@@ -1,0 +1,88 @@
+// McPAT-substitute power model.
+//
+// Per core type the model splits the Table 2 peak power into leakage
+// (∝ area · Vdd³, the 22 nm-ish scaling that keeps a Small core's leakage
+// below its total budget) and a dynamic component C_eff · V² · f scaled by
+// pipeline activity. C_eff is *calibrated*: it is solved so that the core
+// dissipates exactly its Table 2 peak power when running the peak probe
+// workload — the same way the paper's numbers were produced by calibrated
+// McPAT runs. Dynamic power is linear in IPC, which is precisely the
+// relationship Eq. 9 of the paper exploits.
+#pragma once
+
+#include <vector>
+
+#include "arch/dvfs.h"
+#include "arch/platform.h"
+#include "perf/perf_model.h"
+
+namespace sb::power {
+
+class PowerModel {
+ public:
+  struct Config {
+    /// Leakage density: W per mm² per V³.
+    double leak_coeff = 0.05;
+    /// Fraction of peak dynamic power burned by clocks/fetch even at IPC→0
+    /// while the core is running something.
+    double base_activity = 0.30;
+    /// Sleep-state (power-gated, retention) leakage fraction.
+    double sleep_leak_fraction = 0.30;
+    /// Idle-but-awake dynamic fraction (clock gated, no thread).
+    double idle_dyn_fraction = 0.05;
+  };
+
+  PowerModel(const arch::Platform& platform, const perf::PerfModel& perf)
+      : PowerModel(platform, perf, Config()) {}
+  PowerModel(const arch::Platform& platform, const perf::PerfModel& perf,
+             Config cfg);
+
+  /// Average power while executing a thread at `ipc` with dynamic-activity
+  /// scale `activity` (WorkloadProfile::activity) on core type `t`.
+  double busy_power_w(CoreTypeId t, double ipc, double activity) const;
+
+  /// Same, at a non-nominal DVFS operating point: dynamic power scales with
+  /// V²f and leakage with V³ relative to the type's nominal point.
+  double busy_power_at(CoreTypeId t, double ipc, double activity,
+                       const arch::OperatingPoint& opp) const;
+
+  /// Sleep power at a DVFS point (retention leakage scales with V³).
+  double sleep_power_at(CoreTypeId t, const arch::OperatingPoint& opp) const;
+
+  /// Same, addressed by physical core.
+  double busy_power_core_w(CoreId c, double ipc, double activity) const;
+
+  /// Awake with an empty pipeline (between wakeup and dispatch).
+  double idle_power_w(CoreTypeId t) const;
+
+  /// Quiescent state: entered when a core has no threads to execute.
+  double sleep_power_w(CoreTypeId t) const;
+
+  double leakage_w(CoreTypeId t) const;
+  double dynamic_peak_w(CoreTypeId t) const;
+  double peak_ipc(CoreTypeId t) const;
+
+  /// Sanity: reproduces Table 2 peak power at the calibration point.
+  double peak_power_w(CoreTypeId t) const;
+
+  const Config& config() const { return cfg_; }
+  const arch::Platform& platform() const { return platform_; }
+
+ private:
+  struct Calib {
+    double leak_w = 0;
+    double dyn_peak_w = 0;
+    double peak_ipc = 1;
+    double probe_activity = 1;
+  };
+
+  const Calib& calib(CoreTypeId t) const {
+    return calib_.at(static_cast<std::size_t>(t));
+  }
+
+  const arch::Platform& platform_;
+  Config cfg_;
+  std::vector<Calib> calib_;
+};
+
+}  // namespace sb::power

@@ -1,0 +1,40 @@
+#include "power/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sb::power {
+
+PowerSensorBank::PowerSensorBank(const EnergyMeter& meter, Config cfg, Rng rng)
+    : meter_(meter),
+      cfg_(cfg),
+      rng_(rng),
+      last_total_j_(static_cast<std::size_t>(meter.num_cores()), 0.0) {
+  if (cfg_.relative_noise_sigma < 0 || cfg_.quantum_joules < 0) {
+    throw std::invalid_argument("PowerSensorBank: bad config");
+  }
+}
+
+double PowerSensorBank::read_joules(CoreId c) {
+  if (c < 0 || static_cast<std::size_t>(c) >= last_total_j_.size()) {
+    throw std::out_of_range("PowerSensorBank: bad core");
+  }
+  const double total = meter_.total_joules(c);
+  double delta = total - last_total_j_[static_cast<std::size_t>(c)];
+  last_total_j_[static_cast<std::size_t>(c)] = total;
+
+  delta *= 1.0 + cfg_.relative_noise_sigma * rng_.gaussian();
+  delta = std::max(0.0, delta);
+  if (cfg_.quantum_joules > 0) {
+    delta = std::round(delta / cfg_.quantum_joules) * cfg_.quantum_joules;
+  }
+  return delta;
+}
+
+double PowerSensorBank::read_avg_power_w(CoreId c, TimeNs window) {
+  if (window <= 0) return 0.0;
+  return read_joules(c) / to_seconds(window);
+}
+
+}  // namespace sb::power

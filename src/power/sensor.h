@@ -1,0 +1,44 @@
+// Noisy per-core power sensors.
+//
+// The paper's platform (and the Odroid-XU3 board it cites in §6.4) exposes
+// per-core power sensors; SmartBalance reads them each epoch. Real sensors
+// quantize and drift, so the closed loop must tolerate error — we model
+// multiplicative gaussian noise plus ADC-style quantization on the energy
+// delta read out per epoch.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "power/energy_meter.h"
+
+namespace sb::power {
+
+class PowerSensorBank {
+ public:
+  struct Config {
+    double relative_noise_sigma = 0.01;  // 1% multiplicative gaussian
+    double quantum_joules = 1e-6;        // 1 µJ ADC step; 0 disables
+  };
+
+  PowerSensorBank(const EnergyMeter& meter, Config cfg, Rng rng);
+
+  /// Energy consumed by core `c` since the previous read of core `c`
+  /// (noisy, quantized). First read reports energy since construction.
+  double read_joules(CoreId c);
+
+  /// Average power over the window since the previous read, given its
+  /// duration. Returns 0 for an empty window.
+  double read_avg_power_w(CoreId c, TimeNs window);
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  const EnergyMeter& meter_;
+  Config cfg_;
+  Rng rng_;
+  std::vector<double> last_total_j_;
+};
+
+}  // namespace sb::power

@@ -1,0 +1,77 @@
+#include "power/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sb::power {
+
+ThermalModel::ThermalModel(const arch::Platform& platform, Config cfg)
+    : platform_(platform), cfg_(cfg) {
+  platform_.validate();
+  if (cfg_.r_coeff_c_mm2_per_w <= 0 || cfg_.tau_s <= 0 ||
+      cfg_.neighbor_coupling < 0 || cfg_.neighbor_coupling >= 1) {
+    throw std::invalid_argument("ThermalModel: bad config");
+  }
+  const auto n = static_cast<std::size_t>(platform_.num_cores());
+  temp_c_.assign(n, cfg_.ambient_c);
+  r_ja_.reserve(n);
+  for (CoreId c = 0; c < platform_.num_cores(); ++c) {
+    r_ja_.push_back(cfg_.r_coeff_c_mm2_per_w / platform_.params_of(c).area_mm2);
+  }
+}
+
+void ThermalModel::step(const std::vector<double>& core_power_w, TimeNs dt) {
+  if (core_power_w.size() != temp_c_.size()) {
+    throw std::invalid_argument("ThermalModel::step: power vector size");
+  }
+  if (dt <= 0) return;
+  const double alpha = 1.0 - std::exp(-to_seconds(dt) / cfg_.tau_s);
+
+  // Targets first (so the update is order-independent), then relax.
+  std::vector<double> target(temp_c_.size());
+  for (std::size_t i = 0; i < temp_c_.size(); ++i) {
+    double t = cfg_.ambient_c + r_ja_[i] * std::max(0.0, core_power_w[i]);
+    double coupled = 0.0;
+    int neighbors = 0;
+    if (i > 0) {
+      coupled += temp_c_[i - 1] - cfg_.ambient_c;
+      ++neighbors;
+    }
+    if (i + 1 < temp_c_.size()) {
+      coupled += temp_c_[i + 1] - cfg_.ambient_c;
+      ++neighbors;
+    }
+    if (neighbors > 0) {
+      t += cfg_.neighbor_coupling * coupled / neighbors;
+    }
+    target[i] = t;
+  }
+  for (std::size_t i = 0; i < temp_c_.size(); ++i) {
+    temp_c_[i] += alpha * (target[i] - temp_c_[i]);
+  }
+}
+
+double ThermalModel::temperature_c(CoreId c) const {
+  if (c < 0 || static_cast<std::size_t>(c) >= temp_c_.size()) {
+    throw std::out_of_range("ThermalModel::temperature_c");
+  }
+  return temp_c_[static_cast<std::size_t>(c)];
+}
+
+double ThermalModel::max_temperature_c() const {
+  return *std::max_element(temp_c_.begin(), temp_c_.end());
+}
+
+double ThermalModel::steady_state_c(CoreId c, double power_w) const {
+  if (c < 0 || static_cast<std::size_t>(c) >= r_ja_.size()) {
+    throw std::out_of_range("ThermalModel::steady_state_c");
+  }
+  return cfg_.ambient_c + r_ja_[static_cast<std::size_t>(c)] * power_w;
+}
+
+void ThermalModel::reset() {
+  std::fill(temp_c_.begin(), temp_c_.end(), cfg_.ambient_c);
+}
+
+}  // namespace sb::power

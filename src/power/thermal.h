@@ -1,0 +1,62 @@
+// Lumped RC thermal model.
+//
+// The paper's §6.4 points to the authors' companion work on run-time
+// thermal estimation & tracking on MPSoCs (Sarma et al., DATE'14) as part
+// of the same sensing ecosystem. This module provides the corresponding
+// substrate: a first-order RC node per core (junction-to-ambient resistance
+// scaling inversely with core area, a common time constant) plus nearest-
+// neighbour lateral coupling, driven by the simulator's per-core power.
+// It enables the thermal extension experiments (bench/ext_thermal) and
+// thermally-motivated custom objectives.
+#pragma once
+
+#include <vector>
+
+#include "arch/platform.h"
+#include "common/types.h"
+
+namespace sb::power {
+
+class ThermalModel {
+ public:
+  struct Config {
+    double ambient_c = 45.0;
+    /// Junction-to-ambient resistance coefficient: R_j = coeff / area_mm².
+    /// Default puts the Huge core at ~85 °C under its 8.62 W peak.
+    double r_coeff_c_mm2_per_w = 55.0;
+    /// RC time constant of a core node.
+    double tau_s = 0.05;
+    /// Fraction of each neighbour's temperature rise that couples in
+    /// laterally (cores are coupled in core-id order, a 1-D floorplan).
+    double neighbor_coupling = 0.15;
+  };
+
+  explicit ThermalModel(const arch::Platform& platform)
+      : ThermalModel(platform, Config()) {}
+  ThermalModel(const arch::Platform& platform, Config cfg);
+
+  /// Advances all core temperatures by `dt` given each core's average
+  /// power over that interval.
+  void step(const std::vector<double>& core_power_w, TimeNs dt);
+
+  double temperature_c(CoreId c) const;
+  double max_temperature_c() const;
+  const std::vector<double>& temperatures_c() const { return temp_c_; }
+
+  /// Steady-state temperature of core `c` at constant `power_w`,
+  /// neglecting lateral coupling (closed-form check for tests).
+  double steady_state_c(CoreId c, double power_w) const;
+
+  /// Resets every node to ambient.
+  void reset();
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  const arch::Platform& platform_;
+  Config cfg_;
+  std::vector<double> temp_c_;
+  std::vector<double> r_ja_;  // per-core junction-to-ambient resistance
+};
+
+}  // namespace sb::power

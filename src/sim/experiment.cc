@@ -1,0 +1,145 @@
+#include "sim/experiment.h"
+
+#include <map>
+#include <mutex>
+
+#include "core/smart_balance.h"
+#include "core/trainer.h"
+#include "os/gts_balancer.h"
+#include "os/vanilla_balancer.h"
+
+namespace sb::sim {
+namespace {
+
+/// Cache key: the multiset of core-type names fully determines the trained
+/// model (training is deterministic for a platform's type set).
+std::string platform_key(const arch::Platform& p) {
+  std::string key;
+  for (CoreTypeId t = 0; t < p.num_types(); ++t) {
+    key += p.params_of_type(t).name;
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
+
+core::PredictorModel train_default_model(const perf::PerfModel& perf,
+                                         const power::PowerModel& power,
+                                         bool dvfs_aware) {
+  core::PredictorTrainer::Config cfg;
+  if (dvfs_aware) {
+    cfg.training_freq_ratios = {0.4, 0.7, 1.0};
+    cfg.replicas = 4;  // the OPP grid multiplies samples 9x; rebalance cost
+  }
+  core::PredictorTrainer trainer(perf, power, cfg);
+  return trainer.train(core::PredictorTrainer::default_training_profiles());
+}
+
+BalancerFactory vanilla_factory() {
+  return [](const Simulation&) {
+    return std::make_unique<os::VanillaBalancer>();
+  };
+}
+
+BalancerFactory gts_factory(CoreTypeId big_type) {
+  return [big_type](const Simulation&) {
+    os::GtsBalancer::Config cfg;
+    cfg.big_type = big_type;
+    return std::make_unique<os::GtsBalancer>(cfg);
+  };
+}
+
+BalancerFactory smartbalance_factory(core::SmartBalanceConfig cfg,
+                                     bool paper_eq11_objective) {
+  // Model cache: repeated comparisons on the same platform shape reuse the
+  // trained predictor instead of re-running the profiling regression.
+  auto cache =
+      std::make_shared<std::map<std::string, core::PredictorModel>>();
+  auto mutex = std::make_shared<std::mutex>();
+  return [cfg, cache, mutex, paper_eq11_objective](const Simulation& sim) {
+    const bool dvfs = sim.config().kernel.enable_dvfs;
+    const std::string key =
+        platform_key(sim.platform()) + (dvfs ? "+dvfs" : "");
+    std::lock_guard<std::mutex> lock(*mutex);
+    auto it = cache->find(key);
+    if (it == cache->end()) {
+      it = cache
+               ->emplace(key, train_default_model(sim.perf_model(),
+                                                  sim.power_model(), dvfs))
+               .first;
+    }
+    std::unique_ptr<core::BalanceObjective> objective;
+    if (!paper_eq11_objective) {
+      std::vector<double> sleep_w;
+      for (CoreId c = 0; c < sim.platform().num_cores(); ++c) {
+        sleep_w.push_back(
+            sim.power_model().sleep_power_w(sim.platform().type_of(c)));
+      }
+      objective =
+          std::make_unique<core::GlobalEfficiencyObjective>(std::move(sleep_w));
+    }
+    return std::make_unique<core::SmartBalancePolicy>(
+        sim.platform(), it->second, cfg, std::move(objective));
+  };
+}
+
+BalancerFactory smartbalance_factory_with_model(core::PredictorModel model,
+                                                core::SmartBalanceConfig cfg,
+                                                bool paper_eq11_objective) {
+  auto shared = std::make_shared<core::PredictorModel>(std::move(model));
+  return [shared, cfg, paper_eq11_objective](const Simulation& sim) {
+    std::unique_ptr<core::BalanceObjective> objective;
+    if (!paper_eq11_objective) {
+      std::vector<double> sleep_w;
+      for (CoreId c = 0; c < sim.platform().num_cores(); ++c) {
+        sleep_w.push_back(
+            sim.power_model().sleep_power_w(sim.platform().type_of(c)));
+      }
+      objective =
+          std::make_unique<core::GlobalEfficiencyObjective>(std::move(sleep_w));
+    }
+    return std::make_unique<core::SmartBalancePolicy>(
+        sim.platform(), *shared, cfg, std::move(objective));
+  };
+}
+
+std::vector<SimulationResult> run_replicated(const arch::Platform& platform,
+                                             SimulationConfig cfg,
+                                             const WorkloadBuilder& workload,
+                                             const BalancerFactory& policy,
+                                             int replicas) {
+  if (replicas <= 0) throw std::invalid_argument("run_replicated: replicas");
+  std::vector<SimulationResult> out;
+  out.reserve(static_cast<std::size_t>(replicas));
+  const std::uint64_t base_seed = cfg.seed;
+  for (int r = 0; r < replicas; ++r) {
+    cfg.seed = base_seed + static_cast<std::uint64_t>(r) * 0x9e3779b9ULL;
+    Simulation sim(platform, cfg);
+    sim.set_balancer(policy(sim));
+    workload(sim);
+    out.push_back(sim.run());
+  }
+  return out;
+}
+
+std::vector<PolicyRun> compare_policies(
+    const arch::Platform& platform, const SimulationConfig& cfg,
+    const WorkloadBuilder& workload,
+    const std::vector<std::pair<std::string, BalancerFactory>>& policies) {
+  std::vector<PolicyRun> out;
+  out.reserve(policies.size());
+  for (const auto& [name, factory] : policies) {
+    Simulation sim(platform, cfg);
+    sim.set_balancer(factory(sim));
+    workload(sim);
+    PolicyRun run;
+    run.policy = name;
+    run.result = sim.run();
+    run.result.policy = name;
+    out.push_back(std::move(run));
+  }
+  return out;
+}
+
+}  // namespace sb::sim

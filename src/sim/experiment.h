@@ -1,0 +1,70 @@
+// Experiment helpers: run the same workload under different balancing
+// policies and compare energy efficiency — the structure of every figure in
+// the paper's evaluation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "core/smart_balance.h"
+#include "os/load_balancer.h"
+#include "sim/simulation.h"
+
+namespace sb::sim {
+
+/// Builds a policy for a concrete simulation (called after the Simulation's
+/// models exist, so SmartBalance can be trained against them).
+using BalancerFactory = std::function<std::unique_ptr<os::LoadBalancer>(
+    const Simulation& sim)>;
+
+/// Populates a Simulation with its workload (threads must be identical
+/// across policies; the callable is invoked once per policy run).
+using WorkloadBuilder = std::function<void(Simulation& sim)>;
+
+BalancerFactory vanilla_factory();
+BalancerFactory gts_factory(CoreTypeId big_type = 0);
+
+/// SmartBalance with a predictor trained (and cached per platform shape)
+/// from the default benchmark library profiles. By default the policy
+/// optimizes global platform IPS/W (GlobalEfficiencyObjective); pass
+/// paper_eq11_objective = true to use Eq. 11's per-core ratio sum verbatim.
+BalancerFactory smartbalance_factory(
+    core::SmartBalanceConfig cfg = core::SmartBalanceConfig(),
+    bool paper_eq11_objective = false);
+
+/// SmartBalance with an explicit (e.g. loaded-from-disk) predictor model
+/// instead of training one.
+BalancerFactory smartbalance_factory_with_model(
+    core::PredictorModel model,
+    core::SmartBalanceConfig cfg = core::SmartBalanceConfig(),
+    bool paper_eq11_objective = false);
+
+/// Trains the default predictor model for a simulation's platform/models.
+/// With `dvfs_aware`, profiling samples a grid of frequency ratios so the
+/// FR feature stays calibrated under DVFS governors.
+core::PredictorModel train_default_model(const perf::PerfModel& perf,
+                                         const power::PowerModel& power,
+                                         bool dvfs_aware = false);
+
+/// Replicated run: executes `workload` under `policy` for `replicas` seeds
+/// and returns per-replica results (for mean ± stddev reporting).
+std::vector<SimulationResult> run_replicated(
+    const arch::Platform& platform, SimulationConfig cfg,
+    const WorkloadBuilder& workload, const BalancerFactory& policy,
+    int replicas);
+
+struct PolicyRun {
+  std::string policy;
+  SimulationResult result;
+};
+
+/// Runs `workload` once per policy on identical platform/seed/duration.
+std::vector<PolicyRun> compare_policies(
+    const arch::Platform& platform, const SimulationConfig& cfg,
+    const WorkloadBuilder& workload,
+    const std::vector<std::pair<std::string, BalancerFactory>>& policies);
+
+}  // namespace sb::sim

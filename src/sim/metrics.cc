@@ -1,0 +1,40 @@
+#include "sim/metrics.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "common/table.h"
+
+namespace sb::sim {
+
+void print_result(std::ostream& os, const SimulationResult& r, bool per_core) {
+  os << r.label << " [" << r.policy << "] simulated "
+     << to_millis(r.simulated) << " ms: " << r.instructions << " insts, "
+     << r.energy_j << " J, " << r.ips / 1e9 << " GIPS, " << r.watts << " W, "
+     << r.ips_per_watt / 1e6 << " MIPS/W"
+     << " (migrations=" << r.migrations
+     << ", ctx=" << r.context_switches << ")\n";
+  if (!per_core) return;
+  TextTable t({"core", "type", "Minsts", "J", "busy%", "sleep%", "MIPS",
+               "MIPS/W"});
+  for (const auto& c : r.cores) {
+    const double window = to_seconds(r.simulated);
+    t.add_row(std::to_string(c.id) + " " + c.type_name,
+              {static_cast<double>(c.instructions) / 1e6, c.energy_j,
+               100.0 * static_cast<double>(c.busy_ns) /
+                   static_cast<double>(r.simulated),
+               100.0 * static_cast<double>(c.sleep_ns) /
+                   static_cast<double>(r.simulated),
+               window > 0 ? static_cast<double>(c.instructions) / window / 1e6
+                          : 0,
+               c.ips_per_watt / 1e6});
+  }
+  os << t;
+}
+
+double efficiency_ratio(const SimulationResult& a, const SimulationResult& b) {
+  if (b.ips_per_watt <= 0) throw std::invalid_argument("efficiency_ratio: b");
+  return a.ips_per_watt / b.ips_per_watt;
+}
+
+}  // namespace sb::sim

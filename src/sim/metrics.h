@@ -1,0 +1,88 @@
+// End-of-run metrics: everything the paper's evaluation reports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sb::sim {
+
+struct CoreMetrics {
+  CoreId id = kInvalidCore;
+  std::string type_name;
+  std::uint64_t instructions = 0;
+  double energy_j = 0;
+  TimeNs busy_ns = 0;
+  TimeNs sleep_ns = 0;
+  double avg_power_w = 0;     // energy over the whole run window
+  double ips = 0;             // instructions / run window
+  double ips_per_watt = 0;    // instructions / joule
+  double utilization = 0;     // busy fraction of the window
+};
+
+struct ThreadMetrics {
+  ThreadId tid = kInvalidThread;
+  std::string name;
+  std::uint64_t instructions = 0;
+  double energy_j = 0;
+  TimeNs runtime = 0;
+  std::uint64_t migrations = 0;
+  bool completed = false;
+  TimeNs completion_time = kTimeNever;
+  /// Scheduling latency: runqueue wait per dispatch.
+  double avg_wait_us = 0;
+  double max_wait_us = 0;
+};
+
+struct SimulationResult {
+  std::string label;
+  std::string policy;
+  TimeNs simulated = 0;
+  std::uint64_t instructions = 0;
+  double energy_j = 0;
+
+  /// Global throughput: instructions per second of simulated time.
+  double ips = 0;
+  /// Average platform power over the window.
+  double watts = 0;
+  /// The paper's headline metric: throughput per watt == instructions per
+  /// joule (IPS/W).
+  double ips_per_watt = 0;
+
+  std::uint64_t migrations = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t balance_passes = 0;
+
+  std::vector<CoreMetrics> cores;
+  std::vector<ThreadMetrics> threads;
+
+  /// Balancer host-time overheads (SmartBalance fills these).
+  double avg_sense_us = 0;
+  double avg_predict_us = 0;
+  double avg_optimize_us = 0;
+  double avg_migrations_per_pass = 0;
+
+  /// DVFS statistics (0 when DVFS is disabled).
+  std::uint64_t dvfs_transitions = 0;
+
+  /// Scheduling latency across all threads (efficiency policies that park
+  /// threads on slow cores pay here — reported so the trade is visible).
+  double avg_sched_latency_us = 0;
+  double max_sched_latency_us = 0;
+
+  /// Thermal statistics (only when SimulationConfig::thermal_enabled).
+  double max_temp_c = 0;               // hottest any core got, any time
+  std::vector<double> final_temp_c;    // per-core at the end of the run
+};
+
+/// Human-readable one-result summary.
+void print_result(std::ostream& os, const SimulationResult& r,
+                  bool per_core = true);
+
+/// Ratio of energy efficiency (a / b).
+double efficiency_ratio(const SimulationResult& a, const SimulationResult& b);
+
+}  // namespace sb::sim

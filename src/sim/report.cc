@@ -1,0 +1,147 @@
+#include "sim/report.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace sb::sim {
+namespace {
+
+/// JSON has no NaN/Infinity; degrade to null.
+void number(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream hex;
+          hex << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += hex.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& os, const SimulationResult& r) {
+  os << std::setprecision(12);
+  os << "{";
+  os << "\"label\":\"" << json_escape(r.label) << "\",";
+  os << "\"policy\":\"" << json_escape(r.policy) << "\",";
+  os << "\"simulated_ms\":";
+  number(os, to_millis(r.simulated));
+  os << ",\"instructions\":" << r.instructions;
+  os << ",\"energy_j\":";
+  number(os, r.energy_j);
+  os << ",\"ips\":";
+  number(os, r.ips);
+  os << ",\"watts\":";
+  number(os, r.watts);
+  os << ",\"ips_per_watt\":";
+  number(os, r.ips_per_watt);
+  os << ",\"migrations\":" << r.migrations;
+  os << ",\"context_switches\":" << r.context_switches;
+  os << ",\"balance_passes\":" << r.balance_passes;
+  os << ",\"dvfs_transitions\":" << r.dvfs_transitions;
+  os << ",\"avg_sched_latency_us\":";
+  number(os, r.avg_sched_latency_us);
+  os << ",\"max_sched_latency_us\":";
+  number(os, r.max_sched_latency_us);
+
+  os << ",\"balancer_overhead_us\":{\"sense\":";
+  number(os, r.avg_sense_us);
+  os << ",\"predict\":";
+  number(os, r.avg_predict_us);
+  os << ",\"optimize\":";
+  number(os, r.avg_optimize_us);
+  os << ",\"migrations_per_pass\":";
+  number(os, r.avg_migrations_per_pass);
+  os << "}";
+
+  if (!r.final_temp_c.empty()) {
+    os << ",\"thermal\":{\"max_temp_c\":";
+    number(os, r.max_temp_c);
+    os << ",\"final_temp_c\":[";
+    for (std::size_t i = 0; i < r.final_temp_c.size(); ++i) {
+      if (i) os << ',';
+      number(os, r.final_temp_c[i]);
+    }
+    os << "]}";
+  }
+
+  os << ",\"cores\":[";
+  for (std::size_t i = 0; i < r.cores.size(); ++i) {
+    const auto& c = r.cores[i];
+    if (i) os << ',';
+    os << "{\"id\":" << c.id << ",\"type\":\"" << json_escape(c.type_name)
+       << "\",\"instructions\":" << c.instructions << ",\"energy_j\":";
+    number(os, c.energy_j);
+    os << ",\"busy_ms\":";
+    number(os, to_millis(c.busy_ns));
+    os << ",\"sleep_ms\":";
+    number(os, to_millis(c.sleep_ns));
+    os << ",\"ips_per_watt\":";
+    number(os, c.ips_per_watt);
+    os << ",\"utilization\":";
+    number(os, c.utilization);
+    os << "}";
+  }
+  os << "]";
+
+  os << ",\"threads\":[";
+  for (std::size_t i = 0; i < r.threads.size(); ++i) {
+    const auto& t = r.threads[i];
+    if (i) os << ',';
+    os << "{\"tid\":" << t.tid << ",\"name\":\"" << json_escape(t.name)
+       << "\",\"instructions\":" << t.instructions << ",\"energy_j\":";
+    number(os, t.energy_j);
+    os << ",\"runtime_ms\":";
+    number(os, to_millis(t.runtime));
+    os << ",\"migrations\":" << t.migrations
+       << ",\"completed\":" << (t.completed ? "true" : "false")
+       << ",\"avg_wait_us\":";
+    number(os, t.avg_wait_us);
+    os << ",\"max_wait_us\":";
+    number(os, t.max_wait_us);
+    os << "}";
+  }
+  os << "]}";
+}
+
+std::string to_json(const SimulationResult& r) {
+  std::ostringstream os;
+  write_json(os, r);
+  return os.str();
+}
+
+}  // namespace sb::sim

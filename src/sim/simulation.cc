@@ -1,0 +1,215 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "core/smart_balance.h"
+
+namespace sb::sim {
+
+Simulation::Simulation(const arch::Platform& platform, SimulationConfig cfg)
+    : platform_(platform), cfg_(cfg), spawn_rng_(cfg.seed) {
+  platform_.validate();
+  auto kcfg = cfg_.kernel;
+  kcfg.seed = cfg_.seed ^ 0x6b65726eULL;  // "kern"
+  perf_ = std::make_unique<perf::PerfModel>(platform_);
+  power_ = std::make_unique<power::PowerModel>(platform_, *perf_);
+  kernel_ = std::make_unique<os::Kernel>(platform_, *perf_, *power_, kcfg);
+}
+
+void Simulation::add_benchmark(const std::string& name, int threads) {
+  const auto bench = workload::BenchmarkLibrary::get(name);
+  for (auto& tb : bench.spawn(threads, spawn_rng_)) {
+    kernel_->fork(std::move(tb));
+  }
+}
+
+void Simulation::add_mix(int mix_id, int threads_per_member) {
+  for (auto& tb :
+       workload::spawn_mix(mix_id, threads_per_member, spawn_rng_)) {
+    kernel_->fork(std::move(tb));
+  }
+}
+
+void Simulation::add_thread(workload::ThreadBehavior behavior) {
+  kernel_->fork(std::move(behavior));
+}
+
+void Simulation::add_benchmark_at(TimeNs at, const std::string& name,
+                                  int threads) {
+  if (ran_) throw std::logic_error("add_benchmark_at: already running");
+  // Validate the name eagerly so failures surface at setup time.
+  (void)workload::BenchmarkLibrary::get(name);
+  arrivals_.push_back({at, name, threads});
+}
+
+void Simulation::apply_arrivals() {
+  for (auto it = arrivals_.begin(); it != arrivals_.end();) {
+    if (it->at <= kernel_->now()) {
+      add_benchmark(it->benchmark, it->threads);
+      it = arrivals_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Simulation::set_balancer(std::unique_ptr<os::LoadBalancer> balancer) {
+  kernel_->set_balancer(std::move(balancer));
+}
+
+SimulationResult Simulation::run() {
+  if (ran_) throw std::logic_error("Simulation::run called twice");
+  ran_ = true;
+
+  const bool sampled = cfg_.thermal_enabled || !cfg_.trace_path.empty();
+  if (cfg_.thermal_enabled) {
+    thermal_ =
+        std::make_unique<power::ThermalModel>(platform_, cfg_.thermal);
+    max_temp_seen_c_ = thermal_->max_temperature_c();
+  }
+  if (!cfg_.trace_path.empty()) {
+    trace_ = std::make_unique<CsvWriter>(
+        cfg_.trace_path,
+        std::vector<std::string>{"time_ms", "core", "power_w", "temp_c",
+                                 "nr_running", "freq_mhz"});
+  }
+  if (sampled) {
+    prev_core_joules_.assign(static_cast<std::size_t>(platform_.num_cores()),
+                             0.0);
+  }
+
+  if (cfg_.run_to_completion || sampled || !arrivals_.empty()) {
+    // Advance in steps: fine-grained when sampling, epoch-sized otherwise.
+    const TimeNs step = sampled ? cfg_.sample_interval : milliseconds(20);
+    while (kernel_->now() < cfg_.duration &&
+           !(cfg_.run_to_completion && kernel_->all_exited() &&
+             arrivals_.empty())) {
+      TimeNs chunk = std::min<TimeNs>(step, cfg_.duration - kernel_->now());
+      for (const Arrival& a : arrivals_) {
+        if (a.at > kernel_->now()) {
+          chunk = std::min(chunk, a.at - kernel_->now());
+        }
+      }
+      kernel_->run_for(chunk);
+      apply_arrivals();
+      if (sampled) sample_tick(chunk);
+    }
+  } else {
+    kernel_->run_until(cfg_.duration);
+  }
+  return snapshot();
+}
+
+void Simulation::sample_tick(TimeNs window) {
+  if (window <= 0) return;
+  std::vector<double> power(static_cast<std::size_t>(platform_.num_cores()));
+  for (CoreId c = 0; c < platform_.num_cores(); ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    const double joules = kernel_->energy().total_joules(c);
+    power[i] = (joules - prev_core_joules_[i]) / to_seconds(window);
+    prev_core_joules_[i] = joules;
+  }
+  if (thermal_) {
+    thermal_->step(power, window);
+    max_temp_seen_c_ = std::max(max_temp_seen_c_, thermal_->max_temperature_c());
+  }
+  if (trace_) {
+    for (CoreId c = 0; c < platform_.num_cores(); ++c) {
+      trace_->row(std::vector<double>{
+          to_millis(kernel_->now()), static_cast<double>(c),
+          power[static_cast<std::size_t>(c)],
+          thermal_ ? thermal_->temperature_c(c) : 0.0,
+          static_cast<double>(kernel_->core_nr_running(c)),
+          kernel_->core_opp(c).freq_mhz});
+    }
+  }
+}
+
+SimulationResult Simulation::snapshot() const {
+  SimulationResult r;
+  r.label = cfg_.label;
+  r.policy = kernel_->balancer() ? kernel_->balancer()->name() : "none";
+  r.simulated = kernel_->now();
+  r.instructions = kernel_->total_instructions();
+  r.energy_j = kernel_->energy().total_joules();
+  const double secs = to_seconds(r.simulated);
+  r.ips = secs > 0 ? static_cast<double>(r.instructions) / secs : 0;
+  r.watts = secs > 0 ? r.energy_j / secs : 0;
+  r.ips_per_watt =
+      r.energy_j > 0 ? static_cast<double>(r.instructions) / r.energy_j : 0;
+  r.migrations = kernel_->total_migrations();
+  r.context_switches = kernel_->context_switches();
+  r.balance_passes = kernel_->balance_passes();
+
+  for (CoreId c = 0; c < platform_.num_cores(); ++c) {
+    CoreMetrics cm;
+    cm.id = c;
+    cm.type_name = platform_.params_of(c).name;
+    cm.instructions = kernel_->core_instructions(c);
+    cm.energy_j = kernel_->energy().total_joules(c);
+    cm.busy_ns = kernel_->energy().busy_time(c);
+    cm.sleep_ns = kernel_->energy().sleep_time(c);
+    cm.avg_power_w = secs > 0 ? cm.energy_j / secs : 0;
+    cm.ips = secs > 0 ? static_cast<double>(cm.instructions) / secs : 0;
+    cm.ips_per_watt = cm.energy_j > 0
+                          ? static_cast<double>(cm.instructions) / cm.energy_j
+                          : 0;
+    cm.utilization = r.simulated > 0 ? static_cast<double>(cm.busy_ns) /
+                                           static_cast<double>(r.simulated)
+                                     : 0;
+    r.cores.push_back(cm);
+  }
+
+  for (std::size_t i = 0; i < kernel_->num_tasks(); ++i) {
+    const auto& t = kernel_->task(static_cast<ThreadId>(i));
+    ThreadMetrics tm;
+    tm.tid = t.tid;
+    tm.name = t.name;
+    tm.instructions = t.lifetime_insts;
+    tm.energy_j = t.lifetime_energy_j;
+    tm.runtime = t.lifetime_runtime;
+    tm.migrations = t.migrations;
+    tm.completed = t.state == os::TaskState::Exited;
+    tm.completion_time = t.exited_at;
+    if (t.dispatches > 0) {
+      tm.avg_wait_us = static_cast<double>(t.total_wait) /
+                       static_cast<double>(t.dispatches) / 1e3;
+    }
+    tm.max_wait_us = static_cast<double>(t.max_wait) / 1e3;
+    r.threads.push_back(tm);
+  }
+  {
+    double wait_sum = 0;
+    std::uint64_t dispatches = 0;
+    for (const auto& tm : r.threads) {
+      r.max_sched_latency_us = std::max(r.max_sched_latency_us, tm.max_wait_us);
+    }
+    for (std::size_t i = 0; i < kernel_->num_tasks(); ++i) {
+      const auto& t = kernel_->task(static_cast<ThreadId>(i));
+      wait_sum += static_cast<double>(t.total_wait);
+      dispatches += t.dispatches;
+    }
+    if (dispatches > 0) {
+      r.avg_sched_latency_us = wait_sum / static_cast<double>(dispatches) / 1e3;
+    }
+  }
+
+  r.dvfs_transitions = kernel_->dvfs_transitions();
+  if (thermal_) {
+    r.max_temp_c = max_temp_seen_c_;
+    r.final_temp_c = thermal_->temperatures_c();
+  }
+
+  if (const auto* sb = dynamic_cast<const core::SmartBalancePolicy*>(
+          kernel_->balancer())) {
+    r.avg_sense_us = sb->sense_ns().mean() / 1e3;
+    r.avg_predict_us = sb->predict_ns().mean() / 1e3;
+    r.avg_optimize_us = sb->optimize_ns().mean() / 1e3;
+    r.avg_migrations_per_pass = sb->migrations_per_pass().mean();
+  }
+  return r;
+}
+
+}  // namespace sb::sim

@@ -1,0 +1,109 @@
+// Simulation façade: wires a Platform, the performance/power models, the
+// kernel and a workload into one runnable experiment. This is the primary
+// public entry point of the library (see examples/quickstart.cpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/platform.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "os/kernel.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+#include "power/thermal.h"
+#include "sim/metrics.h"
+#include "workload/benchmarks.h"
+#include "workload/mixes.h"
+
+namespace sb::sim {
+
+struct SimulationConfig {
+  os::KernelConfig kernel;
+  /// Simulated run window; with run_to_completion the window is a cap.
+  TimeNs duration = milliseconds(600);
+  bool run_to_completion = false;
+  std::uint64_t seed = 1234;
+  std::string label;
+
+  /// Enables the per-core RC thermal model (sampled every sample_interval);
+  /// results gain max/final core temperatures.
+  bool thermal_enabled = false;
+  power::ThermalModel::Config thermal;
+  /// Non-empty: writes a long-format per-core time series
+  /// (time_ms, core, power_w, temp_c, nr_running, freq_mhz) as CSV.
+  std::string trace_path;
+  /// Sampling period for thermal stepping and trace rows.
+  TimeNs sample_interval = milliseconds(5);
+};
+
+class Simulation {
+ public:
+  /// The platform is copied; models and kernel are built over the copy.
+  Simulation(const arch::Platform& platform, SimulationConfig cfg);
+  explicit Simulation(const arch::Platform& platform)
+      : Simulation(platform, SimulationConfig()) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // --- Workload population (before run()) ---
+  /// Spawns `threads` workers of a library benchmark (PARSEC/x264/IMB name).
+  void add_benchmark(const std::string& name, int threads);
+  /// Spawns a Table 3 mix with `threads_per_member` workers per member.
+  void add_mix(int mix_id, int threads_per_member);
+  void add_thread(workload::ThreadBehavior behavior);
+
+  /// Defers a benchmark's fork until simulated time `at` — the paper's §3
+  /// dynamic thread model ("threads can enter and leave the system at any
+  /// time"). Arrivals are applied during run().
+  void add_benchmark_at(TimeNs at, const std::string& name, int threads);
+
+  /// Installs the balancing policy (must be called before run()).
+  void set_balancer(std::unique_ptr<os::LoadBalancer> balancer);
+
+  /// Runs to the configured duration (or until every task exits, if
+  /// run_to_completion). Returns the final metrics; callable once.
+  SimulationResult run();
+
+  /// Metrics of the run so far (valid after run(), or mid-run for tools
+  /// driving the kernel directly).
+  SimulationResult snapshot() const;
+
+  os::Kernel& kernel() { return *kernel_; }
+  const arch::Platform& platform() const { return platform_; }
+  const perf::PerfModel& perf_model() const { return *perf_; }
+  const power::PowerModel& power_model() const { return *power_; }
+  const SimulationConfig& config() const { return cfg_; }
+
+  /// Thermal state (only when thermal_enabled); valid after/while running.
+  const power::ThermalModel* thermal() const { return thermal_.get(); }
+
+ private:
+  void sample_tick(TimeNs window);
+  void apply_arrivals();
+
+  struct Arrival {
+    TimeNs at;
+    std::string benchmark;
+    int threads;
+  };
+  std::vector<Arrival> arrivals_;
+
+  arch::Platform platform_;
+  SimulationConfig cfg_;
+  std::unique_ptr<perf::PerfModel> perf_;
+  std::unique_ptr<power::PowerModel> power_;
+  std::unique_ptr<os::Kernel> kernel_;
+  std::unique_ptr<power::ThermalModel> thermal_;
+  std::unique_ptr<CsvWriter> trace_;
+  std::vector<double> prev_core_joules_;
+  double max_temp_seen_c_ = 0;
+  Rng spawn_rng_;
+  bool ran_ = false;
+};
+
+}  // namespace sb::sim

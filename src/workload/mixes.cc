@@ -1,0 +1,39 @@
+#include "workload/mixes.h"
+
+#include <stdexcept>
+
+namespace sb::workload {
+
+std::vector<std::string> mix_members(int id) {
+  switch (id) {
+    case 1:
+      return {"x264_H_crew", "x264_H_bow"};
+    case 2:
+      return {"x264_L_crew", "x264_L_bow"};
+    case 3:
+      return {"x264_L_crew", "x264_H_bow"};
+    case 4:
+      return {"x264_H_crew", "x264_L_bow"};
+    case 5:
+      return {"bodytrack", "x264_H_crew"};
+    case 6:
+      return {"bodytrack", "x264_H_crew", "x264_L_bow"};
+    default:
+      throw std::out_of_range("mix id must be 1..6");
+  }
+}
+
+int num_mixes() { return 6; }
+
+std::vector<ThreadBehavior> spawn_mix(int id, int threads_per_benchmark,
+                                      Rng& rng) {
+  std::vector<ThreadBehavior> all;
+  for (const auto& name : mix_members(id)) {
+    auto threads =
+        BenchmarkLibrary::get(name).spawn(threads_per_benchmark, rng);
+    for (auto& t : threads) all.push_back(std::move(t));
+  }
+  return all;
+}
+
+}  // namespace sb::workload

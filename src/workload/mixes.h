@@ -1,0 +1,29 @@
+// Table 3 benchmark mixes.
+//
+// | Mix1        | Mix2        | Mix3        | Mix4        | Mix5       | Mix6       |
+// | x264_H crew | x264_L crew | x264_L crew | x264_H crew | bodytrack  | bodytrack  |
+// | x264_H bow  | x264_L bow  | x264_H bow  | x264_L bow  | x264_H crew| x264_H crew|
+// |             |             |             |             |            | x264_L bow |
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/benchmarks.h"
+
+namespace sb::workload {
+
+/// Names of the benchmarks in mix `id` (1..6 as in Table 3).
+/// Throws std::out_of_range for other ids.
+std::vector<std::string> mix_members(int id);
+
+/// Number of defined mixes (6).
+int num_mixes();
+
+/// Spawns `threads_per_benchmark` worker threads for every member of the
+/// mix (the paper runs each member with 2, 4 or 8 threads).
+std::vector<ThreadBehavior> spawn_mix(int id, int threads_per_benchmark,
+                                      Rng& rng);
+
+}  // namespace sb::workload

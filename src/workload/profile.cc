@@ -1,0 +1,80 @@
+#include "workload/profile.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sb::workload {
+namespace {
+
+void check_range(double v, double lo, double hi, const char* what) {
+  if (v < lo || v > hi) {
+    throw std::invalid_argument(std::string("WorkloadProfile: ") + what +
+                                " out of range");
+  }
+}
+
+double jitter_clamped(double v, double sigma, double lo, double hi,
+                      JitterSource& src) {
+  return std::clamp(v * (1.0 + sigma * src.gaussian()), lo, hi);
+}
+
+}  // namespace
+
+void WorkloadProfile::validate() const {
+  check_range(ilp, 0.1, 16.0, "ilp");
+  check_range(mem_share, 0.0, 0.8, "mem_share");
+  check_range(branch_share, 0.0, 0.6, "branch_share");
+  check_range(mem_share + branch_share, 0.0, 1.0, "mem_share+branch_share");
+  check_range(mispredict_rate, 0.0, 0.5, "mispredict_rate");
+  check_range(footprint_i_kb, 0.5, 1 << 16, "footprint_i_kb");
+  check_range(footprint_d_kb, 0.5, 1 << 20, "footprint_d_kb");
+  check_range(locality_alpha, 0.1, 4.0, "locality_alpha");
+  check_range(mr_l1i_ref, 0.0, 0.5, "mr_l1i_ref");
+  check_range(mr_l1d_ref, 0.0, 0.5, "mr_l1d_ref");
+  check_range(mr_itlb_ref, 0.0, 0.1, "mr_itlb_ref");
+  check_range(mr_dtlb_ref, 0.0, 0.1, "mr_dtlb_ref");
+  check_range(l2_miss_ratio, 0.0, 1.0, "l2_miss_ratio");
+  check_range(mlp, 1.0, 16.0, "mlp");
+  check_range(activity, 0.2, 2.0, "activity");
+}
+
+WorkloadProfile WorkloadProfile::jittered(double relative_sigma,
+                                          JitterSource& src) const {
+  WorkloadProfile p = *this;
+  p.ilp = jitter_clamped(ilp, relative_sigma, 0.1, 16.0, src);
+  p.mem_share = jitter_clamped(mem_share, relative_sigma, 0.01, 0.8, src);
+  p.branch_share = jitter_clamped(branch_share, relative_sigma, 0.01, 0.6, src);
+  p.mispredict_rate =
+      jitter_clamped(mispredict_rate, relative_sigma, 0.001, 0.5, src);
+  p.footprint_d_kb =
+      jitter_clamped(footprint_d_kb, relative_sigma, 0.5, 1 << 20, src);
+  p.mr_l1d_ref = jitter_clamped(mr_l1d_ref, relative_sigma, 1e-4, 0.5, src);
+  p.activity = jitter_clamped(activity, relative_sigma, 0.2, 2.0, src);
+  // Renormalize in case jitter pushed the mix over 1.
+  if (p.mem_share + p.branch_share > 0.95) {
+    const double scale = 0.95 / (p.mem_share + p.branch_share);
+    p.mem_share *= scale;
+    p.branch_share *= scale;
+  }
+  p.validate();
+  return p;
+}
+
+void ThreadBehavior::validate() const {
+  if (phases.empty()) throw std::invalid_argument("ThreadBehavior: no phases");
+  for (const auto& ph : phases) {
+    ph.profile.validate();
+    if (ph.instructions == 0) {
+      throw std::invalid_argument("ThreadBehavior: empty phase");
+    }
+  }
+  if (burst_instructions > 0 && sleep_mean_ns <= 0) {
+    throw std::invalid_argument(
+        "ThreadBehavior: interactive thread needs sleep_mean_ns > 0");
+  }
+  if (sleep_jitter < 0.0 || sleep_jitter > 1.0) {
+    throw std::invalid_argument("ThreadBehavior: sleep_jitter out of [0,1]");
+  }
+}
+
+}  // namespace sb::workload

@@ -1,0 +1,113 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sb::workload {
+
+SyntheticBuilder::SyntheticBuilder(std::string name) : name_(std::move(name)) {
+  profile_.name = name_ + ".main";
+}
+
+SyntheticBuilder& SyntheticBuilder::ilp(double v) {
+  profile_.ilp = v;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::memory_share(double v) {
+  profile_.mem_share = v;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::branch_share(double v) {
+  profile_.branch_share = v;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::mispredict_rate(double v) {
+  profile_.mispredict_rate = v;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::footprint_kb(double data_kb) {
+  profile_.footprint_d_kb = data_kb;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::instruction_footprint_kb(double v) {
+  profile_.footprint_i_kb = v;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::locality(double alpha) {
+  profile_.locality_alpha = alpha;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::miss_rates(double l1i_ref, double l1d_ref) {
+  profile_.mr_l1i_ref = l1i_ref;
+  profile_.mr_l1d_ref = l1d_ref;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::memory_level_parallelism(double mlp) {
+  profile_.mlp = mlp;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::l2_miss_ratio(double v) {
+  profile_.l2_miss_ratio = v;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::activity(double v) {
+  profile_.activity = v;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::phase_instructions(std::uint64_t v) {
+  phase_insts_ = v;
+  return *this;
+}
+
+SyntheticBuilder& SyntheticBuilder::second_phase(double ilp_scale,
+                                                 double footprint_scale,
+                                                 std::uint64_t instructions) {
+  has_second_phase_ = true;
+  second_ilp_scale_ = ilp_scale;
+  second_fp_scale_ = footprint_scale;
+  second_insts_ = instructions;
+  return *this;
+}
+
+SyntheticBuilder& SyntheticBuilder::interactive(std::uint64_t burst,
+                                                TimeNs sleep) {
+  burst_ = burst;
+  sleep_ = sleep;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::total_instructions(std::uint64_t total) {
+  total_ = total;
+  return *this;
+}
+SyntheticBuilder& SyntheticBuilder::nice(int level) {
+  nice_ = level;
+  return *this;
+}
+
+Benchmark SyntheticBuilder::build() const {
+  profile_.validate();
+  if (phase_insts_ == 0) {
+    throw std::invalid_argument("SyntheticBuilder: empty phase");
+  }
+  Benchmark b;
+  b.name = name_;
+  b.phases.push_back(Phase{profile_, phase_insts_});
+  if (has_second_phase_) {
+    WorkloadProfile p2 = profile_;
+    p2.name = name_ + ".alt";
+    p2.ilp = std::clamp(p2.ilp * second_ilp_scale_, 0.1, 16.0);
+    p2.footprint_d_kb =
+        std::clamp(p2.footprint_d_kb * second_fp_scale_, 0.5, double(1 << 20));
+    p2.validate();
+    if (second_insts_ == 0) {
+      throw std::invalid_argument("SyntheticBuilder: empty second phase");
+    }
+    b.phases.push_back(Phase{std::move(p2), second_insts_});
+  }
+  b.per_thread_instructions = total_;
+  b.burst_instructions = burst_;
+  b.sleep_mean_ns = sleep_;
+  return b;
+}
+
+}  // namespace sb::workload

@@ -1,0 +1,74 @@
+// Fluent builder for synthetic workloads.
+//
+// The paper's interactive microbenchmarks are one instance of a broader
+// need: constructing threads with controlled characteristics to probe the
+// balancer. This builder exposes the full characterization surface with
+// validated defaults, so downstream users can write
+//
+//   auto bench = SyntheticBuilder("probe").ilp(3.2).memory_share(0.1)
+//                    .footprint_kb(16).interactive(2'000'000, ms(5))
+//                    .build();
+//
+// instead of filling WorkloadProfile structs by hand.
+#pragma once
+
+#include <string>
+
+#include "workload/benchmarks.h"
+#include "workload/profile.h"
+
+namespace sb::workload {
+
+class SyntheticBuilder {
+ public:
+  explicit SyntheticBuilder(std::string name);
+
+  SyntheticBuilder& ilp(double v);
+  SyntheticBuilder& memory_share(double v);
+  SyntheticBuilder& branch_share(double v);
+  SyntheticBuilder& mispredict_rate(double v);
+  SyntheticBuilder& footprint_kb(double data_kb);
+  SyntheticBuilder& instruction_footprint_kb(double v);
+  SyntheticBuilder& locality(double alpha);
+  SyntheticBuilder& miss_rates(double l1i_ref, double l1d_ref);
+  SyntheticBuilder& memory_level_parallelism(double mlp);
+  SyntheticBuilder& l2_miss_ratio(double v);
+  SyntheticBuilder& activity(double v);
+
+  /// Length of the (single) phase in instructions.
+  SyntheticBuilder& phase_instructions(std::uint64_t v);
+  /// Adds a second phase with a scaled profile (ILP × `ilp_scale`,
+  /// footprint × `footprint_scale`) to exercise phase-change adaptivity.
+  SyntheticBuilder& second_phase(double ilp_scale, double footprint_scale,
+                                 std::uint64_t instructions);
+
+  /// Makes the thread interactive: run `burst` instructions, sleep ~`sleep`.
+  SyntheticBuilder& interactive(std::uint64_t burst, TimeNs sleep);
+  /// Makes threads exit after `total` instructions (0 = run forever).
+  SyntheticBuilder& total_instructions(std::uint64_t total);
+  SyntheticBuilder& nice(int level);
+
+  /// Validates and produces the benchmark (throws std::invalid_argument on
+  /// out-of-range characteristics).
+  Benchmark build() const;
+
+  /// Shortcut: build and spawn `threads` workers.
+  std::vector<ThreadBehavior> spawn(int threads, Rng& rng) const {
+    return build().spawn(threads, rng);
+  }
+
+ private:
+  std::string name_;
+  WorkloadProfile profile_;
+  std::uint64_t phase_insts_ = 40'000'000;
+  bool has_second_phase_ = false;
+  double second_ilp_scale_ = 1.0;
+  double second_fp_scale_ = 1.0;
+  std::uint64_t second_insts_ = 0;
+  std::uint64_t burst_ = 0;
+  TimeNs sleep_ = 0;
+  std::uint64_t total_ = 0;
+  int nice_ = 0;
+};
+
+}  // namespace sb::workload

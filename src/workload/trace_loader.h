@@ -1,0 +1,37 @@
+// Trace-driven workloads.
+//
+// Downstream users characterize their own applications (e.g. from perf
+// counters on real hardware) and feed the per-phase characterization in as
+// CSV; each row is one phase. This closes the loop for people reproducing
+// the paper's methodology on their own workloads instead of the bundled
+// PARSEC-like profiles.
+//
+// CSV columns (header required, in this order):
+//   instructions,ilp,mem_share,branch_share,mispredict_rate,
+//   footprint_i_kb,footprint_d_kb,locality_alpha,mr_l1i_ref,mr_l1d_ref,
+//   l2_miss_ratio,mlp,activity
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/profile.h"
+
+namespace sb::workload {
+
+/// The exact header line expected/produced by the trace format.
+const std::string& trace_csv_header();
+
+/// Parses a phase trace into a ThreadBehavior named `name`. Interactivity
+/// and lifetime fields are left at defaults (set them on the result).
+/// Throws std::runtime_error with a line number on malformed input.
+ThreadBehavior load_thread_trace(std::istream& is, const std::string& name);
+ThreadBehavior load_thread_trace_file(const std::string& path,
+                                      const std::string& name);
+
+/// Writes a behaviour's phases in the same format (round-trips with load).
+void save_thread_trace(std::ostream& os, const ThreadBehavior& behavior);
+void save_thread_trace_file(const std::string& path,
+                            const ThreadBehavior& behavior);
+
+}  // namespace sb::workload

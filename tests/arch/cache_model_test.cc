@@ -1,0 +1,111 @@
+#include "arch/cache_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+namespace sb::arch {
+namespace {
+
+TEST(CacheMissRate, LargerCacheNeverMissesMore) {
+  double prev = 1.0;
+  for (double size : {8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
+    const double mr = cache_miss_rate(0.08, 64.0, size, 1.2);
+    EXPECT_LE(mr, prev) << "size=" << size;
+    prev = mr;
+  }
+}
+
+TEST(CacheMissRate, FootprintFitsMeansNearFloor) {
+  // Footprint well below cache size: only cold misses remain.
+  const double mr = cache_miss_rate(0.08, 1.0, 1024.0, 2.0);
+  EXPECT_LT(mr, 0.001);
+  EXPECT_GE(mr, 1e-5);
+}
+
+TEST(CacheMissRate, PressureSaturatesAtRefRate) {
+  EXPECT_DOUBLE_EQ(cache_miss_rate(0.08, 4096.0, 16.0, 1.2), 0.08);
+  // Larger footprint cannot exceed ref rate (pressure capped at 1).
+  EXPECT_DOUBLE_EQ(cache_miss_rate(0.08, 1 << 20, 16.0, 1.2), 0.08);
+}
+
+TEST(CacheMissRate, CapApplies) {
+  EXPECT_DOUBLE_EQ(cache_miss_rate(0.9, 4096.0, 16.0, 1.0), 0.5);
+}
+
+TEST(CacheMissRate, ZeroRefRateGivesFloor) {
+  EXPECT_DOUBLE_EQ(cache_miss_rate(0.0, 64, 32, 1.2), 1e-5);
+}
+
+TEST(CacheMissRate, InvalidSizeThrows) {
+  EXPECT_THROW(cache_miss_rate(0.05, 64, 0, 1.2), std::invalid_argument);
+  EXPECT_THROW(cache_miss_rate(0.05, -1, 32, 1.2), std::invalid_argument);
+}
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, HigherLocalityMeansFewerMissesWhenFitting) {
+  const double alpha = GetParam();
+  // pressure < 1, so a larger exponent shrinks the miss rate.
+  const double base = cache_miss_rate(0.08, 16.0, 32.0, alpha);
+  const double tighter = cache_miss_rate(0.08, 16.0, 32.0, alpha + 0.5);
+  EXPECT_LE(tighter, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(0.3, 0.7, 1.0, 1.5, 2.5));
+
+TEST(TlbMissRate, ReachScaling) {
+  // 32 entries × 4 KB = 128 KB reach.
+  const double small_fp = tlb_miss_rate(0.004, 16.0, 32);
+  const double big_fp = tlb_miss_rate(0.004, 4096.0, 32);
+  EXPECT_LT(small_fp, big_fp);
+  EXPECT_DOUBLE_EQ(big_fp, 0.004);  // saturated pressure
+}
+
+TEST(TlbMissRate, MoreEntriesFewerMisses) {
+  // Footprint (200 KB) between the 32-entry reach (128 KB, saturated) and
+  // the 64-entry reach (256 KB, unsaturated).
+  EXPECT_LT(tlb_miss_rate(0.004, 200.0, 64), tlb_miss_rate(0.004, 200.0, 32));
+}
+
+TEST(TlbMissRate, InvalidArgsThrow) {
+  EXPECT_THROW(tlb_miss_rate(0.004, 64, 0), std::invalid_argument);
+  EXPECT_THROW(tlb_miss_rate(0.004, 64, 32, 0.0), std::invalid_argument);
+}
+
+TEST(CacheWarmup, ColdStartFactor) {
+  const CacheWarmupModel w(3.0, 400'000);
+  EXPECT_DOUBLE_EQ(w.miss_factor(0), 3.0);
+}
+
+TEST(CacheWarmup, FullyWarmAfterWindow) {
+  const CacheWarmupModel w(3.0, 400'000);
+  EXPECT_DOUBLE_EQ(w.miss_factor(400'000), 1.0);
+  EXPECT_DOUBLE_EQ(w.miss_factor(10'000'000), 1.0);
+}
+
+TEST(CacheWarmup, MonotoneDecay) {
+  const CacheWarmupModel w(3.0, 400'000);
+  double prev = w.miss_factor(0);
+  for (std::uint64_t i = 50'000; i <= 400'000; i += 50'000) {
+    const double f = w.miss_factor(i);
+    EXPECT_LE(f, prev);
+    EXPECT_GE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(CacheWarmup, HalfwayIsHalfExcess) {
+  const CacheWarmupModel w(3.0, 400'000);
+  EXPECT_NEAR(w.miss_factor(200'000), 2.0, 1e-12);
+}
+
+TEST(CacheWarmup, ZeroWindowAlwaysWarm) {
+  const CacheWarmupModel w(3.0, 0);
+  EXPECT_DOUBLE_EQ(w.miss_factor(0), 1.0);
+}
+
+}  // namespace
+}  // namespace sb::arch

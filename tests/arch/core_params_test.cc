@@ -1,0 +1,96 @@
+#include "arch/core_params.h"
+
+#include <gtest/gtest.h>
+
+namespace sb::arch {
+namespace {
+
+// Table 2 of the paper, verbatim.
+TEST(CoreParams, HugeMatchesTable2) {
+  const CoreParams p = huge_core();
+  EXPECT_EQ(p.name, "Huge");
+  EXPECT_EQ(p.issue_width, 8);
+  EXPECT_EQ(p.lq_size, 32);
+  EXPECT_EQ(p.sq_size, 32);
+  EXPECT_EQ(p.iq_size, 64);
+  EXPECT_EQ(p.rob_size, 192);
+  EXPECT_EQ(p.num_regs, 256);
+  EXPECT_DOUBLE_EQ(p.l1i_kb, 64);
+  EXPECT_DOUBLE_EQ(p.l1d_kb, 64);
+  EXPECT_DOUBLE_EQ(p.freq_mhz, 2000);
+  EXPECT_DOUBLE_EQ(p.vdd, 1.0);
+  EXPECT_DOUBLE_EQ(p.area_mm2, 11.99);
+  EXPECT_DOUBLE_EQ(p.peak_power_w, 8.62);
+}
+
+TEST(CoreParams, BigMatchesTable2) {
+  const CoreParams p = big_core();
+  EXPECT_EQ(p.issue_width, 4);
+  EXPECT_EQ(p.rob_size, 128);
+  EXPECT_EQ(p.iq_size, 32);
+  EXPECT_DOUBLE_EQ(p.l1d_kb, 32);
+  EXPECT_DOUBLE_EQ(p.freq_mhz, 1500);
+  EXPECT_DOUBLE_EQ(p.vdd, 0.8);
+  EXPECT_DOUBLE_EQ(p.peak_power_w, 1.41);
+  EXPECT_DOUBLE_EQ(p.area_mm2, 5.08);
+}
+
+TEST(CoreParams, MediumMatchesTable2) {
+  const CoreParams p = medium_core();
+  EXPECT_EQ(p.issue_width, 2);
+  EXPECT_EQ(p.rob_size, 64);
+  EXPECT_DOUBLE_EQ(p.l1i_kb, 16);
+  EXPECT_DOUBLE_EQ(p.freq_mhz, 1000);
+  EXPECT_DOUBLE_EQ(p.vdd, 0.7);
+  EXPECT_DOUBLE_EQ(p.peak_power_w, 0.53);
+}
+
+TEST(CoreParams, SmallMatchesTable2) {
+  const CoreParams p = small_core();
+  EXPECT_EQ(p.issue_width, 1);
+  EXPECT_EQ(p.rob_size, 64);
+  EXPECT_DOUBLE_EQ(p.freq_mhz, 500);
+  EXPECT_DOUBLE_EQ(p.vdd, 0.6);
+  EXPECT_DOUBLE_EQ(p.peak_power_w, 0.095);
+  EXPECT_DOUBLE_EQ(p.area_mm2, 2.27);
+}
+
+TEST(CoreParams, FrequencyHelpers) {
+  const CoreParams p = huge_core();  // 2 GHz
+  EXPECT_DOUBLE_EQ(p.freq_ghz(), 2.0);
+  EXPECT_DOUBLE_EQ(p.cycles_in(1000), 2000.0);
+  EXPECT_DOUBLE_EQ(p.ns_for_cycles(2000.0), 1000.0);
+}
+
+TEST(CoreParams, MicroarchitectureEquality) {
+  CoreParams a = big_core();
+  CoreParams b = big_core();
+  b.name = "Renamed";
+  EXPECT_TRUE(a.same_microarchitecture(b));
+  b.rob_size += 1;
+  EXPECT_FALSE(a.same_microarchitecture(b));
+}
+
+TEST(CoreParams, BigLittlePairIsOrdered) {
+  const CoreParams a15 = a15_core();
+  const CoreParams a7 = a7_core();
+  EXPECT_GT(a15.issue_width, a7.issue_width);
+  EXPECT_GT(a15.freq_mhz, a7.freq_mhz);
+  EXPECT_GT(a15.peak_power_w, a7.peak_power_w);
+  EXPECT_GT(a15.area_mm2, a7.area_mm2);
+}
+
+TEST(CoreParams, StrictlyDecreasingStrengthAcrossTypes) {
+  const CoreParams types[] = {huge_core(), big_core(), medium_core(),
+                              small_core()};
+  for (int i = 0; i + 1 < 4; ++i) {
+    EXPECT_GE(types[i].issue_width, types[i + 1].issue_width);
+    EXPECT_GE(types[i].rob_size, types[i + 1].rob_size);
+    EXPECT_GT(types[i].freq_mhz, types[i + 1].freq_mhz);
+    EXPECT_GT(types[i].peak_power_w, types[i + 1].peak_power_w);
+    EXPECT_GT(types[i].area_mm2, types[i + 1].area_mm2);
+  }
+}
+
+}  // namespace
+}  // namespace sb::arch

@@ -1,0 +1,88 @@
+#include "arch/dvfs.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "arch/core_params.h"
+
+namespace sb::arch {
+namespace {
+
+TEST(OppTable, ValidationRules) {
+  EXPECT_THROW(OppTable({}), std::invalid_argument);
+  EXPECT_THROW(OppTable({{0, 0.8}}), std::invalid_argument);
+  EXPECT_THROW(OppTable({{500, 0.7}, {500, 0.8}}), std::invalid_argument)
+      << "frequencies must strictly increase";
+  EXPECT_THROW(OppTable({{500, 0.8}, {1000, 0.7}}), std::invalid_argument)
+      << "voltage must not decrease with frequency";
+  EXPECT_NO_THROW(OppTable({{500, 0.7}, {1000, 0.7}, {1500, 0.9}}));
+}
+
+TEST(OppTable, NominalOnly) {
+  const auto t = OppTable::nominal_only(big_core());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.highest().freq_mhz, 1500);
+  EXPECT_DOUBLE_EQ(t.highest().vdd, 0.8);
+}
+
+TEST(OppTable, TypicalHasFourPointsToppingAtNominal) {
+  const auto t = OppTable::typical_for(huge_core());
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t.highest().freq_mhz, 2000);
+  EXPECT_DOUBLE_EQ(t.highest().vdd, 1.0);
+  EXPECT_DOUBLE_EQ(t.lowest().freq_mhz, 800);
+  EXPECT_NEAR(t.lowest().vdd, 0.7, 1e-9);  // 0.5 + 0.5·0.4 of 1.0 V
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t.at(i).freq_mhz, t.at(i - 1).freq_mhz);
+    EXPECT_GE(t.at(i).vdd, t.at(i - 1).vdd);
+  }
+}
+
+TEST(OppTable, IndexForAtLeast) {
+  const auto t = OppTable::typical_for(medium_core());  // 400/600/800/1000 MHz
+  EXPECT_EQ(t.index_for_at_least(100), 0u);
+  EXPECT_EQ(t.index_for_at_least(500), 1u);
+  EXPECT_EQ(t.index_for_at_least(1000), 3u);
+  EXPECT_EQ(t.index_for_at_least(5000), 3u);  // clamped to top
+  EXPECT_THROW(t.at(4), std::out_of_range);
+}
+
+TEST(DvfsScaling, NominalIsUnity) {
+  const auto p = big_core();
+  const OperatingPoint nominal{p.freq_mhz, p.vdd};
+  EXPECT_DOUBLE_EQ(dynamic_scale(nominal, p), 1.0);
+  EXPECT_DOUBLE_EQ(leakage_scale(nominal, p), 1.0);
+}
+
+TEST(DvfsScaling, CubicSavingsAtLowPoint) {
+  const auto p = big_core();
+  const OperatingPoint half{p.freq_mhz * 0.5, p.vdd * 0.75};
+  // V²f: 0.75² × 0.5 ≈ 0.281
+  EXPECT_NEAR(dynamic_scale(half, p), 0.28125, 1e-9);
+  // V³: 0.75³ ≈ 0.422
+  EXPECT_NEAR(leakage_scale(half, p), 0.421875, 1e-9);
+}
+
+TEST(DvfsScaling, MonotoneInFrequency) {
+  const auto p = small_core();
+  const auto t = OppTable::typical_for(p);
+  double prev = 0;
+  for (const auto& opp : t.points()) {
+    const double s = dynamic_scale(opp, p);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(DvfsScaling, BadNominalThrows) {
+  CoreParams p = big_core();
+  p.vdd = 0;
+  EXPECT_THROW(leakage_scale({1000, 0.8}, p), std::invalid_argument);
+  p = big_core();
+  p.freq_mhz = 0;
+  EXPECT_THROW(dynamic_scale({1000, 0.8}, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sb::arch

@@ -1,0 +1,119 @@
+#include "arch/platform_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sb::arch {
+namespace {
+
+TEST(PlatformLoader, ParsesTwoTypeDescription) {
+  std::stringstream in(R"(
+# prime + efficiency
+core Prime x2
+  issue_width 6
+  rob_size 256
+  freq_mhz 2800
+  vdd 0.95
+  area_mm2 8.0
+  peak_power_w 4.5
+core Eff x4
+  issue_width 2
+  freq_mhz 1400
+  peak_power_w 0.4
+)");
+  const Platform p = load_platform(in);
+  EXPECT_EQ(p.num_cores(), 6);
+  EXPECT_EQ(p.num_types(), 2);
+  const auto& prime = p.params_of_type(p.type_by_name("Prime"));
+  EXPECT_EQ(prime.issue_width, 6);
+  EXPECT_EQ(prime.rob_size, 256);
+  EXPECT_DOUBLE_EQ(prime.freq_mhz, 2800);
+  EXPECT_DOUBLE_EQ(prime.peak_power_w, 4.5);
+  const auto& eff = p.params_of_type(p.type_by_name("Eff"));
+  EXPECT_EQ(eff.issue_width, 2);
+  // Unspecified fields fall back to Medium-class defaults.
+  EXPECT_EQ(eff.rob_size, 64);
+  EXPECT_DOUBLE_EQ(eff.l1d_kb, 16);
+}
+
+TEST(PlatformLoader, RoundTripsThroughSave) {
+  std::stringstream in(R"(
+core Big x1
+  issue_width 4
+  rob_size 128
+  freq_mhz 1500
+  vdd 0.8
+  area_mm2 5.08
+  peak_power_w 1.41
+core Tiny x3
+  issue_width 1
+  freq_mhz 600
+  peak_power_w 0.12
+)");
+  const Platform original = load_platform(in);
+  std::stringstream buf;
+  save_platform(buf, original);
+  const Platform restored = load_platform(buf);
+  EXPECT_EQ(restored.num_cores(), original.num_cores());
+  EXPECT_EQ(restored.num_types(), original.num_types());
+  for (CoreTypeId t = 0; t < original.num_types(); ++t) {
+    EXPECT_TRUE(restored.params_of_type(t).same_microarchitecture(
+        original.params_of_type(t)))
+        << original.params_of_type(t).name;
+    EXPECT_DOUBLE_EQ(restored.params_of_type(t).peak_power_w,
+                     original.params_of_type(t).peak_power_w);
+  }
+}
+
+TEST(PlatformLoader, CommentsAndBlanksIgnored) {
+  std::stringstream in(
+      "# leading comment\n\ncore A x1  # trailing comment\n"
+      "  freq_mhz 900 # another\n\n");
+  const Platform p = load_platform(in);
+  EXPECT_EQ(p.num_cores(), 1);
+  EXPECT_DOUBLE_EQ(p.params_of(0).freq_mhz, 900);
+}
+
+TEST(PlatformLoader, Errors) {
+  std::stringstream no_block("freq_mhz 1000\n");
+  EXPECT_THROW(load_platform(no_block), std::runtime_error);
+
+  std::stringstream bad_count("core A x0\n");
+  EXPECT_THROW(load_platform(bad_count), std::runtime_error);
+
+  std::stringstream bad_header("core OnlyName\n");
+  EXPECT_THROW(load_platform(bad_header), std::runtime_error);
+
+  std::stringstream unknown("core A x1\n  warp_drive 9\n");
+  EXPECT_THROW(load_platform(unknown), std::runtime_error);
+
+  std::stringstream no_value("core A x1\n  freq_mhz\n");
+  EXPECT_THROW(load_platform(no_value), std::runtime_error);
+
+  std::stringstream junk("core A x1\n  freq_mhz 100 200\n");
+  EXPECT_THROW(load_platform(junk), std::runtime_error);
+
+  std::stringstream empty("");
+  EXPECT_THROW(load_platform(empty), std::logic_error);  // no cores
+
+  // Physically invalid parameters are caught by Platform::validate.
+  std::stringstream invalid("core A x1\n  freq_mhz -5\n");
+  EXPECT_THROW(load_platform(invalid), std::logic_error);
+
+  EXPECT_THROW(load_platform_file("/no/such/platform.txt"),
+               std::runtime_error);
+}
+
+TEST(PlatformLoader, ErrorsCarryLineNumbers) {
+  std::stringstream bad("core A x1\n  freq_mhz 100\n  bogus 3\n");
+  try {
+    load_platform(bad);
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sb::arch

@@ -1,0 +1,97 @@
+#include "arch/platform.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sb::arch {
+namespace {
+
+TEST(Platform, QuadHeterogeneous) {
+  const Platform p = Platform::quad_heterogeneous();
+  EXPECT_EQ(p.num_cores(), 4);
+  EXPECT_EQ(p.num_types(), 4);
+  EXPECT_EQ(p.params_of(0).name, "Huge");
+  EXPECT_EQ(p.params_of(1).name, "Big");
+  EXPECT_EQ(p.params_of(2).name, "Medium");
+  EXPECT_EQ(p.params_of(3).name, "Small");
+  for (CoreId c = 0; c < 4; ++c) EXPECT_EQ(p.type_of(c), c);
+}
+
+TEST(Platform, OctaBigLittle) {
+  const Platform p = Platform::octa_big_little();
+  EXPECT_EQ(p.num_cores(), 8);
+  EXPECT_EQ(p.num_types(), 2);
+  for (CoreId c = 0; c < 4; ++c) EXPECT_EQ(p.params_of(c).name, "A15");
+  for (CoreId c = 4; c < 8; ++c) EXPECT_EQ(p.params_of(c).name, "A7");
+  EXPECT_EQ(p.cores_of_type(0).size(), 4u);
+  EXPECT_EQ(p.cores_of_type(1).size(), 4u);
+}
+
+TEST(Platform, ScaledHeterogeneous) {
+  const Platform p = Platform::scaled_heterogeneous(8);
+  EXPECT_EQ(p.num_cores(), 32);
+  EXPECT_EQ(p.num_types(), 4);
+  EXPECT_EQ(p.cores_of_type(2).size(), 8u);
+}
+
+TEST(Platform, Homogeneous) {
+  const Platform p = Platform::homogeneous(medium_core(), 6);
+  EXPECT_EQ(p.num_cores(), 6);
+  EXPECT_EQ(p.num_types(), 1);
+}
+
+TEST(Platform, TypeDeduplicationByName) {
+  Platform p;
+  const CoreTypeId a = p.add_core_type(big_core());
+  const CoreTypeId b = p.add_core_type(big_core());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(p.num_types(), 1);
+}
+
+TEST(Platform, NameCollisionWithDifferentMicroarchThrows) {
+  Platform p;
+  p.add_core_type(big_core());
+  CoreParams fake = big_core();
+  fake.rob_size = 999;
+  EXPECT_THROW(p.add_core_type(fake), std::logic_error);
+}
+
+TEST(Platform, TypeByName) {
+  const Platform p = Platform::quad_heterogeneous();
+  EXPECT_EQ(p.type_by_name("Medium"), 2);
+  EXPECT_THROW(p.type_by_name("NoSuch"), std::out_of_range);
+}
+
+TEST(Platform, TotalArea) {
+  const Platform p = Platform::quad_heterogeneous();
+  EXPECT_NEAR(p.total_area_mm2(), 11.99 + 5.08 + 3.04 + 2.27, 1e-9);
+}
+
+TEST(Platform, ValidationCatchesEmptyAndBadParams) {
+  Platform empty;
+  EXPECT_THROW(empty.validate(), std::logic_error);
+
+  Platform bad;
+  CoreParams p = small_core();
+  p.freq_mhz = 0;
+  bad.add_cores(p, 1);
+  EXPECT_THROW(bad.validate(), std::logic_error);
+}
+
+TEST(Platform, BoundsChecking) {
+  const Platform p = Platform::quad_heterogeneous();
+  EXPECT_THROW(p.type_of(-1), std::out_of_range);
+  EXPECT_THROW(p.type_of(4), std::out_of_range);
+  EXPECT_THROW(p.params_of_type(9), std::out_of_range);
+}
+
+TEST(Platform, AddCoresValidation) {
+  Platform p;
+  const CoreTypeId t = p.add_core_type(small_core());
+  EXPECT_THROW(p.add_cores(t, -1), std::invalid_argument);
+  EXPECT_THROW(p.add_cores(static_cast<CoreTypeId>(7), 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sb::arch

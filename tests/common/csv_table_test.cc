@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+#include "common/log.h"
+#include "common/table.h"
+
+namespace sb {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter w({"a", "b"});
+  w.row(std::vector<std::string>{"1", "2"});
+  w.row(std::vector<double>{3.5, 4.0});
+  EXPECT_EQ(w.rows_written(), 2u);
+  EXPECT_EQ(w.str(), "a,b\n1,2\n3.5,4\n");
+}
+
+TEST(Csv, ColumnCountEnforced) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.row(std::vector<std::string>{"only-one"}),
+               std::invalid_argument);
+}
+
+TEST(Csv, EscapingPerRfc4180) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, FileUnopenableThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(Table, AlignmentAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row("longer-label", {3.14159}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(Banner, Prints) {
+  std::ostringstream os;
+  print_banner(os, "Section");
+  EXPECT_EQ(os.str(), "\n=== Section ===\n");
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // Builders below threshold do not crash and are cheap no-ops.
+  log_debug() << "dropped";
+  log_info() << "dropped";
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace sb

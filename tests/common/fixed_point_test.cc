@@ -1,0 +1,129 @@
+#include "common/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fixed_math.h"
+
+namespace sb {
+namespace {
+
+TEST(FixedPoint, ConstructionRoundTrips) {
+  EXPECT_EQ(Fixed::from_int(0).to_int(), 0);
+  EXPECT_EQ(Fixed::from_int(5).to_int(), 5);
+  EXPECT_EQ(Fixed::from_int(-7).to_int(), -7);
+  EXPECT_DOUBLE_EQ(Fixed::from_int(3).to_double(), 3.0);
+  EXPECT_NEAR(Fixed::from_double(1.5).to_double(), 1.5, 1e-4);
+  EXPECT_NEAR(Fixed::from_double(-2.25).to_double(), -2.25, 1e-4);
+}
+
+TEST(FixedPoint, RawAccess) {
+  EXPECT_EQ(Fixed::from_int(1).raw(), Fixed::kOne);
+  EXPECT_EQ(Fixed::from_raw(Fixed::kOne / 2).to_double(), 0.5);
+}
+
+TEST(FixedPoint, Arithmetic) {
+  const Fixed a = Fixed::from_double(2.5);
+  const Fixed b = Fixed::from_double(1.25);
+  EXPECT_NEAR((a + b).to_double(), 3.75, 1e-4);
+  EXPECT_NEAR((a - b).to_double(), 1.25, 1e-4);
+  EXPECT_NEAR((a * b).to_double(), 3.125, 1e-3);
+  EXPECT_NEAR((a / b).to_double(), 2.0, 1e-3);
+  EXPECT_NEAR((-a).to_double(), -2.5, 1e-4);
+}
+
+TEST(FixedPoint, Comparisons) {
+  EXPECT_LT(Fixed::from_double(1.0), Fixed::from_double(1.5));
+  EXPECT_GT(Fixed::from_double(-1.0), Fixed::from_double(-1.5));
+  EXPECT_EQ(Fixed::from_int(2), Fixed::from_int(2));
+}
+
+TEST(FixedPoint, AbsoluteValue) {
+  EXPECT_EQ(fixed_abs(Fixed::from_double(-3.5)).to_double(), 3.5);
+  EXPECT_EQ(fixed_abs(Fixed::from_double(3.5)).to_double(), 3.5);
+  EXPECT_EQ(fixed_abs(kFixedZero).raw(), 0);
+}
+
+TEST(FixedPoint, SqrtBasics) {
+  EXPECT_EQ(fixed_sqrt(kFixedZero).raw(), 0);
+  EXPECT_EQ(fixed_sqrt(Fixed::from_int(-4)).raw(), 0);
+  EXPECT_NEAR(fixed_sqrt(Fixed::from_int(4)).to_double(), 2.0, 1e-3);
+  EXPECT_NEAR(fixed_sqrt(Fixed::from_int(2)).to_double(), std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(fixed_sqrt(Fixed::from_double(0.25)).to_double(), 0.5, 1e-3);
+}
+
+class FixedSqrtSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FixedSqrtSweep, MatchesDoubleSqrt) {
+  const double x = GetParam();
+  EXPECT_NEAR(fixed_sqrt(Fixed::from_double(x)).to_double(), std::sqrt(x),
+              std::max(1e-3, 2e-4 * std::sqrt(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FixedSqrtSweep,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0, 2.0, 9.0, 100.0,
+                                           1000.0, 20000.0));
+
+TEST(FixedMath, ExpNegBasics) {
+  EXPECT_EQ(fixed_exp_neg(kFixedZero).raw(), Fixed::kOne);
+  EXPECT_EQ(fixed_exp_neg(Fixed::from_int(2)).raw(), Fixed::kOne)
+      << "positive input clamps to exp(0)";
+  // Deep negative underflows to exactly zero.
+  EXPECT_EQ(fixed_exp_neg(Fixed::from_int(-20)).raw(), 0);
+}
+
+class FixedExpSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FixedExpSweep, MatchesLibm) {
+  const double x = GetParam();
+  const double got = fixed_exp_neg(Fixed::from_double(x)).to_double();
+  // The LUT-based range reduction trades precision for speed (paper §4.3);
+  // 1% relative or 2^-14 absolute is ample for the SA acceptance test.
+  EXPECT_NEAR(got, std::exp(x), std::max(0.01 * std::exp(x), 1.0 / 16384.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FixedExpSweep,
+                         ::testing::Values(-0.01, -0.1, -0.5, -1.0, -2.0, -3.0,
+                                           -5.0, -8.0, -10.5));
+
+TEST(FixedMath, ExpMonotoneNonIncreasing) {
+  // Monotone up to the 1-2 ulp wobble inherent to the Q16.16 LUT products.
+  constexpr double kTwoUlp = 2.0 / 65536.0;
+  double prev = 2.0;
+  for (double x = 0.0; x >= -12.0; x -= 0.125) {
+    const double v = fixed_exp_neg(Fixed::from_double(x)).to_double();
+    EXPECT_LE(v, prev + kTwoUlp) << "at x=" << x;
+    prev = v;
+  }
+}
+
+TEST(FixedMath, LogBasics) {
+  EXPECT_NEAR(fixed_log(Fixed::from_int(1)).to_double(), 0.0, 1e-3);
+  EXPECT_NEAR(fixed_log(Fixed::from_double(2.718281828)).to_double(), 1.0,
+              5e-3);
+  EXPECT_NEAR(fixed_log(Fixed::from_double(0.5)).to_double(), std::log(0.5),
+              5e-3);
+  EXPECT_LT(fixed_log(kFixedZero).raw(), 0) << "log(<=0) returns sentinel";
+}
+
+class FixedLogSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FixedLogSweep, MatchesLibm) {
+  const double x = GetParam();
+  EXPECT_NEAR(fixed_log(Fixed::from_double(x)).to_double(), std::log(x), 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FixedLogSweep,
+                         ::testing::Values(0.01, 0.1, 0.9, 1.0, 1.1, 2.0, 10.0,
+                                           100.0, 30000.0));
+
+TEST(FixedMath, ExpLogRoundTrip) {
+  for (double x : {0.2, 0.5, 0.9}) {
+    const Fixed lx = fixed_log(Fixed::from_double(x));
+    EXPECT_NEAR(fixed_exp_neg(lx).to_double(), x, 0.02) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace sb

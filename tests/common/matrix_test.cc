@@ -1,0 +1,159 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace sb {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 0) = 7;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 6.0);
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i.at(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1.0);
+}
+
+TEST(Matrix, Product) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+  EXPECT_THROW(a * Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, SumDifferenceScale) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{4, 3}, {2, 1}};
+  EXPECT_DOUBLE_EQ((a + b).at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ((a - b).at(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).at(1, 0), 6.0);
+  EXPECT_THROW(a + Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, RowAndMaxAbs) {
+  Matrix a = {{1, -9}, {3, 4}};
+  EXPECT_EQ(a.row(0), (std::vector<double>{1, -9}));
+  EXPECT_DOUBLE_EQ(a.max_abs(), 9.0);
+  EXPECT_THROW(a.row(2), std::out_of_range);
+}
+
+TEST(SolveLinear, TwoByTwo) {
+  // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+  const auto x = solve_linear({{2, 1}, {1, -1}}, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinear, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear({{0, 1}, {1, 0}}, {3, 4});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  EXPECT_THROW(solve_linear({{1, 1}, {2, 2}}, {1, 2}), std::runtime_error);
+}
+
+TEST(SolveLinear, ShapeChecked) {
+  EXPECT_THROW(solve_linear(Matrix(2, 3), {1, 2}), std::invalid_argument);
+  EXPECT_THROW(solve_linear(Matrix(2, 2), {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(LeastSquares, RecoversExactCoefficients) {
+  // y = 3 x1 - 2 x2 + 0.5, noiseless overdetermined system.
+  Rng rng(5);
+  const std::size_t n = 40;
+  Matrix a(n, 3);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x1 = rng.uniform(-2, 2), x2 = rng.uniform(-2, 2);
+    a.at(i, 0) = x1;
+    a.at(i, 1) = x2;
+    a.at(i, 2) = 1.0;
+    b[i] = 3 * x1 - 2 * x2 + 0.5;
+  }
+  const auto c = least_squares(a, b);
+  EXPECT_NEAR(c[0], 3.0, 1e-6);
+  EXPECT_NEAR(c[1], -2.0, 1e-6);
+  EXPECT_NEAR(c[2], 0.5, 1e-6);
+}
+
+TEST(LeastSquares, RidgeHandlesDegenerateColumn) {
+  // Second column identically zero: plain normal equations are singular;
+  // ridge regularization must still produce a finite solution.
+  Rng rng(6);
+  const std::size_t n = 20;
+  Matrix a(n, 3);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0, 1);
+    a.at(i, 0) = x;
+    a.at(i, 1) = 0.0;
+    a.at(i, 2) = 1.0;
+    b[i] = 2 * x + 1;
+  }
+  const auto c = least_squares(a, b, 1e-6);
+  EXPECT_NEAR(c[0], 2.0, 1e-3);
+  EXPECT_NEAR(c[1], 0.0, 1e-6);
+  EXPECT_NEAR(c[2], 1.0, 1e-3);
+}
+
+TEST(LeastSquares, NoisyFitIsClose) {
+  Rng rng(7);
+  const std::size_t n = 400;
+  Matrix a(n, 2);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(-1, 1);
+    a.at(i, 0) = x;
+    a.at(i, 1) = 1.0;
+    b[i] = 5 * x - 2 + rng.gaussian(0, 0.05);
+  }
+  const auto c = least_squares(a, b);
+  EXPECT_NEAR(c[0], 5.0, 0.05);
+  EXPECT_NEAR(c[1], -2.0, 0.05);
+}
+
+TEST(Dot, BasicsAndErrors) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_THROW(dot({1}, {1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sb

@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sb {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::uint64_t x = 0;
+  for (int i = 0; i < 10; ++i) x |= r.next_u64();
+  EXPECT_NE(x, 0u);
+}
+
+TEST(Rng, RandiRangeHalfOpen) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.randi(-5, 12);
+    EXPECT_GE(v, -5);
+    EXPECT_LT(v, 12);
+  }
+}
+
+TEST(Rng, RandiCoversAllValues) {
+  Rng r(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[static_cast<std::size_t>(r.randi(0, 8))];
+  for (int c : seen) EXPECT_GT(c, 700);  // ~1000 expected each
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(23);
+  const int n = 50000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng r(29);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.split();
+  // Parent and child should not track each other.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RandiFullWordIsUniformishInHighBit) {
+  Rng r(37);
+  int high = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.randi() & 0x80000000u) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace sb

@@ -1,0 +1,107 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sb {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = 0.37 * i - 20;
+    all.add(v);
+    (i < 40 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentile, Basics) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3}, 50), 3.0);
+}
+
+TEST(GeometricMean, Basics) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  EXPECT_THROW(geometric_mean({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, Binning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1);   // underflow
+  h.add(0.0);  // bin 0
+  h.add(5.5);  // bin 5
+  h.add(9.99); // bin 9
+  h.add(10.0); // overflow (half-open)
+  h.add(42);   // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sb

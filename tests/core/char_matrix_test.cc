@@ -1,0 +1,126 @@
+#include "core/char_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platform.h"
+#include "core/trainer.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+
+namespace sb::core {
+namespace {
+
+class CharMatrixTest : public ::testing::Test {
+ protected:
+  CharMatrixTest()
+      : platform_(arch::Platform::quad_heterogeneous()),
+        perf_(platform_),
+        power_(platform_, perf_),
+        trainer_(perf_, power_),
+        model_(trainer_.train(PredictorTrainer::default_training_profiles())) {}
+
+  ThreadObservation observation_on(CoreId core, std::uint64_t seed = 3) {
+    Rng rng(seed);
+    auto o = trainer_.synthesize_observation(
+        PredictorTrainer::default_training_profiles()[5],
+        platform_.type_of(core), rng);
+    o.tid = 1;
+    o.core = core;
+    return o;
+  }
+
+  arch::Platform platform_;
+  perf::PerfModel perf_;
+  power::PowerModel power_;
+  PredictorTrainer trainer_;
+  PredictorModel model_;
+};
+
+TEST_F(CharMatrixTest, ShapeAndBookkeeping) {
+  const auto mx = build_characterization(
+      {observation_on(1), observation_on(2)}, model_, platform_);
+  EXPECT_EQ(mx.num_threads(), 2u);
+  EXPECT_EQ(mx.num_cores(), 4u);
+  EXPECT_EQ(mx.tids.size(), 2u);
+  EXPECT_EQ(mx.current[0], 1);
+  EXPECT_EQ(mx.current[1], 2);
+}
+
+TEST_F(CharMatrixTest, MeasuredColumnPassesThrough) {
+  const auto o = observation_on(1);
+  const auto mx = build_characterization({o}, model_, platform_);
+  // Column 1 (the core it ran on): measured IPC × nominal GHz.
+  const double expect_gips = o.ipc * platform_.params_of(1).freq_ghz();
+  EXPECT_NEAR(mx.s.at(0, 1), expect_gips, 1e-9);
+  EXPECT_NEAR(mx.p.at(0, 1), o.power_w, 1e-9);
+}
+
+TEST_F(CharMatrixTest, OtherColumnsArePredictedAndPositive) {
+  const auto mx = build_characterization({observation_on(0)}, model_,
+                                         platform_);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_GT(mx.s.at(0, j), 0.0) << j;
+    EXPECT_GT(mx.p.at(0, j), 0.0) << j;
+  }
+  // Strong cores should be predicted faster in absolute GIPS.
+  EXPECT_GT(mx.s.at(0, 0), mx.s.at(0, 3));
+  // And the Huge core costs far more watts than the Small core.
+  EXPECT_GT(mx.p.at(0, 0), 5 * mx.p.at(0, 3));
+}
+
+TEST_F(CharMatrixTest, UnmeasuredThreadGetsNeutralPrior) {
+  ThreadObservation o;
+  o.tid = 9;
+  o.core = 2;
+  o.core_type = 2;
+  o.measured = false;
+  o.instructions = 0;
+  const auto mx = build_characterization({o}, model_, platform_);
+  for (std::size_t j = 0; j < 4; ++j) {
+    // Prior: IPC 0.5 everywhere → GIPS = 0.5 × freq.
+    EXPECT_NEAR(mx.s.at(0, j),
+                0.5 * platform_.params_of(static_cast<CoreId>(j)).freq_ghz(),
+                1e-9);
+    EXPECT_GT(mx.p.at(0, j), 0.0);
+  }
+}
+
+TEST_F(CharMatrixTest, DvfsOppsScaleThroughputAndPower) {
+  std::vector<arch::OperatingPoint> opps;
+  for (CoreId c = 0; c < 4; ++c) {
+    const auto& p = platform_.params_of(c);
+    opps.push_back({p.freq_mhz, p.vdd});
+  }
+  // Down-clock the Big core (id 1) to 40% frequency at reduced voltage.
+  opps[1] = {platform_.params_of(1).freq_mhz * 0.4,
+             platform_.params_of(1).vdd * 0.7};
+
+  const auto o = observation_on(0);
+  const auto nominal = build_characterization({o}, model_, platform_);
+  const auto scaled = build_characterization({o}, model_, platform_, &opps);
+
+  // Unchanged cores keep their values.
+  EXPECT_NEAR(scaled.s.at(0, 0), nominal.s.at(0, 0), 1e-9);
+  EXPECT_NEAR(scaled.s.at(0, 3), nominal.s.at(0, 3), 1e-9);
+  // The down-clocked core serves fewer GIPS — though more than the raw 0.4
+  // frequency ratio for this memory-leaning profile (memory latency in
+  // cycles shrinks with the clock) — and burns far less power (V²f).
+  EXPECT_LT(scaled.s.at(0, 1), 0.85 * nominal.s.at(0, 1));
+  EXPECT_GT(scaled.s.at(0, 1), 0.35 * nominal.s.at(0, 1));
+  EXPECT_LT(scaled.p.at(0, 1), 0.4 * nominal.p.at(0, 1));
+}
+
+TEST_F(CharMatrixTest, OppVectorSizeValidated) {
+  std::vector<arch::OperatingPoint> wrong(2, {1000, 0.8});
+  EXPECT_THROW(build_characterization({observation_on(0)}, model_, platform_,
+                                      &wrong),
+               std::invalid_argument);
+}
+
+TEST_F(CharMatrixTest, EmptyObservationsGiveEmptyMatrices) {
+  const auto mx = build_characterization({}, model_, platform_);
+  EXPECT_EQ(mx.num_threads(), 0u);
+}
+
+}  // namespace
+}  // namespace sb::core

@@ -1,0 +1,56 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+namespace sb::core {
+namespace {
+
+TEST(Features, NamesMatchTable4Columns) {
+  const auto& names = feature_names();
+  ASSERT_EQ(names.size(), kNumFeatures);
+  EXPECT_EQ(names[0], "FR");
+  EXPECT_EQ(names[1], "mr_$i");
+  EXPECT_EQ(names[2], "mr_$d");
+  EXPECT_EQ(names[3], "I_msh");
+  EXPECT_EQ(names[4], "I_bsh");
+  EXPECT_EQ(names[5], "mr_b");
+  EXPECT_EQ(names[6], "mr_itlb");
+  EXPECT_EQ(names[7], "mr_dtlb");
+  EXPECT_EQ(names[8], "ipc_src");
+  EXPECT_EQ(names[9], "const");
+}
+
+TEST(Features, VectorLayout) {
+  ThreadObservation o;
+  o.mr_l1i = 0.01;
+  o.mr_l1d = 0.05;
+  o.imsh = 0.3;
+  o.ibsh = 0.12;
+  o.mr_branch = 0.04;
+  o.mr_itlb = 0.001;
+  o.mr_dtlb = 0.002;
+  o.ipc = 1.7;
+  const auto x = make_features(o, 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);    // FR
+  EXPECT_DOUBLE_EQ(x[1], 0.01);   // mr_$i
+  EXPECT_DOUBLE_EQ(x[2], 0.05);   // mr_$d
+  EXPECT_DOUBLE_EQ(x[3], 0.3);    // I_msh
+  EXPECT_DOUBLE_EQ(x[4], 0.12);   // I_bsh
+  EXPECT_DOUBLE_EQ(x[5], 0.04);   // mr_b
+  EXPECT_DOUBLE_EQ(x[6], 0.001);  // mr_itlb
+  EXPECT_DOUBLE_EQ(x[7], 0.002);  // mr_dtlb
+  EXPECT_DOUBLE_EQ(x[8], 1.7);    // ipc_src
+  EXPECT_DOUBLE_EQ(x[9], 1.0);    // const
+}
+
+TEST(Features, DefaultObservationIsZeroedButConstIsOne) {
+  const ThreadObservation o;
+  const auto x = make_features(o, 1.0);
+  for (std::size_t i = 1; i < kNumFeatures - 1; ++i) {
+    EXPECT_DOUBLE_EQ(x[i], 0.0) << "feature " << i;
+  }
+  EXPECT_DOUBLE_EQ(x[kNumFeatures - 1], 1.0);
+}
+
+}  // namespace
+}  // namespace sb::core

@@ -1,0 +1,101 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "arch/platform.h"
+
+namespace sb::core {
+namespace {
+
+ThreadObservation obs_with_ipc(double ipc, CoreTypeId type) {
+  ThreadObservation o;
+  o.ipc = ipc;
+  o.core_type = type;
+  o.measured = true;
+  return o;
+}
+
+TEST(PredictorModel, ThetaStorageRoundTrip) {
+  PredictorModel m(3);
+  std::array<double, kNumFeatures> th{};
+  th[8] = 0.5;
+  th[9] = 0.25;
+  m.set_theta(0, 1, th);
+  EXPECT_DOUBLE_EQ(m.theta(0, 1)[8], 0.5);
+  EXPECT_DOUBLE_EQ(m.theta(1, 0)[8], 0.0);  // untouched pair
+  EXPECT_THROW(m.theta(3, 0), std::out_of_range);
+  EXPECT_THROW(m.set_theta(0, -1, th), std::out_of_range);
+}
+
+TEST(PredictorModel, PredictUsesLinearForm) {
+  PredictorModel m(2);
+  std::array<double, kNumFeatures> th{};
+  th[8] = 0.5;   // ipc_src coefficient
+  th[9] = 0.2;   // const
+  m.set_theta(0, 1, th);
+  const auto o = obs_with_ipc(2.0, 0);
+  // 0.5 * 2.0 + 0.2 = 1.2
+  EXPECT_NEAR(m.predict_ipc(o, 1, 1000, 500), 1.2, 1e-12);
+}
+
+TEST(PredictorModel, SameTypePassthroughMeasurement) {
+  PredictorModel m(2);
+  const auto o = obs_with_ipc(1.37, 1);
+  EXPECT_DOUBLE_EQ(m.predict_ipc(o, 1, 1000, 1000), 1.37);
+}
+
+TEST(PredictorModel, ClampsToBounds) {
+  PredictorModel m(2);
+  m.set_ipc_bounds(0.1, 4.0);
+  std::array<double, kNumFeatures> th{};
+  th[9] = 100.0;  // absurd constant
+  m.set_theta(0, 1, th);
+  EXPECT_DOUBLE_EQ(m.predict_ipc(obs_with_ipc(1, 0), 1, 1000, 1000), 4.0);
+  th[9] = -100.0;
+  m.set_theta(0, 1, th);
+  EXPECT_DOUBLE_EQ(m.predict_ipc(obs_with_ipc(1, 0), 1, 1000, 1000), 0.1);
+  EXPECT_THROW(m.set_ipc_bounds(0, 1), std::invalid_argument);
+  EXPECT_THROW(m.set_ipc_bounds(2, 1), std::invalid_argument);
+}
+
+TEST(PredictorModel, PowerInterpolationEq9) {
+  PredictorModel m(2);
+  m.set_power_coeffs(1, 0.8, 0.1);
+  EXPECT_NEAR(m.predict_power(1, 2.0), 1.7, 1e-12);
+  // Floor keeps power physically positive.
+  m.set_power_coeffs(1, -5.0, 0.0);
+  EXPECT_GT(m.predict_power(1, 2.0), 0.0);
+  EXPECT_THROW(m.power_coeffs(5), std::out_of_range);
+}
+
+TEST(PredictorModel, FrequencyValidation) {
+  PredictorModel m(2);
+  EXPECT_THROW(m.predict_ipc(obs_with_ipc(1, 0), 1, 0, 1000),
+               std::invalid_argument);
+  EXPECT_THROW(m.predict_ipc(obs_with_ipc(1, 0), 1, 1000, -1),
+               std::invalid_argument);
+}
+
+TEST(PredictorModel, ConstructorValidation) {
+  EXPECT_THROW(PredictorModel(0), std::invalid_argument);
+  EXPECT_THROW(PredictorModel(-2), std::invalid_argument);
+}
+
+TEST(PredictorModel, PrintsTable4Layout) {
+  const auto platform = arch::Platform::quad_heterogeneous();
+  PredictorModel m(platform.num_types());
+  std::ostringstream os;
+  m.print(os, platform);
+  const std::string s = os.str();
+  // 4 types -> 12 ordered pairs, each a row.
+  EXPECT_NE(s.find("Huge->Big"), std::string::npos);
+  EXPECT_NE(s.find("Small->Medium"), std::string::npos);
+  EXPECT_EQ(s.find("Huge->Huge"), std::string::npos);
+  EXPECT_NE(s.find("ipc_src"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sb::core

@@ -1,0 +1,161 @@
+#include "core/sensing.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platform.h"
+#include "common/stats.h"
+#include "perf/perf_model.h"
+
+namespace sb::core {
+namespace {
+
+os::EpochSample make_sample(ThreadId tid, CoreId core, double ipc,
+                            TimeNs runtime = milliseconds(50)) {
+  os::EpochSample s;
+  s.tid = tid;
+  s.core = core;
+  s.runtime = runtime;
+  s.util = 0.8;
+  s.warm = true;
+  auto& c = s.counters;
+  c.inst_total = 10'000'000;
+  c.cy_busy = static_cast<std::uint64_t>(5e6 / ipc);
+  c.cy_idle = static_cast<std::uint64_t>(1e7 / ipc) - c.cy_busy;
+  c.inst_mem = 2'500'000;
+  c.inst_branch = 1'500'000;
+  c.branch_mispred = 45'000;
+  c.l1i_access = 10'000'000;
+  c.l1i_miss = 50'000;
+  c.l1d_access = 2'500'000;
+  c.l1d_miss = 100'000;
+  c.itlb_access = 10'000'000;
+  c.itlb_miss = 1'000;
+  c.dtlb_access = 2'500'000;
+  c.dtlb_miss = 5'000;
+  s.energy_j = 0.02;
+  return s;
+}
+
+class SensingTest : public ::testing::Test {
+ protected:
+  SensingTest() : platform_(arch::Platform::quad_heterogeneous()) {}
+  arch::Platform platform_;
+};
+
+TEST_F(SensingTest, NoiselessReductionMatchesCounters) {
+  SensingSubsystem::Config cfg;
+  cfg.counter_noise_sigma = 0;
+  cfg.energy_noise_sigma = 0;
+  cfg.smoothing = 0;
+  SensingSubsystem sensing(platform_, cfg, Rng(1));
+  const auto obs = sensing.observe({make_sample(0, 1, 2.0)});
+  ASSERT_EQ(obs.size(), 1u);
+  const auto& o = obs[0];
+  EXPECT_TRUE(o.measured);
+  EXPECT_EQ(o.core, 1);
+  EXPECT_EQ(o.core_type, platform_.type_of(1));
+  EXPECT_NEAR(o.ipc, 2.0, 0.01);
+  EXPECT_NEAR(o.imsh, 0.25, 1e-9);
+  EXPECT_NEAR(o.ibsh, 0.15, 1e-9);
+  EXPECT_NEAR(o.mr_branch, 0.03, 1e-9);
+  EXPECT_NEAR(o.mr_l1d, 0.04, 1e-9);
+  // IPS = IPC × F(Big=1.5 GHz)
+  EXPECT_NEAR(o.ips, 2.0 * 1.5e9, 2e7);
+  // Power = energy / runtime = 0.02 J / 50 ms = 0.4 W
+  EXPECT_NEAR(o.power_w, 0.4, 1e-6);
+}
+
+TEST_F(SensingTest, NoiseIsBoundedAndUnbiased) {
+  SensingSubsystem::Config cfg;
+  cfg.counter_noise_sigma = 0.01;
+  cfg.smoothing = 0;
+  SensingSubsystem sensing(platform_, cfg, Rng(7));
+  RunningStats ipc;
+  for (int i = 0; i < 500; ++i) {
+    // Distinct tid each time to avoid smoothing/caching interference.
+    const auto obs = sensing.observe({make_sample(i, 1, 2.0)});
+    ipc.add(obs[0].ipc);
+  }
+  EXPECT_NEAR(ipc.mean(), 2.0, 0.01);
+  EXPECT_GT(ipc.stddev(), 0.005);
+  EXPECT_LT(ipc.stddev(), 0.1);
+}
+
+TEST_F(SensingTest, ShortRunIsNotMeasuredButCachedValueServes) {
+  SensingSubsystem::Config cfg;
+  cfg.counter_noise_sigma = 0;
+  cfg.energy_noise_sigma = 0;
+  cfg.smoothing = 0;
+  SensingSubsystem sensing(platform_, cfg, Rng(1));
+  // Epoch 1: good measurement.
+  auto obs = sensing.observe({make_sample(3, 2, 1.5)});
+  EXPECT_TRUE(obs[0].measured);
+  // Epoch 2: thread slept the whole epoch (tiny runtime) — reuse cache.
+  auto stale = make_sample(3, 2, 1.5, microseconds(10));
+  stale.counters = perf::HpcCounters{};
+  stale.util = 0.05;
+  obs = sensing.observe({stale});
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_NEAR(obs[0].ipc, 1.5, 0.01) << "cached characterization reused";
+  EXPECT_NEAR(obs[0].util, 0.05, 1e-9) << "utilization refreshed";
+}
+
+TEST_F(SensingTest, NeverSeenThreadYieldsUnmeasuredObservation) {
+  SensingSubsystem sensing(platform_, Rng(1));
+  auto s = make_sample(9, 0, 1.0, 0);
+  s.counters = perf::HpcCounters{};
+  const auto obs = sensing.observe({s});
+  EXPECT_FALSE(obs[0].measured);
+  EXPECT_EQ(obs[0].instructions, 0u);
+}
+
+TEST_F(SensingTest, ColdSampleAfterMigrationUsesCache) {
+  SensingSubsystem::Config cfg;
+  cfg.counter_noise_sigma = 0;
+  cfg.energy_noise_sigma = 0;
+  cfg.smoothing = 0;
+  SensingSubsystem sensing(platform_, cfg, Rng(1));
+  sensing.observe({make_sample(1, 1, 2.0)});
+  // Thread migrated to core 3 and is still cold: counters say IPC 0.3.
+  auto cold = make_sample(1, 3, 0.3);
+  cold.warm = false;
+  const auto obs = sensing.observe({cold});
+  EXPECT_NEAR(obs[0].ipc, 2.0, 0.01)
+      << "warmup-contaminated sample must not replace the characterization";
+  EXPECT_EQ(obs[0].core, 1) << "characterization still refers to the old core";
+}
+
+TEST_F(SensingTest, SmoothingBlendsSameTypeMeasurements) {
+  SensingSubsystem::Config cfg;
+  cfg.counter_noise_sigma = 0;
+  cfg.energy_noise_sigma = 0;
+  cfg.smoothing = 0.5;
+  SensingSubsystem sensing(platform_, cfg, Rng(1));
+  sensing.observe({make_sample(1, 1, 2.0)});
+  const auto obs = sensing.observe({make_sample(1, 1, 1.0)});
+  EXPECT_NEAR(obs[0].ipc, 1.5, 0.02) << "0.5·prev + 0.5·fresh";
+}
+
+TEST_F(SensingTest, SmoothingResetsOnCoreTypeChange) {
+  SensingSubsystem::Config cfg;
+  cfg.counter_noise_sigma = 0;
+  cfg.energy_noise_sigma = 0;
+  cfg.smoothing = 0.9;
+  SensingSubsystem sensing(platform_, cfg, Rng(1));
+  sensing.observe({make_sample(1, 0, 4.0)});  // on Huge
+  const auto obs = sensing.observe({make_sample(1, 3, 0.8)});  // now on Small
+  EXPECT_NEAR(obs[0].ipc, 0.8, 0.02)
+      << "IPC on a different core type must not be blended";
+}
+
+TEST_F(SensingTest, EveryThreadYieldsExactlyOneObservation) {
+  SensingSubsystem sensing(platform_, Rng(1));
+  const auto obs = sensing.observe(
+      {make_sample(0, 0, 1.0), make_sample(1, 1, 2.0), make_sample(2, 2, 0.5)});
+  EXPECT_EQ(obs.size(), 3u);
+  EXPECT_EQ(obs[0].tid, 0);
+  EXPECT_EQ(obs[2].tid, 2);
+}
+
+}  // namespace
+}  // namespace sb::core

@@ -1,0 +1,157 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platform.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+
+namespace sb::core {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  TrainerTest()
+      : platform_(arch::Platform::quad_heterogeneous()),
+        perf_(platform_),
+        power_(platform_, perf_) {}
+
+  arch::Platform platform_;
+  perf::PerfModel perf_;
+  power::PowerModel power_;
+};
+
+TEST_F(TrainerTest, DefaultTrainingSetCoversWholeLibrary) {
+  const auto profiles = PredictorTrainer::default_training_profiles();
+  // 10 PARSEC + 4 x264 + 9 IMB benchmarks, 2 phases each.
+  EXPECT_EQ(profiles.size(), 2u * 23u);
+  const auto grouped = PredictorTrainer::profiles_by_benchmark();
+  EXPECT_EQ(grouped.size(), 23u);
+}
+
+TEST_F(TrainerTest, TrainingErrorIsFewPercent) {
+  // The Fig. 6 claim: ~4.2% perf / ~5% power average error. On the
+  // training set itself the regression should land in single digits.
+  PredictorTrainer trainer(perf_, power_);
+  const auto profiles = PredictorTrainer::default_training_profiles();
+  const auto model = trainer.train(profiles);
+  const auto report = trainer.evaluate(model, profiles);
+  EXPECT_LT(report.avg_perf_err_pct, 10.0);
+  EXPECT_LT(report.avg_power_err_pct, 10.0);
+  EXPECT_GT(report.avg_perf_err_pct, 0.0);
+  EXPECT_EQ(report.per_profile.size(), profiles.size());
+}
+
+TEST_F(TrainerTest, PowerCoefficientsHavePositiveSlope) {
+  // Eq. 9's premise: power is (increasing) linear in IPC.
+  PredictorTrainer trainer(perf_, power_);
+  const auto model =
+      trainer.train(PredictorTrainer::default_training_profiles());
+  for (CoreTypeId t = 0; t < platform_.num_types(); ++t) {
+    const auto [a1, a0] = model.power_coeffs(t);
+    EXPECT_GT(a1, 0.0) << "type " << t;
+    EXPECT_GT(a0, 0.0) << "leakage+base floor, type " << t;
+  }
+}
+
+TEST_F(TrainerTest, PredictsBetterThanNaiveIpcCopy) {
+  PredictorTrainer trainer(perf_, power_);
+  const auto profiles = PredictorTrainer::default_training_profiles();
+  const auto model = trainer.train(profiles);
+  Rng rng(77);
+  double model_err = 0, naive_err = 0;
+  int n = 0;
+  for (const auto& p : profiles) {
+    for (CoreTypeId s = 0; s < platform_.num_types(); ++s) {
+      const auto o = trainer.synthesize_observation(p, s, rng);
+      for (CoreTypeId d = 0; d < platform_.num_types(); ++d) {
+        if (s == d) continue;
+        const double truth = perf_.evaluate_on_type(p, d).ipc;
+        const double pred = model.predict_ipc(
+            o, d, platform_.params_of_type(s).freq_mhz,
+            platform_.params_of_type(d).freq_mhz);
+        model_err += std::abs(pred - truth) / truth;
+        naive_err += std::abs(o.ipc - truth) / truth;  // "same IPC" baseline
+        ++n;
+      }
+    }
+  }
+  EXPECT_LT(model_err / n, 0.5 * naive_err / n)
+      << "regression must beat assuming IPC carries over unchanged";
+}
+
+TEST_F(TrainerTest, LeaveOneOutErrorModest) {
+  // Restrict to a subset to keep the test fast; LOO error should stay in
+  // the same ballpark as Fig. 6 (single-digit percent, allow up to 15%).
+  PredictorTrainer::Config cfg;
+  cfg.replicas = 4;
+  PredictorTrainer trainer(perf_, power_, cfg);
+  const auto grouped = PredictorTrainer::profiles_by_benchmark();
+  const auto report = trainer.leave_one_out(grouped);
+  EXPECT_EQ(report.per_profile.size(), grouped.size());
+  EXPECT_LT(report.avg_perf_err_pct, 15.0);
+  EXPECT_LT(report.avg_power_err_pct, 15.0);
+}
+
+TEST_F(TrainerTest, SynthesizedObservationMatchesGroundTruthRates) {
+  PredictorTrainer::Config cfg;
+  cfg.counter_noise = 0.0;
+  PredictorTrainer trainer(perf_, power_, cfg);
+  Rng rng(5);
+  const auto p = PredictorTrainer::default_training_profiles()[0];
+  const auto o = trainer.synthesize_observation(p, 1, rng);
+  const auto bd = perf_.evaluate_on_type(p, 1);
+  EXPECT_NEAR(o.ipc, bd.ipc, 0.01);
+  EXPECT_NEAR(o.mr_l1d, bd.mr_l1d, 1e-3);
+  EXPECT_NEAR(o.imsh, p.mem_share, 1e-3);
+  EXPECT_TRUE(o.measured);
+  EXPECT_EQ(o.core_type, 1);
+}
+
+TEST_F(TrainerTest, DeterministicForSameSeed) {
+  PredictorTrainer trainer(perf_, power_);
+  const auto profiles = PredictorTrainer::default_training_profiles();
+  const auto m1 = trainer.train(profiles);
+  const auto m2 = trainer.train(profiles);
+  EXPECT_EQ(m1.theta(0, 1), m2.theta(0, 1));
+  EXPECT_EQ(m1.power_coeffs(2), m2.power_coeffs(2));
+}
+
+TEST_F(TrainerTest, FrequencyGridTrainingKeepsCrossOppErrorBounded) {
+  // Train with the DVFS grid, then predict from a down-clocked source to a
+  // down-clocked destination and compare against the model's truth at that
+  // operating point. Without FR variation in training this error explodes.
+  PredictorTrainer::Config cfg;
+  cfg.replicas = 4;
+  cfg.training_freq_ratios = {0.4, 0.7, 1.0};
+  PredictorTrainer trainer(perf_, power_, cfg);
+  const auto model =
+      trainer.train(PredictorTrainer::default_training_profiles());
+
+  Rng rng(31);
+  double err = 0;
+  int n = 0;
+  for (const auto& p : PredictorTrainer::default_training_profiles()) {
+    const double fs = platform_.params_of_type(0).freq_mhz * 0.7;
+    const auto o = trainer.synthesize_observation(p, 0, rng, 80.0, fs);
+    for (CoreTypeId d = 1; d < platform_.num_types(); ++d) {
+      const double fd = platform_.params_of_type(d).freq_mhz * 0.4;
+      const double truth = perf_.evaluate_on_type(p, d, 80.0, 1.0, fd).ipc;
+      const double pred = model.predict_ipc(o, d, fs, fd);
+      err += std::abs(pred - truth) / truth;
+      ++n;
+    }
+  }
+  EXPECT_LT(100.0 * err / n, 20.0) << "cross-OPP prediction error %";
+}
+
+TEST_F(TrainerTest, RejectsEmptyInput) {
+  PredictorTrainer trainer(perf_, power_);
+  EXPECT_THROW(trainer.train({}), std::invalid_argument);
+  PredictorTrainer::Config bad;
+  bad.replicas = 0;
+  EXPECT_THROW(PredictorTrainer(perf_, power_, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sb::core

@@ -1,0 +1,100 @@
+#include "os/cfs_runqueue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sb::os {
+namespace {
+
+TEST(CfsRunqueue, EmptyBehaviour) {
+  CfsRunqueue rq;
+  EXPECT_TRUE(rq.empty());
+  EXPECT_EQ(rq.size(), 0u);
+  EXPECT_EQ(rq.pop_leftmost(), kInvalidThread);
+  EXPECT_EQ(rq.leftmost(), kInvalidThread);
+  EXPECT_THROW(rq.leftmost_vruntime(), std::logic_error);
+  EXPECT_EQ(rq.total_weight(), 0u);
+}
+
+TEST(CfsRunqueue, PopsInVruntimeOrder) {
+  CfsRunqueue rq;
+  rq.enqueue(1, 30.0, 1024);
+  rq.enqueue(2, 10.0, 1024);
+  rq.enqueue(3, 20.0, 1024);
+  EXPECT_EQ(rq.pop_leftmost(), 2);
+  EXPECT_EQ(rq.pop_leftmost(), 3);
+  EXPECT_EQ(rq.pop_leftmost(), 1);
+}
+
+TEST(CfsRunqueue, TieBrokenByTid) {
+  CfsRunqueue rq;
+  rq.enqueue(7, 5.0, 1024);
+  rq.enqueue(3, 5.0, 1024);
+  EXPECT_EQ(rq.pop_leftmost(), 3);
+  EXPECT_EQ(rq.pop_leftmost(), 7);
+}
+
+TEST(CfsRunqueue, WeightsTracked) {
+  CfsRunqueue rq;
+  rq.enqueue(1, 0.0, 1024);
+  rq.enqueue(2, 1.0, 335);
+  EXPECT_EQ(rq.total_weight(), 1359u);
+  rq.pop_leftmost();
+  EXPECT_EQ(rq.total_weight(), 335u);
+  rq.remove(2, 1.0);
+  EXPECT_EQ(rq.total_weight(), 0u);
+}
+
+TEST(CfsRunqueue, RemoveSpecific) {
+  CfsRunqueue rq;
+  rq.enqueue(1, 5.0, 1024);
+  rq.enqueue(2, 6.0, 1024);
+  EXPECT_TRUE(rq.remove(1, 5.0));
+  EXPECT_FALSE(rq.remove(1, 5.0));          // already gone
+  EXPECT_FALSE(rq.remove(2, 999.0));        // wrong key
+  EXPECT_EQ(rq.size(), 1u);
+}
+
+TEST(CfsRunqueue, DuplicateEnqueueThrows) {
+  CfsRunqueue rq;
+  rq.enqueue(1, 5.0, 1024);
+  EXPECT_THROW(rq.enqueue(1, 5.0, 1024), std::logic_error);
+}
+
+TEST(CfsRunqueue, MinVruntimeMonotone) {
+  CfsRunqueue rq;
+  rq.enqueue(1, 10.0, 1024);
+  rq.pop_leftmost();
+  EXPECT_DOUBLE_EQ(rq.min_vruntime(), 10.0);
+  rq.enqueue(2, 5.0, 1024);  // earlier arrival cannot lower the floor
+  rq.pop_leftmost();
+  EXPECT_DOUBLE_EQ(rq.min_vruntime(), 10.0);
+  rq.enqueue(3, 50.0, 1024);
+  rq.pop_leftmost();
+  EXPECT_DOUBLE_EQ(rq.min_vruntime(), 50.0);
+}
+
+TEST(CfsRunqueue, QueuedSnapshotOrdered) {
+  CfsRunqueue rq;
+  rq.enqueue(4, 3.0, 1024);
+  rq.enqueue(9, 1.0, 1024);
+  EXPECT_EQ(rq.queued(), (std::vector<ThreadId>{9, 4}));
+}
+
+TEST(CfsRunqueue, ManyEntriesStressOrdering) {
+  CfsRunqueue rq;
+  for (int i = 0; i < 500; ++i) {
+    rq.enqueue(i, static_cast<double>((i * 7919) % 1000), 1024);
+  }
+  double prev = -1;
+  while (!rq.empty()) {
+    const double v = rq.leftmost_vruntime();
+    EXPECT_GE(v, prev);
+    prev = v;
+    rq.pop_leftmost();
+  }
+}
+
+}  // namespace
+}  // namespace sb::os

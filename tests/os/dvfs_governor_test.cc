@@ -1,0 +1,165 @@
+#include "os/dvfs_governor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/platform.h"
+#include "os/kernel.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+
+namespace sb::os {
+namespace {
+
+workload::ThreadBehavior cpu_bound(const std::string& name) {
+  workload::ThreadBehavior tb;
+  tb.name = name;
+  workload::WorkloadProfile p;
+  tb.phases.push_back({p, 50'000'000});
+  return tb;
+}
+
+workload::ThreadBehavior sleepy(const std::string& name) {
+  auto tb = cpu_bound(name);
+  tb.burst_instructions = 300'000;
+  tb.sleep_mean_ns = milliseconds(10);
+  return tb;
+}
+
+class DvfsTest : public ::testing::Test {
+ protected:
+  DvfsTest()
+      : platform_(arch::Platform::homogeneous(arch::big_core(), 2)),
+        perf_(platform_),
+        power_(platform_, perf_) {}
+
+  Kernel make_kernel(bool dvfs = true) {
+    KernelConfig cfg;
+    cfg.enable_dvfs = dvfs;
+    return Kernel(platform_, perf_, power_, cfg);
+  }
+
+  arch::Platform platform_;
+  perf::PerfModel perf_;
+  power::PowerModel power_;
+};
+
+TEST_F(DvfsTest, BootsAtNominalPoint) {
+  Kernel k = make_kernel();
+  EXPECT_EQ(k.core_opp_index(0), k.opp_table(0).size() - 1);
+  EXPECT_DOUBLE_EQ(k.core_opp(0).freq_mhz, 1500);
+}
+
+TEST_F(DvfsTest, DisabledKernelHasSinglePointTable) {
+  Kernel k = make_kernel(false);
+  EXPECT_EQ(k.opp_table(0).size(), 1u);
+  EXPECT_THROW(k.set_governor(std::make_unique<OndemandGovernor>()),
+               std::logic_error);
+}
+
+TEST_F(DvfsTest, LowerFrequencyRetiresFewerInstructions) {
+  Kernel fast = make_kernel();
+  Kernel slow = make_kernel();
+  fast.fork_on(cpu_bound("a"), 0);
+  slow.fork_on(cpu_bound("a"), 0);
+  slow.set_core_opp(0, 0);  // 600 MHz vs 1500 MHz
+  fast.run_for(milliseconds(100));
+  slow.run_for(milliseconds(100));
+  const double ratio = static_cast<double>(slow.total_instructions()) /
+                       static_cast<double>(fast.total_instructions());
+  // IPC rises slightly at low clock (fewer memory cycles), so the ratio is
+  // a bit above the raw 0.4 frequency ratio.
+  EXPECT_GT(ratio, 0.38);
+  EXPECT_LT(ratio, 0.65);
+}
+
+TEST_F(DvfsTest, LowerPointBurnsLessEnergyPerSecond) {
+  Kernel fast = make_kernel();
+  Kernel slow = make_kernel();
+  fast.fork_on(cpu_bound("a"), 0);
+  slow.fork_on(cpu_bound("a"), 0);
+  slow.set_core_opp(0, 0);
+  fast.run_for(milliseconds(100));
+  slow.run_for(milliseconds(100));
+  EXPECT_LT(slow.energy().total_joules(0), 0.5 * fast.energy().total_joules(0));
+}
+
+TEST_F(DvfsTest, SetOppValidation) {
+  Kernel k = make_kernel();
+  EXPECT_THROW(k.set_core_opp(0, 99), std::out_of_range);
+  const auto before = k.dvfs_transitions();
+  k.set_core_opp(0, k.core_opp_index(0));  // same point: no transition
+  EXPECT_EQ(k.dvfs_transitions(), before);
+  k.set_core_opp(0, 0);
+  EXPECT_EQ(k.dvfs_transitions(), before + 1);
+}
+
+TEST_F(DvfsTest, MidRunTransitionKeepsAccountingExact) {
+  Kernel k = make_kernel();
+  k.fork_on(cpu_bound("a"), 0);
+  k.run_for(milliseconds(50));
+  k.set_core_opp(0, 1);
+  k.run_for(milliseconds(50));
+  // Time is still fully accounted on both cores.
+  for (CoreId c = 0; c < k.num_cores(); ++c) {
+    EXPECT_EQ(k.energy().busy_time(c) + k.energy().idle_time(c) +
+                  k.energy().sleep_time(c),
+              milliseconds(100));
+  }
+}
+
+TEST_F(DvfsTest, OndemandRaisesUnderLoadAndLowersWhenIdle) {
+  Kernel k = make_kernel();
+  auto gov = std::make_unique<OndemandGovernor>();
+  auto* gp = gov.get();
+  k.set_governor(std::move(gov));
+  // Start both cores at the lowest point; core 0 gets a CPU hog, core 1 a
+  // mostly-sleeping thread.
+  k.set_core_opp(0, 0);
+  k.set_core_opp(1, 0);
+  k.fork_on(cpu_bound("hog"), 0);
+  k.fork_on(sleepy("nap"), 1);
+  k.run_for(milliseconds(400));
+  EXPECT_EQ(k.core_opp_index(0), k.opp_table(0).size() - 1)
+      << "saturated core must boost to max";
+  EXPECT_EQ(k.core_opp_index(1), 0u) << "idle core must settle at min";
+  EXPECT_GT(gp->transitions(), 0u);
+}
+
+TEST_F(DvfsTest, PerformanceAndPowersaveGovernors) {
+  Kernel k = make_kernel();
+  k.set_governor(std::make_unique<PowersaveGovernor>());
+  k.fork_on(cpu_bound("a"), 0);
+  k.run_for(milliseconds(200));
+  EXPECT_EQ(k.core_opp_index(0), 0u);
+
+  Kernel k2 = make_kernel();
+  k2.set_core_opp(0, 0);
+  k2.set_governor(std::make_unique<PerformanceGovernor>());
+  k2.fork_on(cpu_bound("a"), 0);
+  k2.run_for(milliseconds(200));
+  EXPECT_EQ(k2.core_opp_index(0), k2.opp_table(0).size() - 1);
+}
+
+TEST_F(DvfsTest, OndemandImprovesEfficiencyForDutyCycledLoad) {
+  // A light duty-cycled load wastes energy at nominal V/f; ondemand should
+  // cut energy substantially at equal (sleep-bounded) work.
+  auto run = [&](bool ondemand) {
+    Kernel k = make_kernel();
+    if (ondemand) k.set_governor(std::make_unique<OndemandGovernor>());
+    k.fork_on(sleepy("nap"), 0);
+    k.run_for(milliseconds(500));
+    return std::pair(k.total_instructions(), k.energy().total_joules());
+  };
+  const auto fixed = run(false);
+  const auto scaled = run(true);
+  const double eff_fixed =
+      static_cast<double>(fixed.first) / fixed.second;
+  const double eff_scaled =
+      static_cast<double>(scaled.first) / scaled.second;
+  EXPECT_GT(eff_scaled, 1.1 * eff_fixed);
+}
+
+}  // namespace
+}  // namespace sb::os

@@ -1,0 +1,121 @@
+#include "os/gts_balancer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/platform.h"
+#include "os/kernel.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+
+namespace sb::os {
+namespace {
+
+workload::ThreadBehavior cpu_bound(const std::string& name) {
+  workload::ThreadBehavior tb;
+  tb.name = name;
+  workload::WorkloadProfile p;
+  tb.phases.push_back({p, 50'000'000});
+  return tb;
+}
+
+workload::ThreadBehavior mostly_idle(const std::string& name) {
+  workload::ThreadBehavior tb = cpu_bound(name);
+  tb.burst_instructions = 200'000;
+  tb.sleep_mean_ns = milliseconds(15);
+  return tb;
+}
+
+class GtsTest : public ::testing::Test {
+ protected:
+  GtsTest()
+      : platform_(arch::Platform::octa_big_little()),
+        perf_(platform_),
+        power_(platform_, perf_) {}
+
+  bool on_big(const Kernel& k, ThreadId t) {
+    return platform_.type_of(k.task(t).cpu) == 0;  // type 0 = A15
+  }
+
+  arch::Platform platform_;
+  perf::PerfModel perf_;
+  power::PowerModel power_;
+};
+
+TEST_F(GtsTest, UpMigratesBusyThreadFromLittle) {
+  Kernel k(platform_, perf_, power_);
+  auto bal = std::make_unique<GtsBalancer>();
+  auto* p = bal.get();
+  k.set_balancer(std::move(bal));
+  const ThreadId t = k.fork_on(cpu_bound("busy"), 5);  // a LITTLE core
+  k.run_for(milliseconds(200));
+  EXPECT_TRUE(on_big(k, t));
+  EXPECT_GE(p->up_migrations(), 1u);
+}
+
+TEST_F(GtsTest, DownMigratesIdleThreadFromBig) {
+  Kernel k(platform_, perf_, power_);
+  auto bal = std::make_unique<GtsBalancer>();
+  auto* p = bal.get();
+  k.set_balancer(std::move(bal));
+  const ThreadId t = k.fork_on(mostly_idle("idle"), 0);  // a big core
+  k.run_for(milliseconds(400));
+  EXPECT_FALSE(on_big(k, t));
+  EXPECT_GE(p->down_migrations(), 1u);
+}
+
+TEST_F(GtsTest, SteadyStateNoPingPong) {
+  Kernel k(platform_, perf_, power_);
+  auto bal = std::make_unique<GtsBalancer>();
+  auto* p = bal.get();
+  k.set_balancer(std::move(bal));
+  const ThreadId busy = k.fork_on(cpu_bound("busy"), 4);
+  const ThreadId idle = k.fork_on(mostly_idle("idle"), 0);
+  k.run_for(milliseconds(300));
+  const auto migrations_early = k.total_migrations();
+  k.run_for(milliseconds(300));
+  // Hysteresis gap (0.25..0.65) means no further migration churn.
+  EXPECT_LE(k.total_migrations() - migrations_early, 2u);
+  EXPECT_TRUE(on_big(k, busy));
+  EXPECT_FALSE(on_big(k, idle));
+  EXPECT_GT(p->passes(), 40u);
+}
+
+TEST_F(GtsTest, BalancesWithinClusters) {
+  Kernel k(platform_, perf_, power_);
+  k.set_balancer(std::make_unique<GtsBalancer>());
+  // Six busy threads piled on one big core: they stay big (util high) but
+  // should spread over the 4 big cores.
+  for (int i = 0; i < 6; ++i) k.fork_on(cpu_bound("t" + std::to_string(i)), 0);
+  k.run_for(milliseconds(300));
+  int populated_big = 0;
+  for (CoreId c = 0; c < 4; ++c) {
+    if (k.core_nr_running(c) > 0) ++populated_big;
+  }
+  EXPECT_GE(populated_big, 3);
+}
+
+TEST_F(GtsTest, BinaryDecisionIgnoresEfficiency) {
+  // The structural limitation §6.1 quantifies: GTS up-migrates ANY
+  // high-utilization thread, even a memory-bound one that gains little
+  // from a big core while burning its power.
+  Kernel k(platform_, perf_, power_);
+  k.set_balancer(std::make_unique<GtsBalancer>());
+  workload::ThreadBehavior tb;
+  tb.name = "membound";
+  workload::WorkloadProfile p;
+  p.ilp = 1.1;
+  p.mem_share = 0.4;
+  p.footprint_d_kb = 8192;
+  p.mr_l1d_ref = 0.15;
+  p.l2_miss_ratio = 0.7;
+  tb.phases.push_back({p, 50'000'000});
+  const ThreadId t = k.fork_on(tb, 5);
+  k.run_for(milliseconds(300));
+  EXPECT_EQ(platform_.type_of(k.task(t).cpu), 0)
+      << "GTS hoists the CPU-hogging memory-bound thread to an A15";
+}
+
+}  // namespace
+}  // namespace sb::os

@@ -1,0 +1,161 @@
+// CPU hotplug tests: evacuation on offline, placement/wake/migration
+// refusal, balancer awareness, and accounting integrity across transitions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/platform.h"
+#include "os/kernel.h"
+#include "os/vanilla_balancer.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+#include "sim/experiment.h"
+#include "sim/simulation.h"
+
+namespace sb::os {
+namespace {
+
+workload::ThreadBehavior cpu_bound(const std::string& name) {
+  workload::ThreadBehavior tb;
+  tb.name = name;
+  workload::WorkloadProfile p;
+  tb.phases.push_back({p, 50'000'000});
+  return tb;
+}
+
+workload::ThreadBehavior sleepy(const std::string& name) {
+  auto tb = cpu_bound(name);
+  tb.burst_instructions = 500'000;
+  tb.sleep_mean_ns = milliseconds(8);
+  return tb;
+}
+
+class HotplugTest : public ::testing::Test {
+ protected:
+  HotplugTest()
+      : platform_(arch::Platform::quad_heterogeneous()),
+        perf_(platform_),
+        power_(platform_, perf_) {}
+
+  Kernel make_kernel() { return Kernel(platform_, perf_, power_); }
+
+  arch::Platform platform_;
+  perf::PerfModel perf_;
+  power::PowerModel power_;
+};
+
+TEST_F(HotplugTest, OfflineEvacuatesRunningAndQueuedTasks) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork_on(cpu_bound("a"), 0);
+  const ThreadId b = k.fork_on(cpu_bound("b"), 0);
+  k.run_for(milliseconds(10));
+  k.set_core_online(0, false);
+  EXPECT_FALSE(k.core_online(0));
+  EXPECT_EQ(k.num_online_cores(), 3);
+  EXPECT_NE(k.task(a).cpu, 0);
+  EXPECT_NE(k.task(b).cpu, 0);
+  EXPECT_EQ(k.core_nr_running(0), 0);
+  // The evacuated tasks keep making progress elsewhere.
+  const auto before = k.total_instructions();
+  k.run_for(milliseconds(20));
+  EXPECT_GT(k.total_instructions(), before);
+  EXPECT_EQ(k.core_instructions(0), k.core_instructions(0));
+}
+
+TEST_F(HotplugTest, OfflineCoreOnlySleeps) {
+  Kernel k = make_kernel();
+  k.fork_on(cpu_bound("a"), 1);
+  k.run_for(milliseconds(10));
+  k.set_core_online(0, false);
+  const auto sleep_before = k.energy().sleep_time(0);
+  const auto busy_before = k.energy().busy_time(0);
+  k.run_for(milliseconds(50));
+  EXPECT_EQ(k.energy().busy_time(0), busy_before);
+  EXPECT_EQ(k.energy().sleep_time(0) - sleep_before, milliseconds(50));
+}
+
+TEST_F(HotplugTest, PlacementRefusesOfflineCore) {
+  Kernel k = make_kernel();
+  k.set_core_online(2, false);
+  EXPECT_THROW(k.fork_on(cpu_bound("x"), 2), std::logic_error);
+  const ThreadId a = k.fork(cpu_bound("a"));
+  EXPECT_NE(k.task(a).cpu, 2);
+  EXPECT_THROW(k.migrate(a, 2), std::invalid_argument);
+}
+
+TEST_F(HotplugTest, SleepingTaskRetargetedAndWakesElsewhere) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork_on(sleepy("nap"), 3);
+  k.run_for(milliseconds(4));
+  ASSERT_EQ(k.task(a).state, TaskState::Sleeping);
+  k.set_core_online(3, false);
+  EXPECT_NE(k.task(a).cpu, 3);
+  k.run_for(milliseconds(30));
+  EXPECT_GT(k.task(a).lifetime_insts, 500'000u);
+  EXPECT_EQ(k.core_instructions(3), k.core_instructions(3));
+}
+
+TEST_F(HotplugTest, CannotOfflineLastCoreOrStrandPinnedTask) {
+  Kernel k = make_kernel();
+  for (CoreId c = 1; c < 4; ++c) k.set_core_online(c, false);
+  EXPECT_THROW(k.set_core_online(0, false), std::logic_error);
+
+  Kernel k2 = make_kernel();
+  const ThreadId pinned = k2.fork_on(cpu_bound("p"), 1);
+  std::bitset<kMaxCores> only1;
+  only1.set(1);
+  k2.set_cpus_allowed(pinned, only1);
+  EXPECT_THROW(k2.set_core_online(1, false), std::logic_error);
+  EXPECT_TRUE(k2.core_online(1)) << "failed offline must not half-apply";
+}
+
+TEST_F(HotplugTest, OnlineBringsCoreBackIntoService) {
+  Kernel k = make_kernel();
+  k.set_balancer(std::make_unique<VanillaBalancer>());
+  for (int i = 0; i < 8; ++i) k.fork(cpu_bound("t" + std::to_string(i)));
+  k.run_for(milliseconds(20));
+  k.set_core_online(0, false);
+  k.run_for(milliseconds(50));
+  EXPECT_EQ(k.core_nr_running(0), 0);
+  const auto insts_before = k.core_instructions(0);
+  k.set_core_online(0, true);
+  k.run_for(milliseconds(100));
+  EXPECT_GT(k.core_instructions(0), insts_before)
+      << "the balancer must repopulate the re-onlined core";
+}
+
+TEST_F(HotplugTest, SmartBalanceRespectsOfflineCores) {
+  auto cfg = sim::SimulationConfig{};
+  cfg.duration = milliseconds(400);
+  sim::Simulation s(platform_, cfg);
+  s.set_balancer(sim::smartbalance_factory()(s));
+  s.add_benchmark("canneal", 2);
+  s.add_benchmark("swaptions", 2);
+  s.kernel().set_core_online(3, false);  // the efficient Small core is gone
+  const auto r = s.run();
+  EXPECT_EQ(r.cores[3].instructions, 0u);
+  for (ThreadId tid : s.kernel().alive_threads()) {
+    EXPECT_NE(s.kernel().task(tid).cpu, 3);
+  }
+  EXPECT_GT(r.instructions, 0u);
+}
+
+TEST_F(HotplugTest, TimeAccountingStaysExactAcrossTransitions) {
+  Kernel k = make_kernel();
+  k.fork(cpu_bound("a"));
+  k.fork(cpu_bound("b"));
+  k.run_for(milliseconds(30));
+  k.set_core_online(1, false);
+  k.run_for(milliseconds(30));
+  k.set_core_online(1, true);
+  k.run_for(milliseconds(30));
+  for (CoreId c = 0; c < 4; ++c) {
+    EXPECT_EQ(k.energy().busy_time(c) + k.energy().idle_time(c) +
+                  k.energy().sleep_time(c),
+              milliseconds(90))
+        << "core " << c;
+  }
+}
+
+}  // namespace
+}  // namespace sb::os

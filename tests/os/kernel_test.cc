@@ -1,0 +1,369 @@
+#include "os/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "arch/platform.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+#include "workload/benchmarks.h"
+
+namespace sb::os {
+namespace {
+
+workload::ThreadBehavior cpu_bound(const std::string& name,
+                                   std::uint64_t total = 0, int nice = 0) {
+  workload::ThreadBehavior tb;
+  tb.name = name;
+  workload::WorkloadProfile p;
+  p.name = name + ".phase";
+  tb.phases.push_back({p, 50'000'000});
+  tb.total_instructions = total;
+  tb.nice = nice;
+  return tb;
+}
+
+workload::ThreadBehavior interactive(const std::string& name,
+                                     std::uint64_t burst, TimeNs sleep) {
+  workload::ThreadBehavior tb = cpu_bound(name);
+  tb.burst_instructions = burst;
+  tb.sleep_mean_ns = sleep;
+  return tb;
+}
+
+class KernelTest : public ::testing::Test {
+ protected:
+  explicit KernelTest(arch::Platform platform =
+                          arch::Platform::homogeneous(arch::medium_core(), 2))
+      : platform_(std::move(platform)),
+        perf_(platform_),
+        power_(platform_, perf_) {}
+
+  Kernel make_kernel(KernelConfig cfg = KernelConfig()) {
+    return Kernel(platform_, perf_, power_, cfg);
+  }
+
+  arch::Platform platform_;
+  perf::PerfModel perf_;
+  power::PowerModel power_;
+};
+
+TEST_F(KernelTest, ForkPlacesRoundRobin) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork(cpu_bound("a"));
+  const ThreadId b = k.fork(cpu_bound("b"));
+  const ThreadId c = k.fork(cpu_bound("c"));
+  EXPECT_EQ(k.task(a).cpu, 0);
+  EXPECT_EQ(k.task(b).cpu, 1);
+  EXPECT_EQ(k.task(c).cpu, 0);
+}
+
+TEST_F(KernelTest, ForkOnSpecificCore) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork_on(cpu_bound("a"), 1);
+  EXPECT_EQ(k.task(a).cpu, 1);
+  EXPECT_THROW(k.fork_on(cpu_bound("b"), 5), std::out_of_range);
+}
+
+TEST_F(KernelTest, RunAdvancesTimeAndRetiresInstructions) {
+  Kernel k = make_kernel();
+  k.fork(cpu_bound("a"));
+  k.run_for(milliseconds(50));
+  EXPECT_EQ(k.now(), milliseconds(50));
+  EXPECT_GT(k.total_instructions(), 10'000'000u);
+  EXPECT_GT(k.context_switches(), 0u);
+}
+
+TEST_F(KernelTest, TimeCannotGoBackwards) {
+  Kernel k = make_kernel();
+  k.run_until(milliseconds(10));
+  EXPECT_THROW(k.run_until(milliseconds(5)), std::invalid_argument);
+}
+
+TEST_F(KernelTest, CfsFairnessEqualWeights) {
+  Kernel k = make_kernel();
+  // Three identical threads on one core (core 1 left empty via fork_on).
+  const ThreadId a = k.fork_on(cpu_bound("a"), 0);
+  const ThreadId b = k.fork_on(cpu_bound("b"), 0);
+  const ThreadId c = k.fork_on(cpu_bound("c"), 0);
+  k.run_for(milliseconds(300));
+  const double ra = static_cast<double>(k.task(a).lifetime_runtime);
+  const double rb = static_cast<double>(k.task(b).lifetime_runtime);
+  const double rc = static_cast<double>(k.task(c).lifetime_runtime);
+  EXPECT_NEAR(ra / rb, 1.0, 0.05);
+  EXPECT_NEAR(rb / rc, 1.0, 0.05);
+  // And the core's time is fully accounted to them.
+  EXPECT_NEAR(ra + rb + rc, static_cast<double>(milliseconds(300)),
+              static_cast<double>(milliseconds(3)));
+}
+
+TEST_F(KernelTest, CfsWeightProportionality) {
+  Kernel k = make_kernel();
+  const ThreadId hi = k.fork_on(cpu_bound("hi", 0, -5), 0);  // weight 3121
+  const ThreadId lo = k.fork_on(cpu_bound("lo", 0, 5), 0);   // weight 335
+  k.run_for(milliseconds(400));
+  const double ratio = static_cast<double>(k.task(hi).lifetime_runtime) /
+                       static_cast<double>(k.task(lo).lifetime_runtime);
+  EXPECT_NEAR(ratio, 3121.0 / 335.0, 3121.0 / 335.0 * 0.15);
+}
+
+TEST_F(KernelTest, TaskExitsAfterTotalInstructions) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork(cpu_bound("a", 5'000'000));
+  k.run_for(milliseconds(100));
+  EXPECT_EQ(k.task(a).state, TaskState::Exited);
+  EXPECT_NEAR(static_cast<double>(k.task(a).lifetime_insts), 5e6, 2.0);
+  EXPECT_LT(k.task(a).exited_at, milliseconds(100));
+  EXPECT_TRUE(k.all_exited());
+}
+
+TEST_F(KernelTest, InteractiveThreadSleepsAndWakes) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork(interactive("i", 1'000'000, milliseconds(5)));
+  k.run_for(milliseconds(200));
+  const Task& t = k.task(a);
+  // It must have completed several bursts: runtime strictly between 10% and
+  // 90% of wall time given the burst/sleep ratio.
+  EXPECT_GT(t.lifetime_runtime, milliseconds(10));
+  EXPECT_LT(t.lifetime_runtime, milliseconds(190));
+  EXPECT_GT(t.lifetime_insts, 3'000'000u);
+}
+
+TEST_F(KernelTest, SleepingCoreChargesSleepPower) {
+  Kernel k = make_kernel();
+  k.fork_on(cpu_bound("a"), 0);  // core 1 never runs anything
+  k.run_for(milliseconds(100));
+  EXPECT_EQ(k.energy().sleep_time(1), milliseconds(100));
+  EXPECT_EQ(k.energy().busy_time(1), 0);
+  const double expected =
+      power_.sleep_power_w(platform_.type_of(1)) * 0.1;
+  EXPECT_NEAR(k.energy().sleep_joules(1), expected, expected * 1e-6);
+}
+
+TEST_F(KernelTest, TimeFullyAccountedPerCore) {
+  Kernel k = make_kernel();
+  k.fork(cpu_bound("a"));
+  k.fork(interactive("b", 2'000'000, milliseconds(3)));
+  k.run_for(milliseconds(250));
+  for (CoreId c = 0; c < k.num_cores(); ++c) {
+    const TimeNs accounted = k.energy().busy_time(c) +
+                             k.energy().idle_time(c) +
+                             k.energy().sleep_time(c);
+    EXPECT_EQ(accounted, milliseconds(250)) << "core " << c;
+  }
+}
+
+TEST_F(KernelTest, CountersAccumulatePerThread) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork(cpu_bound("a"));
+  k.run_for(milliseconds(60));
+  const auto& c = k.task(a).epoch_counters;
+  EXPECT_GT(c.inst_total, 0u);
+  EXPECT_NEAR(c.imsh(), 0.25, 0.01);   // default profile mem_share
+  EXPECT_NEAR(c.ibsh(), 0.15, 0.01);
+  EXPECT_GT(c.cy_busy, 0u);
+  EXPECT_GT(c.cy_idle, 0u);
+}
+
+TEST_F(KernelTest, DrainEpochSamplesResetsAccumulators) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork(cpu_bound("a"));
+  k.run_for(milliseconds(60));
+  auto samples = k.drain_epoch_samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].tid, a);
+  EXPECT_GT(samples[0].counters.inst_total, 0u);
+  EXPECT_GT(samples[0].energy_j, 0.0);
+  EXPECT_GT(samples[0].runtime, 0);
+  EXPECT_TRUE(k.task(a).epoch_counters.empty());
+  // Second drain right away is empty-ish.
+  auto again = k.drain_epoch_samples();
+  EXPECT_EQ(again[0].counters.inst_total, 0u);
+}
+
+TEST_F(KernelTest, MigrationMovesRunningTask) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork_on(cpu_bound("a"), 0);
+  k.run_for(milliseconds(10));
+  EXPECT_EQ(k.task(a).cpu, 0);
+  k.migrate(a, 1);
+  EXPECT_EQ(k.task(a).cpu, 1);
+  EXPECT_EQ(k.task(a).insts_since_migration, 0u);
+  EXPECT_EQ(k.total_migrations(), 1u);
+  k.run_for(milliseconds(10));
+  EXPECT_GT(k.core_instructions(1), 0u);
+}
+
+TEST_F(KernelTest, MigrationToSameCoreIsNoop) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork_on(cpu_bound("a"), 0);
+  k.migrate(a, 0);
+  EXPECT_EQ(k.total_migrations(), 0u);
+}
+
+TEST_F(KernelTest, MigrationRespectsAffinity) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork_on(cpu_bound("a"), 0);
+  std::bitset<kMaxCores> only0;
+  only0.set(0);
+  k.set_cpus_allowed(a, only0);
+  EXPECT_THROW(k.migrate(a, 1), std::invalid_argument);
+}
+
+TEST_F(KernelTest, SetCpusAllowedKicksOffForbiddenCore) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork_on(cpu_bound("a"), 0);
+  k.run_for(milliseconds(5));
+  std::bitset<kMaxCores> only1;
+  only1.set(1);
+  k.set_cpus_allowed(a, only1);
+  EXPECT_EQ(k.task(a).cpu, 1);
+  EXPECT_THROW(k.set_cpus_allowed(a, std::bitset<kMaxCores>()),
+               std::invalid_argument);
+}
+
+TEST_F(KernelTest, SleepingTaskMigratesOnWake) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork_on(interactive("i", 1'000'000, milliseconds(20)), 0);
+  // Run until it sleeps.
+  k.run_for(milliseconds(10));
+  ASSERT_EQ(k.task(a).state, TaskState::Sleeping);
+  k.migrate(a, 1);
+  EXPECT_EQ(k.task(a).cpu, 1);
+  k.run_for(milliseconds(30));
+  EXPECT_GT(k.core_instructions(1), 0u);
+}
+
+TEST_F(KernelTest, PeltUtilReflectsDutyCycle) {
+  Kernel k = make_kernel();
+  const ThreadId busy = k.fork_on(cpu_bound("busy"), 0);
+  const ThreadId idle =
+      k.fork_on(interactive("idle", 500'000, milliseconds(20)), 1);
+  k.run_for(milliseconds(300));
+  EXPECT_GT(k.task_util(busy), 0.9);
+  EXPECT_LT(k.task_util(idle), 0.5);
+}
+
+TEST_F(KernelTest, BalancerFiresOnInterval) {
+  class CountingBalancer final : public LoadBalancer {
+   public:
+    TimeNs interval() const override { return milliseconds(10); }
+    void on_balance(Kernel&, TimeNs) override { ++count; }
+    std::string name() const override { return "counting"; }
+    int count = 0;
+  };
+  Kernel k = make_kernel();
+  auto bal = std::make_unique<CountingBalancer>();
+  auto* p = bal.get();
+  k.set_balancer(std::move(bal));
+  k.fork(cpu_bound("a"));
+  k.run_for(milliseconds(100));
+  EXPECT_GE(p->count, 9);
+  EXPECT_LE(p->count, 11);
+  EXPECT_EQ(k.balance_passes(), static_cast<std::uint64_t>(p->count));
+}
+
+TEST_F(KernelTest, DeterministicAcrossRuns) {
+  auto run_once = [this] {
+    Kernel k = make_kernel();
+    k.fork(cpu_bound("a"));
+    k.fork(interactive("b", 1'000'000, milliseconds(4)));
+    k.run_for(milliseconds(200));
+    return std::make_pair(k.total_instructions(), k.energy().total_joules());
+  };
+  const auto r1 = run_once();
+  const auto r2 = run_once();
+  EXPECT_EQ(r1.first, r2.first);
+  EXPECT_DOUBLE_EQ(r1.second, r2.second);
+}
+
+TEST_F(KernelTest, BadIdsThrow) {
+  Kernel k = make_kernel();
+  EXPECT_THROW(k.task(0), std::out_of_range);
+  EXPECT_THROW(k.migrate(0, 0), std::out_of_range);
+  k.fork(cpu_bound("a"));
+  EXPECT_THROW(k.migrate(0, 9), std::out_of_range);
+  EXPECT_THROW(k.core_load(5), std::out_of_range);
+}
+
+class HeteroKernelTest : public KernelTest {
+ protected:
+  HeteroKernelTest() : KernelTest(arch::Platform::quad_heterogeneous()) {}
+};
+
+TEST_F(HeteroKernelTest, StrongerCoreRetiresMoreInstructions) {
+  Kernel k = make_kernel();
+  const ThreadId on_huge = k.fork_on(cpu_bound("h"), 0);
+  const ThreadId on_small = k.fork_on(cpu_bound("s"), 3);
+  k.run_for(milliseconds(100));
+  EXPECT_GT(k.task(on_huge).lifetime_insts,
+            3 * k.task(on_small).lifetime_insts);
+}
+
+TEST_F(HeteroKernelTest, WarmupSlowsFreshMigrant) {
+  KernelConfig cfg;
+  cfg.warmup = arch::CacheWarmupModel(4.0, 5'000'000);
+  Kernel k = make_kernel(cfg);
+  const ThreadId a = k.fork_on(cpu_bound("a"), 2);
+  k.run_for(milliseconds(50));
+  const auto before = k.task(a).lifetime_insts;
+  k.migrate(a, 1);
+  k.run_for(milliseconds(10));
+  const auto after_migration = k.task(a).lifetime_insts - before;
+
+  // Reference: same 10 ms on core 1 when warm (measured separately).
+  Kernel k2 = make_kernel(cfg);
+  const ThreadId b = k2.fork_on(cpu_bound("a"), 1);
+  k2.run_for(milliseconds(50));
+  const auto warm_before = k2.task(b).lifetime_insts;
+  k2.run_for(milliseconds(10));
+  const auto warm_delta = k2.task(b).lifetime_insts - warm_before;
+
+  EXPECT_LT(after_migration, warm_delta);
+}
+
+TEST_F(HeteroKernelTest, EpochSampleWarmFlag) {
+  KernelConfig cfg;
+  cfg.warmup = arch::CacheWarmupModel(3.0, 50'000'000);
+  Kernel k = make_kernel(cfg);
+  const ThreadId a = k.fork_on(cpu_bound("a"), 3);  // Small: slow to warm
+  k.run_for(milliseconds(5));
+  k.migrate(a, 3 /*same*/);
+  k.migrate(a, 2);
+  k.run_for(milliseconds(5));
+  const auto samples = k.drain_epoch_samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_FALSE(samples[0].warm);
+}
+
+TEST_F(KernelTest, SchedulingLatencyTracked) {
+  Kernel k = make_kernel();
+  // A solo thread never waits; three sharing a core wait for slices.
+  const ThreadId solo = k.fork_on(cpu_bound("solo"), 1);
+  const ThreadId shared1 = k.fork_on(cpu_bound("s1"), 0);
+  const ThreadId shared2 = k.fork_on(cpu_bound("s2"), 0);
+  const ThreadId shared3 = k.fork_on(cpu_bound("s3"), 0);
+  k.run_for(milliseconds(200));
+  EXPECT_EQ(k.task(solo).total_wait, 0);
+  EXPECT_GT(k.task(shared1).total_wait, milliseconds(10));
+  EXPECT_GT(k.task(shared2).max_wait, microseconds(500));
+  EXPECT_GT(k.task(shared3).dispatches, 5u);
+  // With 3 equal threads, each waits roughly 2/3 of the time.
+  const double frac = static_cast<double>(k.task(shared1).total_wait) /
+                      static_cast<double>(milliseconds(200));
+  EXPECT_NEAR(frac, 2.0 / 3.0, 0.1);
+}
+
+TEST_F(HeteroKernelTest, SetNiceReweights) {
+  Kernel k = make_kernel();
+  const ThreadId a = k.fork_on(cpu_bound("a"), 0);
+  const ThreadId b = k.fork_on(cpu_bound("b"), 0);
+  k.set_nice(a, -10);
+  k.run_for(milliseconds(200));
+  EXPECT_GT(k.task(a).lifetime_runtime, 3 * k.task(b).lifetime_runtime);
+}
+
+}  // namespace
+}  // namespace sb::os

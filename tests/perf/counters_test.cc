@@ -1,0 +1,73 @@
+#include "perf/counters.h"
+
+#include <gtest/gtest.h>
+
+namespace sb::perf {
+namespace {
+
+HpcCounters sample() {
+  HpcCounters c;
+  c.cy_busy = 600;
+  c.cy_idle = 400;
+  c.cy_sleep = 1000;
+  c.inst_total = 2000;
+  c.inst_mem = 500;
+  c.inst_branch = 300;
+  c.branch_mispred = 15;
+  c.l1i_access = 2000;
+  c.l1i_miss = 20;
+  c.l1d_access = 500;
+  c.l1d_miss = 25;
+  c.itlb_access = 2000;
+  c.itlb_miss = 2;
+  c.dtlb_access = 500;
+  c.dtlb_miss = 5;
+  return c;
+}
+
+TEST(HpcCounters, DerivedRatios) {
+  const HpcCounters c = sample();
+  EXPECT_DOUBLE_EQ(c.imsh(), 0.25);
+  EXPECT_DOUBLE_EQ(c.ibsh(), 0.15);
+  EXPECT_DOUBLE_EQ(c.mr_branch(), 0.05);
+  EXPECT_DOUBLE_EQ(c.mr_l1i(), 0.01);
+  EXPECT_DOUBLE_EQ(c.mr_l1d(), 0.05);
+  EXPECT_DOUBLE_EQ(c.mr_itlb(), 0.001);
+  EXPECT_DOUBLE_EQ(c.mr_dtlb(), 0.01);
+}
+
+TEST(HpcCounters, IpcUsesActiveCyclesOnly) {
+  const HpcCounters c = sample();
+  EXPECT_EQ(c.active_cycles(), 1000u);  // sleep cycles excluded (paper §4.2.1)
+  EXPECT_DOUBLE_EQ(c.ipc(), 2.0);
+}
+
+TEST(HpcCounters, EmptyRatiosAreZero) {
+  const HpcCounters c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_DOUBLE_EQ(c.imsh(), 0.0);
+  EXPECT_DOUBLE_EQ(c.mr_branch(), 0.0);
+  EXPECT_DOUBLE_EQ(c.ipc(), 0.0);
+}
+
+TEST(HpcCounters, Accumulation) {
+  HpcCounters a = sample();
+  a += sample();
+  EXPECT_EQ(a.inst_total, 4000u);
+  EXPECT_EQ(a.cy_busy, 1200u);
+  EXPECT_EQ(a.branch_mispred, 30u);
+  // Ratios invariant under uniform scaling.
+  EXPECT_DOUBLE_EQ(a.imsh(), 0.25);
+  const HpcCounters b = sample() + sample();
+  EXPECT_EQ(b.l1d_miss, 50u);
+}
+
+TEST(HpcCounters, Reset) {
+  HpcCounters c = sample();
+  c.reset();
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.dtlb_miss, 0u);
+}
+
+}  // namespace
+}  // namespace sb::perf

@@ -1,0 +1,193 @@
+#include "perf/interval_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "arch/core_params.h"
+#include "arch/platform.h"
+#include "perf/perf_model.h"
+#include "workload/benchmarks.h"
+
+namespace sb::perf {
+namespace {
+
+workload::WorkloadProfile mem_bound() {
+  auto p = workload::BenchmarkLibrary::get("canneal").phases[0].profile;
+  return p;
+}
+
+workload::WorkloadProfile compute_bound() {
+  return workload::BenchmarkLibrary::get("swaptions").phases[0].profile;
+}
+
+TEST(IntervalModel, PeakIpcApproximatesTable2) {
+  const IntervalModel m;
+  // Table 2: Huge 4.18, Big 2.60, Medium 1.31, Small 0.91. The mechanistic
+  // model is calibrated to land near these (±25%).
+  EXPECT_NEAR(m.peak_ipc(arch::huge_core()), 4.18, 4.18 * 0.25);
+  EXPECT_NEAR(m.peak_ipc(arch::big_core()), 2.60, 2.60 * 0.25);
+  EXPECT_NEAR(m.peak_ipc(arch::medium_core()), 1.31, 1.31 * 0.25);
+  EXPECT_NEAR(m.peak_ipc(arch::small_core()), 0.91, 0.91 * 0.25);
+}
+
+TEST(IntervalModel, PeakIpcStrictlyOrderedByCoreStrength) {
+  const IntervalModel m;
+  EXPECT_GT(m.peak_ipc(arch::huge_core()), m.peak_ipc(arch::big_core()));
+  EXPECT_GT(m.peak_ipc(arch::big_core()), m.peak_ipc(arch::medium_core()));
+  EXPECT_GT(m.peak_ipc(arch::medium_core()), m.peak_ipc(arch::small_core()));
+}
+
+TEST(IntervalModel, IpcNeverExceedsIssueWidth) {
+  const IntervalModel m;
+  for (const auto& core : {arch::huge_core(), arch::small_core()}) {
+    for (const auto& name : workload::BenchmarkLibrary::parsec_names()) {
+      for (const auto& ph : workload::BenchmarkLibrary::get(name).phases) {
+        const auto bd = m.evaluate(ph.profile, core);
+        EXPECT_LE(bd.ipc, core.issue_width) << name << " on " << core.name;
+        EXPECT_GT(bd.ipc, 0.0);
+      }
+    }
+  }
+}
+
+TEST(IntervalModel, MemBoundSuffersMoreFromLatency) {
+  const IntervalModel m;
+  const auto core = arch::big_core();
+  const auto mb_fast = m.evaluate(mem_bound(), core, 80.0);
+  const auto mb_slow = m.evaluate(mem_bound(), core, 240.0);
+  const auto cb_fast = m.evaluate(compute_bound(), core, 80.0);
+  const auto cb_slow = m.evaluate(compute_bound(), core, 240.0);
+  const double mb_loss = 1.0 - mb_slow.ipc / mb_fast.ipc;
+  const double cb_loss = 1.0 - cb_slow.ipc / cb_fast.ipc;
+  EXPECT_GT(mb_loss, 0.2);
+  EXPECT_LT(cb_loss, 0.05);
+  EXPECT_GT(mb_loss, 3 * cb_loss);
+}
+
+TEST(IntervalModel, WarmupDepressesIpc) {
+  const IntervalModel m;
+  const auto core = arch::medium_core();
+  const auto warm = m.evaluate(mem_bound(), core, 80.0, 1.0);
+  const auto cold = m.evaluate(mem_bound(), core, 80.0, 3.0);
+  EXPECT_LT(cold.ipc, warm.ipc);
+  EXPECT_GT(cold.mr_l1d, warm.mr_l1d);
+}
+
+TEST(IntervalModel, BiggerCachesLowerMissRates) {
+  const IntervalModel m;
+  const auto on_huge = m.evaluate(mem_bound(), arch::huge_core());   // 64 KB
+  const auto on_small = m.evaluate(mem_bound(), arch::small_core()); // 16 KB
+  EXPECT_LE(on_huge.mr_l1d, on_small.mr_l1d);
+  EXPECT_LE(on_huge.mr_l1i, on_small.mr_l1i);
+}
+
+TEST(IntervalModel, BetterPredictorFewerMispredicts) {
+  const IntervalModel m;
+  const auto prof = workload::BenchmarkLibrary::get("freqmine").phases[0].profile;
+  const auto on_huge = m.evaluate(prof, arch::huge_core());
+  const auto on_small = m.evaluate(prof, arch::small_core());
+  EXPECT_LT(on_huge.mr_branch, on_small.mr_branch);
+}
+
+TEST(IntervalModel, BreakdownSumsToTotalCpi) {
+  const IntervalModel m;
+  const auto bd = m.evaluate(mem_bound(), arch::big_core());
+  EXPECT_NEAR(bd.total_cpi(),
+              bd.cpi_base + bd.cpi_l1i + bd.cpi_l1d + bd.cpi_branch +
+                  bd.cpi_tlb,
+              1e-12);
+  EXPECT_NEAR(bd.ipc, std::min(4.0, 1.0 / bd.total_cpi()), 1e-12);
+}
+
+TEST(IntervalModel, InvalidLatencyThrows) {
+  const IntervalModel m;
+  EXPECT_THROW(m.evaluate(mem_bound(), arch::big_core(), 0.0),
+               std::invalid_argument);
+}
+
+TEST(IntervalModel, MemTrafficTracksMissRates) {
+  const IntervalModel m;
+  const auto mb = m.evaluate(mem_bound(), arch::small_core());
+  const auto cb = m.evaluate(compute_bound(), arch::small_core());
+  EXPECT_GT(mb.mem_misses_per_inst, 5 * cb.mem_misses_per_inst);
+}
+
+// --- PerfModel facade + counter synthesis ---
+
+TEST(PerfModel, EvaluateByCoreAndType) {
+  const auto platform = arch::Platform::quad_heterogeneous();
+  const PerfModel pm(platform);
+  const auto by_core = pm.evaluate(mem_bound(), 2);
+  const auto by_type = pm.evaluate_on_type(mem_bound(), platform.type_of(2));
+  EXPECT_DOUBLE_EQ(by_core.ipc, by_type.ipc);
+}
+
+TEST(PerfModel, PeakIpcCachedPerType) {
+  const auto platform = arch::Platform::quad_heterogeneous();
+  const PerfModel pm(platform);
+  const IntervalModel m;
+  for (CoreTypeId t = 0; t < platform.num_types(); ++t) {
+    EXPECT_DOUBLE_EQ(pm.peak_ipc(t),
+                     m.peak_ipc(platform.params_of_type(t)));
+  }
+}
+
+TEST(PerfModel, CounterSynthesisConsistency) {
+  const auto platform = arch::Platform::quad_heterogeneous();
+  const PerfModel pm(platform);
+  const auto prof = mem_bound();
+  const auto bd = pm.evaluate(prof, 1);
+  HpcCounters c;
+  const double insts = 1e7;
+  const double cycles = insts * bd.total_cpi();
+  PerfModel::accumulate_counters(c, bd, prof, insts, cycles);
+
+  EXPECT_NEAR(static_cast<double>(c.inst_total), insts, 1.0);
+  EXPECT_NEAR(c.imsh(), prof.mem_share, 1e-3);
+  EXPECT_NEAR(c.ibsh(), prof.branch_share, 1e-3);
+  EXPECT_NEAR(c.mr_l1d(), bd.mr_l1d, 1e-3);
+  EXPECT_NEAR(c.mr_branch(), bd.mr_branch, 1e-3);
+  EXPECT_NEAR(c.ipc(), bd.ipc, 0.01);
+  EXPECT_EQ(c.active_cycles(), c.cy_busy + c.cy_idle);
+}
+
+TEST(PerfModel, AccumulateIgnoresNonPositive) {
+  HpcCounters c;
+  const auto platform = arch::Platform::quad_heterogeneous();
+  const PerfModel pm(platform);
+  const auto bd = pm.evaluate(mem_bound(), 0);
+  PerfModel::accumulate_counters(c, bd, mem_bound(), 0.0, 100.0);
+  PerfModel::accumulate_counters(c, bd, mem_bound(), 100.0, 0.0);
+  EXPECT_TRUE(c.empty());
+}
+
+class AllBenchmarksOnAllCores
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllBenchmarksOnAllCores, FasterOrEqualOnStrongerCores) {
+  // Property: for every benchmark phase, absolute throughput (IPS) on a
+  // stronger core is at least that of the next weaker core. IPC may invert
+  // (frequency-driven memory penalties), throughput must not.
+  const IntervalModel m;
+  const arch::CoreParams order[] = {arch::huge_core(), arch::big_core(),
+                                    arch::medium_core(), arch::small_core()};
+  for (const auto& ph : workload::BenchmarkLibrary::get(GetParam()).phases) {
+    for (int i = 0; i + 1 < 4; ++i) {
+      const double ips_strong =
+          m.evaluate(ph.profile, order[i]).ipc * order[i].freq_ghz();
+      const double ips_weak =
+          m.evaluate(ph.profile, order[i + 1]).ipc * order[i + 1].freq_ghz();
+      EXPECT_GE(ips_strong, ips_weak * 0.98)
+          << GetParam() << " phase " << ph.profile.name << " cores "
+          << order[i].name << " vs " << order[i + 1].name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parsec, AllBenchmarksOnAllCores,
+    ::testing::ValuesIn(workload::BenchmarkLibrary::parsec_names()));
+
+}  // namespace
+}  // namespace sb::perf

@@ -1,0 +1,146 @@
+// Property sweeps of the mechanistic core model over the synthetic-builder
+// parameter space: every characterization knob must move IPC in the
+// physically sensible direction on every core type. These invariants are
+// what make the cross-core predictor learnable at all.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/core_params.h"
+#include "perf/interval_model.h"
+#include "workload/synthetic.h"
+
+namespace sb::perf {
+namespace {
+
+const std::vector<arch::CoreParams>& all_cores() {
+  static const std::vector<arch::CoreParams> kCores = {
+      arch::huge_core(), arch::big_core(), arch::medium_core(),
+      arch::small_core(), arch::a15_core(), arch::a7_core()};
+  return kCores;
+}
+
+workload::WorkloadProfile base_profile() {
+  return workload::SyntheticBuilder("prop").build().phases[0].profile;
+}
+
+class CoreSweep : public ::testing::TestWithParam<int> {
+ protected:
+  const arch::CoreParams& core() const {
+    return all_cores()[static_cast<std::size_t>(GetParam())];
+  }
+  IntervalModel model_;
+};
+
+TEST_P(CoreSweep, IpcMonotoneNonDecreasingInIlp) {
+  double prev = 0;
+  for (double ilp : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+    auto p = base_profile();
+    p.ilp = ilp;
+    const double ipc = model_.evaluate(p, core()).ipc;
+    EXPECT_GE(ipc + 1e-12, prev) << core().name << " ilp=" << ilp;
+    prev = ipc;
+  }
+}
+
+TEST_P(CoreSweep, IpcMonotoneNonIncreasingInMemoryShare) {
+  double prev = 1e9;
+  for (double ms : {0.05, 0.15, 0.25, 0.35, 0.45, 0.6}) {
+    auto p = base_profile();
+    p.mem_share = ms;
+    const double ipc = model_.evaluate(p, core()).ipc;
+    EXPECT_LE(ipc, prev + 1e-12) << core().name << " mem_share=" << ms;
+    prev = ipc;
+  }
+}
+
+TEST_P(CoreSweep, IpcMonotoneNonIncreasingInFootprint) {
+  double prev = 1e9;
+  for (double fp : {8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0}) {
+    auto p = base_profile();
+    p.footprint_d_kb = fp;
+    const double ipc = model_.evaluate(p, core()).ipc;
+    EXPECT_LE(ipc, prev + 1e-12) << core().name << " footprint=" << fp;
+    prev = ipc;
+  }
+}
+
+TEST_P(CoreSweep, IpcMonotoneNonIncreasingInMispredictRate) {
+  double prev = 1e9;
+  for (double mr : {0.0, 0.01, 0.03, 0.06, 0.12, 0.25}) {
+    auto p = base_profile();
+    p.mispredict_rate = mr;
+    const double ipc = model_.evaluate(p, core()).ipc;
+    EXPECT_LE(ipc, prev + 1e-12) << core().name << " mr_b=" << mr;
+    prev = ipc;
+  }
+}
+
+TEST_P(CoreSweep, IpcMonotoneNonDecreasingInMlp) {
+  // For a memory-bound profile, more MLP means more overlap, never less.
+  double prev = 0;
+  for (double mlp : {1.0, 1.5, 2.0, 3.0, 4.0, 8.0}) {
+    auto p = base_profile();
+    p.mem_share = 0.4;
+    p.footprint_d_kb = 4096;
+    p.mr_l1d_ref = 0.12;
+    p.l2_miss_ratio = 0.6;
+    p.mlp = mlp;
+    const double ipc = model_.evaluate(p, core()).ipc;
+    EXPECT_GE(ipc + 1e-12, prev) << core().name << " mlp=" << mlp;
+    prev = ipc;
+  }
+}
+
+TEST_P(CoreSweep, IpcMonotoneNonIncreasingInMemoryLatency) {
+  double prev = 1e9;
+  for (double lat : {40.0, 80.0, 120.0, 200.0, 320.0}) {
+    auto p = base_profile();
+    p.mem_share = 0.35;
+    p.footprint_d_kb = 2048;
+    const double ipc = model_.evaluate(p, core(), lat).ipc;
+    EXPECT_LE(ipc, prev + 1e-12) << core().name << " lat=" << lat;
+    prev = ipc;
+  }
+}
+
+TEST_P(CoreSweep, WarmupFactorNeverHelps) {
+  double prev = 1e9;
+  for (double w : {1.0, 1.5, 2.0, 3.0, 5.0}) {
+    auto p = base_profile();
+    const double ipc = model_.evaluate(p, core(), 80.0, w).ipc;
+    EXPECT_LE(ipc, prev + 1e-12) << core().name << " warm=" << w;
+    prev = ipc;
+  }
+}
+
+TEST_P(CoreSweep, AllRatesStayInUnitRange) {
+  for (double fp : {1.0, 64.0, 4096.0}) {
+    for (double mr : {0.0, 0.2, 0.5}) {
+      auto p = base_profile();
+      p.footprint_d_kb = fp;
+      p.mispredict_rate = mr;
+      const auto bd = model_.evaluate(p, core());
+      EXPECT_GE(bd.mr_l1i, 0.0);
+      EXPECT_LE(bd.mr_l1i, 1.0);
+      EXPECT_GE(bd.mr_l1d, 0.0);
+      EXPECT_LE(bd.mr_l1d, 1.0);
+      EXPECT_GE(bd.mr_branch, 0.0);
+      EXPECT_LE(bd.mr_branch, 0.5);
+      EXPECT_GT(bd.ipc, 0.0);
+      EXPECT_LE(bd.ipc, core().issue_width);
+      EXPECT_GE(bd.mem_misses_per_inst, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCoreTypes, CoreSweep, ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return all_cores()[static_cast<std::size_t>(
+                                                  info.param)]
+                               .name;
+                         });
+
+}  // namespace
+}  // namespace sb::perf

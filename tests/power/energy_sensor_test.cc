@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "power/energy_meter.h"
+#include "power/sensor.h"
+
+namespace sb::power {
+namespace {
+
+TEST(EnergyMeter, ChargesByState) {
+  EnergyMeter m(2);
+  m.add_busy(0, 2.0, seconds(1));
+  m.add_idle(0, 0.5, seconds(2));
+  m.add_sleep(1, 0.1, seconds(4));
+  EXPECT_DOUBLE_EQ(m.busy_joules(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.idle_joules(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.sleep_joules(1), 0.4);
+  EXPECT_DOUBLE_EQ(m.total_joules(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.total_joules(), 3.4);
+  EXPECT_EQ(m.busy_time(0), seconds(1));
+  EXPECT_EQ(m.sleep_time(1), seconds(4));
+}
+
+TEST(EnergyMeter, Validation) {
+  EXPECT_THROW(EnergyMeter(0), std::invalid_argument);
+  EnergyMeter m(1);
+  EXPECT_THROW(m.add_busy(5, 1.0, 1), std::out_of_range);
+  EXPECT_THROW(m.add_busy(0, -1.0, 1), std::invalid_argument);
+  EXPECT_THROW(m.add_busy(0, 1.0, -1), std::invalid_argument);
+}
+
+TEST(EnergyMeter, Reset) {
+  EnergyMeter m(1);
+  m.add_busy(0, 1.0, seconds(1));
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.total_joules(), 0.0);
+  EXPECT_EQ(m.busy_time(0), 0);
+}
+
+TEST(PowerSensor, FirstReadReportsSinceConstruction) {
+  EnergyMeter m(1);
+  PowerSensorBank::Config cfg;
+  cfg.relative_noise_sigma = 0;
+  cfg.quantum_joules = 0;
+  PowerSensorBank s(m, cfg, Rng(1));
+  m.add_busy(0, 1.0, seconds(2));
+  EXPECT_DOUBLE_EQ(s.read_joules(0), 2.0);
+}
+
+TEST(PowerSensor, DeltaSemantics) {
+  EnergyMeter m(1);
+  PowerSensorBank::Config cfg;
+  cfg.relative_noise_sigma = 0;
+  cfg.quantum_joules = 0;
+  PowerSensorBank s(m, cfg, Rng(1));
+  m.add_busy(0, 1.0, seconds(1));
+  EXPECT_DOUBLE_EQ(s.read_joules(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.read_joules(0), 0.0);  // nothing since last read
+  m.add_busy(0, 2.0, seconds(1));
+  EXPECT_DOUBLE_EQ(s.read_joules(0), 2.0);
+}
+
+TEST(PowerSensor, AvgPowerOverWindow) {
+  EnergyMeter m(1);
+  PowerSensorBank::Config cfg;
+  cfg.relative_noise_sigma = 0;
+  cfg.quantum_joules = 0;
+  PowerSensorBank s(m, cfg, Rng(1));
+  m.add_busy(0, 3.0, milliseconds(60));
+  EXPECT_NEAR(s.read_avg_power_w(0, milliseconds(60)), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.read_avg_power_w(0, 0), 0.0);
+}
+
+TEST(PowerSensor, NoiseIsUnbiasedAndBounded) {
+  EnergyMeter m(1);
+  PowerSensorBank::Config cfg;
+  cfg.relative_noise_sigma = 0.01;
+  cfg.quantum_joules = 0;
+  PowerSensorBank s(m, cfg, Rng(7));
+  double sum = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    m.add_busy(0, 1.0, seconds(1));
+    sum += s.read_joules(0);
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.002);  // ~1% sigma, n large
+}
+
+TEST(PowerSensor, Quantization) {
+  EnergyMeter m(1);
+  PowerSensorBank::Config cfg;
+  cfg.relative_noise_sigma = 0;
+  cfg.quantum_joules = 0.5;
+  PowerSensorBank s(m, cfg, Rng(1));
+  m.add_busy(0, 1.0, nanoseconds(600'000'000));  // 0.6 J
+  EXPECT_DOUBLE_EQ(s.read_joules(0), 0.5);
+}
+
+TEST(PowerSensor, NeverNegative) {
+  EnergyMeter m(1);
+  PowerSensorBank::Config cfg;
+  cfg.relative_noise_sigma = 3.0;  // absurd noise to force negatives
+  cfg.quantum_joules = 0;
+  PowerSensorBank s(m, cfg, Rng(3));
+  for (int i = 0; i < 200; ++i) {
+    m.add_busy(0, 1.0, milliseconds(1));
+    EXPECT_GE(s.read_joules(0), 0.0);
+  }
+}
+
+TEST(PowerSensor, Validation) {
+  EnergyMeter m(1);
+  PowerSensorBank::Config bad;
+  bad.relative_noise_sigma = -1;
+  EXPECT_THROW(PowerSensorBank(m, bad, Rng(1)), std::invalid_argument);
+  PowerSensorBank::Config ok;
+  PowerSensorBank s(m, ok, Rng(1));
+  EXPECT_THROW(s.read_joules(9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sb::power

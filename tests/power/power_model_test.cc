@@ -1,0 +1,116 @@
+#include "power/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "arch/platform.h"
+#include "perf/perf_model.h"
+
+namespace sb::power {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  PowerModelTest()
+      : platform_(arch::Platform::quad_heterogeneous()),
+        perf_(platform_),
+        power_(platform_, perf_) {}
+
+  arch::Platform platform_;
+  perf::PerfModel perf_;
+  PowerModel power_;
+};
+
+TEST_F(PowerModelTest, CalibrationReproducesTable2PeakPower) {
+  // By construction: busy power at (peak IPC, probe activity) equals the
+  // Table 2 peak power for every type.
+  for (CoreTypeId t = 0; t < platform_.num_types(); ++t) {
+    EXPECT_NEAR(power_.peak_power_w(t), platform_.params_of_type(t).peak_power_w,
+                1e-9)
+        << platform_.params_of_type(t).name;
+  }
+}
+
+TEST_F(PowerModelTest, LeakagePlusDynamicEqualsPeak) {
+  for (CoreTypeId t = 0; t < platform_.num_types(); ++t) {
+    EXPECT_NEAR(power_.leakage_w(t) + power_.dynamic_peak_w(t),
+                platform_.params_of_type(t).peak_power_w, 1e-9);
+    EXPECT_GT(power_.leakage_w(t), 0.0);
+    EXPECT_GT(power_.dynamic_peak_w(t), 0.0);
+  }
+}
+
+TEST_F(PowerModelTest, BusyPowerMonotoneInIpc) {
+  for (CoreTypeId t = 0; t < platform_.num_types(); ++t) {
+    double prev = 0;
+    for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+      const double p =
+          power_.busy_power_w(t, frac * power_.peak_ipc(t), 1.0);
+      EXPECT_GT(p, prev);
+      prev = p;
+    }
+  }
+}
+
+TEST_F(PowerModelTest, PowerStateOrdering) {
+  for (CoreTypeId t = 0; t < platform_.num_types(); ++t) {
+    const double sleep = power_.sleep_power_w(t);
+    const double idle = power_.idle_power_w(t);
+    const double busy_min = power_.busy_power_w(t, 0.01, 0.5);
+    EXPECT_LT(sleep, idle);
+    EXPECT_LT(idle, power_.busy_power_w(t, power_.peak_ipc(t), 1.0));
+    EXPECT_GT(busy_min, sleep);
+  }
+}
+
+TEST_F(PowerModelTest, ActivityScalesDynamicOnly) {
+  const CoreTypeId t = 0;
+  const double lo = power_.busy_power_w(t, 1.0, 0.8);
+  const double hi = power_.busy_power_w(t, 1.0, 1.2);
+  EXPECT_GT(hi, lo);
+  // Leakage floor is common to both.
+  EXPECT_GT(lo, power_.leakage_w(t));
+}
+
+TEST_F(PowerModelTest, HugeBurnsVastlyMoreThanSmall) {
+  const CoreTypeId huge = platform_.type_by_name("Huge");
+  const CoreTypeId small = platform_.type_by_name("Small");
+  const double ph = power_.busy_power_w(huge, power_.peak_ipc(huge), 1.0);
+  const double ps = power_.busy_power_w(small, power_.peak_ipc(small), 1.0);
+  EXPECT_GT(ph / ps, 30.0);  // Table 2: 8.62 W vs 0.095 W ≈ 91×
+}
+
+TEST_F(PowerModelTest, EfficiencyExtremesFollowTable2) {
+  // Peak GIPS/W derived from Table 2: the Small core is by far the most
+  // efficient and the Huge core by far the least (Big vs Medium are close
+  // by design and their order is not load-bearing).
+  auto eff = [&](const char* name) {
+    const CoreTypeId t = platform_.type_by_name(name);
+    return power_.peak_ipc(t) * platform_.params_of_type(t).freq_ghz() /
+           power_.peak_power_w(t);
+  };
+  const double huge = eff("Huge"), big = eff("Big"), medium = eff("Medium"),
+               small = eff("Small");
+  EXPECT_GT(small, big);
+  EXPECT_GT(small, medium);
+  EXPECT_GT(small, 3 * huge);
+  EXPECT_GT(big, huge);
+  EXPECT_GT(medium, huge);
+}
+
+TEST_F(PowerModelTest, AddressByCoreMatchesByType) {
+  EXPECT_DOUBLE_EQ(power_.busy_power_core_w(2, 1.0, 1.0),
+                   power_.busy_power_w(platform_.type_of(2), 1.0, 1.0));
+}
+
+TEST(PowerModelConfig, ExcessiveLeakageRejected) {
+  const auto platform = arch::Platform::quad_heterogeneous();
+  const perf::PerfModel perf(platform);
+  PowerModel::Config cfg;
+  cfg.leak_coeff = 5.0;  // would exceed the Small core's total budget
+  EXPECT_THROW(PowerModel(platform, perf, cfg), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sb::power

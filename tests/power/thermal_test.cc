@@ -1,0 +1,101 @@
+#include "power/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "arch/platform.h"
+
+namespace sb::power {
+namespace {
+
+class ThermalTest : public ::testing::Test {
+ protected:
+  ThermalTest() : platform_(arch::Platform::quad_heterogeneous()) {}
+  arch::Platform platform_;
+};
+
+TEST_F(ThermalTest, StartsAtAmbient) {
+  ThermalModel t(platform_);
+  for (CoreId c = 0; c < platform_.num_cores(); ++c) {
+    EXPECT_DOUBLE_EQ(t.temperature_c(c), t.config().ambient_c);
+  }
+  EXPECT_DOUBLE_EQ(t.max_temperature_c(), t.config().ambient_c);
+}
+
+TEST_F(ThermalTest, HugeAtPeakApproachesEightyFive) {
+  ThermalModel::Config cfg;
+  cfg.neighbor_coupling = 0;  // isolate the node for the closed-form check
+  ThermalModel t(platform_, cfg);
+  EXPECT_NEAR(t.steady_state_c(0, 8.62), 45.0 + 55.0 / 11.99 * 8.62, 1e-9);
+  EXPECT_GT(t.steady_state_c(0, 8.62), 80.0);
+  EXPECT_LT(t.steady_state_c(0, 8.62), 90.0);
+  // Converge: many time constants.
+  std::vector<double> p = {8.62, 0, 0, 0};
+  for (int i = 0; i < 200; ++i) t.step(p, milliseconds(10));
+  EXPECT_NEAR(t.temperature_c(0), t.steady_state_c(0, 8.62), 0.2);
+}
+
+TEST_F(ThermalTest, SmallCoreStaysCool) {
+  ThermalModel t(platform_);
+  std::vector<double> p = {0, 0, 0, 0.095};
+  for (int i = 0; i < 200; ++i) t.step(p, milliseconds(10));
+  EXPECT_LT(t.temperature_c(3), 50.0);
+}
+
+TEST_F(ThermalTest, ExponentialApproach) {
+  ThermalModel::Config cfg;
+  cfg.neighbor_coupling = 0;
+  cfg.tau_s = 0.05;
+  ThermalModel t(platform_, cfg);
+  std::vector<double> p = {4.0, 0, 0, 0};
+  // After exactly one time constant, ~63% of the rise is achieved.
+  t.step(p, milliseconds(50));
+  const double rise = t.temperature_c(0) - cfg.ambient_c;
+  const double full = t.steady_state_c(0, 4.0) - cfg.ambient_c;
+  EXPECT_NEAR(rise / full, 1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST_F(ThermalTest, NeighborCouplingWarmsAdjacentCore) {
+  ThermalModel t(platform_);
+  std::vector<double> p = {8.0, 0, 0, 0};
+  for (int i = 0; i < 100; ++i) t.step(p, milliseconds(10));
+  // Core 1 is idle but adjacent to the hot core 0; core 3 is farther away.
+  EXPECT_GT(t.temperature_c(1), t.config().ambient_c + 2.0);
+  EXPECT_GT(t.temperature_c(1), t.temperature_c(3));
+}
+
+TEST_F(ThermalTest, CoolsBackToAmbient) {
+  ThermalModel t(platform_);
+  std::vector<double> hot = {8.0, 1.0, 0.5, 0.1};
+  for (int i = 0; i < 100; ++i) t.step(hot, milliseconds(10));
+  EXPECT_GT(t.max_temperature_c(), 60.0);
+  std::vector<double> off = {0, 0, 0, 0};
+  for (int i = 0; i < 400; ++i) t.step(off, milliseconds(10));
+  EXPECT_NEAR(t.max_temperature_c(), t.config().ambient_c, 0.5);
+}
+
+TEST_F(ThermalTest, ResetAndValidation) {
+  ThermalModel t(platform_);
+  std::vector<double> p = {8, 0, 0, 0};
+  t.step(p, milliseconds(50));
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.max_temperature_c(), t.config().ambient_c);
+
+  EXPECT_THROW(t.step({1.0, 2.0}, milliseconds(1)), std::invalid_argument);
+  EXPECT_THROW(t.temperature_c(9), std::out_of_range);
+  ThermalModel::Config bad;
+  bad.tau_s = 0;
+  EXPECT_THROW(ThermalModel(platform_, bad), std::invalid_argument);
+}
+
+TEST_F(ThermalTest, ZeroDtIsNoop) {
+  ThermalModel t(platform_);
+  std::vector<double> p = {8, 8, 8, 8};
+  t.step(p, 0);
+  EXPECT_DOUBLE_EQ(t.max_temperature_c(), t.config().ambient_c);
+}
+
+}  // namespace
+}  // namespace sb::power

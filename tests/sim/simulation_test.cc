@@ -1,0 +1,133 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "os/vanilla_balancer.h"
+
+namespace sb::sim {
+namespace {
+
+SimulationConfig quick_cfg(TimeNs duration = milliseconds(120)) {
+  SimulationConfig cfg;
+  cfg.duration = duration;
+  cfg.label = "test";
+  return cfg;
+}
+
+TEST(Simulation, MetricsInternallyConsistent) {
+  Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+  s.set_balancer(std::make_unique<os::VanillaBalancer>());
+  s.add_benchmark("ferret", 4);
+  const auto r = s.run();
+
+  EXPECT_EQ(r.simulated, milliseconds(120));
+  EXPECT_GT(r.instructions, 0u);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_NEAR(r.ips, static_cast<double>(r.instructions) / 0.12, 1.0);
+  EXPECT_NEAR(r.watts, r.energy_j / 0.12, 1e-9);
+  EXPECT_NEAR(r.ips_per_watt, static_cast<double>(r.instructions) / r.energy_j,
+              1.0);
+
+  // Per-core sums equal the totals.
+  std::uint64_t core_insts = 0;
+  double core_energy = 0;
+  for (const auto& c : r.cores) {
+    core_insts += c.instructions;
+    core_energy += c.energy_j;
+  }
+  EXPECT_EQ(core_insts, r.instructions);
+  EXPECT_NEAR(core_energy, r.energy_j, 1e-9);
+
+  // Per-thread sums equal totals too.
+  std::uint64_t thread_insts = 0;
+  for (const auto& t : r.threads) thread_insts += t.instructions;
+  EXPECT_EQ(thread_insts, r.instructions);
+  EXPECT_EQ(r.threads.size(), 4u);
+}
+
+TEST(Simulation, RunToCompletionStopsEarly) {
+  auto cfg = quick_cfg(seconds(5));
+  cfg.run_to_completion = true;
+  Simulation s(arch::Platform::quad_heterogeneous(), cfg);
+  s.set_balancer(std::make_unique<os::VanillaBalancer>());
+  workload::ThreadBehavior tb;
+  tb.name = "short";
+  workload::WorkloadProfile p;
+  tb.phases.push_back({p, 10'000'000});
+  tb.total_instructions = 2'000'000;
+  s.add_thread(tb);
+  const auto r = s.run();
+  EXPECT_LT(r.simulated, milliseconds(200));
+  ASSERT_EQ(r.threads.size(), 1u);
+  EXPECT_TRUE(r.threads[0].completed);
+  EXPECT_LT(r.threads[0].completion_time, r.simulated + 1);
+}
+
+TEST(Simulation, RunTwiceThrows) {
+  Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+  s.add_benchmark("vips", 1);
+  s.run();
+  EXPECT_THROW(s.run(), std::logic_error);
+}
+
+TEST(Simulation, AddMixSpawnsAllMembers) {
+  Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+  s.add_mix(6, 2);  // 3 members × 2
+  EXPECT_EQ(s.kernel().num_tasks(), 6u);
+}
+
+TEST(Simulation, DeterministicForSeed) {
+  auto once = [] {
+    Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+    s.set_balancer(std::make_unique<os::VanillaBalancer>());
+    s.add_benchmark("bodytrack", 4);
+    return s.run();
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.migrations, b.migrations);
+}
+
+TEST(Simulation, SeedChangesOutcome) {
+  auto once = [](std::uint64_t seed) {
+    auto cfg = quick_cfg();
+    cfg.seed = seed;
+    Simulation s(arch::Platform::quad_heterogeneous(), cfg);
+    s.set_balancer(std::make_unique<os::VanillaBalancer>());
+    s.add_benchmark("bodytrack", 4);
+    return s.run();
+  };
+  EXPECT_NE(once(1).instructions, once(2).instructions);
+}
+
+TEST(Simulation, PrintResultMentionsHeadlineNumbers) {
+  Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+  s.add_benchmark("dedup", 2);
+  const auto r = s.run();
+  std::ostringstream os;
+  print_result(os, r);
+  EXPECT_NE(os.str().find("MIPS/W"), std::string::npos);
+  EXPECT_NE(os.str().find("Huge"), std::string::npos);
+}
+
+TEST(Simulation, EfficiencyRatio) {
+  SimulationResult a, b;
+  a.ips_per_watt = 150;
+  b.ips_per_watt = 100;
+  EXPECT_DOUBLE_EQ(efficiency_ratio(a, b), 1.5);
+  b.ips_per_watt = 0;
+  EXPECT_THROW(efficiency_ratio(a, b), std::invalid_argument);
+}
+
+TEST(Simulation, UnknownBenchmarkThrows) {
+  Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+  EXPECT_THROW(s.add_benchmark("not-a-benchmark", 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sb::sim

@@ -1,0 +1,133 @@
+#include "workload/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace sb::workload {
+namespace {
+
+TEST(BenchmarkLibrary, AllParsecNamesResolve) {
+  for (const auto& name : BenchmarkLibrary::parsec_names()) {
+    const Benchmark b = BenchmarkLibrary::get(name);
+    EXPECT_EQ(b.name, name);
+    EXPECT_FALSE(b.phases.empty());
+    for (const auto& ph : b.phases) EXPECT_NO_THROW(ph.profile.validate());
+  }
+}
+
+TEST(BenchmarkLibrary, AllX264VariantsResolve) {
+  for (const auto& name : BenchmarkLibrary::x264_names()) {
+    EXPECT_EQ(BenchmarkLibrary::get(name).name, name);
+  }
+}
+
+TEST(BenchmarkLibrary, ImbGridHasNineConfigs) {
+  const auto names = BenchmarkLibrary::imb_names();
+  EXPECT_EQ(names.size(), 9u);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), 9u);
+  for (const auto& n : names) {
+    const Benchmark b = BenchmarkLibrary::get(n);
+    EXPECT_TRUE(b.burst_instructions > 0);
+    EXPECT_TRUE(b.sleep_mean_ns > 0);
+  }
+}
+
+TEST(BenchmarkLibrary, UnknownNameThrows) {
+  EXPECT_THROW(BenchmarkLibrary::get("nope"), std::out_of_range);
+  EXPECT_THROW(BenchmarkLibrary::get("IMB_XTXI"), std::out_of_range);
+}
+
+TEST(BenchmarkLibrary, X264VariantsDifferByRateAndInput) {
+  const auto hc = BenchmarkLibrary::get("x264_H_crew");
+  const auto hb = BenchmarkLibrary::get("x264_H_bow");
+  const auto lc = BenchmarkLibrary::get("x264_L_crew");
+  // crew (high motion) is more memory- and branch-intensive than bowing.
+  EXPECT_GT(hc.phases[0].profile.mem_share, hb.phases[0].profile.mem_share);
+  EXPECT_GT(hc.phases[0].profile.mispredict_rate,
+            hb.phases[0].profile.mispredict_rate);
+  // L rate is interactive (waits between frames), H is not.
+  EXPECT_EQ(hc.sleep_mean_ns, 0);
+  EXPECT_GT(lc.sleep_mean_ns, 0);
+  EXPECT_GT(hc.phases[0].instructions, lc.phases[0].instructions);
+}
+
+TEST(BenchmarkLibrary, ImbThroughputKnobScalesLoad) {
+  const auto ht = BenchmarkLibrary::imb(Level::High, Level::Medium);
+  const auto lt = BenchmarkLibrary::imb(Level::Low, Level::Medium);
+  EXPECT_GT(ht.burst_instructions, lt.burst_instructions);
+  EXPECT_GT(ht.phases[0].profile.ilp, lt.phases[0].profile.ilp);
+}
+
+TEST(BenchmarkLibrary, ImbInteractivityKnobScalesSleep) {
+  const auto hi = BenchmarkLibrary::imb(Level::Medium, Level::High);
+  const auto li = BenchmarkLibrary::imb(Level::Medium, Level::Low);
+  EXPECT_GT(hi.sleep_mean_ns, li.sleep_mean_ns);
+}
+
+TEST(Benchmark, SpawnCountAndNames) {
+  Rng rng(1);
+  const auto threads = BenchmarkLibrary::get("ferret").spawn(4, rng);
+  ASSERT_EQ(threads.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(threads[static_cast<std::size_t>(i)].name,
+              "ferret/" + std::to_string(i));
+    EXPECT_NO_THROW(threads[static_cast<std::size_t>(i)].validate());
+  }
+}
+
+TEST(Benchmark, SpawnIsDeterministicPerSeed) {
+  Rng a(9), b(9), c(10);
+  const auto ta = BenchmarkLibrary::get("canneal").spawn(3, a);
+  const auto tb = BenchmarkLibrary::get("canneal").spawn(3, b);
+  const auto tc = BenchmarkLibrary::get("canneal").spawn(3, c);
+  EXPECT_DOUBLE_EQ(ta[0].phases[0].profile.ilp, tb[0].phases[0].profile.ilp);
+  EXPECT_NE(ta[0].phases[0].profile.ilp, tc[0].phases[0].profile.ilp);
+}
+
+TEST(Benchmark, SiblingsAreJitteredAndDesynchronized) {
+  Rng rng(2);
+  const auto threads = BenchmarkLibrary::get("bodytrack").spawn(2, rng);
+  // Jitter differentiates siblings...
+  EXPECT_NE(threads[0].phases[0].profile.ilp,
+            threads[1].phases[0].profile.ilp);
+  // ...and phase rotation desynchronizes them.
+  EXPECT_NE(threads[0].phases[0].profile.name,
+            threads[1].phases[0].profile.name);
+}
+
+TEST(Benchmark, SpawnRejectsBadCount) {
+  Rng rng(1);
+  EXPECT_THROW(BenchmarkLibrary::get("vips").spawn(0, rng),
+               std::invalid_argument);
+}
+
+TEST(Levels, LetterRoundTrip) {
+  for (Level l : {Level::Low, Level::Medium, Level::High}) {
+    EXPECT_EQ(level_from_letter(level_letter(l)), l);
+  }
+  EXPECT_THROW(level_from_letter('Z'), std::out_of_range);
+}
+
+TEST(BenchmarkLibrary, CharacterizationDiversityAcrossSuite) {
+  // The suite must span compute-bound to memory-bound for the paper's
+  // thread-to-core matching to be exercised.
+  double min_ilp = 99, max_ilp = 0, min_fp = 1e12, max_fp = 0;
+  for (const auto& name : BenchmarkLibrary::parsec_names()) {
+    for (const auto& ph : BenchmarkLibrary::get(name).phases) {
+      min_ilp = std::min(min_ilp, ph.profile.ilp);
+      max_ilp = std::max(max_ilp, ph.profile.ilp);
+      min_fp = std::min(min_fp, ph.profile.footprint_d_kb);
+      max_fp = std::max(max_fp, ph.profile.footprint_d_kb);
+    }
+  }
+  EXPECT_LT(min_ilp, 1.5);
+  EXPECT_GT(max_ilp, 3.0);
+  EXPECT_LT(min_fp, 64.0);
+  EXPECT_GT(max_fp, 2048.0);
+}
+
+}  // namespace
+}  // namespace sb::workload

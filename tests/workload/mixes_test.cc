@@ -1,0 +1,46 @@
+#include "workload/mixes.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sb::workload {
+namespace {
+
+TEST(Mixes, Table3Membership) {
+  EXPECT_EQ(mix_members(1),
+            (std::vector<std::string>{"x264_H_crew", "x264_H_bow"}));
+  EXPECT_EQ(mix_members(2),
+            (std::vector<std::string>{"x264_L_crew", "x264_L_bow"}));
+  EXPECT_EQ(mix_members(3),
+            (std::vector<std::string>{"x264_L_crew", "x264_H_bow"}));
+  EXPECT_EQ(mix_members(4),
+            (std::vector<std::string>{"x264_H_crew", "x264_L_bow"}));
+  EXPECT_EQ(mix_members(5),
+            (std::vector<std::string>{"bodytrack", "x264_H_crew"}));
+  EXPECT_EQ(mix_members(6), (std::vector<std::string>{
+                                "bodytrack", "x264_H_crew", "x264_L_bow"}));
+}
+
+TEST(Mixes, CountAndBounds) {
+  EXPECT_EQ(num_mixes(), 6);
+  EXPECT_THROW(mix_members(0), std::out_of_range);
+  EXPECT_THROW(mix_members(7), std::out_of_range);
+}
+
+TEST(Mixes, SpawnProducesThreadsPerMember) {
+  Rng rng(1);
+  const auto threads = spawn_mix(6, 4, rng);
+  EXPECT_EQ(threads.size(), 12u);  // 3 members × 4 threads
+  for (const auto& t : threads) EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Mixes, AllMembersResolvable) {
+  Rng rng(2);
+  for (int id = 1; id <= num_mixes(); ++id) {
+    EXPECT_NO_THROW(spawn_mix(id, 2, rng)) << "mix " << id;
+  }
+}
+
+}  // namespace
+}  // namespace sb::workload

@@ -1,0 +1,120 @@
+#include "workload/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace sb::workload {
+namespace {
+
+class TestJitter final : public JitterSource {
+ public:
+  explicit TestJitter(Rng rng) : rng_(rng) {}
+  double gaussian() override { return rng_.gaussian(); }
+
+ private:
+  Rng rng_;
+};
+
+WorkloadProfile valid_profile() {
+  WorkloadProfile p;
+  p.name = "test";
+  return p;  // defaults are in-range
+}
+
+TEST(WorkloadProfile, DefaultsValidate) {
+  EXPECT_NO_THROW(valid_profile().validate());
+}
+
+TEST(WorkloadProfile, RejectsOutOfRangeIlp) {
+  auto p = valid_profile();
+  p.ilp = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.ilp = 100;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadProfile, RejectsMixOverflow) {
+  auto p = valid_profile();
+  p.mem_share = 0.7;
+  p.branch_share = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadProfile, RejectsBadRates) {
+  auto p = valid_profile();
+  p.mr_l1d_ref = 0.9;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = valid_profile();
+  p.mlp = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = valid_profile();
+  p.activity = 3.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadProfile, JitterStaysValidUnderHeavyNoise) {
+  TestJitter j{Rng(3)};
+  const auto base = valid_profile();
+  for (int i = 0; i < 200; ++i) {
+    const auto p = base.jittered(0.3, j);
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_LE(p.mem_share + p.branch_share, 1.0);
+  }
+}
+
+TEST(WorkloadProfile, JitterZeroSigmaIsIdentityish) {
+  TestJitter j{Rng(4)};
+  const auto base = valid_profile();
+  const auto p = base.jittered(0.0, j);
+  EXPECT_DOUBLE_EQ(p.ilp, base.ilp);
+  EXPECT_DOUBLE_EQ(p.mem_share, base.mem_share);
+}
+
+TEST(WorkloadProfile, JitterActuallyPerturbs) {
+  TestJitter j{Rng(5)};
+  const auto base = valid_profile();
+  const auto p = base.jittered(0.1, j);
+  EXPECT_NE(p.ilp, base.ilp);
+}
+
+TEST(ThreadBehavior, RequiresPhases) {
+  ThreadBehavior tb;
+  EXPECT_THROW(tb.validate(), std::invalid_argument);
+}
+
+TEST(ThreadBehavior, RejectsEmptyPhase) {
+  ThreadBehavior tb;
+  tb.phases.push_back(Phase{valid_profile(), 0});
+  EXPECT_THROW(tb.validate(), std::invalid_argument);
+}
+
+TEST(ThreadBehavior, InteractiveNeedsSleep) {
+  ThreadBehavior tb;
+  tb.phases.push_back(Phase{valid_profile(), 1000});
+  tb.burst_instructions = 100;
+  tb.sleep_mean_ns = 0;
+  EXPECT_THROW(tb.validate(), std::invalid_argument);
+  tb.sleep_mean_ns = milliseconds(1);
+  EXPECT_NO_THROW(tb.validate());
+  EXPECT_TRUE(tb.interactive());
+}
+
+TEST(ThreadBehavior, NonInteractiveByDefault) {
+  ThreadBehavior tb;
+  tb.phases.push_back(Phase{valid_profile(), 1000});
+  EXPECT_FALSE(tb.interactive());
+  EXPECT_NO_THROW(tb.validate());
+}
+
+TEST(ThreadBehavior, SleepJitterRange) {
+  ThreadBehavior tb;
+  tb.phases.push_back(Phase{valid_profile(), 1000});
+  tb.sleep_jitter = 1.5;
+  EXPECT_THROW(tb.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sb::workload

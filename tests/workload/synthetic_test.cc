@@ -1,0 +1,91 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sb::workload {
+namespace {
+
+TEST(SyntheticBuilder, DefaultsProduceValidBenchmark) {
+  const Benchmark b = SyntheticBuilder("probe").build();
+  EXPECT_EQ(b.name, "probe");
+  ASSERT_EQ(b.phases.size(), 1u);
+  EXPECT_NO_THROW(b.phases[0].profile.validate());
+  EXPECT_EQ(b.burst_instructions, 0u);
+}
+
+TEST(SyntheticBuilder, SettersReachTheProfile) {
+  const Benchmark b = SyntheticBuilder("p")
+                          .ilp(3.5)
+                          .memory_share(0.4)
+                          .branch_share(0.1)
+                          .mispredict_rate(0.07)
+                          .footprint_kb(2048)
+                          .instruction_footprint_kb(48)
+                          .locality(0.8)
+                          .miss_rates(0.004, 0.12)
+                          .memory_level_parallelism(2.5)
+                          .l2_miss_ratio(0.6)
+                          .activity(1.1)
+                          .phase_instructions(7'000'000)
+                          .build();
+  const auto& p = b.phases[0].profile;
+  EXPECT_DOUBLE_EQ(p.ilp, 3.5);
+  EXPECT_DOUBLE_EQ(p.mem_share, 0.4);
+  EXPECT_DOUBLE_EQ(p.branch_share, 0.1);
+  EXPECT_DOUBLE_EQ(p.mispredict_rate, 0.07);
+  EXPECT_DOUBLE_EQ(p.footprint_d_kb, 2048);
+  EXPECT_DOUBLE_EQ(p.footprint_i_kb, 48);
+  EXPECT_DOUBLE_EQ(p.locality_alpha, 0.8);
+  EXPECT_DOUBLE_EQ(p.mr_l1d_ref, 0.12);
+  EXPECT_DOUBLE_EQ(p.mlp, 2.5);
+  EXPECT_DOUBLE_EQ(p.l2_miss_ratio, 0.6);
+  EXPECT_DOUBLE_EQ(p.activity, 1.1);
+  EXPECT_EQ(b.phases[0].instructions, 7'000'000u);
+}
+
+TEST(SyntheticBuilder, InteractivityAndLifetime) {
+  const Benchmark b = SyntheticBuilder("io")
+                          .interactive(1'000'000, milliseconds(4))
+                          .total_instructions(50'000'000)
+                          .build();
+  EXPECT_EQ(b.burst_instructions, 1'000'000u);
+  EXPECT_EQ(b.sleep_mean_ns, milliseconds(4));
+  EXPECT_EQ(b.per_thread_instructions, 50'000'000u);
+  Rng rng(1);
+  const auto threads = b.spawn(2, rng);
+  EXPECT_TRUE(threads[0].interactive());
+  EXPECT_EQ(threads[0].total_instructions, 50'000'000u);
+}
+
+TEST(SyntheticBuilder, SecondPhaseScales) {
+  const Benchmark b = SyntheticBuilder("phased")
+                          .ilp(2.0)
+                          .footprint_kb(100)
+                          .second_phase(0.5, 8.0, 9'000'000)
+                          .build();
+  ASSERT_EQ(b.phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.phases[1].profile.ilp, 1.0);
+  EXPECT_DOUBLE_EQ(b.phases[1].profile.footprint_d_kb, 800);
+  EXPECT_EQ(b.phases[1].instructions, 9'000'000u);
+}
+
+TEST(SyntheticBuilder, OutOfRangeRejectedAtBuild) {
+  EXPECT_THROW(SyntheticBuilder("bad").ilp(99).build(), std::invalid_argument);
+  EXPECT_THROW(SyntheticBuilder("bad").memory_share(0.95).build(),
+               std::invalid_argument);
+  EXPECT_THROW(SyntheticBuilder("bad").phase_instructions(0).build(),
+               std::invalid_argument);
+  EXPECT_THROW(SyntheticBuilder("bad").second_phase(1, 1, 0).build(),
+               std::invalid_argument);
+}
+
+TEST(SyntheticBuilder, SpawnShortcut) {
+  Rng rng(2);
+  const auto threads = SyntheticBuilder("s").spawn(3, rng);
+  EXPECT_EQ(threads.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sb::workload

@@ -1,0 +1,317 @@
+// sbsim — command-line driver for the SmartBalance simulator.
+//
+// Runs an arbitrary platform/policy/workload combination and prints the
+// full metrics report; the one-stop tool for exploring the system without
+// writing C++.
+//
+// Examples:
+//   sbsim --platform=quad --policy=smartbalance --bench=bodytrack:4
+//   sbsim --platform=biglittle --policy=gts --bench=canneal:8
+//         --duration-ms=1000 --seed=7
+//   sbsim --platform=quad --compare --bench=swaptions:2 --bench=canneal:2
+//   sbsim --platform=quad --policy=smartbalance --mix=6:2 --thermal
+//         --trace=run.csv
+//   sbsim --platform=scaled:4 --policy=smartbalance --bench=ferret:32
+//         --dvfs --governor=ondemand
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/platform.h"
+#include "arch/platform_loader.h"
+#include "core/predictor.h"
+#include "os/dvfs_governor.h"
+#include "os/iks_balancer.h"
+#include "os/utilaware_balancer.h"
+#include "os/vanilla_balancer.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/simulation.h"
+#include "workload/trace_loader.h"
+
+namespace {
+
+using namespace sb;
+
+[[noreturn]] void usage(int code) {
+  std::cout << R"(sbsim — SmartBalance heterogeneous-MPSoC simulator
+
+  --platform=quad | biglittle | scaled:<per-type> | homogeneous:<n>
+  --platform-file=<desc.txt>   custom platform (see arch/platform_loader.h)
+  --policy=none | vanilla | gts | iks | utilaware | smartbalance |
+           smartbalance-eq11                     (default: smartbalance)
+  --compare                 run vanilla, gts*, and smartbalance side by side
+  --bench=<name>:<threads>  add a benchmark (repeatable); names: PARSEC
+                            (bodytrack, canneal, ...), x264_{H,L}_{crew,bow},
+                            IMB_{H,M,L}T{H,M,L}I
+  --bench-at=<ms>:<name>:<threads>  deferred arrival
+  --mix=<id>:<threads-per-member>   Table 3 mix (repeatable)
+  --duration-ms=<n>         simulated window (default 600)
+  --seed=<n>                RNG seed (default 1234)
+  --dvfs                    enable 4-point OPP tables
+  --governor=ondemand | performance | powersave   (requires --dvfs)
+  --thermal                 enable the RC thermal model
+  --trace=<file.csv>        per-core time series
+  --thread-trace=<csv>:<name>:<count>  spawn threads from a phase-trace CSV
+                            (see workload/trace_loader.h for the format)
+  --save-model=<file>       train the predictor for this platform and save it
+  --load-model=<file>       use a previously saved predictor (smartbalance)
+  --json=<file>             dump the (last) run's full metrics as JSON
+  --quiet                   headline numbers only
+  (* gts/iks/utilaware need a big.LITTLE-style two-type platform)
+)";
+  std::exit(code);
+}
+
+struct Args {
+  std::string platform = "quad";
+  std::string platform_file;
+  std::string policy = "smartbalance";
+  bool compare = false;
+  std::vector<std::pair<std::string, int>> benches;
+  std::vector<std::tuple<TimeNs, std::string, int>> arrivals;
+  std::vector<std::pair<int, int>> mixes;
+  TimeNs duration = milliseconds(600);
+  std::uint64_t seed = 1234;
+  bool dvfs = false;
+  std::string governor;
+  bool thermal = false;
+  std::string trace;
+  std::vector<std::tuple<std::string, std::string, int>> thread_traces;
+  std::string save_model;
+  std::string load_model;
+  std::string json_out;
+  bool quiet = false;
+};
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg.rfind("--platform=", 0) == 0) a.platform = value("--platform=");
+    else if (arg.rfind("--platform-file=", 0) == 0)
+      a.platform_file = value("--platform-file=");
+    else if (arg.rfind("--policy=", 0) == 0) a.policy = value("--policy=");
+    else if (arg == "--compare") a.compare = true;
+    else if (arg.rfind("--bench=", 0) == 0) {
+      const auto parts = split(value("--bench="), ':');
+      if (parts.size() != 2) usage(2);
+      a.benches.emplace_back(parts[0], std::atoi(parts[1].c_str()));
+    } else if (arg.rfind("--bench-at=", 0) == 0) {
+      const auto parts = split(value("--bench-at="), ':');
+      if (parts.size() != 3) usage(2);
+      a.arrivals.emplace_back(milliseconds(std::atoll(parts[0].c_str())),
+                              parts[1], std::atoi(parts[2].c_str()));
+    } else if (arg.rfind("--mix=", 0) == 0) {
+      const auto parts = split(value("--mix="), ':');
+      if (parts.size() != 2) usage(2);
+      a.mixes.emplace_back(std::atoi(parts[0].c_str()),
+                           std::atoi(parts[1].c_str()));
+    } else if (arg.rfind("--duration-ms=", 0) == 0) {
+      a.duration = milliseconds(std::atoll(value("--duration-ms=").c_str()));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      a.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
+    } else if (arg == "--dvfs") a.dvfs = true;
+    else if (arg.rfind("--governor=", 0) == 0) a.governor = value("--governor=");
+    else if (arg == "--thermal") a.thermal = true;
+    else if (arg.rfind("--thread-trace=", 0) == 0) {
+      const auto parts = split(value("--thread-trace="), ':');
+      if (parts.size() != 3) usage(2);
+      a.thread_traces.emplace_back(parts[0], parts[1],
+                                   std::atoi(parts[2].c_str()));
+    } else if (arg.rfind("--save-model=", 0) == 0) {
+      a.save_model = value("--save-model=");
+    } else if (arg.rfind("--load-model=", 0) == 0) {
+      a.load_model = value("--load-model=");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      a.json_out = value("--json=");
+    }
+    else if (arg.rfind("--trace=", 0) == 0) a.trace = value("--trace=");
+    else if (arg == "--quiet") a.quiet = true;
+    else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(2);
+    }
+  }
+  if (a.benches.empty() && a.mixes.empty() && a.arrivals.empty() &&
+      a.thread_traces.empty() && a.save_model.empty()) {
+    std::cerr << "no workload given (need --bench/--mix/--bench-at/"
+                 "--thread-trace)\n";
+    usage(2);
+  }
+  return a;
+}
+
+arch::Platform make_platform(const std::string& spec) {
+  if (spec == "quad") return arch::Platform::quad_heterogeneous();
+  if (spec == "biglittle") return arch::Platform::octa_big_little();
+  const auto parts = split(spec, ':');
+  if (parts.size() == 2 && parts[0] == "scaled") {
+    return arch::Platform::scaled_heterogeneous(std::atoi(parts[1].c_str()));
+  }
+  if (parts.size() == 2 && parts[0] == "homogeneous") {
+    return arch::Platform::homogeneous(arch::medium_core(),
+                                       std::atoi(parts[1].c_str()));
+  }
+  std::cerr << "unknown platform: " << spec << "\n";
+  usage(2);
+}
+
+sim::BalancerFactory make_policy(const std::string& name) {
+  if (name == "none") {
+    return [](const sim::Simulation&) {
+      return std::make_unique<os::NullBalancer>();
+    };
+  }
+  if (name == "vanilla") return sim::vanilla_factory();
+  if (name == "gts") return sim::gts_factory(0);
+  if (name == "iks") {
+    return [](const sim::Simulation&) {
+      return std::make_unique<os::IksBalancer>();
+    };
+  }
+  if (name == "utilaware") {
+    return [](const sim::Simulation&) {
+      return std::make_unique<os::UtilAwareBalancer>();
+    };
+  }
+  if (name == "smartbalance") return sim::smartbalance_factory();
+  if (name == "smartbalance-eq11") {
+    return sim::smartbalance_factory(core::SmartBalanceConfig(),
+                                     /*paper_eq11_objective=*/true);
+  }
+  std::cerr << "unknown policy: " << name << "\n";
+  usage(2);
+}
+
+sim::BalancerFactory policy_for(const Args& a, const std::string& name) {
+  if (name == "smartbalance" && !a.load_model.empty()) {
+    return sim::smartbalance_factory_with_model(
+        core::PredictorModel::load_from_file(a.load_model));
+  }
+  return make_policy(name);
+}
+
+sim::SimulationResult run_once(const Args& a, const arch::Platform& platform,
+                               const std::string& policy) {
+  sim::SimulationConfig cfg;
+  cfg.duration = a.duration;
+  cfg.seed = a.seed;
+  cfg.label = "sbsim";
+  cfg.kernel.enable_dvfs = a.dvfs;
+  cfg.thermal_enabled = a.thermal;
+  cfg.trace_path = a.trace;
+  sim::Simulation s(platform, cfg);
+  s.set_balancer(policy_for(a, policy)(s));
+  if (!a.governor.empty()) {
+    if (a.governor == "ondemand") {
+      s.kernel().set_governor(std::make_unique<os::OndemandGovernor>());
+    } else if (a.governor == "performance") {
+      s.kernel().set_governor(std::make_unique<os::PerformanceGovernor>());
+    } else if (a.governor == "powersave") {
+      s.kernel().set_governor(std::make_unique<os::PowersaveGovernor>());
+    } else {
+      std::cerr << "unknown governor: " << a.governor << "\n";
+      usage(2);
+    }
+  }
+  for (const auto& [name, threads] : a.benches) s.add_benchmark(name, threads);
+  for (const auto& [id, per] : a.mixes) s.add_mix(id, per);
+  for (const auto& [at, name, threads] : a.arrivals) {
+    s.add_benchmark_at(at, name, threads);
+  }
+  for (const auto& [path, name, count] : a.thread_traces) {
+    const auto tb = workload::load_thread_trace_file(path, name);
+    for (int i = 0; i < count; ++i) {
+      auto copy = tb;
+      copy.name = name + "/" + std::to_string(i);
+      s.add_thread(std::move(copy));
+    }
+  }
+  auto r = s.run();
+  r.policy = policy;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    const auto platform = a.platform_file.empty()
+                              ? make_platform(a.platform)
+                              : arch::load_platform_file(a.platform_file);
+
+    if (!a.save_model.empty()) {
+      sim::Simulation probe(platform, sim::SimulationConfig{});
+      const auto model =
+          sim::train_default_model(probe.perf_model(), probe.power_model());
+      model.save_to_file(a.save_model);
+      std::cout << "trained predictor saved to " << a.save_model << "\n";
+      if (a.benches.empty() && a.mixes.empty() && a.arrivals.empty() &&
+          a.thread_traces.empty()) {
+        return 0;
+      }
+    }
+
+    std::vector<std::string> policies;
+    if (a.compare) {
+      policies = {"vanilla", "smartbalance"};
+      if (platform.num_types() == 2) policies.insert(policies.begin() + 1, "gts");
+    } else {
+      policies = {a.policy};
+    }
+
+    std::vector<sim::SimulationResult> results;
+    for (const auto& p : policies) {
+      results.push_back(run_once(a, platform, p));
+      if (a.quiet) {
+        const auto& r = results.back();
+        std::cout << r.policy << ": " << r.ips_per_watt / 1e6 << " MIPS/W ("
+                  << r.ips / 1e9 << " GIPS, " << r.watts << " W)\n";
+      } else {
+        sim::print_result(std::cout, results.back());
+        if (a.thermal && !results.back().final_temp_c.empty()) {
+          std::cout << "peak temperature: " << results.back().max_temp_c
+                    << " C\n";
+        }
+        std::cout << '\n';
+      }
+    }
+    if (!a.json_out.empty()) {
+      std::ofstream js(a.json_out);
+      if (!js) throw std::runtime_error("cannot write " + a.json_out);
+      sim::write_json(js, results.back());
+      std::cout << "metrics written to " << a.json_out << "\n";
+    }
+    if (results.size() > 1) {
+      const double gain =
+          100.0 * (sim::efficiency_ratio(results.back(), results.front()) - 1);
+      std::cout << results.back().policy << " vs " << results.front().policy
+                << ": " << gain << " % energy-efficiency gain\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sbsim: " << e.what() << "\n";
+    return 1;
+  }
+}
