@@ -4,10 +4,13 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "sim/experiment.h"
+#include "sim/runner.h"
 
 namespace sb::bench {
 
@@ -15,10 +18,13 @@ namespace sb::bench {
 ///   --quick          shorter simulations (CI smoke mode)
 ///   --seed=N         override the experiment seed
 ///   --duration-ms=N  override simulated window
+///   --jobs=N         worker threads for the sweep (1 = sequential;
+///                    default: SB_JOBS env var, else hardware concurrency)
 struct Options {
   bool quick = false;
   std::uint64_t seed = 1234;
   TimeNs duration = milliseconds(600);
+  int jobs = 0;  // 0 = ExperimentRunner default (SB_JOBS / hw concurrency)
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -31,8 +37,10 @@ struct Options {
         o.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
       } else if (a.rfind("--duration-ms=", 0) == 0) {
         o.duration = milliseconds(std::strtoll(a.c_str() + 14, nullptr, 10));
+      } else if (a.rfind("--jobs=", 0) == 0) {
+        o.jobs = std::atoi(a.c_str() + 7);
       } else if (a == "--help" || a == "-h") {
-        std::cout << "options: --quick --seed=N --duration-ms=N\n";
+        std::cout << "options: --quick --seed=N --duration-ms=N --jobs=N\n";
         std::exit(0);
       } else {
         std::cerr << "unknown option: " << a << "\n";
@@ -40,6 +48,13 @@ struct Options {
       }
     }
     return o;
+  }
+
+  /// Runner honoring --jobs (or SB_JOBS / hardware concurrency when unset).
+  sim::ExperimentRunner runner() const {
+    sim::ExperimentRunner::Config cfg;
+    cfg.threads = jobs;
+    return sim::ExperimentRunner(cfg);
   }
 };
 
@@ -57,6 +72,99 @@ struct GainRow {
   std::uint64_t migrations = 0;  // global-objective run
 };
 
+namespace detail {
+inline GainRow make_gain_row(const std::string& label,
+                             const sim::SimulationResult& baseline,
+                             const sim::SimulationResult& eq11,
+                             const sim::SimulationResult& global) {
+  GainRow row;
+  row.label = label;
+  row.baseline_mips_w = baseline.ips_per_watt / 1e6;
+  row.smart_eq11_mips_w = eq11.ips_per_watt / 1e6;
+  row.smart_mips_w = global.ips_per_watt / 1e6;
+  row.gain_eq11_pct = 100.0 * (sim::efficiency_ratio(eq11, baseline) - 1.0);
+  row.gain_pct = 100.0 * (sim::efficiency_ratio(global, baseline) - 1.0);
+  row.migrations = global.migrations;
+  return row;
+}
+}  // namespace detail
+
+/// Batched variant of run_gain: queue every figure bar of a sweep up front,
+/// execute the whole batch through one ExperimentRunner (3 simulations per
+/// bar — baseline, SmartBalance Eq. 11, SmartBalance global), and read the
+/// rows back in submission order. Parallelism spans the entire sweep, so
+/// wall-clock approaches cpu_time / threads even when single bars are
+/// imbalanced.
+class GainSweep {
+ public:
+  GainSweep(const arch::Platform& platform, const sim::SimulationConfig& cfg)
+      : platform_(platform),
+        cfg_(cfg),
+        // One factory pair for the whole sweep: the predictor-model cache
+        // inside smartbalance_factory is per-factory, so sharing it trains
+        // once per platform shape instead of once per bar (training is
+        // deterministic, so results are unchanged — just faster).
+        eq11_(sim::smartbalance_factory(core::SmartBalanceConfig(),
+                                        /*paper_eq11_objective=*/true)),
+        global_(sim::smartbalance_factory()) {}
+
+  /// Queues one bar; returns its row index in run()'s output.
+  std::size_t add(const std::string& label,
+                  const sim::WorkloadBuilder& workload,
+                  const sim::BalancerFactory& baseline) {
+    const std::size_t index = labels_.size();
+    labels_.push_back(label);
+    auto push = [&](const std::string& policy_name,
+                    const sim::BalancerFactory& policy) {
+      sim::ExperimentSpec spec;
+      spec.platform = platform_;
+      spec.cfg = cfg_;
+      spec.workload = workload;
+      spec.policy = policy;
+      spec.label = label;
+      spec.policy_name = policy_name;
+      specs_.push_back(std::move(spec));
+    };
+    push("baseline", baseline);
+    push("smartbalance-eq11", eq11_);
+    push("smartbalance", global_);
+    return index;
+  }
+
+  /// Executes all queued bars; one GainRow per add(), in add() order.
+  /// Throws std::runtime_error if any simulation failed.
+  std::vector<GainRow> run(const sim::ExperimentRunner& runner) {
+    const auto batch = runner.run(specs_);
+    summary_ = batch.summary;
+    for (const auto& r : batch.runs) {
+      if (!r.ok()) {
+        throw std::runtime_error("sweep run '" + r.label +
+                                 "' failed: " + r.error);
+      }
+    }
+    std::vector<GainRow> rows;
+    rows.reserve(labels_.size());
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+      rows.push_back(detail::make_gain_row(
+          labels_[i], batch.runs[3 * i].result, batch.runs[3 * i + 1].result,
+          batch.runs[3 * i + 2].result));
+    }
+    return rows;
+  }
+
+  /// Batch accounting of the last run() (threads, wall/cpu ms, speedup).
+  const sim::BatchSummary& summary() const { return summary_; }
+
+ private:
+  arch::Platform platform_;
+  sim::SimulationConfig cfg_;
+  sim::BalancerFactory eq11_;
+  sim::BalancerFactory global_;
+  std::vector<std::string> labels_;
+  std::vector<sim::ExperimentSpec> specs_;
+  sim::BatchSummary summary_;
+};
+
 /// Runs `workload` under `baseline` and both SmartBalance variants on
 /// `platform`, returning the normalized-efficiency row (the unit of
 /// Figs. 4 and 5).
@@ -72,17 +180,8 @@ inline GainRow run_gain(const std::string& label,
         sim::smartbalance_factory(core::SmartBalanceConfig(),
                                   /*paper_eq11_objective=*/true)},
        {"smartbalance", sim::smartbalance_factory()}});
-  GainRow row;
-  row.label = label;
-  row.baseline_mips_w = runs[0].result.ips_per_watt / 1e6;
-  row.smart_eq11_mips_w = runs[1].result.ips_per_watt / 1e6;
-  row.smart_mips_w = runs[2].result.ips_per_watt / 1e6;
-  row.gain_eq11_pct =
-      100.0 * (sim::efficiency_ratio(runs[1].result, runs[0].result) - 1.0);
-  row.gain_pct =
-      100.0 * (sim::efficiency_ratio(runs[2].result, runs[0].result) - 1.0);
-  row.migrations = runs[2].result.migrations;
-  return row;
+  return detail::make_gain_row(label, runs[0].result, runs[1].result,
+                               runs[2].result);
 }
 
 inline void header(const std::string& title, const std::string& paper_claim) {
@@ -90,6 +189,18 @@ inline void header(const std::string& title, const std::string& paper_claim) {
             << title << "\n"
             << "Paper reference: " << paper_claim << "\n"
             << "==============================================================\n";
+}
+
+/// One-line batch accounting ("N runs on T threads ...") for sweep benches.
+inline void print_batch_summary(const sim::BatchSummary& s) {
+  const double sp = s.wall_ms > 0 ? s.speedup() : 0.0;
+  std::cout << "Sweep: " << s.total << " simulations on " << s.threads
+            << " thread(s), " << static_cast<long>(s.wall_ms)
+            << " ms wall (" << static_cast<long>(s.cpu_ms)
+            << " ms sequential-equivalent, "
+            << static_cast<double>(static_cast<long>(sp * 10 + 0.5)) / 10.0
+            << "x speedup)\n";
+  if (s.failed > 0) std::cout << "WARNING: " << s.failed << " runs failed\n";
 }
 
 }  // namespace sb::bench

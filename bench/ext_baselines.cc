@@ -61,20 +61,33 @@ int main(int argc, char** argv) {
   };
 
   CsvWriter csv("ext_baselines.csv", {"workload", "policy", "mips_w"});
-  for (const auto& [wname, wb] : workloads) {
-    const auto runs = sim::compare_policies(platform, cfg, wb, policies);
+  // The full (workload × policy) ladder is one parallel batch; run_sweep
+  // orders results workload-major with policies in declaration order, so
+  // runs[w * policies + p] is workload w under policy p.
+  const auto batch =
+      sim::run_sweep(platform, cfg, workloads, policies, /*replicas=*/1,
+                     opt.runner());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
     TextTable t({"policy", "MIPS/W", "vs vanilla %", "migrations"});
+    const auto* runs = &batch.runs[w * policies.size()];
     const double base = runs[0].result.ips_per_watt;
-    for (const auto& run : runs) {
-      t.add_row({run.policy, TextTable::fmt(run.result.ips_per_watt / 1e6, 1),
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const auto& run = runs[p];
+      if (!run.ok()) {
+        std::cerr << "run '" << run.label << "' failed: " << run.error << "\n";
+        return 1;
+      }
+      t.add_row({run.result.policy,
+                 TextTable::fmt(run.result.ips_per_watt / 1e6, 1),
                  TextTable::fmt(100.0 * (run.result.ips_per_watt / base - 1.0),
                                 1),
                  std::to_string(run.result.migrations)});
-      csv.row({wname, run.policy,
+      csv.row({workloads[w].first, run.result.policy,
                TextTable::fmt(run.result.ips_per_watt / 1e6, 3)});
     }
-    std::cout << wname << ":\n" << t << "\n";
+    std::cout << workloads[w].first << ":\n" << t << "\n";
   }
+  bench::print_batch_summary(batch.summary);
   std::cout << "Series written to ext_baselines.csv\n";
   return 0;
 }

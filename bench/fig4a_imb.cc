@@ -37,28 +37,37 @@ int main(int argc, char** argv) {
                 {"benchmark", "threads", "vanilla_mips_w", "sb_eq11_mips_w",
                  "sb_global_mips_w", "gain_eq11_pct", "gain_global_pct"});
   RunningStats gains, gains_eq11;
+  // Queue the whole sweep, execute it through the parallel runner, then
+  // emit rows in submission order (the output is identical to the old
+  // sequential loop — the runner guarantees bit-identical results).
+  bench::GainSweep sweep(platform, cfg);
+  std::vector<int> row_threads;
   for (const auto& name : workload::BenchmarkLibrary::imb_names()) {
     for (int nt : thread_counts) {
-      const auto row = bench::run_gain(
-          name, platform, cfg,
-          [&](sim::Simulation& s) { s.add_benchmark(name, nt); },
-          sim::vanilla_factory());
-      t.add_row({row.label, std::to_string(nt),
-                 TextTable::fmt(row.baseline_mips_w, 1),
-                 TextTable::fmt(row.smart_eq11_mips_w, 1),
-                 TextTable::fmt(row.smart_mips_w, 1),
-                 TextTable::fmt(row.gain_eq11_pct, 1),
-                 TextTable::fmt(row.gain_pct, 1)});
-      csv.row({name, std::to_string(nt),
-               TextTable::fmt(row.baseline_mips_w, 3),
-               TextTable::fmt(row.smart_eq11_mips_w, 3),
-               TextTable::fmt(row.smart_mips_w, 3),
-               TextTable::fmt(row.gain_eq11_pct, 3),
-               TextTable::fmt(row.gain_pct, 3)});
-      gains.add(row.gain_pct);
-      gains_eq11.add(row.gain_eq11_pct);
+      sweep.add(name, [name, nt](sim::Simulation& s) {
+        s.add_benchmark(name, nt);
+      }, sim::vanilla_factory());
+      row_threads.push_back(nt);
     }
   }
+  const auto rows = sweep.run(opt.runner());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto nt = std::to_string(row_threads[i]);
+    t.add_row({row.label, nt, TextTable::fmt(row.baseline_mips_w, 1),
+               TextTable::fmt(row.smart_eq11_mips_w, 1),
+               TextTable::fmt(row.smart_mips_w, 1),
+               TextTable::fmt(row.gain_eq11_pct, 1),
+               TextTable::fmt(row.gain_pct, 1)});
+    csv.row({row.label, nt, TextTable::fmt(row.baseline_mips_w, 3),
+             TextTable::fmt(row.smart_eq11_mips_w, 3),
+             TextTable::fmt(row.smart_mips_w, 3),
+             TextTable::fmt(row.gain_eq11_pct, 3),
+             TextTable::fmt(row.gain_pct, 3)});
+    gains.add(row.gain_pct);
+    gains_eq11.add(row.gain_eq11_pct);
+  }
+  bench::print_batch_summary(sweep.summary());
   std::cout << t << "\nAverage gain over vanilla (paper: 50.02 %):\n"
             << "  Eq. 11 objective (paper-faithful): "
             << TextTable::fmt(gains_eq11.mean(), 1) << " %\n"

@@ -42,28 +42,22 @@ int main(int argc, char** argv) {
                 {"workload", "threads", "vanilla_mips_w", "sb_eq11_mips_w",
                  "sb_global_mips_w", "gain_eq11_pct", "gain_global_pct"});
   RunningStats gains, gains_eq11;
-  auto emit = [&](const std::string& label, const sim::WorkloadBuilder& wb,
-                  int nt) {
-    const auto row =
-        bench::run_gain(label, platform, cfg, wb, sim::vanilla_factory());
-    t.add_row({row.label, std::to_string(nt),
-               TextTable::fmt(row.baseline_mips_w, 1),
-               TextTable::fmt(row.smart_eq11_mips_w, 1),
-               TextTable::fmt(row.smart_mips_w, 1),
-               TextTable::fmt(row.gain_eq11_pct, 1),
-               TextTable::fmt(row.gain_pct, 1)});
-    csv.row({label, std::to_string(nt), TextTable::fmt(row.baseline_mips_w, 3),
-             TextTable::fmt(row.smart_eq11_mips_w, 3),
-             TextTable::fmt(row.smart_mips_w, 3),
-             TextTable::fmt(row.gain_eq11_pct, 3),
-             TextTable::fmt(row.gain_pct, 3)});
-    gains.add(row.gain_pct);
-    gains_eq11.add(row.gain_eq11_pct);
+  // Queue the whole (workload × thread-count) sweep up front; the parallel
+  // runner spreads the 3-simulations-per-bar batch across worker threads
+  // (--jobs / SB_JOBS) with bit-identical results to the sequential loop.
+  bench::GainSweep sweep(platform, cfg);
+  std::vector<int> row_threads;
+  auto queue = [&](const std::string& label, const sim::WorkloadBuilder& wb,
+                   int nt) {
+    sweep.add(label, wb, sim::vanilla_factory());
+    row_threads.push_back(nt);
   };
 
   for (const auto& name : benchmarks) {
     for (int nt : thread_counts) {
-      emit(name, [&](sim::Simulation& s) { s.add_benchmark(name, nt); }, nt);
+      queue(name, [name, nt](sim::Simulation& s) {
+        s.add_benchmark(name, nt);
+      }, nt);
     }
   }
   // Table 3 mixes: the per-benchmark thread count splits the budget across
@@ -71,10 +65,29 @@ int main(int argc, char** argv) {
   const int mixes = opt.quick ? 2 : workload::num_mixes();
   for (int id = 1; id <= mixes; ++id) {
     for (int per : {1, 2}) {
-      emit("Mix" + std::to_string(id),
-           [&](sim::Simulation& s) { s.add_mix(id, per); }, per);
+      queue("Mix" + std::to_string(id),
+            [id, per](sim::Simulation& s) { s.add_mix(id, per); }, per);
     }
   }
+
+  const auto rows = sweep.run(opt.runner());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto nt = std::to_string(row_threads[i]);
+    t.add_row({row.label, nt, TextTable::fmt(row.baseline_mips_w, 1),
+               TextTable::fmt(row.smart_eq11_mips_w, 1),
+               TextTable::fmt(row.smart_mips_w, 1),
+               TextTable::fmt(row.gain_eq11_pct, 1),
+               TextTable::fmt(row.gain_pct, 1)});
+    csv.row({row.label, nt, TextTable::fmt(row.baseline_mips_w, 3),
+             TextTable::fmt(row.smart_eq11_mips_w, 3),
+             TextTable::fmt(row.smart_mips_w, 3),
+             TextTable::fmt(row.gain_eq11_pct, 3),
+             TextTable::fmt(row.gain_pct, 3)});
+    gains.add(row.gain_pct);
+    gains_eq11.add(row.gain_eq11_pct);
+  }
+  bench::print_batch_summary(sweep.summary());
 
   std::cout << t << "\nAverage gain over vanilla (paper: ~52 %):\n"
             << "  Eq. 11 objective (paper-faithful): "

@@ -39,17 +39,20 @@ int main(int argc, char** argv) {
                 {"workload", "gts_mips_w", "sb_eq11_mips_w",
                  "sb_global_mips_w", "gain_eq11_pct", "gain_global_pct"});
   RunningStats gains, gains_eq11;
+  // Queue all bars, execute through the parallel runner, emit in order.
+  bench::GainSweep sweep(platform, cfg);
   for (const auto& [name, nt] : workloads) {
-    const auto row = bench::run_gain(
-        name, platform, cfg,
-        [&, n = name, k = nt](sim::Simulation& s) { s.add_benchmark(n, k); },
-        sim::gts_factory(/*big_type=*/0));
+    sweep.add(name,
+              [n = name, k = nt](sim::Simulation& s) { s.add_benchmark(n, k); },
+              sim::gts_factory(/*big_type=*/0));
+  }
+  for (const auto& row : sweep.run(opt.runner())) {
     t.add_row({row.label, TextTable::fmt(row.baseline_mips_w, 1),
                TextTable::fmt(row.smart_eq11_mips_w, 1),
                TextTable::fmt(row.smart_mips_w, 1),
                TextTable::fmt(row.gain_eq11_pct, 1),
                TextTable::fmt(row.gain_pct, 1)});
-    csv.row({name, TextTable::fmt(row.baseline_mips_w, 3),
+    csv.row({row.label, TextTable::fmt(row.baseline_mips_w, 3),
              TextTable::fmt(row.smart_eq11_mips_w, 3),
              TextTable::fmt(row.smart_mips_w, 3),
              TextTable::fmt(row.gain_eq11_pct, 3),
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
     gains.add(row.gain_pct);
     gains_eq11.add(row.gain_eq11_pct);
   }
+  bench::print_batch_summary(sweep.summary());
   std::cout << t << "\nAverage gain over GTS (paper: ~20 %):\n"
             << "  Eq. 11 objective (paper-faithful): "
             << TextTable::fmt(gains_eq11.mean(), 1) << " %\n"

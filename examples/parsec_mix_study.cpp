@@ -8,6 +8,7 @@
 
 #include "arch/platform.h"
 #include "sim/experiment.h"
+#include "sim/runner.h"
 #include "sim/simulation.h"
 #include "workload/mixes.h"
 
@@ -29,16 +30,25 @@ int main(int argc, char** argv) {
   cfg.duration = milliseconds(600);
   cfg.label = "Mix" + std::to_string(mix_id);
 
-  const auto runs = sim::compare_policies(
+  // All three policies run concurrently through the experiment runner
+  // (worker count: SB_JOBS env var, else hardware concurrency); results are
+  // deterministic and come back in submission order.
+  const auto batch = sim::run_sweep(
       platform, cfg,
-      [&](sim::Simulation& s) { s.add_mix(mix_id, threads); },
+      {{"Mix" + std::to_string(mix_id),
+        [&](sim::Simulation& s) { s.add_mix(mix_id, threads); }}},
       {{"none", [](const sim::Simulation&) {
           return std::make_unique<os::NullBalancer>();
         }},
        {"vanilla", sim::vanilla_factory()},
        {"smartbalance", sim::smartbalance_factory()}});
+  const auto& runs = batch.runs;
 
   for (const auto& run : runs) {
+    if (!run.ok()) {
+      std::cerr << "run '" << run.label << "' failed: " << run.error << "\n";
+      return 1;
+    }
     sim::print_result(std::cout, run.result);
     std::cout << '\n';
   }
@@ -46,6 +56,8 @@ int main(int argc, char** argv) {
   std::cout << "SmartBalance vs vanilla: "
             << 100.0 * (sim::efficiency_ratio(runs[2].result, runs[1].result) -
                         1.0)
-            << " % better IPS/W\n";
+            << " % better IPS/W  (batch: " << batch.summary.threads
+            << " worker thread(s), " << static_cast<long>(batch.summary.wall_ms)
+            << " ms wall)\n";
   return 0;
 }

@@ -2,10 +2,15 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace sb {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/// Serializes emission so concurrent experiment-runner workers cannot
+/// interleave characters of different log lines.
+std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -29,6 +34,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
   std::cerr << "[sb:" << level_name(level) << "] " << msg << '\n';
 }
 

@@ -1,5 +1,7 @@
 // Lightweight leveled logging. Default level is Warn so test and bench
 // output stays clean; simulations raise it when --verbose is passed.
+// Thread-safe: the level is atomic and emission is serialized, so
+// concurrent experiment-runner workers cannot interleave log lines.
 #pragma once
 
 #include <sstream>

@@ -2,8 +2,10 @@
 
 #include <map>
 #include <mutex>
+#include <stdexcept>
 
 #include "core/smart_balance.h"
+#include "sim/runner.h"
 #include "core/trainer.h"
 #include "os/gts_balancer.h"
 #include "os/vanilla_balancer.h"
@@ -110,15 +112,24 @@ std::vector<SimulationResult> run_replicated(const arch::Platform& platform,
                                              const BalancerFactory& policy,
                                              int replicas) {
   if (replicas <= 0) throw std::invalid_argument("run_replicated: replicas");
-  std::vector<SimulationResult> out;
-  out.reserve(static_cast<std::size_t>(replicas));
-  const std::uint64_t base_seed = cfg.seed;
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(static_cast<std::size_t>(replicas));
   for (int r = 0; r < replicas; ++r) {
-    cfg.seed = base_seed + static_cast<std::uint64_t>(r) * 0x9e3779b9ULL;
-    Simulation sim(platform, cfg);
-    sim.set_balancer(policy(sim));
-    workload(sim);
-    out.push_back(sim.run());
+    ExperimentSpec spec;
+    spec.platform = platform;
+    spec.cfg = cfg;
+    spec.cfg.seed = replica_seed(cfg.seed, r);
+    spec.workload = workload;
+    spec.policy = policy;
+    spec.label = "replica#" + std::to_string(r);
+    specs.push_back(std::move(spec));
+  }
+  const auto batch = ExperimentRunner().run(specs);
+  std::vector<SimulationResult> out;
+  out.reserve(batch.runs.size());
+  for (const auto& run : batch.runs) {
+    if (!run.ok()) throw std::runtime_error("run_replicated: " + run.error);
+    out.push_back(run.result);
   }
   return out;
 }
@@ -127,17 +138,30 @@ std::vector<PolicyRun> compare_policies(
     const arch::Platform& platform, const SimulationConfig& cfg,
     const WorkloadBuilder& workload,
     const std::vector<std::pair<std::string, BalancerFactory>>& policies) {
-  std::vector<PolicyRun> out;
-  out.reserve(policies.size());
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(policies.size());
   for (const auto& [name, factory] : policies) {
-    Simulation sim(platform, cfg);
-    sim.set_balancer(factory(sim));
-    workload(sim);
-    PolicyRun run;
-    run.policy = name;
-    run.result = sim.run();
-    run.result.policy = name;
-    out.push_back(std::move(run));
+    ExperimentSpec spec;
+    spec.platform = platform;
+    spec.cfg = cfg;
+    spec.workload = workload;
+    spec.policy = factory;
+    spec.label = name;
+    spec.policy_name = name;
+    specs.push_back(std::move(spec));
+  }
+  const auto batch = ExperimentRunner().run(specs);
+  std::vector<PolicyRun> out;
+  out.reserve(batch.runs.size());
+  for (const auto& run : batch.runs) {
+    if (!run.ok()) {
+      throw std::runtime_error("compare_policies[" + run.label +
+                               "]: " + run.error);
+    }
+    PolicyRun pr;
+    pr.policy = run.label;
+    pr.result = run.result;
+    out.push_back(std::move(pr));
   }
   return out;
 }

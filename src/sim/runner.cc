@@ -1,0 +1,133 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "common/log.h"
+
+namespace sb::sim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Runs one spec, filling `out`. All exceptions are contained here so a bad
+/// spec cannot poison the batch or tear down a worker thread.
+void run_one(const ExperimentSpec& spec, ExperimentResult& out) {
+  out.label = spec.label;
+  const auto start = Clock::now();
+  try {
+    Simulation sim(spec.platform, spec.cfg);
+    sim.set_balancer(spec.policy(sim));
+    spec.workload(sim);
+    out.result = sim.run();
+    if (!spec.policy_name.empty()) out.result.policy = spec.policy_name;
+    if (out.result.label.empty()) out.result.label = spec.label;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    if (out.error.empty()) out.error = "unknown std::exception";
+  } catch (...) {
+    out.error = "unknown exception";
+  }
+  out.wall_ms = ms_since(start);
+}
+
+}  // namespace
+
+int ExperimentRunner::default_threads() {
+  if (const char* env = std::getenv("SB_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<int>(v);
+    log_warn() << "SB_JOBS='" << env << "' is not a positive integer; "
+               << "falling back to hardware concurrency";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ExperimentRunner::ExperimentRunner() : ExperimentRunner(Config()) {}
+
+ExperimentRunner::ExperimentRunner(Config cfg)
+    : threads_(cfg.threads > 0 ? cfg.threads : default_threads()) {}
+
+BatchResult ExperimentRunner::run(
+    const std::vector<ExperimentSpec>& specs) const {
+  BatchResult batch;
+  batch.runs.resize(specs.size());
+  batch.summary.total = specs.size();
+  const auto start = Clock::now();
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(threads_), specs.size()));
+  batch.summary.threads = std::max(workers, specs.empty() ? 0 : 1);
+
+  if (workers <= 1) {
+    // Inline path: no thread spawn for a single worker (or empty batch).
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      run_one(specs[i], batch.runs[i]);
+    }
+  } else {
+    // Work-stealing by atomic index: completion order is arbitrary but each
+    // result lands in its submission slot, and every spec is self-seeded, so
+    // the batch output is independent of the schedule.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < specs.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        run_one(specs[i], batch.runs[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  batch.summary.wall_ms = ms_since(start);
+  for (const auto& r : batch.runs) {
+    batch.summary.cpu_ms += r.wall_ms;
+    if (!r.ok()) ++batch.summary.failed;
+  }
+  return batch;
+}
+
+BatchResult run_sweep(
+    const arch::Platform& platform, const SimulationConfig& cfg,
+    const std::vector<std::pair<std::string, WorkloadBuilder>>& workloads,
+    const std::vector<std::pair<std::string, BalancerFactory>>& policies,
+    int replicas, const ExperimentRunner& runner) {
+  if (replicas <= 0) throw std::invalid_argument("run_sweep: replicas");
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(workloads.size() * policies.size() *
+                static_cast<std::size_t>(replicas));
+  for (const auto& [wname, workload] : workloads) {
+    for (const auto& [pname, policy] : policies) {
+      for (int r = 0; r < replicas; ++r) {
+        ExperimentSpec spec;
+        spec.platform = platform;
+        spec.cfg = cfg;
+        spec.cfg.seed = replica_seed(cfg.seed, r);
+        spec.workload = workload;
+        spec.policy = policy;
+        spec.policy_name = pname;
+        spec.label = wname + "/" + pname;
+        if (replicas > 1) spec.label += "#" + std::to_string(r);
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  return runner.run(specs);
+}
+
+}  // namespace sb::sim
