@@ -1,0 +1,31 @@
+#include "alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+namespace sb::bench {
+std::uint64_t alloc_count() { return g_allocs.load(std::memory_order_relaxed); }
+}  // namespace sb::bench
+
+// Replace the global allocation functions for any binary linking this file.
+// The relaxed atomic increment is cheap enough not to perturb timing and the
+// harness only ever diffs counts, never rates.
+void* operator new(std::size_t sz) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t sz, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(sz ? sz : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }

@@ -1,0 +1,16 @@
+// Heap-allocation counter for the perf-regression harness. Linking
+// alloc_hook.cc into a binary replaces the global operator new/delete with
+// counting versions; alloc_count() reads the running total. Used to prove
+// the "zero allocations in the SA inner loop once the scratch arena is
+// warm" property in BENCH_sa.json.
+#pragma once
+
+#include <cstdint>
+
+namespace sb::bench {
+
+/// Number of global operator new calls since process start. Monotone;
+/// diff two readings around a region to count its allocations.
+std::uint64_t alloc_count();
+
+}  // namespace sb::bench

@@ -1,0 +1,88 @@
+// Minimal ordered JSON writer for the BENCH_*.json perf-trajectory files.
+// No external dependency; emits pretty-printed, stable-ordered output so
+// successive trajectory points diff cleanly in review.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sb::bench {
+
+class Json {
+ public:
+  Json() { os_.precision(6); }
+
+  Json& begin_object(const std::string& key = "") {
+    open(key);
+    os_ << "{";
+    stack_.push_back(false);
+    return *this;
+  }
+
+  Json& end_object() {
+    stack_.pop_back();
+    os_ << "\n" << indent() << "}";
+    if (stack_.empty()) os_ << "\n";
+    return *this;
+  }
+
+  Json& field(const std::string& key, double v) {
+    open(key);
+    os_ << std::fixed << v;
+    os_.unsetf(std::ios::fixed);
+    return *this;
+  }
+
+  Json& field(const std::string& key, int v) { return field_raw(key, std::to_string(v)); }
+  Json& field(const std::string& key, long v) { return field_raw(key, std::to_string(v)); }
+  Json& field(const std::string& key, unsigned long v) {
+    return field_raw(key, std::to_string(v));
+  }
+  Json& field(const std::string& key, unsigned long long v) {
+    return field_raw(key, std::to_string(v));
+  }
+  Json& field(const std::string& key, bool v) {
+    return field_raw(key, v ? "true" : "false");
+  }
+  Json& field(const std::string& key, const std::string& v) {
+    return field_raw(key, "\"" + v + "\"");
+  }
+  Json& field(const std::string& key, const char* v) {
+    return field(key, std::string(v));
+  }
+
+  std::string str() const { return os_.str(); }
+
+  /// Writes the document to `path` and logs the destination.
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << str();
+    std::cout << "Perf trajectory written to " << path << "\n";
+  }
+
+ private:
+  Json& field_raw(const std::string& key, const std::string& raw) {
+    open(key);
+    os_ << raw;
+    return *this;
+  }
+
+  std::string indent() const { return std::string(2 * stack_.size(), ' '); }
+
+  void open(const std::string& key) {
+    if (!stack_.empty()) {
+      if (stack_.back()) os_ << ",";
+      stack_.back() = true;
+      os_ << "\n" << indent();
+    }
+    if (!key.empty()) os_ << "\"" << key << "\": ";
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> stack_;  // per level: "already has a member"
+};
+
+}  // namespace sb::bench

@@ -6,11 +6,18 @@
 // average overhead of using SmartBalance is negligible with respect to the
 // 60 ms epoch length (less than 1%)", with optimization + migration
 // dominating at larger scales.
+//
+// Besides the tables/CSV, this harness writes BENCH_epoch.json: the
+// per-phase breakdown at the quad and 128-core extremes plus a
+// prediction-cache on-vs-off comparison of the predict phase, against the
+// committed pre-optimization baselines (see EXPERIMENTS.md "Hot-path
+// performance").
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "arch/platform.h"
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/csv.h"
 #include "common/table.h"
@@ -33,6 +40,10 @@ struct PhaseRow {
   double predict_us = 0;
   double optimize_us = 0;
   double migrate_us = 0;  // 50% of threads × per-migration cost
+  // Prediction-cache accounting (zero when the cache is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_stale_evictions = 0;
   double total_us() const {
     return sense_us + predict_us + optimize_us + migrate_us;
   }
@@ -49,14 +60,16 @@ sb::arch::Platform make_platform(int cores) {
 }
 
 PhaseRow measure(int cores, int threads, sb::TimeNs duration,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, bool prediction_cache = false) {
   using namespace sb;
   const auto platform = make_platform(cores);
   sim::SimulationConfig cfg;
   cfg.duration = duration;
   cfg.seed = seed;
   sim::Simulation s(platform, cfg);
-  s.set_balancer(sim::smartbalance_factory()(s));
+  core::SmartBalanceConfig sb_cfg;
+  sb_cfg.prediction_cache.enabled = prediction_cache;
+  s.set_balancer(sim::smartbalance_factory(sb_cfg)(s));
   // Mixed workload touching all characterization regimes.
   const char* names[] = {"swaptions", "canneal", "bodytrack", "x264_H_crew"};
   for (int i = 0; i < threads; ++i) {
@@ -70,7 +83,54 @@ PhaseRow measure(int cores, int threads, sb::TimeNs duration,
   row.predict_us = r.avg_predict_us;
   row.optimize_us = r.avg_optimize_us;
   row.migrate_us = 0.5 * threads * kMigrationCostUs;
+  if (const auto* policy = dynamic_cast<const core::SmartBalancePolicy*>(
+          s.kernel().balancer())) {
+    const auto stats = policy->prediction_cache().stats();
+    row.cache_hits = stats.hits;
+    row.cache_misses = stats.misses;
+    row.cache_stale_evictions = stats.stale_evictions;
+  }
   return row;
+}
+
+void emit_phase_object(sb::bench::Json& j, const std::string& key,
+                       const PhaseRow& row, double base_sense_us,
+                       double base_predict_us, double base_optimize_us) {
+  j.begin_object(key)
+      .field("cores", row.cores)
+      .field("threads", row.threads)
+      .field("sense_us", row.sense_us)
+      .field("predict_us", row.predict_us)
+      .field("optimize_us", row.optimize_us)
+      .field("migrate_us", row.migrate_us)
+      .field("total_us", row.total_us())
+      .field("pct_of_epoch", row.total_us() / 60'000.0 * 100)
+      .field("baseline_sense_us", base_sense_us)
+      .field("baseline_predict_us", base_predict_us)
+      .field("baseline_optimize_us", base_optimize_us)
+      .field("optimize_speedup_vs_baseline",
+             row.optimize_us > 0 ? base_optimize_us / row.optimize_us : 0.0)
+      .end_object();
+}
+
+void emit_cache_object(sb::bench::Json& j, const std::string& key,
+                       const PhaseRow& off, const PhaseRow& on) {
+  j.begin_object(key)
+      .field("cores", off.cores)
+      .field("threads", off.threads)
+      .field("predict_us_cache_off", off.predict_us)
+      .field("predict_us_cache_on", on.predict_us)
+      .field("predict_speedup",
+             on.predict_us > 0 ? off.predict_us / on.predict_us : 0.0)
+      .field("cache_hits", on.cache_hits)
+      .field("cache_misses", on.cache_misses)
+      .field("cache_stale_evictions", on.cache_stale_evictions)
+      .field("hit_rate",
+             on.cache_hits + on.cache_misses > 0
+                 ? static_cast<double>(on.cache_hits) /
+                       static_cast<double>(on.cache_hits + on.cache_misses)
+                 : 0.0)
+      .end_object();
 }
 
 }  // namespace
@@ -108,12 +168,14 @@ int main(int argc, char** argv) {
   CsvWriter csv("fig7_scalability.csv",
                 {"cores", "threads", "sense_us", "predict_us", "optimize_us",
                  "migrate_us", "total_us"});
+  PhaseRow large;  // the 128-core/256-thread extreme (skipped with --quick)
   for (const auto& [n, m] : scenarios) {
     // Larger platforms get a shorter window — overhead per pass is what we
     // measure, a few epochs suffice.
     const TimeNs window =
         n >= 32 ? milliseconds(180) : std::min<TimeNs>(opt.duration, milliseconds(300));
     const auto row = measure(n, m, window, opt.seed);
+    if (n == 128) large = row;
     tb.add_row({std::to_string(n), std::to_string(m),
                 TextTable::fmt(row.sense_us, 1),
                 TextTable::fmt(row.predict_us, 1),
@@ -128,5 +190,32 @@ int main(int argc, char** argv) {
   }
   std::cout << "(b) scalability (2-128 cores, 4-256 threads):\n"
             << tb << "\nSeries written to fig7_scalability.csv\n";
+
+  // --- BENCH_epoch.json ----------------------------------------------------
+  // Pre-PR per-phase baselines measured on the same machine at -O2 -DNDEBUG
+  // (commit b792c4d, default duration, seed 1234, identical workload mix).
+  const auto quad_cached = measure(4, 8, opt.duration, opt.seed, true);
+  bench::Json j;
+  j.begin_object()
+      .field("bench", "BENCH_epoch")
+      .field("description",
+             "SmartBalance per-phase epoch overhead (PARSEC mix workload) "
+             "and prediction-cache predict-phase comparison")
+      .field("build", "-O2 -DNDEBUG")
+      .field("baseline_commit", "b792c4d");
+  emit_phase_object(j, "quad", quad, 4.8, 1.0, 54.8);
+  if (large.cores == 128) {
+    emit_phase_object(j, "fig7_large", large, 130.9, 788.1, 7386.8);
+  }
+  j.begin_object("prediction_cache");
+  emit_cache_object(j, "quad", quad, quad_cached);
+  if (large.cores == 128) {
+    const auto large_cached =
+        measure(128, 256, milliseconds(180), opt.seed, true);
+    emit_cache_object(j, "fig7_large", large, large_cached);
+  }
+  j.end_object();
+  j.end_object();
+  j.write("BENCH_epoch.json");
   return 0;
 }

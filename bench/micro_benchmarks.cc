@@ -2,11 +2,21 @@
 // primitives the in-kernel optimizer relies on, one SA iteration, the
 // predictor, characterization-matrix construction, CFS runqueue operations
 // and a full simulated epoch.
+//
+// After the google-benchmark suite runs, main() measures the SA optimizer
+// on the Fig. 7 scalability extremes and writes BENCH_sa.json — the
+// machine-readable perf-trajectory point this repo commits per PR (see
+// EXPERIMENTS.md "Hot-path performance"). Pass --benchmark_filter=NONE to
+// skip the google-benchmark suite and only emit the JSON.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <string>
 
+#include "alloc_hook.h"
 #include "arch/platform.h"
+#include "bench_json.h"
 #include "common/fixed_math.h"
 #include "common/rng.h"
 #include "core/objective.h"
@@ -76,7 +86,7 @@ void BM_SaOptimize(benchmark::State& state) {
   core::EnergyEfficiencyObjective obj;
   core::SaConfig cfg;
   cfg.max_iterations = 1000;
-  const core::SaOptimizer opt(cfg);
+  core::SaOptimizer opt(cfg);
   for (auto _ : state) {
     benchmark::DoNotOptimize(opt.optimize(s, p, obj, init));
   }
@@ -157,6 +167,150 @@ void BM_SimulatedEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedEpoch)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// BENCH_sa.json: SA optimizer throughput + allocation counts on the Fig. 7
+// scalability extremes. The workload (matrix contents, demand vector,
+// initial allocation, seed) is fixed so successive trajectory points are
+// comparable run-to-run and against the committed baseline.
+// ---------------------------------------------------------------------------
+
+/// Energy-efficiency formula expressed as a *custom* objective (kind()
+/// stays kCustom): exercises the generic virtual-dispatch annealing kernel
+/// so the JSON also tracks the escape-hatch cost relative to the
+/// devirtualized built-in path.
+class VirtualEfficiencyObjective : public core::BalanceObjective {
+ public:
+  double core_term(const core::CoreSums& s, CoreId /*core*/) const override {
+    if (s.nthreads == 0 || s.watts <= 0) return 0.0;
+    return s.gips / s.watts;
+  }
+  std::string name() const override { return "virtual_ips_per_watt"; }
+};
+
+struct SaPoint {
+  int num_cores = 0;
+  int num_threads = 0;
+  int sa_iterations = 0;
+  double ns_per_call = 0;
+  double ns_per_iteration = 0;
+  double allocs_per_call = 0;
+  double objective = 0;
+};
+
+SaPoint measure_sa_point(int n, int m, const core::BalanceObjective& obj) {
+  // Workload spec shared with the recorded baseline: Rng(3) matrices,
+  // alternating CPU-bound / duty-cycled demand, threads striped over cores.
+  Rng rng(3);
+  Matrix s(static_cast<std::size_t>(m), static_cast<std::size_t>(n));
+  Matrix p(static_cast<std::size_t>(m), static_cast<std::size_t>(n));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      s.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          rng.uniform(0.1, 4.0);
+      p.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          rng.uniform(0.05, 3.0);
+    }
+  }
+  std::vector<double> demand(static_cast<std::size_t>(m));
+  std::vector<CoreId> initial(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    demand[static_cast<std::size_t>(i)] =
+        (i % 2 == 0) ? -1.0 : rng.uniform(0.05, 1.0);
+    initial[static_cast<std::size_t>(i)] = static_cast<CoreId>(i % n);
+  }
+  core::SaConfig cfg;
+  cfg.seed = 42;
+  core::SaOptimizer opt(cfg);
+
+  SaPoint out;
+  out.num_cores = n;
+  out.num_threads = m;
+  out.sa_iterations = core::sa_auto_iterations(n, m);
+
+  // Warmup grows the scratch arena to the problem size; the timed region
+  // then shows the steady-state (zero-allocation) cost.
+  (void)opt.optimize(s, p, obj, initial, nullptr, &demand);
+  constexpr int kReps = 30;
+  const std::uint64_t a0 = bench::alloc_count();
+  const auto t0 = std::chrono::steady_clock::now();
+  double sink = 0;
+  for (int r = 0; r < kReps; ++r) {
+    sink += opt.optimize(s, p, obj, initial, nullptr, &demand).objective;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t a1 = bench::alloc_count();
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  out.ns_per_call = ns / kReps;
+  out.ns_per_iteration = out.ns_per_call / out.sa_iterations;
+  out.allocs_per_call = static_cast<double>(a1 - a0) / kReps;
+  out.objective = sink / kReps;
+  return out;
+}
+
+void emit_sa_point(bench::Json& j, const std::string& key, const SaPoint& pt,
+                   double baseline_ns_per_iteration,
+                   double baseline_allocs_per_call) {
+  j.begin_object(key)
+      .field("num_cores", pt.num_cores)
+      .field("num_threads", pt.num_threads)
+      .field("sa_iterations", pt.sa_iterations)
+      .field("ns_per_call", pt.ns_per_call)
+      .field("ns_per_iteration", pt.ns_per_iteration)
+      .field("iterations_per_sec", 1e9 / pt.ns_per_iteration)
+      .field("allocs_per_call", pt.allocs_per_call)
+      .field("objective", pt.objective);
+  if (baseline_ns_per_iteration > 0) {
+    j.field("baseline_ns_per_iteration", baseline_ns_per_iteration)
+        .field("baseline_allocs_per_call", baseline_allocs_per_call)
+        .field("speedup_vs_baseline",
+               baseline_ns_per_iteration / pt.ns_per_iteration);
+  }
+  j.end_object();
+}
+
+void emit_bench_sa_json() {
+  // Pre-PR numbers measured on the same machine at -O2 -DNDEBUG (commit
+  // b792c4d, 30 reps, identical workload); the acceptance bar for this
+  // harness is speedup_vs_baseline >= 2.0 at the fig7_large point.
+  constexpr double kBaselineLargeNsPerIter = 125.2;
+  constexpr double kBaselineQuadNsPerIter = 92.6;
+  constexpr double kBaselineAllocsPerCall = 7.0;
+
+  core::EnergyEfficiencyObjective ee;
+  VirtualEfficiencyObjective custom;
+  const SaPoint large = measure_sa_point(128, 256, ee);
+  const SaPoint quad = measure_sa_point(4, 8, ee);
+  const SaPoint large_virtual = measure_sa_point(128, 256, custom);
+
+  bench::Json j;
+  j.begin_object()
+      .field("bench", "BENCH_sa")
+      .field("description",
+             "SA optimizer throughput on the Fig. 7 scalability extremes; "
+             "fixed synthetic workload, EnergyEfficiencyObjective, seed 42, "
+             "auto iteration budget, 30 reps after 1 warmup")
+      .field("build", "-O2 -DNDEBUG")
+      .field("baseline_commit", "b792c4d")
+      .field("baseline_note",
+             "baselines measured pre-optimization on the same machine with "
+             "the identical workload and rep count");
+  emit_sa_point(j, "fig7_large", large, kBaselineLargeNsPerIter,
+                kBaselineAllocsPerCall);
+  emit_sa_point(j, "quad", quad, kBaselineQuadNsPerIter,
+                kBaselineAllocsPerCall);
+  emit_sa_point(j, "fig7_large_custom_objective", large_virtual, 0, 0);
+  j.end_object();
+  j.write("BENCH_sa.json");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_bench_sa_json();
+  return 0;
+}

@@ -82,6 +82,48 @@ class Rng {
   std::uint64_t s1_ = 2;
 };
 
+/// Exact `x % d` for 64-bit x with a precomputed 128-bit reciprocal
+/// (Lemire's "faster remainder by direct computation"). A hardware 64-bit
+/// division costs ~20-30 cycles; with the divisor fixed across many draws —
+/// the SA optimizer reduces every slot draw modulo the same n·m — the two
+/// wide multiplies here are several times cheaper. Exactness for all x is
+/// property-tested against `%` in rng_test.
+class FastMod {
+ public:
+  FastMod() : FastMod(1) {}
+  explicit FastMod(std::uint64_t d)
+      : d_(d),
+        m_(~static_cast<unsigned __int128>(0) / d + 1),
+        r64_(~std::uint64_t{0} / d + 1) {}
+
+  std::uint64_t divisor() const { return d_; }
+
+  /// Exact x / d. Valid for x < 2^32 and d < 2^32 (the 64-bit ceiling
+  /// reciprocal's error term e·x/2^64 stays below 1/d in that range);
+  /// callers with larger operands must use hardware division.
+  std::uint64_t div(std::uint64_t x) const {
+    if (d_ == 1) return x;  // the 64-bit reciprocal wraps to 0 for d == 1
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(r64_) * x) >> 64);
+  }
+
+  std::uint64_t mod(std::uint64_t x) const {
+    const unsigned __int128 low = m_ * x;  // fractional part of x/d, mod 2^128
+    const auto lo = static_cast<std::uint64_t>(low);
+    const auto hi = static_cast<std::uint64_t>(low >> 64);
+    // mulhi_128x64(low, d): the integer part of low·d / 2^128.
+    const unsigned __int128 t =
+        static_cast<unsigned __int128>(hi) * d_ +
+        ((static_cast<unsigned __int128>(lo) * d_) >> 64);
+    return static_cast<std::uint64_t>(t >> 64);
+  }
+
+ private:
+  std::uint64_t d_;
+  unsigned __int128 m_;  // 128-bit ceiling reciprocal (for mod)
+  std::uint64_t r64_;    // 64-bit ceiling reciprocal (for div)
+};
+
 inline double Rng::gaussian() {
   // Box–Muller; avoids log(0) by mapping u1 into (0,1].
   double u1 = 1.0 - uniform();

@@ -28,9 +28,24 @@ struct CoreSums {
   int nthreads = 0;
 };
 
+/// Identifies the built-in objectives so the optimizer can dispatch its
+/// annealing loop to a kernel specialized (devirtualized) for the concrete
+/// type. User-defined objectives report kCustom and run through the generic
+/// virtual-dispatch kernel — same semantics, slightly slower inner loop.
+enum class ObjectiveKind {
+  kCustom = 0,
+  kEnergyEfficiency,
+  kThroughput,
+  kEdp,
+  kGlobalEfficiency,
+};
+
 class BalanceObjective {
  public:
   virtual ~BalanceObjective() = default;
+
+  /// Built-in objectives override this; custom objectives keep kCustom.
+  virtual ObjectiveKind kind() const { return ObjectiveKind::kCustom; }
 
   /// Additive objectives: J = Σ_j core_term(core j). This is the paper's
   /// Eq. 11 family; `core` identifies the column for per-core weights ω_j.
@@ -67,6 +82,9 @@ class EnergyEfficiencyObjective final : public BalanceObjective {
     return w * s.gips / s.watts;
   }
 
+  ObjectiveKind kind() const override {
+    return ObjectiveKind::kEnergyEfficiency;
+  }
   std::string name() const override { return "ips_per_watt"; }
 
  private:
@@ -81,6 +99,7 @@ class ThroughputObjective final : public BalanceObjective {
     if (s.nthreads == 0) return 0.0;
     return s.gips / s.nthreads;
   }
+  ObjectiveKind kind() const override { return ObjectiveKind::kThroughput; }
   std::string name() const override { return "throughput"; }
 };
 
@@ -93,6 +112,7 @@ class EdpObjective final : public BalanceObjective {
     const double ips = s.gips / s.nthreads;
     return ips * ips / (s.watts / s.nthreads);
   }
+  ObjectiveKind kind() const override { return ObjectiveKind::kEdp; }
   std::string name() const override { return "edp"; }
 };
 
@@ -132,6 +152,9 @@ class GlobalEfficiencyObjective final : public BalanceObjective {
     return {s.gips * scale, s.watts * scale + sleep * idle_fraction};
   }
 
+  ObjectiveKind kind() const override {
+    return ObjectiveKind::kGlobalEfficiency;
+  }
   std::string name() const override { return "global_ips_per_watt"; }
 
  private:

@@ -1,0 +1,73 @@
+#include "core/prediction_cache.h"
+
+#include <cmath>
+
+namespace sb::core {
+namespace {
+
+std::int64_t quantize(double v, double steps) {
+  return std::llround(v * steps);
+}
+
+}  // namespace
+
+PredictionCache::Key PredictionCache::make_key(const ThreadObservation& obs,
+                                               std::uint64_t context) const {
+  Key k;
+  const double q = cfg_.quantization_steps;
+  // Every observation field build_characterization feeds into the row: the
+  // measured column (ipc, power), the source frequency, and the Table 4
+  // feature ratios consumed by make_features.
+  k.q = {quantize(obs.ipc, q),       quantize(obs.power_w, q),
+         quantize(obs.freq_mhz, q),  quantize(obs.imsh, q),
+         quantize(obs.ibsh, q),      quantize(obs.mr_branch, q),
+         quantize(obs.mr_l1i, q),    quantize(obs.mr_l1d, q),
+         quantize(obs.mr_itlb, q),   quantize(obs.mr_dtlb, q)};
+  k.core_type = obs.core_type;
+  k.measured = obs.measured;
+  k.zero_instructions = obs.instructions == 0;
+  k.context = context;
+  return k;
+}
+
+void PredictionCache::advance_epoch() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (++it->second.age > cfg_.max_stale_epochs) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool PredictionCache::lookup(ThreadId tid, const Key& key, std::size_t n,
+                             double* s_row, double* p_row) {
+  const auto it = entries_.find(tid);
+  if (it == entries_.end() || it->second.s_row.size() != n ||
+      !(it->second.key == key)) {
+    ++stats_.misses;
+    return false;
+  }
+  if (it->second.age >= cfg_.max_stale_epochs) {
+    ++stats_.stale_evictions;
+    return false;
+  }
+  const Entry& e = it->second;
+  for (std::size_t j = 0; j < n; ++j) {
+    s_row[j] = e.s_row[j];
+    p_row[j] = e.p_row[j];
+  }
+  ++stats_.hits;
+  return true;
+}
+
+void PredictionCache::store(ThreadId tid, const Key& key, std::size_t n,
+                            const double* s_row, const double* p_row) {
+  Entry& e = entries_[tid];
+  e.key = key;
+  e.age = 0;
+  e.s_row.assign(s_row, s_row + n);
+  e.p_row.assign(p_row, p_row + n);
+}
+
+}  // namespace sb::core

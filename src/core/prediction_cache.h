@@ -1,0 +1,110 @@
+// Per-thread memoization of the predict phase (§4.2.2).
+//
+// Filling S(k)/P(k) fans every thread's feature vector out across all core
+// types (Θ dot products + power interpolation per column). Between epochs
+// most threads' counters barely move, so the fan-out recomputes almost the
+// same rows every 60 ms. The cache keys each thread's last computed S/P row
+// pair on a *quantized* copy of the observation fields the row depends on:
+// if the quantized key is unchanged, the cached rows are reused and the
+// whole per-thread fan-out is skipped.
+//
+// A staleness bound caps how long a row may be served without a fresh
+// computation, so a thread sitting exactly on a quantization cell for many
+// epochs still gets re-predicted and slow counter creep cannot accumulate
+// into unbounded prediction error.
+//
+// The cache is an opt-in: with it disabled (the SmartBalanceConfig
+// default), build_characterization takes the untouched exact path and the
+// resulting matrices are bit-identical to a cache-free build.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/features.h"
+
+namespace sb::core {
+
+struct PredictionCacheConfig {
+  /// Gate for SmartBalancePolicy: disabled keeps the exact predict path.
+  bool enabled = false;
+  /// Serve a cached row for at most this many epochs after it was computed;
+  /// after that the next lookup misses (counted as a staleness eviction)
+  /// and the row is recomputed fresh.
+  int max_stale_epochs = 8;
+  /// Quantization steps per unit of each observation field: a key changes
+  /// when a field moves by more than 1/steps. 128 bounds reuse error to
+  /// under ~1% on IPC-scale features — well inside the predictor's own
+  /// Fig. 6 error — while still absorbing epoch-to-epoch counter noise.
+  double quantization_steps = 128.0;
+};
+
+class PredictionCache {
+ public:
+  /// Everything a characterization row depends on, quantized. Exact
+  /// comparison of the full key (no hashing of the values themselves) means
+  /// a collision can never silently serve the wrong row.
+  struct Key {
+    std::array<std::int64_t, 10> q{};  // quantized observation fields
+    CoreTypeId core_type = -1;
+    bool measured = false;
+    bool zero_instructions = false;
+    /// Fingerprint of everything outside the observation that shapes the
+    /// row: column count and each column's (possibly DVFS-scaled) target
+    /// frequency/power scale. Any platform or operating-point change
+    /// invalidates by mismatch.
+    std::uint64_t context = 0;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;             // no entry, or key mismatch
+    std::uint64_t stale_evictions = 0;    // key matched but row too old
+  };
+
+  explicit PredictionCache(PredictionCacheConfig cfg = {}) : cfg_(cfg) {}
+
+  const PredictionCacheConfig& config() const { return cfg_; }
+
+  /// Builds the quantized key for an observation under `context`.
+  Key make_key(const ThreadObservation& obs, std::uint64_t context) const;
+
+  /// Starts a new epoch: ages every entry and drops the ones that can never
+  /// hit again (older than the staleness bound).
+  void advance_epoch();
+
+  /// If a fresh row pair for `tid` matches `key`, copies the n-column rows
+  /// into `s_row`/`p_row` and returns true. Otherwise counts the miss (or
+  /// staleness eviction) and returns false — the caller recomputes and
+  /// store()s.
+  bool lookup(ThreadId tid, const Key& key, std::size_t n, double* s_row,
+              double* p_row);
+
+  /// Records freshly computed rows for `tid`.
+  void store(ThreadId tid, const Key& key, std::size_t n, const double* s_row,
+             const double* p_row);
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    Key key;
+    int age = 0;  // epochs since the rows were computed
+    std::vector<double> s_row;
+    std::vector<double> p_row;
+  };
+
+  PredictionCacheConfig cfg_;
+  Stats stats_;
+  std::unordered_map<ThreadId, Entry> entries_;
+};
+
+}  // namespace sb::core

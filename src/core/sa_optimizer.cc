@@ -12,104 +12,6 @@
 namespace sb::core {
 namespace {
 
-/// Incrementally maintained objective state: per-core occupancy-weighted
-/// sums plus either additive terms (J = Σ term_j) or fractional
-/// contributions (J = Σnum_j / Σden_j), depending on the objective.
-class ObjectiveState {
- public:
-  ObjectiveState(const Matrix& s, const Matrix& p,
-                 const BalanceObjective& objective,
-                 const std::vector<CoreId>& allocation,
-                 const std::vector<double>* demand_gips = nullptr)
-      : s_(s),
-        p_(p),
-        obj_(objective),
-        demand_(demand_gips),
-        fractional_(objective.fractional()) {
-    const std::size_t n = s.cols();
-    sums_.assign(n, CoreSums{});
-    for (std::size_t i = 0; i < allocation.size(); ++i) {
-      add_thread(i, allocation[i]);
-    }
-    contrib_.assign(n, {0.0, 0.0});
-    for (std::size_t j = 0; j < n; ++j) recompute_contribution(j);
-    recompute_total();
-  }
-
-  double total() const { return total_; }
-
-  /// Occupancy of thread `row` on core column `j`: CPU-bound threads
-  /// (negative demand) take a full share; duty-cycled threads occupy the
-  /// fraction needed to serve their wall-clock demand on this core's speed.
-  double occupancy(std::size_t row, std::size_t j) const {
-    if (!demand_) return 1.0;
-    const double d = (*demand_)[row];
-    if (d < 0) return 1.0;
-    const double cap = s_.at(row, j);
-    if (cap <= 0) return 1.0;
-    return std::clamp(d / cap, 0.02, 1.0);
-  }
-
-  void add_thread(std::size_t row, CoreId c) {
-    const auto j = static_cast<std::size_t>(c);
-    const double u = occupancy(row, j);
-    sums_[j].gips += u * s_.at(row, j);
-    sums_[j].watts += u * p_.at(row, j);
-    sums_[j].load += u;
-    ++sums_[j].nthreads;
-  }
-
-  void remove_thread(std::size_t row, CoreId c) {
-    const auto j = static_cast<std::size_t>(c);
-    const double u = occupancy(row, j);
-    sums_[j].gips -= u * s_.at(row, j);
-    sums_[j].watts -= u * p_.at(row, j);
-    sums_[j].load -= u;
-    --sums_[j].nthreads;
-  }
-
-  /// Recomputes the contributions of the (at most two) cores touched by a
-  /// move and returns the objective delta.
-  double refresh_cores(CoreId a, CoreId b) {
-    const double before = total_;
-    recompute_contribution(static_cast<std::size_t>(a));
-    if (b != a) recompute_contribution(static_cast<std::size_t>(b));
-    recompute_total();
-    return total_ - before;
-  }
-
- private:
-  void recompute_contribution(std::size_t j) {
-    if (fractional_) {
-      sum_num_ -= contrib_[j][0];
-      sum_den_ -= contrib_[j][1];
-      contrib_[j] = obj_.core_fraction(sums_[j], static_cast<CoreId>(j));
-      sum_num_ += contrib_[j][0];
-      sum_den_ += contrib_[j][1];
-    } else {
-      sum_num_ -= contrib_[j][0];
-      contrib_[j] = {obj_.core_term(sums_[j], static_cast<CoreId>(j)), 0.0};
-      sum_num_ += contrib_[j][0];
-    }
-  }
-
-  void recompute_total() {
-    total_ = fractional_ ? (sum_den_ > 0 ? sum_num_ / sum_den_ : 0.0)
-                         : sum_num_;
-  }
-
-  const Matrix& s_;
-  const Matrix& p_;
-  const BalanceObjective& obj_;
-  const std::vector<double>* demand_;
-  const bool fractional_;
-  std::vector<CoreSums> sums_;
-  std::vector<std::array<double, 2>> contrib_;
-  double sum_num_ = 0.0;
-  double sum_den_ = 0.0;
-  double total_ = 0.0;
-};
-
 bool allowed_on(const std::vector<std::bitset<kMaxCores>>* affinity,
                 std::size_t row, CoreId c) {
   if (!affinity) return true;
@@ -117,6 +19,37 @@ bool allowed_on(const std::vector<std::bitset<kMaxCores>>* affinity,
 }
 
 }  // namespace
+
+void SaOptimizer::ensure_radius_schedule(int iters) {
+  Scratch& sc = scratch_;
+  if (sc.radii_initial_perturb == cfg_.initial_perturb &&
+      sc.radii_decay == cfg_.perturb_decay &&
+      (sc.radii_converged ||
+       sc.radii.size() >= static_cast<std::size_t>(iters))) {
+    return;
+  }
+  sc.radii.clear();
+  sc.radii_converged = false;
+  sc.radii_initial_perturb = cfg_.initial_perturb;
+  sc.radii_decay = cfg_.perturb_decay;
+  Fixed perturb = Fixed::from_double(cfg_.initial_perturb);
+  const Fixed dperturb = Fixed::from_double(cfg_.perturb_decay);
+  for (int it = 0; it < iters; ++it) {
+    sc.radii.push_back(fixed_sqrt(perturb).to_double());
+    // Exactly the in-loop decay: multiply, then clamp the raw value so the
+    // radius never reaches zero.
+    Fixed next = perturb * dperturb;
+    if (next.raw() < 16) next = Fixed::from_raw(16);
+    if (next.raw() == perturb.raw()) {
+      // Fixed point reached: every remaining iteration sees this perturb.
+      sc.radius_tail = sc.radii.back();
+      sc.radii_converged = true;
+      return;
+    }
+    perturb = next;
+  }
+  sc.radius_tail = sc.radii.empty() ? 0.0 : sc.radii.back();
+}
 
 int sa_auto_iterations(int num_cores, int num_threads) {
   // ~12 proposals per (thread, core) pair, saturating where the measured
@@ -134,94 +67,105 @@ double evaluate_allocation(const Matrix& s, const Matrix& p,
       s.cols() != p.cols()) {
     throw std::invalid_argument("evaluate_allocation: shape mismatch");
   }
-  ObjectiveState state(s, p, objective, allocation);
+  ObjectiveScratch scratch;
+  ObjectiveState<BalanceObjective> state(scratch, s, p, objective, allocation);
   return state.total();
 }
 
-SaResult SaOptimizer::optimize(
-    const Matrix& s, const Matrix& p, const BalanceObjective& objective,
+template <class Obj>
+SaResult SaOptimizer::run_annealing(
+    const Matrix& s, const Matrix& p, const Obj& objective,
     std::vector<CoreId> initial,
     const std::vector<std::bitset<kMaxCores>>* affinity,
-    const std::vector<double>* demand_gips) const {
+    const std::vector<double>* demand_gips) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t m = s.rows();
   const auto n = static_cast<std::int64_t>(s.cols());
-  if (m == 0 || n == 0) {
-    throw std::invalid_argument("SaOptimizer: empty problem");
-  }
-  if (p.rows() != m || p.cols() != s.cols() || initial.size() != m) {
-    throw std::invalid_argument("SaOptimizer: shape mismatch");
-  }
-  if (demand_gips && demand_gips->size() != m) {
-    throw std::invalid_argument("SaOptimizer: demand size mismatch");
-  }
-  for (std::size_t i = 0; i < m; ++i) {
-    if (initial[i] < 0 || initial[i] >= n) {
-      throw std::invalid_argument("SaOptimizer: bad initial allocation");
-    }
-  }
 
   // Ψ as the paper's flat slot array: m slots per core, entry = thread row
-  // or -1. Each thread starts in a slot of its current core.
+  // or -1. Each thread starts in a slot of its current core. slot→core is
+  // slot / m, computed with a precomputed reciprocal (exact: both operands
+  // are well under 2^32) so the inner loop neither divides nor touches a
+  // lookup table.
   const std::int64_t slots = n * static_cast<std::int64_t>(m);
-  std::vector<std::int32_t> psi(static_cast<std::size_t>(slots), -1);
+  std::vector<std::int32_t>& psi = scratch_.psi;
+  psi.assign(static_cast<std::size_t>(slots), -1);
   {
-    std::vector<std::size_t> next_free(static_cast<std::size_t>(n), 0);
+    std::vector<std::size_t>& next_free = scratch_.next_free;
+    next_free.assign(static_cast<std::size_t>(n), 0);
     for (std::size_t i = 0; i < m; ++i) {
       const auto c = static_cast<std::size_t>(initial[i]);
       const std::size_t slot = c * m + next_free[c]++;
       psi[slot] = static_cast<std::int32_t>(i);
     }
   }
-  auto core_of_slot = [m](std::int64_t slot) {
-    return static_cast<CoreId>(slot / static_cast<std::int64_t>(m));
-  };
+  const FastMod slot_div(static_cast<std::uint64_t>(m));
 
-  ObjectiveState state(s, p, objective, initial, demand_gips);
+  ObjectiveState<Obj> state(scratch_.objective, s, p, objective, initial,
+                            demand_gips);
   SaResult best;
   best.initial_objective = state.total();
   best.allocation = initial;
   best.objective = state.total();
 
   Rng rng(cfg_.seed);
+  // Every slot draw reduces a 64-bit sample modulo the same n·m; a
+  // precomputed reciprocal replaces the hardware division. randi(0, slots)
+  // and randi(-pos, slots - pos) both have span == slots, so the draw
+  // sequence is unchanged.
+  const FastMod fm(static_cast<std::uint64_t>(slots));
   const int iters = cfg_.max_iterations > 0
                         ? cfg_.max_iterations
                         : sa_auto_iterations(static_cast<int>(n),
                                              static_cast<int>(m));
-  Fixed perturb = Fixed::from_double(cfg_.initial_perturb);
-  const Fixed dperturb = Fixed::from_double(cfg_.perturb_decay);
+  ensure_radius_schedule(iters);
+  const std::vector<double>& radii = scratch_.radii;
+  const double radius_tail = scratch_.radius_tail;
   double accept =
       std::max(1e-9, cfg_.initial_accept_rel * std::abs(state.total()));
   const double daccept = cfg_.accept_decay;
 
-  std::vector<CoreId> current = initial;
+  std::vector<CoreId>& current = scratch_.current;
+  current = initial;
   double current_obj = state.total();
+  int accepted_since_resync = 0;
 
   for (int it = 0; it < iters; ++it) {
     // --- Propose: perturbation-radius slot swap (Algorithm 1) ---
-    const std::int64_t pos = rng.randi(0, slots);
-    const double radius = fixed_sqrt(perturb).to_double();
-    std::int64_t offset = static_cast<std::int64_t>(
-        radius * static_cast<double>(rng.randi(-pos, slots - pos)));
+    // Both unconditional draws are batched up front (identical sequence to
+    // drawing them at their use sites).
+    const std::uint64_t r0 = rng.next_u64();
+    const std::uint64_t r1 = rng.next_u64();
+    const auto pos = static_cast<std::int64_t>(fm.mod(r0));
+    const double radius = static_cast<std::size_t>(it) < radii.size()
+                              ? radii[static_cast<std::size_t>(it)]
+                              : radius_tail;
+    // randi(-pos, slots - pos) == -pos + (u64 draw) % slots.
+    const std::int64_t draw =
+        -pos + static_cast<std::int64_t>(fm.mod(r1));
+    std::int64_t offset =
+        static_cast<std::int64_t>(radius * static_cast<double>(draw));
     std::int64_t pos_new = std::clamp<std::int64_t>(pos + offset, 0, slots - 1);
+    const CoreId ca =
+        static_cast<CoreId>(slot_div.div(static_cast<std::uint64_t>(pos)));
+    CoreId cb =
+        static_cast<CoreId>(slot_div.div(static_cast<std::uint64_t>(pos_new)));
     // Once the radius collapses, the scaled offset truncates to (nearly)
     // zero and every proposal would degenerate into a same-slot or
     // same-core no-op, silently ending the search. Fall back to a uniform
     // draw so each iteration still proposes a real move — slot indices
     // carry no topology, so this preserves Algorithm 1's semantics.
-    if (pos_new == pos ||
-        core_of_slot(pos_new) == core_of_slot(pos)) {
-      pos_new = rng.randi(0, slots);
+    if (pos_new == pos || cb == ca) {
+      pos_new = static_cast<std::int64_t>(fm.mod(rng.next_u64()));
+      cb = static_cast<CoreId>(
+          slot_div.div(static_cast<std::uint64_t>(pos_new)));
     }
 
     const std::int32_t ta = psi[static_cast<std::size_t>(pos)];
     const std::int32_t tb = psi[static_cast<std::size_t>(pos_new)];
-    const CoreId ca = core_of_slot(pos);
-    const CoreId cb = core_of_slot(pos_new);
 
-    // Decay schedules advance every iteration regardless of move validity.
-    perturb = perturb * dperturb;
-    if (perturb.raw() < 16) perturb = Fixed::from_raw(16);  // keep radius > 0
+    // The acceptance schedule advances every iteration regardless of move
+    // validity (the perturb schedule advances inside the memoized radii).
     accept *= daccept;
 
     if (pos == pos_new || ca == cb) continue;          // no-op
@@ -272,6 +216,21 @@ SaResult SaOptimizer::optimize(
       } else {
         ++best.accepted_worse;
       }
+      // Drift resync: `current_obj += diff` and the state's running
+      // accumulators drift in the last bits over tens of thousands of
+      // incremental updates; periodically recompute both from the current
+      // allocation so long anneals stay anchored to the true objective.
+      if (++accepted_since_resync >= kObjectiveResyncInterval) {
+        accepted_since_resync = 0;
+        state.rebuild(current);
+#ifndef NDEBUG
+        assert(std::abs(state.total() - current_obj) <=
+               kObjectiveDriftBound *
+                   std::max(1.0, std::abs(state.total())));
+#endif
+        current_obj = state.total();
+        ++best.resyncs;
+      }
       if (current_obj > best.objective) {
         best.objective = current_obj;
         best.allocation = current;
@@ -297,6 +256,55 @@ SaResult SaOptimizer::optimize(
   return best;
 }
 
+SaResult SaOptimizer::optimize(
+    const Matrix& s, const Matrix& p, const BalanceObjective& objective,
+    std::vector<CoreId> initial,
+    const std::vector<std::bitset<kMaxCores>>* affinity,
+    const std::vector<double>* demand_gips) {
+  const std::size_t m = s.rows();
+  const auto n = static_cast<std::int64_t>(s.cols());
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument("SaOptimizer: empty problem");
+  }
+  if (p.rows() != m || p.cols() != s.cols() || initial.size() != m) {
+    throw std::invalid_argument("SaOptimizer: shape mismatch");
+  }
+  if (demand_gips && demand_gips->size() != m) {
+    throw std::invalid_argument("SaOptimizer: demand size mismatch");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (initial[i] < 0 || initial[i] >= n) {
+      throw std::invalid_argument("SaOptimizer: bad initial allocation");
+    }
+  }
+
+  // Devirtualize: dispatch once per call to the kernel instantiated for the
+  // concrete objective class (all built-ins are final, so every core_term /
+  // core_fraction / fractional call inlines). Custom objectives take the
+  // generic kernel — identical semantics through virtual dispatch.
+  switch (objective.kind()) {
+    case ObjectiveKind::kEnergyEfficiency:
+      return run_annealing(
+          s, p, static_cast<const EnergyEfficiencyObjective&>(objective),
+          std::move(initial), affinity, demand_gips);
+    case ObjectiveKind::kThroughput:
+      return run_annealing(s, p,
+                           static_cast<const ThroughputObjective&>(objective),
+                           std::move(initial), affinity, demand_gips);
+    case ObjectiveKind::kEdp:
+      return run_annealing(s, p, static_cast<const EdpObjective&>(objective),
+                           std::move(initial), affinity, demand_gips);
+    case ObjectiveKind::kGlobalEfficiency:
+      return run_annealing(
+          s, p, static_cast<const GlobalEfficiencyObjective&>(objective),
+          std::move(initial), affinity, demand_gips);
+    case ObjectiveKind::kCustom:
+      break;
+  }
+  return run_annealing<BalanceObjective>(s, p, objective, std::move(initial),
+                                         affinity, demand_gips);
+}
+
 SaResult exhaustive_optimum(const Matrix& s, const Matrix& p,
                             const BalanceObjective& objective) {
   const std::size_t m = s.rows();
@@ -309,26 +317,51 @@ SaResult exhaustive_optimum(const Matrix& s, const Matrix& p,
       throw std::invalid_argument("exhaustive_optimum: too many states");
     }
   }
+  const auto total = static_cast<std::uint64_t>(states);
 
   std::vector<CoreId> alloc(m, 0);
+  ObjectiveScratch scratch;
+  ObjectiveState<BalanceObjective> state(scratch, s, p, objective, alloc);
   SaResult best;
   best.allocation = alloc;
-  best.objective = evaluate_allocation(s, p, objective, alloc);
-  best.initial_objective = best.objective;
+  best.objective = state.total();
+  best.initial_objective = state.total();
 
-  const auto total = static_cast<std::uint64_t>(states);
-  for (std::uint64_t code = 1; code < total; ++code) {
-    std::uint64_t x = code;
-    for (std::size_t i = 0; i < m; ++i) {
-      alloc[i] = static_cast<CoreId>(x % n);
-      x /= n;
-    }
-    const double v = evaluate_allocation(s, p, objective, alloc);
-    if (v > best.objective) {
-      best.objective = v;
-      best.allocation = alloc;
+  if (n > 1) {
+    // Mixed-radix reflected Gray-code enumeration (Knuth 7.2.1.1, Algorithm
+    // H with focus pointers): successive allocations differ in exactly one
+    // thread's core, by ±1, so each of the n^m states costs one incremental
+    // remove/add/refresh instead of a full ObjectiveState rebuild.
+    std::vector<int> dir(m, 1);
+    std::vector<std::size_t> focus(m + 1);
+    for (std::size_t j = 0; j <= m; ++j) focus[j] = j;
+    std::uint64_t visited = 1;
+    while (true) {
+      const std::size_t j = focus[0];
+      focus[0] = 0;
+      if (j == m) break;
+      const CoreId from = alloc[j];
+      const CoreId to = static_cast<CoreId>(from + dir[j]);
+      alloc[j] = to;
+      if (to == 0 || to == static_cast<CoreId>(n - 1)) {
+        dir[j] = -dir[j];
+        focus[j] = focus[j + 1];
+        focus[j + 1] = j + 1;
+      }
+      state.remove_thread(j, from);
+      state.add_thread(j, to);
+      state.refresh_cores(from, to);
+      ++visited;
+      // Same drift control as the annealer: re-anchor the incremental
+      // accumulators periodically over the (up to 16M-step) walk.
+      if ((visited & 0xffffULL) == 0) state.rebuild(alloc);
+      if (state.total() > best.objective) {
+        best.objective = state.total();
+        best.allocation = alloc;
+      }
     }
   }
+
   best.iterations = static_cast<int>(std::min<std::uint64_t>(
       total, static_cast<std::uint64_t>(std::numeric_limits<int>::max())));
   return best;

@@ -9,6 +9,29 @@
 // Q16.16 fixed point with the paper's `randi() mod 1/probability == 0`
 // acceptance test, and `accept` decays by Opt_Δaccept. The objective is
 // re-evaluated incrementally: only the two affected cores' terms change.
+//
+// Hot-path engineering (the per-epoch cost *is* the product — Fig. 7b):
+//  - all working vectors (Ψ slots, per-core sums, contributions, the
+//    occupancy matrix, current/best allocations) live in a scratch arena
+//    owned by the optimizer, so repeated optimize() calls allocate nothing
+//    once the arena has grown to the problem size;
+//  - the objective is devirtualized: optimize() dispatches once on
+//    BalanceObjective::kind() to an annealing kernel templated on the
+//    concrete objective class (custom objectives fall back to the generic
+//    virtual-dispatch kernel with identical semantics);
+//  - thread occupancies are precomputed (interleaved with the weighted S/P
+//    values, one cache line per cell) instead of re-derived on every
+//    add/remove;
+//  - slot draws are reduced modulo n·m and slot→core indices divided by m
+//    with precomputed reciprocals (common/rng.h FastMod) instead of
+//    hardware division, and the two unconditional draws per iteration are
+//    batched;
+//  - the perturbation-radius schedule sqrt(perturb_it) is memoized across
+//    calls (it depends only on the config, not the RNG), hoisting the
+//    fixed-point sqrt out of the loop entirely.
+// None of this changes the RNG draw sequence or the floating-point
+// arithmetic, so results are bit-identical to the straightforward
+// implementation.
 #pragma once
 
 #include <bitset>
@@ -19,6 +42,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "core/objective.h"
+#include "core/objective_state.h"
 
 namespace sb::core {
 
@@ -49,6 +73,7 @@ struct SaResult {
   int iterations = 0;
   int accepted_worse = 0;
   int improved = 0;
+  int resyncs = 0;     // drift resyncs performed (every 4096 accepted moves)
   TimeNs host_ns = 0;  // wall-clock cost of the search (Fig. 7 overhead)
 };
 
@@ -71,22 +96,65 @@ class SaOptimizer {
   /// of the core, contributing util_ij·s_ij GIPS and util_ij·p_ij watts —
   /// so slow cores that cannot sustain the demand are correctly penalized,
   /// and sleepy threads don't look like full load.
+  ///
+  /// Non-const: the call reuses the optimizer's scratch arena. A single
+  /// SaOptimizer must not be shared across threads; results are
+  /// independent of any prior calls on the same instance.
   SaResult optimize(const Matrix& s, const Matrix& p,
                     const BalanceObjective& objective,
                     std::vector<CoreId> initial,
                     const std::vector<std::bitset<kMaxCores>>* affinity =
                         nullptr,
-                    const std::vector<double>* demand_gips = nullptr) const;
+                    const std::vector<double>* demand_gips = nullptr);
+
+  /// Re-seeds the annealing trajectory of subsequent optimize() calls
+  /// without discarding the scratch arena (one optimizer, one seed per
+  /// epoch).
+  void set_seed(std::uint64_t seed) { cfg_.seed = seed; }
 
   const SaConfig& config() const { return cfg_; }
 
  private:
+  template <class Obj>
+  SaResult run_annealing(const Matrix& s, const Matrix& p, const Obj& obj,
+                         std::vector<CoreId> initial,
+                         const std::vector<std::bitset<kMaxCores>>* affinity,
+                         const std::vector<double>* demand_gips);
+
+  /// Fills scratch_.radii with the per-iteration perturbation radius
+  /// sqrt(perturb_it). The perturb schedule is a pure function of
+  /// (initial_perturb, perturb_decay) — independent of the RNG and of which
+  /// moves get accepted — so it is memoized across optimize() calls; the
+  /// Q16.16 fixed_sqrt (a Newton loop with a 64-bit division per step) then
+  /// runs once per schedule instead of once per iteration.
+  void ensure_radius_schedule(int iters);
+
   SaConfig cfg_;
+
+  /// Scratch arena surviving across epochs: Ψ slots, the current
+  /// allocation, the objective-state storage and the radius schedule.
+  struct Scratch {
+    std::vector<std::int32_t> psi;
+    std::vector<std::size_t> next_free;
+    std::vector<CoreId> current;
+    ObjectiveScratch objective;
+    // Memoized radius schedule (see ensure_radius_schedule): radii[it] for
+    // the head of the anneal; once the perturb floor clamp engages the
+    // radius is radius_tail forever.
+    std::vector<double> radii;
+    double radius_tail = 0;
+    bool radii_converged = false;
+    double radii_initial_perturb = -1;
+    double radii_decay = -1;
+  } scratch_;
 };
 
 /// Exhaustive optimum for small instances (n^m enumeration); used by tests
-/// and by the Fig. 8 distance-to-optimal study. Throws std::invalid_argument
-/// if n^m exceeds ~16M states.
+/// and by the Fig. 8 distance-to-optimal study. Enumerates allocations in
+/// mixed-radix reflected Gray-code order so each step moves exactly one
+/// thread and updates one incremental ObjectiveState (O(1) per state
+/// instead of a full O(m·n) rebuild). Throws std::invalid_argument if n^m
+/// exceeds ~16M states.
 SaResult exhaustive_optimum(const Matrix& s, const Matrix& p,
                             const BalanceObjective& objective);
 

@@ -26,7 +26,8 @@ SmartBalancePolicy::SmartBalancePolicy(
         SaConfig sa = cfg.sa;
         sa.seed = cfg.seed ^ 0x0a0aULL;
         return sa;
-      }()) {}
+      }()),
+      pred_cache_(cfg.prediction_cache) {}
 
 void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs /*now*/) {
   ++passes_;
@@ -61,6 +62,9 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs /*now*/) {
   }
 
   // ---- Phase 2: PREDICT ---------------------------------------------------
+  PredictionCache* cache =
+      cfg_.prediction_cache.enabled ? &pred_cache_ : nullptr;
+  if (cache) pred_cache_.advance_epoch();
   if (kernel.config().enable_dvfs) {
     // Predict at each core's *current* operating point.
     std::vector<arch::OperatingPoint> opps;
@@ -68,9 +72,11 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs /*now*/) {
     for (CoreId c = 0; c < kernel.num_cores(); ++c) {
       opps.push_back(kernel.core_opp(c));
     }
-    last_mx_ = build_characterization(observations, model_, platform_, &opps);
+    last_mx_ = build_characterization(observations, model_, platform_, &opps,
+                                      cache);
   } else {
-    last_mx_ = build_characterization(observations, model_, platform_);
+    last_mx_ = build_characterization(observations, model_, platform_,
+                                      nullptr, cache);
   }
   const auto t2 = Clock::now();
 
@@ -106,12 +112,13 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs /*now*/) {
       affinity[i].set(static_cast<std::size_t>(t.cpu));
     }
   }
-  // Fresh annealing trajectory each epoch (deterministic per pass index).
-  SaConfig sa_cfg = optimizer_.config();
-  sa_cfg.seed = cfg_.seed ^ (0x0a0aULL + passes_ * 0x9e3779b9ULL);
-  const SaResult result =
-      SaOptimizer(sa_cfg).optimize(last_mx_.s, last_mx_.p, *objective_,
-                                   initial, &affinity, &demand);
+  // Fresh annealing trajectory each epoch (deterministic per pass index),
+  // reusing the member optimizer so its scratch arena persists across
+  // epochs — re-seeded, never re-allocated.
+  optimizer_.set_seed(cfg_.seed ^ (0x0a0aULL + passes_ * 0x9e3779b9ULL));
+  const SaResult result = optimizer_.optimize(last_mx_.s, last_mx_.p,
+                                              *objective_, initial, &affinity,
+                                              &demand);
   const auto t3 = Clock::now();
 
   // Apply the new allocation (set_cpus_allowed_ptr / migrate analogue).

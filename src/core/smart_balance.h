@@ -22,6 +22,7 @@
 #include "common/stats.h"
 #include "core/char_matrix.h"
 #include "core/objective.h"
+#include "core/prediction_cache.h"
 #include "core/predictor.h"
 #include "core/sa_optimizer.h"
 #include "core/sensing.h"
@@ -54,6 +55,13 @@ struct SmartBalanceConfig {
   /// from the Eq. 9 virtual sensor (p̂ = α1·ipc + α0 for the core's type)
   /// instead of a reading. Default: every core instrumented.
   std::bitset<kMaxCores> power_sensor_cores = std::bitset<kMaxCores>().set();
+
+  /// Predict-phase memoization (see prediction_cache.h): threads whose
+  /// quantized counters barely moved since last epoch reuse their S/P rows
+  /// instead of re-running the Θ fan-out across all core types. Disabled by
+  /// default — enabling trades bounded (quantization + staleness) row reuse
+  /// error for a large cut in predict-phase time on stable workloads.
+  PredictionCacheConfig prediction_cache;
 };
 
 class SmartBalancePolicy final : public os::LoadBalancer {
@@ -77,6 +85,8 @@ class SmartBalancePolicy final : public os::LoadBalancer {
   const RunningStats& objective_gain() const { return objective_gain_; }
   const PredictorModel& model() const { return model_; }
   const SmartBalanceConfig& config() const { return cfg_; }
+  /// Predict-phase cache (hit/miss accounting; empty when disabled).
+  const PredictionCache& prediction_cache() const { return pred_cache_; }
 
   /// The most recent characterization matrices (empty before first pass).
   const CharacterizationMatrices& last_matrices() const { return last_mx_; }
@@ -87,7 +97,11 @@ class SmartBalancePolicy final : public os::LoadBalancer {
   SmartBalanceConfig cfg_;
   std::unique_ptr<BalanceObjective> objective_;
   SensingSubsystem sensing_;
+  /// One optimizer for the policy's lifetime: its scratch arena (Ψ slots,
+  /// per-core sums, occupancy matrix, allocations) is reused every epoch —
+  /// re-seeded per pass, never re-allocated.
   SaOptimizer optimizer_;
+  PredictionCache pred_cache_;
 
   os::BalancePassStats last_;
   std::uint64_t passes_ = 0;

@@ -111,5 +111,59 @@ TEST(Rng, RandiFullWordIsUniformishInHighBit) {
   EXPECT_NEAR(static_cast<double>(high) / n, 0.5, 0.02);
 }
 
+TEST(FastMod, ModMatchesHardwareForRandomOperands) {
+  // mod is exact for the full 64-bit numerator range.
+  Rng r(101);
+  for (int k = 0; k < 2000; ++k) {
+    const std::uint64_t d = 1 + r.next_u64() % 100000;
+    const FastMod fm(d);
+    for (int i = 0; i < 20; ++i) {
+      const std::uint64_t x = r.next_u64();
+      ASSERT_EQ(fm.mod(x), x % d) << "x=" << x << " d=" << d;
+    }
+  }
+}
+
+TEST(FastMod, ModMatchesSaOptimizerDrawSemantics) {
+  // The SA loop relies on randi(x, y) == x + next_u64() % (y - x); a
+  // FastMod over the span must reproduce randi draw-for-draw.
+  const std::int64_t slots = 128 * 256;
+  const FastMod fm(static_cast<std::uint64_t>(slots));
+  Rng a(42), b(42);
+  for (int i = 0; i < 10000; ++i) {
+    const auto expect = a.randi(-17, slots - 17);
+    const auto got =
+        -17 + static_cast<std::int64_t>(fm.mod(b.next_u64()));
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST(FastMod, DivExactInDocumentedRange) {
+  // div is exact for x < 2^32, d < 2^32 (the reciprocal's error term stays
+  // below 1/d). Cover small divisors, powers of two, and d == 1.
+  Rng r(102);
+  for (std::uint64_t d : {1ull, 2ull, 3ull, 7ull, 8ull, 255ull, 256ull,
+                          1000ull, 65536ull, 4294967295ull}) {
+    const FastMod fm(d);
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t x = r.next_u64() & 0xffffffffULL;
+      ASSERT_EQ(fm.div(x), x / d) << "x=" << x << " d=" << d;
+    }
+    // Boundaries of the documented range.
+    ASSERT_EQ(fm.div(0), 0u);
+    ASSERT_EQ(fm.div(0xffffffffULL), 0xffffffffULL / d);
+  }
+}
+
+TEST(FastMod, DivModConsistency) {
+  Rng r(103);
+  for (int k = 0; k < 1000; ++k) {
+    const std::uint64_t d = 1 + (r.next_u64() & 0xffff);
+    const FastMod fm(d);
+    const std::uint64_t x = r.next_u64() & 0xffffffffULL;
+    ASSERT_EQ(fm.div(x) * d + fm.mod(x), x);
+  }
+}
+
 }  // namespace
 }  // namespace sb

@@ -1,0 +1,163 @@
+// Property tests for the incrementally maintained ObjectiveState: after any
+// sequence of single-thread moves, the running total must match a fresh
+// full recompute (rebuild) and the reference evaluate_allocation — for all
+// built-in objectives, additive and fractional, with and without demand
+// weighting.
+#include "core/objective_state.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/objective.h"
+#include "core/sa_optimizer.h"
+
+namespace sb::core {
+namespace {
+
+struct Instance {
+  Matrix s, p;
+  std::vector<double> demand;
+  std::vector<CoreId> alloc;
+};
+
+Instance random_instance(std::size_t m, std::size_t n, std::uint64_t seed,
+                         bool with_demand) {
+  Rng rng(seed);
+  Instance inst{Matrix(m, n), Matrix(m, n), {}, {}};
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      inst.s.at(i, j) = rng.uniform(0.1, 4.0);
+      inst.p.at(i, j) = rng.uniform(0.05, 3.0);
+    }
+    inst.demand.push_back(with_demand && i % 3 != 0
+                              ? rng.uniform(0.05, 1.5)
+                              : -1.0);
+    inst.alloc.push_back(
+        static_cast<CoreId>(rng.randi(0, static_cast<std::int64_t>(n))));
+  }
+  return inst;
+}
+
+/// Runs `moves` random single-thread migrations through one incremental
+/// state and checks, at every step, that the incremental total matches a
+/// state rebuilt from scratch on the same allocation.
+template <class Obj>
+void check_incremental_matches_rebuild(const Obj& objective,
+                                       std::uint64_t seed, bool with_demand) {
+  const std::size_t m = 9, n = 4;
+  const auto inst = random_instance(m, n, seed, with_demand);
+  const std::vector<double>* demand = with_demand ? &inst.demand : nullptr;
+
+  ObjectiveScratch scratch;
+  ObjectiveState<Obj> state(scratch, inst.s, inst.p, objective, inst.alloc,
+                            demand);
+  std::vector<CoreId> alloc = inst.alloc;
+
+  Rng rng(seed ^ 0xfeedULL);
+  constexpr int kMoves = 200;
+  for (int k = 0; k < kMoves; ++k) {
+    const auto i = static_cast<std::size_t>(
+        rng.randi(0, static_cast<std::int64_t>(m)));
+    const auto to = static_cast<CoreId>(
+        rng.randi(0, static_cast<std::int64_t>(n)));
+    const CoreId from = alloc[i];
+    if (to == from) continue;
+    state.remove_thread(i, from);
+    state.add_thread(i, to);
+    state.refresh_cores(from, to);
+    alloc[i] = to;
+
+    // Reference 1: an independent state built fresh on this allocation.
+    ObjectiveScratch fresh_scratch;
+    ObjectiveState<Obj> fresh(fresh_scratch, inst.s, inst.p, objective, alloc,
+                              demand);
+    ASSERT_NEAR(state.total(), fresh.total(),
+                1e-9 * std::max(1.0, std::abs(fresh.total())))
+        << "objective " << objective.name() << " diverged after move " << k;
+  }
+
+  // Rebuild on the same scratch must reproduce the incremental total within
+  // the documented drift bound (it is the resync anchor).
+  const double incremental = state.total();
+  state.rebuild(alloc);
+  EXPECT_NEAR(state.total(), incremental,
+              kObjectiveDriftBound * std::max(1.0, std::abs(state.total())));
+}
+
+TEST(ObjectiveState, EnergyEfficiencyIncrementalMatchesRebuild) {
+  EnergyEfficiencyObjective obj;
+  check_incremental_matches_rebuild(obj, 1, false);
+  check_incremental_matches_rebuild(obj, 2, true);
+}
+
+TEST(ObjectiveState, ThroughputIncrementalMatchesRebuild) {
+  ThroughputObjective obj;
+  check_incremental_matches_rebuild(obj, 3, false);
+  check_incremental_matches_rebuild(obj, 4, true);
+}
+
+TEST(ObjectiveState, EdpIncrementalMatchesRebuild) {
+  EdpObjective obj;
+  check_incremental_matches_rebuild(obj, 5, false);
+  check_incremental_matches_rebuild(obj, 6, true);
+}
+
+TEST(ObjectiveState, FractionalGlobalEfficiencyIncrementalMatchesRebuild) {
+  GlobalEfficiencyObjective obj(std::vector<double>{0.1, 0.2, 0.15, 0.05});
+  check_incremental_matches_rebuild(obj, 7, false);
+  check_incremental_matches_rebuild(obj, 8, true);
+}
+
+TEST(ObjectiveState, MatchesEvaluateAllocationReference) {
+  // The state's total on a fixed allocation equals the public reference
+  // entry point (which routes through the generic virtual instantiation).
+  const auto inst = random_instance(7, 3, 11, false);
+  EnergyEfficiencyObjective obj;
+  ObjectiveScratch scratch;
+  ObjectiveState<EnergyEfficiencyObjective> state(scratch, inst.s, inst.p,
+                                                  obj, inst.alloc);
+  EXPECT_DOUBLE_EQ(state.total(),
+                   evaluate_allocation(inst.s, inst.p, obj, inst.alloc));
+}
+
+TEST(ObjectiveState, OccupancyMatchesDemandSemantics) {
+  // demand < 0 → full share; demand >= 0 → clamp(d / s_ij, 0.02, 1).
+  Matrix s = {{2.0, 0.5}, {4.0, 0.1}};
+  Matrix p = {{1.0, 0.2}, {1.0, 0.3}};
+  std::vector<double> demand = {-1.0, 1.0};
+  EnergyEfficiencyObjective obj;
+  ObjectiveScratch scratch;
+  ObjectiveState<EnergyEfficiencyObjective> state(scratch, s, p, obj, {0, 0},
+                                                  &demand);
+  EXPECT_DOUBLE_EQ(state.occupancy(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(state.occupancy(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(state.occupancy(1, 0), 0.25);      // 1.0 / 4.0
+  EXPECT_DOUBLE_EQ(state.occupancy(1, 1), 1.0);       // saturates
+}
+
+TEST(ObjectiveState, ScratchReuseAcrossProblemSizesIsClean) {
+  // A scratch grown by a big instance must serve a smaller one with no
+  // leftover contributions (assign() resets the active prefix).
+  EnergyEfficiencyObjective obj;
+  ObjectiveScratch scratch;
+  const auto big = random_instance(12, 6, 21, true);
+  {
+    ObjectiveState<EnergyEfficiencyObjective> state(scratch, big.s, big.p,
+                                                    obj, big.alloc,
+                                                    &big.demand);
+    EXPECT_GT(state.total(), 0.0);
+  }
+  const auto small = random_instance(3, 2, 22, false);
+  ObjectiveState<EnergyEfficiencyObjective> state(scratch, small.s, small.p,
+                                                  obj, small.alloc);
+  EXPECT_DOUBLE_EQ(
+      state.total(),
+      evaluate_allocation(small.s, small.p, obj, small.alloc));
+}
+
+}  // namespace
+}  // namespace sb::core

@@ -1,0 +1,203 @@
+// Prediction-cache behavior: hit/miss accounting, staleness eviction, and
+// — most importantly — that the cache's outputs are bit-identical to the
+// uncached predict path (a hit serves exactly the rows a recompute would
+// produce within the quantization cell, and a disabled cache leaves
+// build_characterization untouched).
+#include "core/prediction_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/platform.h"
+#include "core/char_matrix.h"
+#include "core/trainer.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+
+namespace sb::core {
+namespace {
+
+class PredictionCacheTest : public ::testing::Test {
+ protected:
+  PredictionCacheTest()
+      : platform_(arch::Platform::quad_heterogeneous()),
+        perf_(platform_),
+        power_(platform_, perf_),
+        trainer_(perf_, power_),
+        model_(trainer_.train(PredictorTrainer::default_training_profiles())) {}
+
+  ThreadObservation observation_on(CoreId core, std::uint64_t seed = 3,
+                                   ThreadId tid = 1) {
+    Rng rng(seed);
+    auto o = trainer_.synthesize_observation(
+        PredictorTrainer::default_training_profiles()[5],
+        platform_.type_of(core), rng);
+    o.tid = tid;
+    o.core = core;
+    return o;
+  }
+
+  arch::Platform platform_;
+  perf::PerfModel perf_;
+  power::PowerModel power_;
+  PredictorTrainer trainer_;
+  PredictorModel model_;
+};
+
+TEST_F(PredictionCacheTest, FirstEpochMissesThenHits) {
+  PredictionCacheConfig cfg;
+  cfg.enabled = true;
+  PredictionCache cache(cfg);
+  const auto o = observation_on(1);
+
+  cache.advance_epoch();
+  const auto first = build_characterization({o}, model_, platform_, nullptr,
+                                            &cache);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.advance_epoch();
+  const auto second = build_characterization({o}, model_, platform_, nullptr,
+                                             &cache);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // A hit serves exactly the stored rows.
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(second.s.at(0, j), first.s.at(0, j)) << j;
+    EXPECT_DOUBLE_EQ(second.p.at(0, j), first.p.at(0, j)) << j;
+  }
+}
+
+TEST_F(PredictionCacheTest, KeyChangeMisses) {
+  PredictionCacheConfig cfg;
+  cfg.enabled = true;
+  PredictionCache cache(cfg);
+  auto o = observation_on(1);
+  cache.advance_epoch();
+  (void)build_characterization({o}, model_, platform_, nullptr, &cache);
+
+  // Move the IPC by far more than a quantization cell: the key changes.
+  o.ipc *= 1.5;
+  cache.advance_epoch();
+  (void)build_characterization({o}, model_, platform_, nullptr, &cache);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(PredictionCacheTest, StalenessBoundEvicts) {
+  PredictionCacheConfig cfg;
+  cfg.enabled = true;
+  cfg.max_stale_epochs = 2;
+  PredictionCache cache(cfg);
+  const auto o = observation_on(2);
+
+  cache.advance_epoch();
+  (void)build_characterization({o}, model_, platform_, nullptr, &cache);
+  cache.advance_epoch();
+  (void)build_characterization({o}, model_, platform_, nullptr, &cache);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Age the entry past the bound without lookups in between.
+  cache.advance_epoch();
+  cache.advance_epoch();
+  const auto key = cache.make_key(o, 0);
+  (void)key;
+  (void)build_characterization({o}, model_, platform_, nullptr, &cache);
+  EXPECT_EQ(cache.stats().stale_evictions + cache.stats().misses, 2u)
+      << "an over-age row must not be served";
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Entries older than the bound are pruned on epoch advance.
+  for (int e = 0; e < cfg.max_stale_epochs + 2; ++e) cache.advance_epoch();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(PredictionCacheTest, DisabledCacheIsBitIdentical) {
+  // nullptr cache and a populated cache must produce identical matrices on
+  // the store path (first epoch) — the cache only changes *when* rows are
+  // recomputed, never their values.
+  const std::vector<ThreadObservation> obs = {observation_on(0, 3, 1),
+                                              observation_on(1, 4, 2),
+                                              observation_on(3, 5, 3)};
+  const auto uncached = build_characterization(obs, model_, platform_);
+
+  PredictionCacheConfig cfg;
+  cfg.enabled = true;
+  PredictionCache cache(cfg);
+  cache.advance_epoch();
+  const auto cached = build_characterization(obs, model_, platform_, nullptr,
+                                             &cache);
+  ASSERT_EQ(cached.num_threads(), uncached.num_threads());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(cached.s.at(i, j), uncached.s.at(i, j));
+      EXPECT_DOUBLE_EQ(cached.p.at(i, j), uncached.p.at(i, j));
+    }
+  }
+}
+
+TEST_F(PredictionCacheTest, ContextSignatureInvalidatesAcrossOpps) {
+  // Same observation under different operating points must not share rows.
+  PredictionCacheConfig cfg;
+  cfg.enabled = true;
+  PredictionCache cache(cfg);
+  const auto o = observation_on(1);
+
+  std::vector<arch::OperatingPoint> nominal;
+  for (CoreId c = 0; c < 4; ++c) {
+    const auto& p = platform_.params_of(c);
+    nominal.push_back({p.freq_mhz, p.vdd});
+  }
+  auto scaled = nominal;
+  scaled[1] = {platform_.params_of(1).freq_mhz * 0.5,
+               platform_.params_of(1).vdd * 0.8};
+
+  cache.advance_epoch();
+  const auto a = build_characterization({o}, model_, platform_, &nominal,
+                                        &cache);
+  cache.advance_epoch();
+  const auto b = build_characterization({o}, model_, platform_, &scaled,
+                                        &cache);
+  EXPECT_EQ(cache.stats().hits, 0u) << "OPP change must miss, not hit";
+  EXPECT_NE(a.s.at(0, 1), b.s.at(0, 1));
+}
+
+TEST_F(PredictionCacheTest, UnmeasuredThreadsAreCachedToo) {
+  ThreadObservation o;
+  o.tid = 9;
+  o.core = 2;
+  o.core_type = 2;
+  o.measured = false;
+  o.instructions = 0;
+  PredictionCacheConfig cfg;
+  cfg.enabled = true;
+  PredictionCache cache(cfg);
+  cache.advance_epoch();
+  const auto first = build_characterization({o}, model_, platform_, nullptr,
+                                            &cache);
+  cache.advance_epoch();
+  const auto second = build_characterization({o}, model_, platform_, nullptr,
+                                             &cache);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(second.s.at(0, j), first.s.at(0, j));
+  }
+}
+
+TEST_F(PredictionCacheTest, QuantizationAbsorbsTinyNoise) {
+  PredictionCacheConfig cfg;
+  cfg.enabled = true;
+  PredictionCache cache(cfg);
+  auto o = observation_on(1);
+  cache.advance_epoch();
+  (void)build_characterization({o}, model_, platform_, nullptr, &cache);
+
+  // A perturbation far below half a quantization cell keeps the key.
+  o.ipc += 1e-5;
+  cache.advance_epoch();
+  (void)build_characterization({o}, model_, platform_, nullptr, &cache);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace sb::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/rng.h"
@@ -236,6 +237,103 @@ TEST(ExhaustiveOptimum, FindsKnownOptimum) {
     EXPECT_EQ(best.allocation[i], static_cast<CoreId>(i));
   }
   EXPECT_NEAR(best.objective, 3 * 10.0, 1e-9);
+}
+
+TEST(SaOptimizer, ScratchReuseIsDeterministic) {
+  // One optimizer instance, repeated calls: the scratch arena carries over
+  // but results must be independent of prior calls — including calls on a
+  // *different* (larger) instance in between, which grows every buffer.
+  const auto inst = random_instance(8, 4, 77);
+  const auto big = random_instance(24, 8, 78);
+  EnergyEfficiencyObjective obj;
+  SaConfig cfg;
+  cfg.seed = 9;
+  SaOptimizer reused(cfg);
+  const auto first = reused.optimize(inst.s, inst.p, obj, inst.initial);
+  (void)reused.optimize(big.s, big.p, obj, big.initial);
+  const auto again = reused.optimize(inst.s, inst.p, obj, inst.initial);
+  EXPECT_EQ(again.allocation, first.allocation);
+  EXPECT_DOUBLE_EQ(again.objective, first.objective);
+
+  const auto fresh = SaOptimizer(cfg).optimize(inst.s, inst.p, obj,
+                                               inst.initial);
+  EXPECT_EQ(fresh.allocation, first.allocation);
+  EXPECT_DOUBLE_EQ(fresh.objective, first.objective);
+}
+
+TEST(SaOptimizer, CustomObjectiveMatchesDevirtualizedBuiltin) {
+  // A user-defined objective (kind() == kCustom) computing the same
+  // per-core term as the built-in EE must reproduce the devirtualized
+  // kernel's trajectory exactly: same RNG draws, same FP expression order,
+  // so allocation and objective are bit-identical.
+  class CustomEe : public BalanceObjective {
+   public:
+    double core_term(const CoreSums& s, CoreId /*core*/) const override {
+      if (s.nthreads == 0 || s.watts <= 0) return 0.0;
+      return 1.0 * s.gips / s.watts;
+    }
+    std::string name() const override { return "custom_ee"; }
+  };
+  const auto inst = random_instance(10, 4, 91);
+  SaConfig cfg;
+  cfg.seed = 13;
+  cfg.max_iterations = 2000;
+  EnergyEfficiencyObjective builtin;
+  CustomEe custom;
+  ASSERT_EQ(custom.kind(), ObjectiveKind::kCustom);
+  const auto a = SaOptimizer(cfg).optimize(inst.s, inst.p, builtin,
+                                           inst.initial);
+  const auto b = SaOptimizer(cfg).optimize(inst.s, inst.p, custom,
+                                           inst.initial);
+  EXPECT_EQ(b.allocation, a.allocation);
+  EXPECT_DOUBLE_EQ(b.objective, a.objective);
+  EXPECT_EQ(b.accepted_worse, a.accepted_worse);
+  EXPECT_EQ(b.improved, a.improved);
+}
+
+TEST(ExhaustiveOptimum, GrayCodeMatchesBruteForce) {
+  // The Gray-code walk evaluates every allocation via single-move deltas;
+  // cross-check the reported optimum against a naive full enumeration with
+  // independent full recomputes.
+  const std::size_t m = 5, n = 3;  // 3^5 = 243 allocations
+  const auto inst = random_instance(m, n, 101);
+  EnergyEfficiencyObjective obj;
+
+  std::vector<CoreId> alloc(m, 0);
+  double best = -1.0;
+  std::vector<CoreId> best_alloc;
+  for (;;) {
+    const double v = evaluate_allocation(inst.s, inst.p, obj, alloc);
+    if (v > best) {
+      best = v;
+      best_alloc = alloc;
+    }
+    std::size_t i = 0;
+    while (i < m && alloc[i] == static_cast<CoreId>(n - 1)) alloc[i++] = 0;
+    if (i == m) break;
+    ++alloc[i];
+  }
+
+  const auto gray = exhaustive_optimum(inst.s, inst.p, obj);
+  EXPECT_NEAR(gray.objective, best, 1e-9 * best);
+  EXPECT_NEAR(evaluate_allocation(inst.s, inst.p, obj, gray.allocation),
+              best, 1e-9 * best)
+      << "reported allocation must actually achieve the optimum";
+}
+
+TEST(SaOptimizer, DriftResyncKeepsObjectiveConsistent) {
+  // A long anneal crosses the periodic resync boundary; the final reported
+  // objective must still match a reference evaluation of the returned
+  // allocation, and the resync count is surfaced in the result.
+  const auto inst = random_instance(16, 6, 111);
+  EnergyEfficiencyObjective obj;
+  SaConfig cfg;
+  cfg.seed = 5;
+  cfg.max_iterations = 60000;
+  const auto r = SaOptimizer(cfg).optimize(inst.s, inst.p, obj, inst.initial);
+  EXPECT_GE(r.resyncs, 0);
+  EXPECT_NEAR(evaluate_allocation(inst.s, inst.p, obj, r.allocation),
+              r.objective, 1e-9 * std::max(1.0, r.objective));
 }
 
 TEST(SaOptimizer, HostTimeRecorded) {
