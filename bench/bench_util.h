@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "fault/fault_plan.h"
 #include "sim/experiment.h"
 #include "sim/runner.h"
 
@@ -20,11 +21,21 @@ namespace sb::bench {
 ///   --duration-ms=N  override simulated window
 ///   --jobs=N         worker threads for the sweep (1 = sequential;
 ///                    default: SB_JOBS env var, else hardware concurrency)
+///   --faults=SPEC    fault plan for SmartBalance runs, e.g.
+///                    "wrap:0.05,noise:0.02:3" or "uniform:0.05"
+///                    (see fault/fault_plan.h). A zero-rate or empty spec is
+///                    exactly the default (faultless, undefended) pipeline.
+///   --fault-seed=N   seed for the fault plan's injection hashes
+///   --no-defense     keep the sensing defenses off even under faults
+///                    (ablation arm of the resilience sweep)
 struct Options {
   bool quick = false;
   std::uint64_t seed = 1234;
   TimeNs duration = milliseconds(600);
   int jobs = 0;  // 0 = ExperimentRunner default (SB_JOBS / hw concurrency)
+  std::string faults;
+  std::uint64_t fault_seed = 0xfa517u;
+  bool no_defense = false;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -39,8 +50,15 @@ struct Options {
         o.duration = milliseconds(std::strtoll(a.c_str() + 14, nullptr, 10));
       } else if (a.rfind("--jobs=", 0) == 0) {
         o.jobs = std::atoi(a.c_str() + 7);
+      } else if (a.rfind("--faults=", 0) == 0) {
+        o.faults = a.substr(9);
+      } else if (a.rfind("--fault-seed=", 0) == 0) {
+        o.fault_seed = std::strtoull(a.c_str() + 13, nullptr, 10);
+      } else if (a == "--no-defense") {
+        o.no_defense = true;
       } else if (a == "--help" || a == "-h") {
-        std::cout << "options: --quick --seed=N --duration-ms=N --jobs=N\n";
+        std::cout << "options: --quick --seed=N --duration-ms=N --jobs=N "
+                     "--faults=SPEC --fault-seed=N --no-defense\n";
         std::exit(0);
       } else {
         std::cerr << "unknown option: " << a << "\n";
@@ -48,6 +66,28 @@ struct Options {
       }
     }
     return o;
+  }
+
+  /// The fault plan requested on the command line ("uniform:R" expands to
+  /// FaultPlan::uniform(R); empty/zero-rate specs yield an empty plan).
+  fault::FaultPlan fault_plan() const {
+    if (faults.rfind("uniform:", 0) == 0) {
+      return fault::FaultPlan::uniform(std::strtod(faults.c_str() + 8, nullptr),
+                                       fault_seed);
+    }
+    return fault::FaultPlan::parse(faults, fault_seed);
+  }
+
+  /// SmartBalance config honoring --faults / --no-defense. With neither
+  /// flag this is exactly core::SmartBalanceConfig() — the bit-identical
+  /// golden-figure path.
+  core::SmartBalanceConfig smart_config() const {
+    core::SmartBalanceConfig cfg;
+    cfg.fault_plan = fault_plan();
+    if (no_defense) {
+      cfg.defenses = core::SmartBalanceConfig::Defenses::kOff;
+    }
+    return cfg;
   }
 
   /// Runner honoring --jobs (or SB_JOBS / hardware concurrency when unset).
@@ -97,16 +137,17 @@ inline GainRow make_gain_row(const std::string& label,
 /// imbalanced.
 class GainSweep {
  public:
-  GainSweep(const arch::Platform& platform, const sim::SimulationConfig& cfg)
+  GainSweep(const arch::Platform& platform, const sim::SimulationConfig& cfg,
+            const core::SmartBalanceConfig& smart = core::SmartBalanceConfig())
       : platform_(platform),
         cfg_(cfg),
         // One factory pair for the whole sweep: the predictor-model cache
         // inside smartbalance_factory is per-factory, so sharing it trains
         // once per platform shape instead of once per bar (training is
         // deterministic, so results are unchanged — just faster).
-        eq11_(sim::smartbalance_factory(core::SmartBalanceConfig(),
+        eq11_(sim::smartbalance_factory(smart,
                                         /*paper_eq11_objective=*/true)),
-        global_(sim::smartbalance_factory()) {}
+        global_(sim::smartbalance_factory(smart)) {}
 
   /// Queues one bar; returns its row index in run()'s output.
   std::size_t add(const std::string& label,

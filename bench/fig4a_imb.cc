@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   // Queue the whole sweep, execute it through the parallel runner, then
   // emit rows in submission order (the output is identical to the old
   // sequential loop — the runner guarantees bit-identical results).
-  bench::GainSweep sweep(platform, cfg);
+  bench::GainSweep sweep(platform, cfg, opt.smart_config());
   std::vector<int> row_threads;
   for (const auto& name : workload::BenchmarkLibrary::imb_names()) {
     for (int nt : thread_counts) {

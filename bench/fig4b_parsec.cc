@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   // Queue the whole (workload × thread-count) sweep up front; the parallel
   // runner spreads the 3-simulations-per-bar batch across worker threads
   // (--jobs / SB_JOBS) with bit-identical results to the sequential loop.
-  bench::GainSweep sweep(platform, cfg);
+  bench::GainSweep sweep(platform, cfg, opt.smart_config());
   std::vector<int> row_threads;
   auto queue = [&](const std::string& label, const sim::WorkloadBuilder& wb,
                    int nt) {

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
                  "sb_global_mips_w", "gain_eq11_pct", "gain_global_pct"});
   RunningStats gains, gains_eq11;
   // Queue all bars, execute through the parallel runner, emit in order.
-  bench::GainSweep sweep(platform, cfg);
+  bench::GainSweep sweep(platform, cfg, opt.smart_config());
   for (const auto& [name, nt] : workloads) {
     sweep.add(name,
               [n = name, k = nt](sim::Simulation& s) { s.add_benchmark(n, k); },

@@ -41,6 +41,24 @@ class Fixed {
     return from_raw(static_cast<std::int32_t>(std::lround(v * kOne)));
   }
 
+  /// Largest / smallest representable values.
+  static constexpr Fixed max() { return from_raw(0x7FFFFFFF); }
+  static constexpr Fixed min() { return from_raw(-0x7FFFFFFF - 1); }
+
+  /// Constructs from a double, saturating at the Q16.16 range instead of
+  /// invoking UB on overflow; NaN maps to 0. Bit-identical to from_double
+  /// for every in-range finite input. The sensing path feeds doubles derived
+  /// from hardware counters into the optimizer; a wrapped 32-bit counter
+  /// turns an IPC ratio into ~4e9, and lround(4e9 * 65536) is undefined on
+  /// int32 — this is the hardened entry point for such values.
+  static Fixed saturating_from_double(double v) {
+    if (std::isnan(v)) return Fixed{};
+    constexpr double kMax = 32767.99998474121;  // 0x7FFFFFFF / 65536.0
+    if (v >= kMax) return max();
+    if (v <= -32768.0) return min();
+    return from_double(v);
+  }
+
   constexpr std::int32_t raw() const { return raw_; }
   constexpr double to_double() const {
     return static_cast<double>(raw_) / kOne;
@@ -94,6 +112,27 @@ Fixed fixed_sqrt(Fixed v);
 /// Absolute value.
 constexpr Fixed fixed_abs(Fixed v) {
   return v.raw() < 0 ? Fixed::from_raw(-v.raw()) : v;
+}
+
+/// Saturating addition: clamps at ±max instead of wrapping. Bit-identical
+/// to operator+ whenever the true sum is representable.
+constexpr Fixed saturating_add(Fixed a, Fixed b) {
+  const std::int64_t sum =
+      static_cast<std::int64_t>(a.raw()) + static_cast<std::int64_t>(b.raw());
+  if (sum > 0x7FFFFFFFLL) return Fixed::max();
+  if (sum < -0x7FFFFFFFLL - 1) return Fixed::min();
+  return Fixed::from_raw(static_cast<std::int32_t>(sum));
+}
+
+/// Saturating multiplication: the 64-bit Q16.16 product clamps at ±max
+/// instead of truncating to the low 32 bits. Bit-identical to operator*
+/// whenever the true product is representable.
+constexpr Fixed saturating_mul(Fixed a, Fixed b) {
+  const std::int64_t prod =
+      (static_cast<std::int64_t>(a.raw()) * b.raw()) >> Fixed::kFractionBits;
+  if (prod > 0x7FFFFFFFLL) return Fixed::max();
+  if (prod < -0x7FFFFFFFLL - 1) return Fixed::min();
+  return Fixed::from_raw(static_cast<std::int32_t>(prod));
 }
 
 }  // namespace sb

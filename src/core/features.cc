@@ -1,5 +1,7 @@
 #include "core/features.h"
 
+#include <cmath>
+
 namespace sb::core {
 
 const std::array<std::string, kNumFeatures>& feature_names() {
@@ -13,6 +15,47 @@ std::array<double, kNumFeatures> make_features(const ThreadObservation& obs,
                                                double freq_ratio) {
   return {freq_ratio, obs.mr_l1i,  obs.mr_l1d, obs.imsh, obs.ibsh,
           obs.mr_branch, obs.mr_itlb, obs.mr_dtlb, obs.ipc, 1.0};
+}
+
+void sanitize_observation(ThreadObservation& o) {
+  auto fin = [](double& v) {
+    if (!std::isfinite(v)) v = 0.0;
+  };
+  fin(o.ipc);
+  fin(o.ips);
+  fin(o.freq_mhz);
+  fin(o.power_w);
+  fin(o.util);
+  fin(o.imsh);
+  fin(o.ibsh);
+  fin(o.mr_branch);
+  fin(o.mr_l1i);
+  fin(o.mr_l1d);
+  fin(o.mr_itlb);
+  fin(o.mr_dtlb);
+}
+
+PlausibilityVerdict check_plausibility(const ThreadObservation& o,
+                                       const perf::HpcCounters& c,
+                                       const PlausibilityLimits& lim) {
+  // A delta at the 32-bit register ceiling is a wraparound artefact.
+  if (c.any_field_at_or_above(perf::HpcCounters::k32BitCeiling)) {
+    return PlausibilityVerdict::kImplausible;
+  }
+  // No clock ticks faster than max_ghz: cycles are bounded by runtime.
+  if (o.runtime > 0 &&
+      static_cast<double>(c.active_cycles()) >
+          static_cast<double>(o.runtime) * lim.max_ghz) {
+    return PlausibilityVerdict::kImplausible;
+  }
+  if (o.ipc > lim.ipc_max || o.power_w > lim.power_max_w) {
+    return PlausibilityVerdict::kImplausible;
+  }
+  for (double r : {o.imsh, o.ibsh, o.mr_branch, o.mr_l1i, o.mr_l1d, o.mr_itlb,
+                   o.mr_dtlb}) {
+    if (r > lim.ratio_max) return PlausibilityVerdict::kImplausible;
+  }
+  return PlausibilityVerdict::kPlausible;
 }
 
 }  // namespace sb::core

@@ -194,7 +194,7 @@ SaResult SaOptimizer::run_annealing(
         // probability = e^(diff/accept) computed in Q16.16; accepted when
         // randi() mod round(1/probability) == 0, as in the paper's listing.
         const double ratio = std::max(-15.9, diff / accept);
-        const Fixed prob = fixed_exp_neg(Fixed::from_double(ratio));
+        const Fixed prob = fixed_exp_neg(Fixed::saturating_from_double(ratio));
         if (prob.raw() > 0) {
           const std::uint32_t inv = static_cast<std::uint32_t>(
               std::max<std::int64_t>(1, Fixed::kOne / prob.raw()));

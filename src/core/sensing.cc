@@ -67,12 +67,76 @@ ThreadObservation SensingSubsystem::reduce(const os::EpochSample& s) {
   return o;
 }
 
+bool SensingSubsystem::accept_fresh(const ThreadObservation& o,
+                                    const os::EpochSample& s) {
+  const SensingDefenseConfig& d = cfg_.defense;
+  if (check_plausibility(o, s.counters, d.limits) ==
+      PlausibilityVerdict::kImplausible) {
+    ++health_.implausible_rejected;
+    return false;
+  }
+  // A thread that executed a full epoch while its rail reported (near)
+  // nothing is on a dead or stuck-at-zero power sensor.
+  if (s.runtime >= cfg_.min_runtime && o.power_w < d.limits.min_power_w) {
+    ++health_.implausible_rejected;
+    return false;
+  }
+  // Outlier screen: fresh throughput against the median of the thread's
+  // recent accepted history. Catches saturation/duplication artefacts that
+  // stay inside the physical envelope.
+  const auto it = thread_health_.find(s.tid);
+  if (it != thread_health_.end() &&
+      static_cast<int>(it->second.ips_history.size()) >= d.min_history) {
+    std::vector<double> h = it->second.ips_history;
+    std::nth_element(h.begin(), h.begin() + h.size() / 2, h.end());
+    const double med = h[h.size() / 2];
+    if (med > 0 &&
+        (o.ips > med * d.outlier_factor || o.ips < med / d.outlier_factor)) {
+      ++health_.outliers_rejected;
+      return false;
+    }
+  }
+  return true;
+}
+
+void SensingSubsystem::note_accepted(ThreadId tid, double ips) {
+  ThreadHealth& h = thread_health_[tid];
+  h.confidence = 1.0;
+  h.stale_epochs = 0;
+  const auto window = static_cast<std::size_t>(
+      std::max(1, cfg_.defense.median_window));
+  if (h.ips_history.size() < window) {
+    h.ips_history.push_back(ips);
+  } else {
+    h.ips_history[h.ips_next] = ips;
+    h.ips_next = (h.ips_next + 1) % window;
+  }
+}
+
+void SensingSubsystem::note_rejected(ThreadId tid) {
+  ThreadHealth& h = thread_health_[tid];
+  h.confidence *= cfg_.defense.health_decay;
+}
+
 std::vector<ThreadObservation> SensingSubsystem::observe(
     const std::vector<os::EpochSample>& samples) {
   std::vector<ThreadObservation> out;
   out.reserve(samples.size());
+  const bool defended = cfg_.defense.enabled;
   for (const auto& s : samples) {
     ThreadObservation o = reduce(s);
+    sanitize_observation(o);
+    if (defended && o.measured && !accept_fresh(o, s)) {
+      // Corrupted fresh measurement: discard it and fall through to the
+      // stale-serve path, exactly as if the thread had not run.
+      o.measured = false;
+      note_rejected(s.tid);
+    } else if (defended && !o.measured && s.runtime >= cfg_.min_runtime) {
+      // Ran a full epoch yet retired nothing — the blackout signature; the
+      // sensing infrastructure (not the thread) is the problem.
+      ++health_.implausible_rejected;
+      note_rejected(s.tid);
+    }
     // A freshly migrated thread's counters reflect cold caches, not the
     // core; keep the previous characterization until it has warmed up
     // (otherwise every migration makes the new core look bad and the old
@@ -85,6 +149,7 @@ std::vector<ThreadObservation> SensingSubsystem::observe(
       continue;
     }
     if (o.measured) {
+      if (defended) note_accepted(s.tid, o.ips);
       const auto it = last_good_.find(s.tid);
       if (cfg_.smoothing > 0 && it != last_good_.end() &&
           it->second.core_type == o.core_type) {
@@ -107,7 +172,31 @@ std::vector<ThreadObservation> SensingSubsystem::observe(
       last_good_[s.tid] = o;
     } else {
       const auto it = last_good_.find(s.tid);
-      if (it != last_good_.end()) {
+      if (defended) {
+        ThreadHealth& h = thread_health_[s.tid];
+        ++h.stale_epochs;
+        if (it != last_good_.end() &&
+            h.stale_epochs <= cfg_.defense.max_stale_epochs) {
+          // Stale but recently characterized: reuse the last measurement,
+          // refreshed with the current utilization.
+          o = it->second;
+          o.util = s.util;
+          o.runtime = s.runtime;
+          ++health_.stale_served;
+        } else {
+          // Too stale to trust (or never characterized): hand the predictor
+          // the neutral prior instead of fossil data.
+          ThreadObservation neutral;
+          neutral.tid = s.tid;
+          neutral.core = s.core;
+          neutral.core_type = o.core_type;
+          neutral.freq_mhz = o.freq_mhz;
+          neutral.util = s.util;
+          neutral.runtime = s.runtime;
+          if (it != last_good_.end()) ++health_.neutral_served;
+          o = neutral;
+        }
+      } else if (it != last_good_.end()) {
         // Stale but characterized: reuse the last measurement, refreshed
         // with the current utilization.
         o = it->second;
@@ -117,6 +206,16 @@ std::vector<ThreadObservation> SensingSubsystem::observe(
     }
     out.push_back(o);
   }
+  if (defended && !samples.empty()) {
+    std::size_t healthy = 0;
+    for (const auto& s : samples) {
+      const auto it = thread_health_.find(s.tid);
+      const double conf = it != thread_health_.end() ? it->second.confidence : 1.0;
+      if (conf >= cfg_.defense.healthy_threshold) ++healthy;
+    }
+    health_.healthy_fraction =
+        static_cast<double>(healthy) / static_cast<double>(samples.size());
+  }
   garbage_collect(samples);
   return out;
 }
@@ -125,11 +224,15 @@ void SensingSubsystem::garbage_collect(
     const std::vector<os::EpochSample>& samples) {
   if (last_good_.size() < 2 * samples.size() + 16) return;
   std::unordered_map<ThreadId, ThreadObservation> kept;
+  std::unordered_map<ThreadId, ThreadHealth> kept_health;
   for (const auto& s : samples) {
     const auto it = last_good_.find(s.tid);
     if (it != last_good_.end()) kept.insert(*it);
+    const auto ht = thread_health_.find(s.tid);
+    if (ht != thread_health_.end()) kept_health.insert(*ht);
   }
   last_good_ = std::move(kept);
+  thread_health_ = std::move(kept_health);
 }
 
 }  // namespace sb::core

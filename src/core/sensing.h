@@ -21,6 +21,43 @@
 
 namespace sb::core {
 
+/// Defense-in-depth configuration for the sensing path. Disabled by
+/// default: with `enabled == false` the subsystem behaves bit-identically
+/// to the undefended pipeline (golden-figure contract). Enabled, it
+/// screens every fresh measurement against a physical-plausibility
+/// envelope, rejects statistical outliers against a per-thread median
+/// window, tracks per-thread sensor confidence, and escalates long-stale
+/// threads to the predictor's neutral prior.
+struct SensingDefenseConfig {
+  bool enabled = false;
+  PlausibilityLimits limits{};
+  /// Outlier screen: a fresh IPS farther than `outlier_factor`× from the
+  /// median of the thread's last `median_window` accepted measurements is
+  /// rejected (needs at least `min_history` accepted points first).
+  int median_window = 5;
+  double outlier_factor = 6.0;
+  int min_history = 3;
+  /// Sensor-health tracking: confidence resets to 1 on an accepted
+  /// measurement and multiplies by `health_decay` on every rejected or
+  /// missing one; a thread is "healthy" while confidence >= threshold.
+  double health_decay = 0.7;
+  double healthy_threshold = 0.5;
+  /// After this many consecutive epochs without an accepted measurement the
+  /// cached characterization is deemed untrustworthy and the thread is
+  /// served the neutral prior instead (measured=false, instructions=0).
+  int max_stale_epochs = 8;
+};
+
+/// Counters for the defense layer, aggregated across all epochs, plus the
+/// healthy-thread fraction of the most recent epoch.
+struct SensingHealthStats {
+  std::uint64_t implausible_rejected = 0;
+  std::uint64_t outliers_rejected = 0;
+  std::uint64_t stale_served = 0;
+  std::uint64_t neutral_served = 0;
+  double healthy_fraction = 1.0;
+};
+
 class SensingSubsystem {
  public:
   struct Config {
@@ -36,6 +73,7 @@ class SensingSubsystem {
     /// whose phases alternate faster than they migrate usefully (x264's
     /// per-frame ME/encode cycle). History resets on core-type change.
     double smoothing = 0.6;
+    SensingDefenseConfig defense{};
   };
 
   SensingSubsystem(const arch::Platform& platform, Config cfg, Rng rng);
@@ -43,8 +81,10 @@ class SensingSubsystem {
       : SensingSubsystem(platform, Config(), rng) {}
 
   /// Processes one epoch's samples into observations. Every alive thread
-  /// yields exactly one observation: fresh if it ran long enough, the
-  /// cached previous one otherwise (marked measured=false if never seen).
+  /// yields exactly one observation: fresh if it ran long enough (and, with
+  /// defenses on, passed the plausibility and outlier screens), the cached
+  /// previous one otherwise (marked measured=false if never seen or stale
+  /// past max_stale_epochs).
   std::vector<ThreadObservation> observe(
       const std::vector<os::EpochSample>& samples);
 
@@ -52,15 +92,31 @@ class SensingSubsystem {
   void garbage_collect(const std::vector<os::EpochSample>& samples);
 
   const Config& config() const { return cfg_; }
+  const SensingHealthStats& health() const { return health_; }
 
  private:
+  struct ThreadHealth {
+    double confidence = 1.0;
+    int stale_epochs = 0;
+    /// Ring of the last accepted IPS values for the outlier median.
+    std::vector<double> ips_history;
+    std::size_t ips_next = 0;
+  };
+
   ThreadObservation reduce(const os::EpochSample& s);
   double noisy(double v, double sigma);
+  /// Defense screen on a fresh measurement; returns false when the sample
+  /// must be rejected (and bumps the corresponding stats counter).
+  bool accept_fresh(const ThreadObservation& o, const os::EpochSample& s);
+  void note_accepted(ThreadId tid, double ips);
+  void note_rejected(ThreadId tid);
 
   const arch::Platform& platform_;
   Config cfg_;
   Rng rng_;
   std::unordered_map<ThreadId, ThreadObservation> last_good_;
+  std::unordered_map<ThreadId, ThreadHealth> thread_health_;
+  SensingHealthStats health_{};
 };
 
 }  // namespace sb::core

@@ -13,6 +13,23 @@ TimeNs elapsed_ns(Clock::time_point a, Clock::time_point b) {
 
 }  // namespace
 
+SensingSubsystem::Config SmartBalancePolicy::resolve_sensing(
+    const SmartBalanceConfig& cfg) {
+  SensingSubsystem::Config s = cfg.sensing;
+  switch (cfg.defenses) {
+    case SmartBalanceConfig::Defenses::kOn:
+      s.defense.enabled = true;
+      break;
+    case SmartBalanceConfig::Defenses::kOff:
+      s.defense.enabled = false;
+      break;
+    case SmartBalanceConfig::Defenses::kAuto:
+      s.defense.enabled = s.defense.enabled || !cfg.fault_plan.empty();
+      break;
+  }
+  return s;
+}
+
 SmartBalancePolicy::SmartBalancePolicy(
     const arch::Platform& platform, PredictorModel model,
     SmartBalanceConfig cfg, std::unique_ptr<BalanceObjective> objective)
@@ -21,28 +38,56 @@ SmartBalancePolicy::SmartBalancePolicy(
       cfg_(cfg),
       objective_(objective ? std::move(objective)
                            : make_energy_efficiency_objective()),
-      sensing_(platform, cfg.sensing, Rng(cfg.seed ^ 0x5e25ULL)),
+      sensing_(platform, resolve_sensing(cfg), Rng(cfg.seed ^ 0x5e25ULL)),
       optimizer_([&] {
         SaConfig sa = cfg.sa;
         sa.seed = cfg.seed ^ 0x0a0aULL;
         return sa;
       }()),
-      pred_cache_(cfg.prediction_cache) {}
+      pred_cache_(cfg.prediction_cache) {
+  if (!cfg_.fault_plan.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(cfg_.fault_plan);
+  }
+}
 
-void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs /*now*/) {
+void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
   ++passes_;
   last_ = os::BalancePassStats{};
 
+  if (injector_) {
+    // Key every injection decision to this pass and hook the two live
+    // telemetry paths (idempotent after the first pass).
+    injector_->begin_epoch(passes_);
+    if (kernel.migration_filter() != injector_.get()) {
+      kernel.set_migration_filter(injector_.get());
+    }
+    if (kernel.sensors().fault_hook() != injector_.get()) {
+      kernel.sensors().set_fault_hook(injector_.get());
+    }
+  }
+
   // ---- Phase 1: SENSE -----------------------------------------------------
   const auto t0 = Clock::now();
-  const auto samples = kernel.drain_epoch_samples();
+  auto samples = kernel.drain_epoch_samples();
+  if (injector_) injector_->corrupt(samples);
   // Read every core's power sensor: this is the platform's measurement
   // heartbeat (per-thread energy attribution in EpochSample is derived from
   // the same sensors; reading them keeps their windows aligned per epoch).
   for (CoreId c = 0; c < kernel.num_cores(); ++c) {
     (void)kernel.sensors().read_joules(c);
   }
+  const SensingHealthStats pre_health = sensing_.health();
   auto observations = sensing_.observe(samples);
+  if (sensing_.config().defense.enabled) {
+    const SensingHealthStats& h = sensing_.health();
+    last_.faults_detected = (h.implausible_rejected + h.outliers_rejected) -
+                            (pre_health.implausible_rejected +
+                             pre_health.outliers_rejected);
+    last_.faults_absorbed = (h.stale_served + h.neutral_served) -
+                            (pre_health.stale_served + pre_health.neutral_served);
+    faults_detected_ += last_.faults_detected;
+    faults_absorbed_ += last_.faults_absorbed;
+  }
   // Sparse virtual sensing (§6.4): cores without a physical power sensor
   // fall back to the Eq. 9 interpolation as a virtual sensor.
   if (!cfg_.power_sensor_cores.all()) {
@@ -56,6 +101,20 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs /*now*/) {
   const auto t1 = Clock::now();
 
   if (observations.empty()) {
+    last_.sense_host_ns = elapsed_ns(t0, t1);
+    sense_ns_.add(static_cast<double>(last_.sense_host_ns));
+    return;
+  }
+
+  // Degraded mode: when too few threads have trustworthy sensors, predicted
+  // S/P matrices are mostly fiction — migrating on them is worse than not
+  // using them at all. Delegate the pass to the heterogeneity-blind (but
+  // sensing-free) vanilla balancer until health recovers.
+  if (sensing_.config().defense.enabled && cfg_.degraded_healthy_threshold > 0 &&
+      sensing_.health().healthy_fraction < cfg_.degraded_healthy_threshold) {
+    ++degraded_passes_;
+    last_.degraded = true;
+    fallback_.on_balance(kernel, now);
     last_.sense_host_ns = elapsed_ns(t0, t1);
     sense_ns_.add(static_cast<double>(last_.sense_host_ns));
     return;

@@ -26,8 +26,11 @@
 #include "core/predictor.h"
 #include "core/sa_optimizer.h"
 #include "core/sensing.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "os/kernel.h"
 #include "os/load_balancer.h"
+#include "os/vanilla_balancer.h"
 
 namespace sb::core {
 
@@ -62,6 +65,23 @@ struct SmartBalanceConfig {
   /// default — enabling trades bounded (quantization + staleness) row reuse
   /// error for a large cut in predict-phase time on stable workloads.
   PredictionCacheConfig prediction_cache;
+
+  /// Deterministic sensor/migration fault plan (see fault/fault_plan.h).
+  /// Empty (the default) injects nothing and leaves every golden figure
+  /// bit-identical.
+  fault::FaultPlan fault_plan;
+  /// Sensing-defense activation. kAuto enables the defense layer exactly
+  /// when the fault plan is non-empty — so clean runs stay on the
+  /// bit-identical undefended path, and faulty runs defend themselves.
+  /// kOn / kOff force either side (kOff under faults is the ablation arm of
+  /// fig_fault_resilience).
+  enum class Defenses { kAuto, kOn, kOff };
+  Defenses defenses = Defenses::kAuto;
+  /// Degraded mode: when the fraction of threads with healthy sensors
+  /// (sensing-layer confidence) drops below this, the pass is delegated to
+  /// a vanilla CFS-style balancer — heterogeneity-blind but sensing-free,
+  /// so garbage telemetry cannot steer migrations. 0 disables.
+  double degraded_healthy_threshold = 0.5;
 };
 
 class SmartBalancePolicy final : public os::LoadBalancer {
@@ -91,7 +111,16 @@ class SmartBalancePolicy final : public os::LoadBalancer {
   /// The most recent characterization matrices (empty before first pass).
   const CharacterizationMatrices& last_matrices() const { return last_mx_; }
 
+  /// Fault-resilience introspection.
+  const fault::FaultInjector* injector() const { return injector_.get(); }
+  const SensingHealthStats& sensing_health() const { return sensing_.health(); }
+  bool defenses_enabled() const { return sensing_.config().defense.enabled; }
+  std::uint64_t degraded_passes() const { return degraded_passes_; }
+  std::uint64_t faults_detected() const { return faults_detected_; }
+  std::uint64_t faults_absorbed() const { return faults_absorbed_; }
+
  private:
+  static SensingSubsystem::Config resolve_sensing(const SmartBalanceConfig& cfg);
   const arch::Platform& platform_;
   PredictorModel model_;
   SmartBalanceConfig cfg_;
@@ -112,6 +141,13 @@ class SmartBalancePolicy final : public os::LoadBalancer {
   RunningStats objective_gain_;
   CharacterizationMatrices last_mx_;
   std::unordered_map<ThreadId, std::uint64_t> migrated_at_pass_;
+
+  /// Fault injection (null when the plan is empty) and graceful degradation.
+  std::unique_ptr<fault::FaultInjector> injector_;
+  os::VanillaBalancer fallback_;
+  std::uint64_t degraded_passes_ = 0;
+  std::uint64_t faults_detected_ = 0;
+  std::uint64_t faults_absorbed_ = 0;
 };
 
 }  // namespace sb::core

@@ -154,8 +154,16 @@ PredictorModel PredictorTrainer::train(
                 src_obs, src_obs.freq_mhz / dst_obs.freq_mhz);
             // Weight by 1/truth: the reported quantity (Fig. 6) is
             // *relative* IPC error, so minimize relative residuals.
-            const double truth = true_ipc[static_cast<std::size_t>(d)][dst_idx];
-            const double w = 1.0 / std::max(truth, 1e-3);
+            // Non-finite rows (a poisoned observation would propagate NaN
+            // through the normal equations and corrupt every coefficient)
+            // are zero-weighted out of the regression.
+            double truth = true_ipc[static_cast<std::size_t>(d)][dst_idx];
+            bool finite = std::isfinite(truth);
+            for (std::size_t k = 0; finite && k < kNumFeatures; ++k) {
+              finite = std::isfinite(x[k]);
+            }
+            if (!finite) truth = 0.0;
+            const double w = finite ? 1.0 / std::max(truth, 1e-3) : 0.0;
             for (std::size_t k = 0; k < kNumFeatures; ++k) {
               a.at(row, k) = w * x[k];
             }
@@ -179,9 +187,12 @@ PredictorModel PredictorTrainer::train(
     Matrix a(ns, 2);
     std::vector<double> b(ns);
     for (std::size_t i = 0; i < ns; ++i) {
-      const double truth = true_power[static_cast<std::size_t>(d)][i];
-      const double w = 1.0 / std::max(truth, 1e-6);
-      a.at(i, 0) = w * true_ipc[static_cast<std::size_t>(d)][i];
+      double truth = true_power[static_cast<std::size_t>(d)][i];
+      const double ipc = true_ipc[static_cast<std::size_t>(d)][i];
+      const bool finite = std::isfinite(truth) && std::isfinite(ipc);
+      if (!finite) truth = 0.0;
+      const double w = finite ? 1.0 / std::max(truth, 1e-6) : 0.0;
+      a.at(i, 0) = w * (finite ? ipc : 0.0);
       a.at(i, 1) = w;
       b[i] = w * truth;
     }

@@ -1,0 +1,199 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sb::fault {
+
+namespace {
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash of a 64-bit input.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix_key(std::uint64_t seed, FaultClass cls, std::uint64_t epoch,
+                      std::uint64_t target) {
+  std::uint64_t h = mix64(seed ^ 0xfa17'1f1a'9c0d'e5edULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(cls));
+  h = mix64(h ^ epoch);
+  h = mix64(h ^ target);
+  return h;
+}
+
+double to_uniform(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void FaultInjector::begin_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+
+std::uint64_t FaultInjector::hash_key(FaultClass cls, std::uint64_t epoch,
+                                      std::uint64_t target) const {
+  return mix_key(plan_.seed, cls, epoch, target);
+}
+
+double FaultInjector::hash_uniform(FaultClass cls, std::uint64_t epoch,
+                                   std::uint64_t target) const {
+  return to_uniform(hash_key(cls, epoch, target));
+}
+
+bool FaultInjector::fires(const FaultSpec& spec, std::uint64_t epoch,
+                          std::uint64_t target) const {
+  return hash_uniform(spec.cls, epoch, target) < spec.rate;
+}
+
+bool FaultInjector::active_in_window(const FaultSpec& spec, std::uint64_t epoch,
+                                     std::uint64_t target) const {
+  const std::uint64_t span =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(spec.duration_epochs),
+                              epoch + 1);
+  for (std::uint64_t back = 0; back < span; ++back) {
+    if (fires(spec, epoch - back, target)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::core_blacked_out(CoreId c) const {
+  const FaultSpec* spec = plan_.spec_of(FaultClass::kCoreBlackout);
+  if (!spec) return false;
+  return active_in_window(*spec, epoch_, static_cast<std::uint64_t>(c));
+}
+
+void FaultInjector::corrupt(std::vector<os::EpochSample>& samples) {
+  if (plan_.empty()) return;
+
+  // Snapshot the pristine epoch before touching anything: duplicates and
+  // stuck rails replay *truthful* previous-epoch data, the way a stale
+  // kernel ring buffer or latched ADC would.
+  std::unordered_map<ThreadId, CachedSample> fresh;
+  fresh.reserve(samples.size());
+  for (const auto& s : samples) {
+    fresh[s.tid] = CachedSample{s.counters, s.energy_j, s.runtime};
+  }
+
+  const FaultSpec* wrap = plan_.spec_of(FaultClass::kCounterWrap);
+  const FaultSpec* sat = plan_.spec_of(FaultClass::kCounterSaturate);
+  const FaultSpec* dup = plan_.spec_of(FaultClass::kSampleDuplicate);
+  const FaultSpec* drop = plan_.spec_of(FaultClass::kSampleDrop);
+  const FaultSpec* blackout = plan_.spec_of(FaultClass::kCoreBlackout);
+
+  for (auto& s : samples) {
+    const auto tkey = static_cast<std::uint64_t>(s.tid);
+
+    // Whole-core blackout: the core's sensing infrastructure reads zeros —
+    // counters, energy, everything. Applied first; a blacked-out core's
+    // sample carries no information for the other classes to corrupt.
+    if (blackout &&
+        active_in_window(*blackout, epoch_,
+                         static_cast<std::uint64_t>(s.core))) {
+      s.counters.reset();
+      s.energy_j = 0.0;
+      ++stats_.injected[static_cast<int>(FaultClass::kCoreBlackout)];
+      continue;
+    }
+
+    // Duplicate: last epoch's payload delivered again (counters, energy and
+    // runtime — util/weight are scheduler state and stay current).
+    if (dup && fires(*dup, epoch_, tkey)) {
+      auto it = prev_samples_.find(s.tid);
+      if (it != prev_samples_.end()) {
+        s.counters = it->second.counters;
+        s.energy_j = it->second.energy_j;
+        s.runtime = it->second.runtime;
+        ++stats_.injected[static_cast<int>(FaultClass::kSampleDuplicate)];
+      }
+    }
+
+    // Counter wraparound: one hash-picked field's 32-bit register wrapped
+    // between reads, so the unsigned delta comes out near 2^32.
+    if (wrap && fires(*wrap, epoch_, tkey)) {
+      const std::uint64_t h = hash_key(FaultClass::kCounterWrap, epoch_,
+                                       tkey ^ 0x77a9ULL);
+      std::uint64_t* fields[] = {&s.counters.inst_total, &s.counters.cy_busy,
+                                 &s.counters.inst_mem, &s.counters.l1d_miss};
+      std::uint64_t& f = *fields[h & 3];
+      f = perf::HpcCounters::k32BitCeiling - (f & 0xFFFFFULL);
+      ++stats_.injected[static_cast<int>(FaultClass::kCounterWrap)];
+    }
+
+    // Saturation: every field clamps at a narrow ceiling
+    // (magnitude * 2^24 events), silently losing the excess.
+    if (sat && fires(*sat, epoch_, tkey)) {
+      const auto ceiling = static_cast<std::uint64_t>(
+          std::max(1.0, sat->magnitude) * 16'777'216.0);
+      s.counters.saturate_fields(ceiling);
+      ++stats_.injected[static_cast<int>(FaultClass::kCounterSaturate)];
+    }
+  }
+
+  // Drop last, so a dropped sample still contributed its pristine payload
+  // to the duplicate cache (the data existed; its delivery failed).
+  if (drop) {
+    std::erase_if(samples, [&](const os::EpochSample& s) {
+      if (!fires(*drop, epoch_, static_cast<std::uint64_t>(s.tid))) {
+        return false;
+      }
+      ++stats_.injected[static_cast<int>(FaultClass::kSampleDrop)];
+      return true;
+    });
+  }
+
+  prev_samples_ = std::move(fresh);
+}
+
+FaultInjector::Decision FaultInjector::on_migrate(ThreadId tid, CoreId /*from*/,
+                                                  CoreId /*to*/) {
+  const auto tkey = static_cast<std::uint64_t>(tid);
+  if (const FaultSpec* rej = plan_.spec_of(FaultClass::kMigrationReject);
+      rej && fires(*rej, epoch_, tkey)) {
+    ++stats_.injected[static_cast<int>(FaultClass::kMigrationReject)];
+    return Decision::kReject;
+  }
+  if (const FaultSpec* del = plan_.spec_of(FaultClass::kMigrationDelay);
+      del && fires(*del, epoch_, tkey)) {
+    ++stats_.injected[static_cast<int>(FaultClass::kMigrationDelay)];
+    return Decision::kDefer;
+  }
+  return Decision::kAllow;
+}
+
+double FaultInjector::transform_energy(CoreId core, double joules) {
+  const auto ckey = static_cast<std::uint64_t>(core);
+  double out = joules;
+
+  const FaultSpec* blackout = plan_.spec_of(FaultClass::kCoreBlackout);
+  if (blackout && active_in_window(*blackout, epoch_, ckey)) {
+    // Blacked-out rail reads zero; don't update the stuck cache with it.
+    ++stats_.injected[static_cast<int>(FaultClass::kCoreBlackout)];
+    return 0.0;
+  }
+
+  if (const FaultSpec* stuck = plan_.spec_of(FaultClass::kPowerStuck);
+      stuck && active_in_window(*stuck, epoch_, ckey)) {
+    auto it = prev_energy_.find(core);
+    out = it != prev_energy_.end() ? it->second : 0.0;
+    ++stats_.injected[static_cast<int>(FaultClass::kPowerStuck)];
+    return out;  // a latched ADC also doesn't pick up noise
+  }
+
+  prev_energy_[core] = joules;
+
+  if (const FaultSpec* noise = plan_.spec_of(FaultClass::kPowerNoise);
+      noise && fires(*noise, epoch_, ckey)) {
+    Rng g(hash_key(FaultClass::kPowerNoise, epoch_, ckey ^ 0x9e15eULL));
+    out = std::max(0.0, out * (1.0 + noise->magnitude * g.gaussian()));
+    ++stats_.injected[static_cast<int>(FaultClass::kPowerNoise)];
+  }
+  return out;
+}
+
+}  // namespace sb::fault

@@ -1,0 +1,100 @@
+// Deterministic fault injection on the sensing and migration paths.
+//
+// The injector sits at exactly the three seams where real telemetry enters
+// SmartBalance: the per-epoch sample drain (counter wrap/saturation,
+// dropped/duplicated samples, whole-core blackouts), the power-sensor
+// readout (stuck-at and noise-burst rails, via power::SensorFaultHook), and
+// the balancer-requested migration path (rejects and one-epoch delays, via
+// os::MigrationFilter). Every decision is a pure function of
+// (plan.seed, fault class, epoch, target id) — hashed, not drawn from a
+// shared stream — so injection is independent of thread-pool scheduling and
+// a faulty experiment is bit-identical at --jobs=1 and --jobs=8.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "os/kernel.h"
+#include "power/sensor.h"
+
+namespace sb::fault {
+
+/// Injection counters, per fault class (indexed by FaultClass).
+struct FaultStats {
+  std::array<std::uint64_t, kNumFaultClasses> injected{};
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto v : injected) t += v;
+    return t;
+  }
+  std::uint64_t of(FaultClass cls) const {
+    return injected[static_cast<int>(cls)];
+  }
+};
+
+class FaultInjector final : public os::MigrationFilter,
+                            public power::SensorFaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Advances to balancing epoch `epoch` (the policy's pass counter). All
+  /// subsequent corrupt()/on_migrate()/transform_energy() decisions key on
+  /// this epoch.
+  void begin_epoch(std::uint64_t epoch);
+
+  /// Corrupts one epoch's drained samples in place: applies blackout, wrap,
+  /// saturation, duplication, then drops. Caches the pristine samples first
+  /// so next epoch's duplicates replay truthful (pre-corruption) data, the
+  /// way a stale kernel buffer would.
+  void corrupt(std::vector<os::EpochSample>& samples);
+
+  /// True when core `c` is inside a blackout window this epoch. The sensing
+  /// defense layer may consult this only in tests; the policy must detect
+  /// blackouts from the corrupted data itself.
+  bool core_blacked_out(CoreId c) const;
+
+  // --- os::MigrationFilter ---
+  Decision on_migrate(ThreadId tid, CoreId from, CoreId to) override;
+
+  // --- power::SensorFaultHook ---
+  double transform_energy(CoreId core, double joules) override;
+
+ private:
+  /// Uniform [0,1) deterministic in (seed, cls, epoch, target).
+  double hash_uniform(FaultClass cls, std::uint64_t epoch,
+                      std::uint64_t target) const;
+  /// Raw mixed 64-bit hash for the same key (field picks, gaussians).
+  std::uint64_t hash_key(FaultClass cls, std::uint64_t epoch,
+                         std::uint64_t target) const;
+  /// True when the per-epoch Bernoulli for (cls, epoch, target) fires.
+  bool fires(const FaultSpec& spec, std::uint64_t epoch,
+             std::uint64_t target) const;
+  /// True when a stateful fault (spec.duration_epochs window) covers
+  /// `epoch`: some onset in (epoch - duration, epoch] fired.
+  bool active_in_window(const FaultSpec& spec, std::uint64_t epoch,
+                        std::uint64_t target) const;
+
+  FaultPlan plan_;
+  FaultStats stats_;
+  std::uint64_t epoch_ = 0;
+
+  struct CachedSample {
+    perf::HpcCounters counters;
+    double energy_j = 0.0;
+    TimeNs runtime = 0;
+  };
+  /// Pristine previous-epoch samples, keyed by thread: the payload a
+  /// kSampleDuplicate replays.
+  std::unordered_map<ThreadId, CachedSample> prev_samples_;
+  /// Pristine previous energy reading per core: what a stuck rail repeats.
+  std::unordered_map<CoreId, double> prev_energy_;
+};
+
+}  // namespace sb::fault

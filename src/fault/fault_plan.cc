@@ -1,0 +1,171 @@
+#include "fault/fault_plan.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sb::fault {
+namespace {
+
+constexpr const char* kNames[kNumFaultClasses] = {
+    "wrap", "sat", "drop", "dup", "stuck", "noise", "delay", "reject",
+    "blackout"};
+
+FaultSpec parse_entry(const std::string& entry) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : entry) {
+    if (c == ':') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  if (parts.size() < 2 || parts.size() > 4) {
+    throw std::invalid_argument("FaultPlan: malformed entry '" + entry +
+                                "' (want class:rate[:magnitude[:duration]])");
+  }
+  FaultSpec spec;
+  if (!fault_class_from_name(parts[0], &spec.cls)) {
+    throw std::invalid_argument("FaultPlan: unknown fault class '" + parts[0] +
+                                "'");
+  }
+  std::size_t pos = 0;
+  spec.rate = std::stod(parts[1], &pos);
+  if (pos != parts[1].size() || !(spec.rate >= 0.0) || spec.rate > 1.0) {
+    throw std::invalid_argument("FaultPlan: bad rate in '" + entry + "'");
+  }
+  if (parts.size() >= 3) {
+    spec.magnitude = std::stod(parts[2], &pos);
+    if (pos != parts[2].size() || !std::isfinite(spec.magnitude) ||
+        spec.magnitude < 0.0) {
+      throw std::invalid_argument("FaultPlan: bad magnitude in '" + entry +
+                                  "'");
+    }
+  }
+  if (parts.size() == 4) {
+    spec.duration_epochs = std::stoi(parts[3], &pos);
+    if (pos != parts[3].size() || spec.duration_epochs < 1 ||
+        spec.duration_epochs > 1024) {
+      throw std::invalid_argument("FaultPlan: bad duration in '" + entry +
+                                  "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+const char* fault_class_name(FaultClass cls) {
+  return kNames[static_cast<int>(cls)];
+}
+
+bool fault_class_from_name(const std::string& name, FaultClass* out) {
+  for (int i = 0; i < kNumFaultClasses; ++i) {
+    if (name == kNames[i]) {
+      *out = static_cast<FaultClass>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::empty() const {
+  for (const auto& s : specs_) {
+    if (s.rate > 0.0) return false;
+  }
+  return true;
+}
+
+const FaultSpec* FaultPlan::spec_of(FaultClass cls) const {
+  for (const auto& s : specs_) {
+    if (s.cls == cls && s.rate > 0.0) return &s;
+  }
+  return nullptr;
+}
+
+void FaultPlan::set(FaultSpec spec) {
+  for (auto& s : specs_) {
+    if (s.cls == spec.cls) {
+      s = spec;
+      return;
+    }
+  }
+  specs_.push_back(spec);
+}
+
+FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  std::string entry;
+  std::istringstream is(text);
+  while (std::getline(is, entry, ',')) {
+    if (entry.empty()) continue;
+    plan.set(parse_entry(entry));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::load_csv(const std::string& path, std::uint64_t seed) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FaultPlan: cannot open " + path);
+  FaultPlan plan;
+  plan.seed = seed;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("FaultPlan: empty file " + path);
+  }
+  if (line.rfind("fault,rate", 0) != 0) {
+    throw std::runtime_error(
+        "FaultPlan: bad header (want fault,rate,magnitude,duration_epochs) "
+        "in " +
+        path);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Reuse the CLI entry grammar: swap commas for colons.
+    for (auto& c : line) {
+      if (c == ',') c = ':';
+    }
+    try {
+      plan.set(parse_entry(line));
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string(e.what()) + " in " + path);
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::uniform(double rate, std::uint64_t seed) {
+  if (!(rate >= 0.0) || rate > 1.0) {
+    throw std::invalid_argument("FaultPlan::uniform: rate out of [0,1]");
+  }
+  FaultPlan plan;
+  plan.seed = seed;
+  for (FaultClass cls :
+       {FaultClass::kCounterWrap, FaultClass::kCounterSaturate,
+        FaultClass::kSampleDrop, FaultClass::kSampleDuplicate,
+        FaultClass::kPowerStuck, FaultClass::kPowerNoise,
+        FaultClass::kMigrationDelay, FaultClass::kMigrationReject}) {
+    plan.set(FaultSpec{cls, rate, 1.0, 1});
+  }
+  plan.set(FaultSpec{FaultClass::kCoreBlackout, rate / 4.0, 1.0, 3});
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& s : specs_) {
+    if (!first) os << ',';
+    first = false;
+    os << fault_class_name(s.cls) << ':' << s.rate << ':' << s.magnitude << ':'
+       << s.duration_epochs;
+  }
+  return os.str();
+}
+
+}  // namespace sb::fault

@@ -100,6 +100,10 @@ void Kernel::set_core_online(CoreId c, bool online) {
 
   cs.offline = true;
   // Evacuate: running task first, then the queue, then retarget sleepers.
+  // Evacuation moves are correctness-critical — never fault-filtered, even
+  // when a policy unplugs cores mid-balance-pass.
+  const bool prev_bypass = bypass_migration_filter_;
+  bypass_migration_filter_ = true;
   const ThreadId running = stop_current(c);
   if (running != kInvalidThread) {
     Task& t = task_mut(running);
@@ -124,6 +128,7 @@ void Kernel::set_core_online(CoreId c, bool online) {
     cs.asleep = true;
     cs.sleeping_since = now_;
   }
+  bypass_migration_filter_ = prev_bypass;
 }
 
 int Kernel::num_online_cores() const {
@@ -589,6 +594,24 @@ void Kernel::handle_balance() {
       }
     }
   }
+  // Replay migrations a fault filter deferred at the previous pass: the
+  // "late" set_cpus_allowed_ptr finally lands, if it is still legal (the
+  // task may have exited, been re-routed, or the core unplugged since).
+  if (!deferred_migrations_.empty()) {
+    const auto pending = std::move(deferred_migrations_);
+    deferred_migrations_.clear();
+    bypass_migration_filter_ = true;
+    for (const auto& d : pending) {
+      const Task& t = task(d.tid);
+      if (!t.alive() || !t.can_run_on(d.dest) || core(d.dest).offline ||
+          t.cpu == d.dest) {
+        continue;
+      }
+      migrate(d.tid, d.dest);
+      ++deferred_applied_;
+    }
+    bypass_migration_filter_ = false;
+  }
   balancer_->on_balance(*this, now_);
   ++balance_passes_;
   in_balance_pass_ = false;
@@ -613,6 +636,22 @@ void Kernel::migrate(ThreadId tid, CoreId dest) {
     throw std::invalid_argument("migrate: destination not in affinity mask");
   }
   if (t.cpu == dest) return;
+
+  // Fault injection on the set_cpus_allowed_ptr analogue: only
+  // balancer-requested moves are filterable (kernel-internal moves bypass).
+  if (migration_filter_ && in_balance_pass_ && !bypass_migration_filter_) {
+    switch (migration_filter_->on_migrate(tid, t.cpu, dest)) {
+      case MigrationFilter::Decision::kReject:
+        ++migrations_rejected_;
+        return;
+      case MigrationFilter::Decision::kDefer:
+        ++migrations_deferred_;
+        deferred_migrations_.push_back({tid, dest});
+        return;
+      case MigrationFilter::Decision::kAllow:
+        break;
+    }
+  }
 
   const CoreId src = t.cpu;
   switch (t.state) {

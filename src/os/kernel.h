@@ -78,6 +78,23 @@ struct EpochSample {
   bool warm = true;
 };
 
+/// Fault hook on the balancer-driven migration path. Real
+/// set_cpus_allowed_ptr calls can fail (target unplugged mid-call, IPI
+/// lost) or land late (stop-machine contention); a filter injects exactly
+/// those outcomes. Consulted only for migrations requested during a
+/// balance pass — kernel-internal moves (hotplug evacuation, affinity
+/// kicks, wake placement) are correctness-critical and never filtered.
+class MigrationFilter {
+ public:
+  enum class Decision {
+    kAllow,   // migration proceeds normally
+    kDefer,   // applied at the start of the next balance pass
+    kReject,  // dropped silently (the call "failed")
+  };
+  virtual ~MigrationFilter() = default;
+  virtual Decision on_migrate(ThreadId tid, CoreId from, CoreId to) = 0;
+};
+
 class Kernel {
  public:
   Kernel(const arch::Platform& platform, const perf::PerfModel& perf,
@@ -148,7 +165,21 @@ class Kernel {
   /// Migrates a task to `dest` (must be allowed by its affinity mask).
   /// Running tasks are stopped (counters flushed) first. Sleeping tasks are
   /// retargeted and migrate on wake. Resets the cache-warmup window.
+  /// During a balance pass an installed MigrationFilter may reject or defer
+  /// the move (see set_migration_filter).
   void migrate(ThreadId tid, CoreId dest);
+
+  /// Installs (or clears, with nullptr) the migration fault filter. Not
+  /// owned; the caller keeps it alive while installed.
+  void set_migration_filter(MigrationFilter* filter) {
+    migration_filter_ = filter;
+  }
+  MigrationFilter* migration_filter() const { return migration_filter_; }
+  /// Balance-pass migrations dropped / postponed by the filter.
+  std::uint64_t migrations_rejected() const { return migrations_rejected_; }
+  std::uint64_t migrations_deferred() const { return migrations_deferred_; }
+  /// Deferred migrations applied at a later balance pass.
+  std::uint64_t deferred_applied() const { return deferred_applied_; }
   void set_cpus_allowed(ThreadId tid, const std::bitset<kMaxCores>& mask);
   void set_nice(ThreadId tid, int nice);
 
@@ -256,6 +287,19 @@ class Kernel {
   bool governor_scheduled_ = false;
   std::vector<arch::OppTable> opp_tables_;  // per core type
   std::uint64_t dvfs_transitions_ = 0;
+
+  MigrationFilter* migration_filter_ = nullptr;
+  struct DeferredMigration {
+    ThreadId tid;
+    CoreId dest;
+  };
+  std::vector<DeferredMigration> deferred_migrations_;
+  /// True while the kernel itself migrates (hotplug evacuation, deferred
+  /// replay): those moves must never be filtered again.
+  bool bypass_migration_filter_ = false;
+  std::uint64_t migrations_rejected_ = 0;
+  std::uint64_t migrations_deferred_ = 0;
+  std::uint64_t deferred_applied_ = 0;
 
   int fork_rr_ = 0;
   std::uint64_t total_migrations_ = 0;

@@ -24,6 +24,15 @@ struct BalancePassStats {
   TimeNs predict_host_ns = 0;   // estimation + prediction
   TimeNs optimize_host_ns = 0;  // allocation search
   int migrations = 0;
+  /// Fault-resilience accounting (SmartBalance with defenses enabled; zero
+  /// everywhere else). Detected = measurements rejected by the plausibility
+  /// or outlier screens this pass; absorbed = observations served from the
+  /// stale cache or the neutral prior in their place.
+  std::uint64_t faults_detected = 0;
+  std::uint64_t faults_absorbed = 0;
+  /// True when the pass was delegated to the vanilla fallback because too
+  /// few threads had healthy sensors.
+  bool degraded = false;
 };
 
 class LoadBalancer {

@@ -1,6 +1,31 @@
 #include "perf/counters.h"
 
+#include <algorithm>
+
 namespace sb::perf {
+
+namespace {
+
+template <typename Fn>
+void for_each_field(HpcCounters& c, Fn fn) {
+  fn(c.cy_busy);
+  fn(c.cy_idle);
+  fn(c.cy_sleep);
+  fn(c.inst_total);
+  fn(c.inst_mem);
+  fn(c.inst_branch);
+  fn(c.branch_mispred);
+  fn(c.l1i_access);
+  fn(c.l1i_miss);
+  fn(c.l1d_access);
+  fn(c.l1d_miss);
+  fn(c.itlb_access);
+  fn(c.itlb_miss);
+  fn(c.dtlb_access);
+  fn(c.dtlb_miss);
+}
+
+}  // namespace
 
 HpcCounters& HpcCounters::operator+=(const HpcCounters& o) {
   cy_busy += o.cy_busy;
@@ -19,6 +44,17 @@ HpcCounters& HpcCounters::operator+=(const HpcCounters& o) {
   dtlb_access += o.dtlb_access;
   dtlb_miss += o.dtlb_miss;
   return *this;
+}
+
+void HpcCounters::saturate_fields(std::uint64_t ceiling) {
+  for_each_field(*this, [ceiling](std::uint64_t& f) { f = std::min(f, ceiling); });
+}
+
+bool HpcCounters::any_field_at_or_above(std::uint64_t ceiling) const {
+  bool hit = false;
+  for_each_field(const_cast<HpcCounters&>(*this),
+                 [&](std::uint64_t& f) { hit = hit || f >= ceiling; });
+  return hit;
 }
 
 }  // namespace sb::perf

@@ -42,6 +42,19 @@ struct HpcCounters {
 
   void reset() { *this = HpcCounters{}; }
 
+  /// The readout ceiling of a 32-bit hardware event register. Real PMCs are
+  /// 32-48 bits wide; an epoch delta at or above this value is either a
+  /// wraparound artefact or a saturated read, never a genuine count.
+  static constexpr std::uint64_t k32BitCeiling = 0xFFFFFFFFull;
+
+  /// Clamps every field to `ceiling` — the saturating-read model of a
+  /// narrow event register (counts beyond the ceiling are lost).
+  void saturate_fields(std::uint64_t ceiling);
+
+  /// True when any field is at or above `ceiling`: the cheap plausibility
+  /// screen the sensing layer runs before trusting an epoch delta.
+  bool any_field_at_or_above(std::uint64_t ceiling) const;
+
   bool empty() const { return inst_total == 0 && cy_busy == 0 && cy_idle == 0; }
 
   // --- Derived characterization ratios (0 when the denominator is 0) ---

@@ -29,6 +29,9 @@ double PowerSensorBank::read_joules(CoreId c) {
   if (cfg_.quantum_joules > 0) {
     delta = std::round(delta / cfg_.quantum_joules) * cfg_.quantum_joules;
   }
+  if (fault_hook_) {
+    delta = std::max(0.0, fault_hook_->transform_energy(c, delta));
+  }
   return delta;
 }
 

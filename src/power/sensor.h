@@ -15,6 +15,16 @@
 
 namespace sb::power {
 
+/// Fault hook on the sensor readout path: transforms a raw per-core energy
+/// delta into what a degraded rail actually reports (stuck-at repeats,
+/// noise bursts, dead zeros). Installed by the fault-injection framework;
+/// absent by default.
+class SensorFaultHook {
+ public:
+  virtual ~SensorFaultHook() = default;
+  virtual double transform_energy(CoreId core, double joules) = 0;
+};
+
 class PowerSensorBank {
  public:
   struct Config {
@@ -34,11 +44,16 @@ class PowerSensorBank {
 
   const Config& config() const { return cfg_; }
 
+  /// Installs (or clears, with nullptr) a readout fault hook. Not owned.
+  void set_fault_hook(SensorFaultHook* hook) { fault_hook_ = hook; }
+  SensorFaultHook* fault_hook() const { return fault_hook_; }
+
  private:
   const EnergyMeter& meter_;
   Config cfg_;
   Rng rng_;
   std::vector<double> last_total_j_;
+  SensorFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace sb::power

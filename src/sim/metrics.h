@@ -76,6 +76,16 @@ struct SimulationResult {
   /// Thermal statistics (only when SimulationConfig::thermal_enabled).
   double max_temp_c = 0;               // hottest any core got, any time
   std::vector<double> final_temp_c;    // per-core at the end of the run
+
+  /// Fault-resilience statistics (all zero unless a fault plan and/or the
+  /// sensing defenses were active; see src/fault/).
+  std::uint64_t faults_injected = 0;   // events the injector actually fired
+  std::uint64_t faults_detected = 0;   // measurements rejected by defenses
+  std::uint64_t faults_absorbed = 0;   // stale-cache / neutral-prior serves
+  std::uint64_t degraded_passes = 0;   // passes delegated to the fallback
+  std::uint64_t migrations_rejected = 0;  // balancer migrations that failed
+  std::uint64_t migrations_deferred = 0;  // ... that landed one epoch late
+  double healthy_fraction = 1.0;       // sensing health at end of run
 };
 
 /// Human-readable one-result summary.

@@ -88,6 +88,21 @@ void write_json(std::ostream& os, const SimulationResult& r) {
   number(os, r.avg_migrations_per_pass);
   os << "}";
 
+  // Fault block only when something actually happened — clean runs keep
+  // byte-identical reports.
+  if (r.faults_injected || r.faults_detected || r.faults_absorbed ||
+      r.degraded_passes || r.migrations_rejected || r.migrations_deferred) {
+    os << ",\"faults\":{\"injected\":" << r.faults_injected
+       << ",\"detected\":" << r.faults_detected
+       << ",\"absorbed\":" << r.faults_absorbed
+       << ",\"degraded_passes\":" << r.degraded_passes
+       << ",\"migrations_rejected\":" << r.migrations_rejected
+       << ",\"migrations_deferred\":" << r.migrations_deferred
+       << ",\"healthy_fraction\":";
+    number(os, r.healthy_fraction);
+    os << "}";
+  }
+
   if (!r.final_temp_c.empty()) {
     os << ",\"thermal\":{\"max_temp_c\":";
     number(os, r.max_temp_c);

@@ -208,7 +208,18 @@ SimulationResult Simulation::snapshot() const {
     r.avg_predict_us = sb->predict_ns().mean() / 1e3;
     r.avg_optimize_us = sb->optimize_ns().mean() / 1e3;
     r.avg_migrations_per_pass = sb->migrations_per_pass().mean();
+    if (sb->injector()) {
+      r.faults_injected = sb->injector()->stats().total();
+    }
+    r.faults_detected = sb->faults_detected();
+    r.faults_absorbed = sb->faults_absorbed();
+    r.degraded_passes = sb->degraded_passes();
+    if (sb->defenses_enabled()) {
+      r.healthy_fraction = sb->sensing_health().healthy_fraction;
+    }
   }
+  r.migrations_rejected = kernel_->migrations_rejected();
+  r.migrations_deferred = kernel_->migrations_deferred();
   return r;
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/fixed_math.h"
 
@@ -123,6 +124,50 @@ TEST(FixedMath, ExpLogRoundTrip) {
     const Fixed lx = fixed_log(Fixed::from_double(x));
     EXPECT_NEAR(fixed_exp_neg(lx).to_double(), x, 0.02) << "x=" << x;
   }
+}
+
+// --- Saturating variants: hardened entry points for counter-derived data ---
+
+TEST(FixedSaturating, FromDoubleClampsOutOfRange) {
+  // A wrapped 32-bit counter turns an IPC ratio into ~4e9; lround on the
+  // scaled value is UB for plain from_double. The saturating variant clamps.
+  EXPECT_EQ(Fixed::saturating_from_double(4e9), Fixed::max());
+  EXPECT_EQ(Fixed::saturating_from_double(1e300), Fixed::max());
+  EXPECT_EQ(Fixed::saturating_from_double(-4e9), Fixed::min());
+  EXPECT_EQ(Fixed::saturating_from_double(
+                std::numeric_limits<double>::infinity()),
+            Fixed::max());
+  EXPECT_EQ(Fixed::saturating_from_double(
+                -std::numeric_limits<double>::infinity()),
+            Fixed::min());
+  EXPECT_EQ(Fixed::saturating_from_double(std::nan("")), Fixed{});
+}
+
+TEST(FixedSaturating, FromDoubleBitIdenticalInRange) {
+  for (double v : {0.0, 1.0, -1.0, 0.5, -15.9, 3.14159, 32000.0, -32000.0,
+                   1e-5, -1e-5}) {
+    EXPECT_EQ(Fixed::saturating_from_double(v).raw(),
+              Fixed::from_double(v).raw())
+        << "v=" << v;
+  }
+}
+
+TEST(FixedSaturating, AddClampsAndMatchesInRange) {
+  EXPECT_EQ(saturating_add(Fixed::max(), Fixed::from_int(1)), Fixed::max());
+  EXPECT_EQ(saturating_add(Fixed::min(), Fixed::from_int(-1)), Fixed::min());
+  const Fixed a = Fixed::from_double(1234.5);
+  const Fixed b = Fixed::from_double(-0.25);
+  EXPECT_EQ(saturating_add(a, b).raw(), (a + b).raw());
+}
+
+TEST(FixedSaturating, MulClampsAndMatchesInRange) {
+  const Fixed big = Fixed::from_int(30000);
+  EXPECT_EQ(saturating_mul(big, big), Fixed::max());
+  EXPECT_EQ(saturating_mul(big, -big), Fixed::min());
+  const Fixed a = Fixed::from_double(2.5);
+  const Fixed b = Fixed::from_double(1.25);
+  EXPECT_EQ(saturating_mul(a, b).raw(), (a * b).raw());
+  EXPECT_EQ(saturating_mul(a, -b).raw(), (a * -b).raw());
 }
 
 }  // namespace

@@ -1,0 +1,277 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace sb::fault {
+namespace {
+
+os::EpochSample make_sample(ThreadId tid, CoreId core) {
+  os::EpochSample s;
+  s.tid = tid;
+  s.core = core;
+  s.counters.inst_total = 1'000'000 + static_cast<std::uint64_t>(tid);
+  s.counters.cy_busy = 2'000'000;
+  s.counters.cy_idle = 500'000;
+  s.counters.inst_mem = 300'000;
+  s.counters.inst_branch = 100'000;
+  s.counters.l1d_access = 290'000;
+  s.counters.l1d_miss = 9'000;
+  s.energy_j = 0.01;
+  s.runtime = milliseconds(50);
+  s.util = 0.8;
+  return s;
+}
+
+std::vector<os::EpochSample> make_epoch(int n) {
+  std::vector<os::EpochSample> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(make_sample(static_cast<ThreadId>(i + 1),
+                              static_cast<CoreId>(i % 4)));
+  }
+  return out;
+}
+
+TEST(FaultInjector, EmptyPlanIsIdentity) {
+  FaultInjector inj{FaultPlan{}};
+  auto samples = make_epoch(8);
+  const auto before = samples;
+  for (std::uint64_t e = 1; e <= 20; ++e) {
+    inj.begin_epoch(e);
+    inj.corrupt(samples);
+    EXPECT_EQ(inj.on_migrate(1, 0, 1), FaultInjector::Decision::kAllow);
+    EXPECT_DOUBLE_EQ(inj.transform_energy(0, 0.5), 0.5);
+  }
+  ASSERT_EQ(samples.size(), before.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].counters.inst_total, before[i].counters.inst_total);
+    EXPECT_DOUBLE_EQ(samples[i].energy_j, before[i].energy_j);
+  }
+  EXPECT_EQ(inj.stats().total(), 0u);
+}
+
+TEST(FaultInjector, DecisionsArePureFunctionsOfKey) {
+  const auto plan = FaultPlan::uniform(0.3, /*seed=*/42);
+  FaultInjector a{plan}, b{plan};
+  // Drive b through a *different* call order/history than a: injection must
+  // depend only on (seed, class, epoch, target), not on call sequence.
+  for (std::uint64_t e = 1; e <= 30; ++e) {
+    b.begin_epoch(e);
+    (void)b.transform_energy(3, 1.0);
+  }
+  for (std::uint64_t e = 1; e <= 30; ++e) {
+    a.begin_epoch(e);
+    b.begin_epoch(e);
+    for (ThreadId t = 1; t <= 16; ++t) {
+      EXPECT_EQ(a.on_migrate(t, 0, 1), b.on_migrate(t, 0, 1))
+          << "epoch " << e << " tid " << t;
+    }
+    EXPECT_EQ(a.core_blacked_out(2), b.core_blacked_out(2)) << "epoch " << e;
+  }
+}
+
+TEST(FaultInjector, SeedChangesDecisions) {
+  FaultInjector a{FaultPlan::uniform(0.3, 1)};
+  FaultInjector b{FaultPlan::uniform(0.3, 2)};
+  int differ = 0;
+  for (std::uint64_t e = 1; e <= 50; ++e) {
+    a.begin_epoch(e);
+    b.begin_epoch(e);
+    for (ThreadId t = 1; t <= 8; ++t) {
+      if (a.on_migrate(t, 0, 1) != b.on_migrate(t, 0, 1)) ++differ;
+    }
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, WrapPushesFieldToCeiling) {
+  FaultPlan plan;
+  plan.set({FaultClass::kCounterWrap, 1.0, 1.0, 1});
+  FaultInjector inj{plan};
+  inj.begin_epoch(1);
+  auto samples = make_epoch(4);
+  inj.corrupt(samples);
+  for (const auto& s : samples) {
+    EXPECT_TRUE(s.counters.any_field_at_or_above(1ull << 31))
+        << "tid " << s.tid;
+  }
+  EXPECT_EQ(inj.stats().of(FaultClass::kCounterWrap), 4u);
+}
+
+TEST(FaultInjector, SaturateClampsEveryField) {
+  FaultPlan plan;
+  plan.set({FaultClass::kCounterSaturate, 1.0, /*magnitude=*/1.0, 1});
+  FaultInjector inj{plan};
+  inj.begin_epoch(1);
+  auto samples = make_epoch(2);
+  // Push fields past the 2^24 ceiling so the clamp is observable.
+  for (auto& s : samples) {
+    s.counters.cy_busy = 100'000'000;
+    s.counters.inst_total = 80'000'000;
+  }
+  inj.corrupt(samples);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.counters.cy_busy, 16'777'216u);
+    EXPECT_EQ(s.counters.inst_total, 16'777'216u);
+    EXPECT_EQ(s.counters.inst_mem, 300'000u);  // in-range fields untouched
+  }
+  EXPECT_EQ(inj.stats().of(FaultClass::kCounterSaturate), 2u);
+}
+
+TEST(FaultInjector, DuplicateReplaysPreviousEpoch) {
+  FaultPlan plan;
+  plan.set({FaultClass::kSampleDuplicate, 1.0, 1.0, 1});
+  FaultInjector inj{plan};
+
+  auto first = make_epoch(3);
+  inj.begin_epoch(1);
+  inj.corrupt(first);  // no previous epoch: nothing to duplicate
+  EXPECT_EQ(inj.stats().of(FaultClass::kSampleDuplicate), 0u);
+
+  auto second = make_epoch(3);
+  for (auto& s : second) s.counters.inst_total += 777;
+  inj.begin_epoch(2);
+  inj.corrupt(second);
+  EXPECT_EQ(inj.stats().of(FaultClass::kSampleDuplicate), 3u);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    // Replayed payload is epoch 1's pristine counters.
+    EXPECT_EQ(second[i].counters.inst_total,
+              1'000'000 + static_cast<std::uint64_t>(i + 1));
+  }
+}
+
+TEST(FaultInjector, DropRemovesSamples) {
+  FaultPlan plan;
+  plan.set({FaultClass::kSampleDrop, 1.0, 1.0, 1});
+  FaultInjector inj{plan};
+  inj.begin_epoch(1);
+  auto samples = make_epoch(5);
+  inj.corrupt(samples);
+  EXPECT_TRUE(samples.empty());
+  EXPECT_EQ(inj.stats().of(FaultClass::kSampleDrop), 5u);
+}
+
+TEST(FaultInjector, BlackoutZeroesCountersAndEnergy) {
+  FaultPlan plan;
+  plan.set({FaultClass::kCoreBlackout, 1.0, 1.0, 2});
+  FaultInjector inj{plan};
+  inj.begin_epoch(1);
+  EXPECT_TRUE(inj.core_blacked_out(0));
+  auto samples = make_epoch(4);
+  inj.corrupt(samples);
+  for (const auto& s : samples) {
+    EXPECT_TRUE(s.counters.empty()) << "tid " << s.tid;
+    EXPECT_DOUBLE_EQ(s.energy_j, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(inj.transform_energy(0, 1.0), 0.0);
+}
+
+TEST(FaultInjector, BlackoutPersistsForDuration) {
+  // rate 0.5, duration 4: once a core is hit, it must stay blacked out for
+  // the next duration-1 epochs as well.
+  FaultPlan plan;
+  plan.set({FaultClass::kCoreBlackout, 0.5, 1.0, 4});
+  FaultInjector inj{plan};
+  std::vector<bool> black;
+  for (std::uint64_t e = 1; e <= 60; ++e) {
+    inj.begin_epoch(e);
+    black.push_back(inj.core_blacked_out(1));
+  }
+  // Verify persistence: a transition to "clear" implies no onset in the
+  // preceding window, so any blackout run must last >= 1 and runs started
+  // by a fresh onset extend at least while onsets recur; spot-check that
+  // both states occur and that isolated one-epoch gaps inside a window
+  // never happen (a gap needs 4 onset-free epochs).
+  int transitions = 0;
+  for (std::size_t i = 1; i < black.size(); ++i) {
+    if (black[i] != black[i - 1]) ++transitions;
+  }
+  EXPECT_GT(transitions, 0);
+  // With rate 0.5 and duration 4, the blacked-out fraction must far exceed
+  // the onset rate.
+  const auto on = static_cast<double>(std::count(black.begin(), black.end(), true));
+  EXPECT_GT(on / static_cast<double>(black.size()), 0.7);
+}
+
+TEST(FaultInjector, StuckPowerRepeatsPreviousReading) {
+  FaultPlan plan;
+  plan.set({FaultClass::kPowerStuck, 1.0, 1.0, 1});
+  FaultInjector inj{plan};
+  inj.begin_epoch(1);
+  // Always stuck: with no previous reading the rail reads 0 and never
+  // updates its latch.
+  EXPECT_DOUBLE_EQ(inj.transform_energy(0, 0.7), 0.0);
+  EXPECT_DOUBLE_EQ(inj.transform_energy(0, 0.9), 0.0);
+
+  FaultPlan half;
+  half.set({FaultClass::kPowerStuck, 0.5, 1.0, 1});
+  FaultInjector inj2{half};
+  double last_good = 0.0;
+  int stuck_seen = 0;
+  for (std::uint64_t e = 1; e <= 40; ++e) {
+    inj2.begin_epoch(e);
+    const double in = static_cast<double>(e);
+    const double out = inj2.transform_energy(0, in);
+    if (out == in) {
+      last_good = in;
+    } else {
+      EXPECT_DOUBLE_EQ(out, last_good) << "epoch " << e;
+      ++stuck_seen;
+    }
+  }
+  EXPECT_GT(stuck_seen, 5);
+}
+
+TEST(FaultInjector, NoisePerturbsEnergyDeterministically) {
+  FaultPlan plan;
+  plan.set({FaultClass::kPowerNoise, 1.0, /*magnitude=*/2.0, 1});
+  FaultInjector a{plan}, b{plan};
+  a.begin_epoch(3);
+  b.begin_epoch(3);
+  const double va = a.transform_energy(1, 1.0);
+  const double vb = b.transform_energy(1, 1.0);
+  EXPECT_DOUBLE_EQ(va, vb);
+  EXPECT_GE(va, 0.0);
+  // Across epochs the noise must actually vary.
+  a.begin_epoch(4);
+  EXPECT_NE(a.transform_energy(1, 1.0), va);
+}
+
+TEST(FaultInjector, MigrationRejectAndDelayCounted) {
+  FaultPlan plan;
+  plan.set({FaultClass::kMigrationReject, 1.0, 1.0, 1});
+  FaultInjector rej{plan};
+  rej.begin_epoch(1);
+  EXPECT_EQ(rej.on_migrate(7, 0, 1), FaultInjector::Decision::kReject);
+  EXPECT_EQ(rej.stats().of(FaultClass::kMigrationReject), 1u);
+
+  FaultPlan dplan;
+  dplan.set({FaultClass::kMigrationDelay, 1.0, 1.0, 1});
+  FaultInjector del{dplan};
+  del.begin_epoch(1);
+  EXPECT_EQ(del.on_migrate(7, 0, 1), FaultInjector::Decision::kDefer);
+  EXPECT_EQ(del.stats().of(FaultClass::kMigrationDelay), 1u);
+}
+
+TEST(FaultInjector, RatesApproximatelyHonored) {
+  FaultPlan plan;
+  plan.set({FaultClass::kMigrationReject, 0.2, 1.0, 1});
+  FaultInjector inj{plan};
+  int rejected = 0;
+  const int kTrials = 4000;
+  for (int e = 1; e <= kTrials / 8; ++e) {
+    inj.begin_epoch(static_cast<std::uint64_t>(e));
+    for (ThreadId t = 1; t <= 8; ++t) {
+      if (inj.on_migrate(t, 0, 1) == FaultInjector::Decision::kReject) {
+        ++rejected;
+      }
+    }
+  }
+  const double freq = static_cast<double>(rejected) / kTrials;
+  EXPECT_NEAR(freq, 0.2, 0.03);
+}
+
+}  // namespace
+}  // namespace sb::fault

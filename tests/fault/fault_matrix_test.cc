@@ -1,0 +1,141 @@
+// Fault-matrix determinism: a faulty batch is still a pure function of its
+// specs. The same plan+seed must yield bit-identical results whether the
+// batch runs on 1 worker or 8, and a zero-fault plan must be
+// indistinguishable from no plan at all (the golden-CSV contract).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/platform.h"
+#include "core/smart_balance.h"
+#include "fault/fault_plan.h"
+#include "sim/runner.h"
+
+namespace sb::sim {
+namespace {
+
+ExperimentRunner runner_with(int threads) {
+  ExperimentRunner::Config cfg;
+  cfg.threads = threads;
+  return ExperimentRunner(cfg);
+}
+
+std::vector<ExperimentSpec> faulty_batch(const std::string& plan_str,
+                                         std::uint64_t fault_seed) {
+  std::vector<ExperimentSpec> specs;
+  const auto quad = arch::Platform::quad_heterogeneous();
+  const auto octa = arch::Platform::octa_big_little();
+  auto add = [&](const arch::Platform& p, std::uint64_t seed,
+                 const std::string& bench, int threads,
+                 core::SmartBalanceConfig::Defenses defenses) {
+    core::SmartBalanceConfig sc;
+    if (!plan_str.empty()) {
+      sc.fault_plan = fault::FaultPlan::parse(plan_str);
+      sc.fault_plan.seed = fault_seed;
+    }
+    sc.defenses = defenses;
+    ExperimentSpec spec;
+    spec.platform = p;
+    spec.cfg.duration = milliseconds(60);
+    spec.cfg.seed = seed;
+    spec.workload = [bench, threads](Simulation& s) {
+      s.add_benchmark(bench, threads);
+    };
+    spec.policy = smartbalance_factory(sc);
+    spec.label = bench;
+    specs.push_back(std::move(spec));
+  };
+  using D = core::SmartBalanceConfig::Defenses;
+  add(quad, 1, "canneal", 4, D::kAuto);
+  add(octa, 2, "bodytrack", 8, D::kAuto);
+  add(quad, 3, "swaptions", 4, D::kOff);
+  add(octa, 4, "x264_H_crew", 8, D::kAuto);
+  add(quad, 5, "IMB_MTMI", 4, D::kOff);
+  add(octa, 6, "ferret", 6, D::kAuto);
+  return specs;
+}
+
+void expect_identical(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.balance_passes, b.balance_passes);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.ips, b.ips);
+  EXPECT_DOUBLE_EQ(a.ips_per_watt, b.ips_per_watt);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.faults_detected, b.faults_detected);
+  EXPECT_EQ(a.faults_absorbed, b.faults_absorbed);
+  EXPECT_EQ(a.degraded_passes, b.degraded_passes);
+  EXPECT_EQ(a.migrations_rejected, b.migrations_rejected);
+  EXPECT_EQ(a.migrations_deferred, b.migrations_deferred);
+  EXPECT_DOUBLE_EQ(a.healthy_fraction, b.healthy_fraction);
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (std::size_t c = 0; c < a.cores.size(); ++c) {
+    EXPECT_EQ(a.cores[c].instructions, b.cores[c].instructions) << "core " << c;
+    EXPECT_DOUBLE_EQ(a.cores[c].energy_j, b.cores[c].energy_j) << "core " << c;
+  }
+  ASSERT_EQ(a.threads.size(), b.threads.size());
+  for (std::size_t i = 0; i < a.threads.size(); ++i) {
+    EXPECT_EQ(a.threads[i].instructions, b.threads[i].instructions)
+        << "thread " << i;
+    EXPECT_EQ(a.threads[i].migrations, b.threads[i].migrations)
+        << "thread " << i;
+  }
+}
+
+constexpr const char* kMatrixPlan =
+    "wrap:0.05,sat:0.05,drop:0.05,dup:0.05,stuck:0.05,noise:0.05:1.5,"
+    "delay:0.05,reject:0.05,blackout:0.02:1:3";
+
+TEST(FaultMatrix, FaultyRunsBitIdenticalAcrossWorkerCounts) {
+  const auto serial =
+      runner_with(1).run(faulty_batch(kMatrixPlan, 0xfa517u));
+  const auto parallel =
+      runner_with(8).run(faulty_batch(kMatrixPlan, 0xfa517u));
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    ASSERT_TRUE(serial.runs[i].ok()) << serial.runs[i].error;
+    ASSERT_TRUE(parallel.runs[i].ok()) << parallel.runs[i].error;
+    SCOPED_TRACE(serial.runs[i].label);
+    expect_identical(serial.runs[i].result, parallel.runs[i].result);
+  }
+  // The plan actually bites: at these rates a 60 ms run injects faults.
+  std::uint64_t injected = 0;
+  for (const auto& r : serial.runs) injected += r.result.faults_injected;
+  EXPECT_GT(injected, 0u);
+}
+
+TEST(FaultMatrix, FaultSeedIsPartOfTheKey) {
+  const auto a = runner_with(4).run(faulty_batch(kMatrixPlan, 1));
+  const auto b = runner_with(4).run(faulty_batch(kMatrixPlan, 2));
+  int differ = 0;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    if (a.runs[i].result.instructions != b.runs[i].result.instructions ||
+        a.runs[i].result.faults_injected != b.runs[i].result.faults_injected) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 0) << "changing the fault seed must change trajectories";
+}
+
+TEST(FaultMatrix, ZeroFaultPlanMatchesNoPlanBitExactly) {
+  // "wrap:0" parses to a plan that injects nothing; the policy must take
+  // the exact same code path (no injector, sensing defenses off under
+  // kAuto) as a config with no plan at all.
+  const auto with_zero = runner_with(8).run(faulty_batch("wrap:0", 7));
+  const auto without = runner_with(8).run(faulty_batch("", 7));
+  ASSERT_EQ(with_zero.runs.size(), without.runs.size());
+  for (std::size_t i = 0; i < with_zero.runs.size(); ++i) {
+    ASSERT_TRUE(with_zero.runs[i].ok()) << with_zero.runs[i].error;
+    ASSERT_TRUE(without.runs[i].ok()) << without.runs[i].error;
+    SCOPED_TRACE(with_zero.runs[i].label);
+    expect_identical(with_zero.runs[i].result, without.runs[i].result);
+    EXPECT_EQ(with_zero.runs[i].result.faults_injected, 0u);
+    EXPECT_EQ(with_zero.runs[i].result.degraded_passes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sb::sim

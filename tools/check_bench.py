@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the machine-readable bench trajectories.
+
+Compares freshly generated BENCH_*.json files (micro_benchmarks emits
+BENCH_sa.json, fig7_overhead_scalability emits BENCH_epoch.json) against
+the baselines committed at the repo root. Fails when a hot-path time
+metric regresses by more than --max-regress (default 25%), or when the
+allocation count per optimizer call increases at all -- the zero-alloc
+inner loop is a hard invariant, not a soft budget.
+
+Usage:
+    check_bench.py [--max-regress 0.25] BASELINE FRESH [BASELINE FRESH ...]
+
+Exit status: 0 when every gated metric is within bounds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# Wall-time metrics gated by --max-regress. Per-phase microsecond splits
+# (sense_us, optimize_us, ...) are reported but not gated: they jitter too
+# much on shared CI runners, while the aggregates below are stable.
+RATIO_METRICS = ("ns_per_iteration", "total_us")
+# Metrics where any increase is a failure.
+EXACT_METRICS = ("allocs_per_call",)
+# Tolerance for float noise in "exact" comparisons.
+EPSILON = 1e-9
+
+
+def sections(doc):
+    """Yields (name, dict) for every benchmark section in a BENCH json."""
+    for key, value in doc.items():
+        if isinstance(value, dict):
+            yield key, value
+
+
+def compare(baseline_path, fresh_path, max_regress):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    name = baseline.get("bench", baseline_path)
+    failures = []
+    checked = 0
+
+    fresh_sections = dict(sections(fresh))
+    for sec_name, base_sec in sections(baseline):
+        fresh_sec = fresh_sections.get(sec_name)
+        if fresh_sec is None:
+            failures.append(f"{name}/{sec_name}: section missing from fresh run")
+            continue
+        for metric in RATIO_METRICS:
+            if metric not in base_sec or metric not in fresh_sec:
+                continue
+            base_v, fresh_v = base_sec[metric], fresh_sec[metric]
+            checked += 1
+            limit = base_v * (1.0 + max_regress)
+            status = "FAIL" if fresh_v > limit else "ok"
+            print(f"  [{status}] {name}/{sec_name}/{metric}: "
+                  f"{base_v:.3f} -> {fresh_v:.3f} "
+                  f"({(fresh_v / base_v - 1.0) * 100.0:+.1f}%, "
+                  f"limit {limit:.3f})")
+            if fresh_v > limit:
+                failures.append(
+                    f"{name}/{sec_name}/{metric}: {fresh_v:.3f} exceeds "
+                    f"{base_v:.3f} by more than {max_regress * 100.0:.0f}%")
+        for metric in EXACT_METRICS:
+            if metric not in base_sec or metric not in fresh_sec:
+                continue
+            base_v, fresh_v = base_sec[metric], fresh_sec[metric]
+            checked += 1
+            status = "FAIL" if fresh_v > base_v + EPSILON else "ok"
+            print(f"  [{status}] {name}/{sec_name}/{metric}: "
+                  f"{base_v:g} -> {fresh_v:g} (no increase allowed)")
+            if fresh_v > base_v + EPSILON:
+                failures.append(
+                    f"{name}/{sec_name}/{metric}: increased "
+                    f"{base_v:g} -> {fresh_v:g}")
+    if checked == 0:
+        failures.append(f"{name}: no gated metrics found -- "
+                        "baseline/fresh schema mismatch?")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", metavar="BASELINE FRESH",
+                        help="alternating baseline/fresh json paths")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="max fractional time regression (default 0.25)")
+    args = parser.parse_args()
+
+    if len(args.files) % 2 != 0:
+        parser.error("expected an even number of paths: BASELINE FRESH ...")
+
+    all_failures = []
+    for i in range(0, len(args.files), 2):
+        baseline, fresh = args.files[i], args.files[i + 1]
+        print(f"{baseline} vs {fresh}:")
+        all_failures += compare(baseline, fresh, args.max_regress)
+
+    if all_failures:
+        print(f"\nPERF GATE FAILED ({len(all_failures)} violation(s)):",
+              file=sys.stderr)
+        for f in all_failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
