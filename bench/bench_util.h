@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "fault/fault_plan.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 #include "sim/runner.h"
 
@@ -28,6 +30,9 @@ namespace sb::bench {
 ///   --fault-seed=N   seed for the fault plan's injection hashes
 ///   --no-defense     keep the sensing defenses off even under faults
 ///                    (ablation arm of the resilience sweep)
+///   --trace=FILE     write the sweep's merged epoch trace as Chrome
+///                    trace-event JSON (SB_TRACE env var is the default)
+///   --metrics        collect and print the merged metrics registry
 struct Options {
   bool quick = false;
   std::uint64_t seed = 1234;
@@ -36,6 +41,8 @@ struct Options {
   std::string faults;
   std::uint64_t fault_seed = 0xfa517u;
   bool no_defense = false;
+  std::string trace;  // Chrome trace-event JSON output path (empty = off)
+  bool metrics = false;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -56,16 +63,31 @@ struct Options {
         o.fault_seed = std::strtoull(a.c_str() + 13, nullptr, 10);
       } else if (a == "--no-defense") {
         o.no_defense = true;
+      } else if (a.rfind("--trace=", 0) == 0) {
+        o.trace = a.substr(8);
+      } else if (a == "--metrics") {
+        o.metrics = true;
       } else if (a == "--help" || a == "-h") {
         std::cout << "options: --quick --seed=N --duration-ms=N --jobs=N "
-                     "--faults=SPEC --fault-seed=N --no-defense\n";
+                     "--faults=SPEC --fault-seed=N --no-defense "
+                     "--trace=FILE --metrics\n";
         std::exit(0);
       } else {
         std::cerr << "unknown option: " << a << "\n";
         std::exit(2);
       }
     }
+    if (o.trace.empty()) {
+      if (const char* env = std::getenv("SB_TRACE")) o.trace = env;
+    }
     return o;
+  }
+
+  /// Applies the observability flags to a simulation config (no-op when
+  /// neither --trace nor --metrics was given — the bit-identical path).
+  void apply_obs(sim::SimulationConfig& cfg) const {
+    cfg.obs.trace = cfg.obs.trace || !trace.empty();
+    cfg.obs.metrics = cfg.obs.metrics || metrics;
   }
 
   /// The fault plan requested on the command line ("uniform:R" expands to
@@ -177,11 +199,15 @@ class GainSweep {
   std::vector<GainRow> run(const sim::ExperimentRunner& runner) {
     const auto batch = runner.run(specs_);
     summary_ = batch.summary;
+    obs_.clear();
     for (const auto& r : batch.runs) {
       if (!r.ok()) {
         throw std::runtime_error("sweep run '" + r.label +
                                  "' failed: " + r.error);
       }
+      // Runs are already stamped with their submission index by the
+      // ExperimentRunner, so the merged trace/metrics are --jobs-invariant.
+      if (r.result.obs) obs_.push_back(r.result.obs);
     }
     std::vector<GainRow> rows;
     rows.reserve(labels_.size());
@@ -196,6 +222,34 @@ class GainSweep {
   /// Batch accounting of the last run() (threads, wall/cpu ms, speedup).
   const sim::BatchSummary& summary() const { return summary_; }
 
+  /// Per-run observability snapshots of the last run() (empty unless the
+  /// sweep ran with tracing/metrics enabled). Submission order.
+  const std::vector<std::shared_ptr<obs::RunObs>>& observability() const {
+    return obs_;
+  }
+
+  /// Writes the last run()'s merged Chrome trace-event JSON. Returns false
+  /// (and writes nothing) if no run carried a trace.
+  bool write_trace(const std::string& path) const {
+    std::vector<const obs::RunObs*> runs;
+    for (const auto& o : obs_) {
+      if (o && o->trace_enabled) runs.push_back(o.get());
+    }
+    if (runs.empty()) return false;
+    obs::write_chrome_trace_file(path, runs);
+    return true;
+  }
+
+  /// Merges the metric registries of the last run() across all runs
+  /// (deterministic: merged in submission order).
+  obs::MetricsRegistry merged_metrics() const {
+    std::vector<const obs::RunObs*> runs;
+    for (const auto& o : obs_) {
+      if (o) runs.push_back(o.get());
+    }
+    return obs::merge_metrics(runs);
+  }
+
  private:
   arch::Platform platform_;
   sim::SimulationConfig cfg_;
@@ -204,6 +258,7 @@ class GainSweep {
   std::vector<std::string> labels_;
   std::vector<sim::ExperimentSpec> specs_;
   sim::BatchSummary summary_;
+  std::vector<std::shared_ptr<obs::RunObs>> obs_;
 };
 
 /// Runs `workload` under `baseline` and both SmartBalance variants on

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   sim::SimulationConfig cfg;
   cfg.duration = opt.duration;
   cfg.seed = opt.seed;
+  opt.apply_obs(cfg);
 
   const std::vector<int> thread_counts =
       opt.quick ? std::vector<int>{2, 8} : std::vector<int>{2, 4, 8};
@@ -76,5 +77,13 @@ int main(int argc, char** argv) {
             << TextTable::fmt(gains.min(), 1) << " %, max "
             << TextTable::fmt(gains.max(), 1) << " %]\n"
             << "Series written to fig4a_imb.csv\n";
+  if (!opt.trace.empty() && sweep.write_trace(opt.trace)) {
+    std::cout << "trace written to " << opt.trace << "\n";
+  }
+  if (opt.metrics) {
+    std::cout << "metrics: ";
+    sweep.merged_metrics().write_json(std::cout);
+    std::cout << "\n";
+  }
   return 0;
 }

@@ -6,12 +6,17 @@
 // After the google-benchmark suite runs, main() measures the SA optimizer
 // on the Fig. 7 scalability extremes and writes BENCH_sa.json — the
 // machine-readable perf-trajectory point this repo commits per PR (see
-// EXPERIMENTS.md "Hot-path performance"). Pass --benchmark_filter=NONE to
-// skip the google-benchmark suite and only emit the JSON.
+// EXPERIMENTS.md "Hot-path performance") — then measures the observability
+// hooks' epoch-pass overhead and writes BENCH_obs.json. Pass
+// --benchmark_filter=NONE to skip the google-benchmark suite and only emit
+// the JSON files.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <ctime>
+#include <limits>
 #include <string>
 
 #include "alloc_hook.h"
@@ -21,7 +26,9 @@
 #include "common/rng.h"
 #include "core/objective.h"
 #include "core/sa_optimizer.h"
+#include "core/smart_balance.h"
 #include "core/trainer.h"
+#include "obs/sink.h"
 #include "os/cfs_runqueue.h"
 #include "os/kernel.h"
 #include "os/vanilla_balancer.h"
@@ -304,6 +311,166 @@ void emit_bench_sa_json() {
   j.write("BENCH_sa.json");
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_obs.json: observability-hook overhead on the epoch hot path. Drives
+// SmartBalancePolicy::on_balance directly (sense → predict → balance) on a
+// fixed quad-HMP workload, timing only the pass itself — the kernel advances
+// one epoch between passes outside the timed region so each pass sees fresh
+// sensing data. Two configurations: null sink (the shipping default — hooks
+// reduce to a branch on nullptr) and metrics+tracing enabled.
+//
+// Absolute pass times are not comparable across machines (or even across
+// runs on a shared/throttled runner: observed spread is >20% on the minimum
+// of 96 CPU-time-clocked passes), so the gated metric is dimensionless:
+//
+//   pass_cost_index = min_pass_ns / min_yardstick_ns
+//
+// where the yardstick is a fixed pure-integer loop (2e5 splitmix64 steps)
+// measured interleaved with the passes on the same thread. Machine speed
+// and frequency scaling cancel in the ratio; what remains is the cost of
+// the code path itself. The tracer-off section carries a 1% "max_regress"
+// budget on that index, honored by tools/check_bench.py; allocations per
+// pass are gated exactly. Raw minima are exported for reference.
+// ---------------------------------------------------------------------------
+
+struct ObsPoint {
+  double min_pass_ns = std::numeric_limits<double>::infinity();
+  double allocs_per_pass = 0;
+};
+
+double thread_cpu_ns() {
+#if defined(__linux__)
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e9 +
+         static_cast<double>(ts.tv_nsec);
+#else
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+// One round: fresh kernel + trained policy, 4 warmup passes, then kReps
+// timed passes; the per-round minimum folds into `point`.
+void measure_epoch_pass_round(obs::Sink* sink, ObsPoint& point) {
+  constexpr int kWarmup = 4;
+  constexpr int kReps = 32;
+  const auto platform = arch::Platform::quad_heterogeneous();
+  perf::PerfModel perf(platform);
+  power::PowerModel power(platform, perf);
+  core::PredictorTrainer trainer(perf, power);
+  core::SmartBalancePolicy policy(
+      platform,
+      trainer.train(core::PredictorTrainer::default_training_profiles()));
+  os::Kernel k(platform, perf, power);
+  k.set_obs(sink);
+  Rng rng(7);
+  for (auto& tb : workload::BenchmarkLibrary::get("canneal").spawn(2, rng)) {
+    k.fork(std::move(tb));
+  }
+  for (auto& tb : workload::BenchmarkLibrary::get("swaptions").spawn(2, rng)) {
+    k.fork(std::move(tb));
+  }
+
+  const TimeNs epoch = policy.interval();
+  for (int i = 0; i < kWarmup; ++i) {
+    k.run_for(epoch);
+    policy.on_balance(k, k.now());
+  }
+  std::uint64_t total_allocs = 0;
+  for (int i = 0; i < kReps; ++i) {
+    k.run_for(epoch);
+    const std::uint64_t a0 = bench::alloc_count();
+    const double t0 = thread_cpu_ns();
+    policy.on_balance(k, k.now());
+    const double t1 = thread_cpu_ns();
+    total_allocs += bench::alloc_count() - a0;
+    point.min_pass_ns = std::min(point.min_pass_ns, t1 - t0);
+  }
+  point.allocs_per_pass = static_cast<double>(total_allocs) / kReps;
+}
+
+// Fixed pure-integer reference loop; its minimum CPU time calibrates out
+// the machine's current speed.
+double yardstick_round() {
+  constexpr int kYardReps = 8;
+  constexpr int kSteps = 200'000;
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kYardReps; ++rep) {
+    std::uint64_t z = 0;
+    std::uint64_t acc = 0;
+    const double t0 = thread_cpu_ns();
+    for (int i = 0; i < kSteps; ++i) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      acc ^= x ^ (x >> 31);
+    }
+    const double t1 = thread_cpu_ns();
+    benchmark::DoNotOptimize(acc);
+    best = std::min(best, t1 - t0);
+  }
+  return best;
+}
+
+void emit_bench_obs_json() {
+  obs::ObsConfig ocfg;
+  ocfg.metrics = true;
+  ocfg.trace = true;
+  obs::Sink sink(ocfg);
+
+  // Interleave yardstick / off / on within each round so all three see the
+  // same spread of environmental conditions; the index divides the global
+  // minimum pass time by the global minimum yardstick time. Both minima
+  // settle on the machine's best frequency state, so the ratio is the
+  // tightest-variance statistic available here (per-round ratios were
+  // tried and amplify anti-correlated noise instead of cancelling it).
+  constexpr int kRounds = 6;
+  ObsPoint off;
+  ObsPoint on;
+  double yard_ns = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < kRounds; ++round) {
+    yard_ns = std::min(yard_ns, yardstick_round());
+    measure_epoch_pass_round(nullptr, off);
+    measure_epoch_pass_round(&sink, on);
+  }
+  const double off_index = off.min_pass_ns / yard_ns;
+  const double on_index = on.min_pass_ns / yard_ns;
+
+  bench::Json j;
+  j.begin_object()
+      .field("bench", "BENCH_obs")
+      .field("description",
+             "SmartBalance epoch pass (on_balance: sense+predict+balance) "
+             "with observability hooks disabled (null sink, the shipping "
+             "default) vs metrics+tracing enabled; quad HMP, "
+             "canneal:2+swaptions:2; pass_cost_index = min pass CPU time / "
+             "min yardstick CPU time over 6 interleaved rounds x 32 passes")
+      .field("build", "-O2 -DNDEBUG")
+      .field("baseline_note",
+             "tracer-off budget is 1% on pass_cost_index over the committed "
+             "baseline (max_regress in the section); the yardstick ratio "
+             "cancels machine speed. allocs per pass must not increase.")
+      .field("yardstick_ns", yard_ns);
+  j.begin_object("epoch_pass_tracer_off")
+      .field("pass_cost_index", off_index)
+      .field("min_pass_ns", off.min_pass_ns)
+      .field("allocs_per_pass", off.allocs_per_pass)
+      .field("max_regress", 0.01)
+      .end_object();
+  j.begin_object("epoch_pass_tracer_on")
+      .field("pass_cost_index", on_index)
+      .field("min_pass_ns", on.min_pass_ns)
+      .field("allocs_per_pass", on.allocs_per_pass)
+      .field("overhead_vs_off_pct", 100.0 * (on_index / off_index - 1.0))
+      .end_object();
+  j.end_object();
+  j.write("BENCH_obs.json");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -312,5 +479,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   emit_bench_sa_json();
+  emit_bench_obs_json();
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/sink.h"
+
 namespace sb::core {
 namespace {
 
@@ -46,10 +48,14 @@ bool PredictionCache::lookup(ThreadId tid, const Key& key, std::size_t n,
   if (it == entries_.end() || it->second.s_row.size() != n ||
       !(it->second.key == key)) {
     ++stats_.misses;
+    if (obs_ != nullptr) obs_->metrics().counter("pred_cache.misses").add();
     return false;
   }
   if (it->second.age >= cfg_.max_stale_epochs) {
     ++stats_.stale_evictions;
+    if (obs_ != nullptr) {
+      obs_->metrics().counter("pred_cache.stale_evictions").add();
+    }
     return false;
   }
   const Entry& e = it->second;
@@ -58,6 +64,7 @@ bool PredictionCache::lookup(ThreadId tid, const Key& key, std::size_t n,
     p_row[j] = e.p_row[j];
   }
   ++stats_.hits;
+  if (obs_ != nullptr) obs_->metrics().counter("pred_cache.hits").add();
   return true;
 }
 

@@ -26,6 +26,10 @@
 #include "common/types.h"
 #include "core/features.h"
 
+namespace sb::obs {
+class Sink;
+}  // namespace sb::obs
+
 namespace sb::core {
 
 struct PredictionCacheConfig {
@@ -91,6 +95,8 @@ class PredictionCache {
 
   const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
+  /// Observability hook (null = off): lookup outcomes feed pred_cache.*.
+  void set_obs(obs::Sink* obs) { obs_ = obs; }
   std::size_t size() const { return entries_.size(); }
   void clear() { entries_.clear(); }
 
@@ -104,6 +110,7 @@ class PredictionCache {
 
   PredictionCacheConfig cfg_;
   Stats stats_;
+  obs::Sink* obs_ = nullptr;
   std::unordered_map<ThreadId, Entry> entries_;
 };
 

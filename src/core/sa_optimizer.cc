@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/fixed_math.h"
+#include "obs/sink.h"
 
 namespace sb::core {
 namespace {
@@ -282,27 +283,44 @@ SaResult SaOptimizer::optimize(
   // concrete objective class (all built-ins are final, so every core_term /
   // core_fraction / fractional call inlines). Custom objectives take the
   // generic kernel — identical semantics through virtual dispatch.
-  switch (objective.kind()) {
-    case ObjectiveKind::kEnergyEfficiency:
-      return run_annealing(
-          s, p, static_cast<const EnergyEfficiencyObjective&>(objective),
-          std::move(initial), affinity, demand_gips);
-    case ObjectiveKind::kThroughput:
-      return run_annealing(s, p,
-                           static_cast<const ThroughputObjective&>(objective),
-                           std::move(initial), affinity, demand_gips);
-    case ObjectiveKind::kEdp:
-      return run_annealing(s, p, static_cast<const EdpObjective&>(objective),
-                           std::move(initial), affinity, demand_gips);
-    case ObjectiveKind::kGlobalEfficiency:
-      return run_annealing(
-          s, p, static_cast<const GlobalEfficiencyObjective&>(objective),
-          std::move(initial), affinity, demand_gips);
-    case ObjectiveKind::kCustom:
-      break;
+  SaResult result = [&]() -> SaResult {
+    switch (objective.kind()) {
+      case ObjectiveKind::kEnergyEfficiency:
+        return run_annealing(
+            s, p, static_cast<const EnergyEfficiencyObjective&>(objective),
+            std::move(initial), affinity, demand_gips);
+      case ObjectiveKind::kThroughput:
+        return run_annealing(
+            s, p, static_cast<const ThroughputObjective&>(objective),
+            std::move(initial), affinity, demand_gips);
+      case ObjectiveKind::kEdp:
+        return run_annealing(s, p, static_cast<const EdpObjective&>(objective),
+                             std::move(initial), affinity, demand_gips);
+      case ObjectiveKind::kGlobalEfficiency:
+        return run_annealing(
+            s, p, static_cast<const GlobalEfficiencyObjective&>(objective),
+            std::move(initial), affinity, demand_gips);
+      case ObjectiveKind::kCustom:
+        break;
+    }
+    return run_annealing<BalanceObjective>(s, p, objective, std::move(initial),
+                                           affinity, demand_gips);
+  }();
+  if (obs_ != nullptr) {
+    auto& m = obs_->metrics();
+    m.counter("sa.calls").add();
+    m.counter("sa.iterations").add(static_cast<std::uint64_t>(
+        std::max(result.iterations, 0)));
+    m.counter("sa.accepted_worse").add(static_cast<std::uint64_t>(
+        std::max(result.accepted_worse, 0)));
+    m.counter("sa.improved").add(static_cast<std::uint64_t>(
+        std::max(result.improved, 0)));
+    m.counter("sa.resyncs").add(static_cast<std::uint64_t>(
+        std::max(result.resyncs, 0)));
+    m.histogram("sa.host_ns").record(static_cast<std::uint64_t>(
+        std::max<TimeNs>(result.host_ns, 0)));
   }
-  return run_annealing<BalanceObjective>(s, p, objective, std::move(initial),
-                                         affinity, demand_gips);
+  return result;
 }
 
 SaResult exhaustive_optimum(const Matrix& s, const Matrix& p,

@@ -44,6 +44,10 @@
 #include "core/objective.h"
 #include "core/objective_state.h"
 
+namespace sb::obs {
+class Sink;
+}  // namespace sb::obs
+
 namespace sb::core {
 
 struct SaConfig {
@@ -112,6 +116,11 @@ class SaOptimizer {
   /// epoch).
   void set_seed(std::uint64_t seed) { cfg_.seed = seed; }
 
+  /// Observability hook (null = off): each optimize() call feeds the `sa.*`
+  /// counters and the sa.host_ns histogram. Recording happens after the
+  /// anneal returns, so the search itself is untouched.
+  void set_obs(obs::Sink* obs) { obs_ = obs; }
+
   const SaConfig& config() const { return cfg_; }
 
  private:
@@ -130,6 +139,7 @@ class SaOptimizer {
   void ensure_radius_schedule(int iters);
 
   SaConfig cfg_;
+  obs::Sink* obs_ = nullptr;
 
   /// Scratch arena surviving across epochs: Ψ slots, the current
   /// allocation, the objective-state storage and the radius schedule.

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/sink.h"
+
 namespace sb::core {
 
 SensingSubsystem::SensingSubsystem(const arch::Platform& platform, Config cfg,
                                    Rng rng)
     : platform_(platform), cfg_(cfg), rng_(rng) {}
+
+void SensingSubsystem::bump(std::string_view metric) {
+  if (obs_ != nullptr) obs_->metrics().counter(metric).add();
+}
 
 double SensingSubsystem::noisy(double v, double sigma) {
   if (sigma <= 0) return v;
@@ -73,12 +79,14 @@ bool SensingSubsystem::accept_fresh(const ThreadObservation& o,
   if (check_plausibility(o, s.counters, d.limits) ==
       PlausibilityVerdict::kImplausible) {
     ++health_.implausible_rejected;
+    bump("sense.implausible_rejected");
     return false;
   }
   // A thread that executed a full epoch while its rail reported (near)
   // nothing is on a dead or stuck-at-zero power sensor.
   if (s.runtime >= cfg_.min_runtime && o.power_w < d.limits.min_power_w) {
     ++health_.implausible_rejected;
+    bump("sense.implausible_rejected");
     return false;
   }
   // Outlier screen: fresh throughput against the median of the thread's
@@ -93,6 +101,7 @@ bool SensingSubsystem::accept_fresh(const ThreadObservation& o,
     if (med > 0 &&
         (o.ips > med * d.outlier_factor || o.ips < med / d.outlier_factor)) {
       ++health_.outliers_rejected;
+      bump("sense.outliers_rejected");
       return false;
     }
   }
@@ -135,6 +144,7 @@ std::vector<ThreadObservation> SensingSubsystem::observe(
       // Ran a full epoch yet retired nothing — the blackout signature; the
       // sensing infrastructure (not the thread) is the problem.
       ++health_.implausible_rejected;
+      bump("sense.implausible_rejected");
       note_rejected(s.tid);
     }
     // A freshly migrated thread's counters reflect cold caches, not the
@@ -183,6 +193,7 @@ std::vector<ThreadObservation> SensingSubsystem::observe(
           o.util = s.util;
           o.runtime = s.runtime;
           ++health_.stale_served;
+          bump("sense.stale_served");
         } else {
           // Too stale to trust (or never characterized): hand the predictor
           // the neutral prior instead of fossil data.
@@ -193,7 +204,10 @@ std::vector<ThreadObservation> SensingSubsystem::observe(
           neutral.freq_mhz = o.freq_mhz;
           neutral.util = s.util;
           neutral.runtime = s.runtime;
-          if (it != last_good_.end()) ++health_.neutral_served;
+          if (it != last_good_.end()) {
+            ++health_.neutral_served;
+            bump("sense.neutral_served");
+          }
           o = neutral;
         }
       } else if (it != last_good_.end()) {
@@ -215,6 +229,10 @@ std::vector<ThreadObservation> SensingSubsystem::observe(
     }
     health_.healthy_fraction =
         static_cast<double>(healthy) / static_cast<double>(samples.size());
+    if (obs_ != nullptr) {
+      obs_->metrics().gauge("sense.healthy_fraction").set(
+          health_.healthy_fraction);
+    }
   }
   garbage_collect(samples);
   return out;

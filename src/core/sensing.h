@@ -11,6 +11,7 @@
 #pragma once
 
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +19,10 @@
 #include "common/rng.h"
 #include "core/features.h"
 #include "os/kernel.h"
+
+namespace sb::obs {
+class Sink;
+}  // namespace sb::obs
 
 namespace sb::core {
 
@@ -94,6 +99,10 @@ class SensingSubsystem {
   const Config& config() const { return cfg_; }
   const SensingHealthStats& health() const { return health_; }
 
+  /// Observability hook (null = off); counts defense decisions under
+  /// `sense.*` and tracks the healthy fraction as a gauge.
+  void set_obs(obs::Sink* obs) { obs_ = obs; }
+
  private:
   struct ThreadHealth {
     double confidence = 1.0;
@@ -105,6 +114,7 @@ class SensingSubsystem {
 
   ThreadObservation reduce(const os::EpochSample& s);
   double noisy(double v, double sigma);
+  void bump(std::string_view metric);
   /// Defense screen on a fresh measurement; returns false when the sample
   /// must be rejected (and bumps the corresponding stats counter).
   bool accept_fresh(const ThreadObservation& o, const os::EpochSample& s);
@@ -117,6 +127,7 @@ class SensingSubsystem {
   std::unordered_map<ThreadId, ThreadObservation> last_good_;
   std::unordered_map<ThreadId, ThreadHealth> thread_health_;
   SensingHealthStats health_{};
+  obs::Sink* obs_ = nullptr;
 };
 
 }  // namespace sb::core

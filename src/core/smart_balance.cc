@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/sink.h"
+
 namespace sb::core {
 namespace {
 
@@ -54,6 +56,20 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
   ++passes_;
   last_ = os::BalancePassStats{};
 
+  // Observability: propagate the kernel's sink (usually installed once by
+  // Simulation; trivial pointer stores per pass) and anchor this pass on
+  // the simulated timeline. Null sink = everything below is one branch.
+  obs::Sink* const obs = kernel.obs();
+  sensing_.set_obs(obs);
+  optimizer_.set_obs(obs);
+  pred_cache_.set_obs(obs);
+  if (injector_) injector_->set_obs(obs);
+  if (obs != nullptr) {
+    obs->begin_epoch(passes_, static_cast<std::uint64_t>(now));
+    obs->metrics().counter("epoch.passes").add();
+  }
+  obs::ScopedSpan epoch_span(obs, "epoch");
+
   if (injector_) {
     // Key every injection decision to this pass and hook the two live
     // telemetry paths (idempotent after the first pass).
@@ -103,6 +119,13 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
   if (observations.empty()) {
     last_.sense_host_ns = elapsed_ns(t0, t1);
     sense_ns_.add(static_cast<double>(last_.sense_host_ns));
+    if (obs != nullptr) {
+      const auto sns = static_cast<std::uint64_t>(last_.sense_host_ns);
+      obs->metrics().histogram("epoch.sense_ns").record(sns);
+      if (auto* tracer = obs->tracer()) {
+        tracer->span("sense", obs->now_ns(), sns, passes_);
+      }
+    }
     return;
   }
 
@@ -114,10 +137,36 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
       sensing_.health().healthy_fraction < cfg_.degraded_healthy_threshold) {
     ++degraded_passes_;
     last_.degraded = true;
+    if (obs != nullptr) {
+      obs->metrics().counter("epoch.degraded_passes").add();
+      if (auto* tracer = obs->tracer(); tracer != nullptr && !degraded_prev_) {
+        tracer->instant(
+            "degraded_enter", obs->now_ns(), passes_,
+            {{"healthy_fraction", sensing_.health().healthy_fraction}});
+      }
+    }
+    degraded_prev_ = true;
     fallback_.on_balance(kernel, now);
     last_.sense_host_ns = elapsed_ns(t0, t1);
     sense_ns_.add(static_cast<double>(last_.sense_host_ns));
+    if (obs != nullptr) {
+      const auto sns = static_cast<std::uint64_t>(last_.sense_host_ns);
+      obs->metrics().histogram("epoch.sense_ns").record(sns);
+      if (auto* tracer = obs->tracer()) {
+        tracer->span("sense", obs->now_ns(), sns, passes_);
+      }
+    }
     return;
+  }
+  if (degraded_prev_) {
+    if (obs != nullptr) {
+      if (auto* tracer = obs->tracer()) {
+        tracer->instant(
+            "degraded_exit", obs->now_ns(), passes_,
+            {{"healthy_fraction", sensing_.health().healthy_fraction}});
+      }
+    }
+    degraded_prev_ = false;
   }
 
   // ---- Phase 2: PREDICT ---------------------------------------------------
@@ -187,11 +236,26 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
           : 0.0;
   int migrations = 0;
   if (result.objective > gain_threshold) {
+    // Migration instants land at the end of the balance phase on the
+    // trace timeline (sense + predict + optimize host time into the pass).
+    const auto mig_offset = static_cast<std::uint64_t>(elapsed_ns(t0, t3));
     for (std::size_t i = 0; i < last_mx_.num_threads(); ++i) {
       if (result.allocation[i] != initial[i]) {
+        const CoreId src = initial[i];
         kernel.migrate(last_mx_.tids[i], result.allocation[i]);
         migrated_at_pass_[last_mx_.tids[i]] = passes_;
         ++migrations;
+        if (obs != nullptr) {
+          obs->metrics().counter("balance.migrations").add();
+          if (auto* tracer = obs->tracer()) {
+            tracer->instant(
+                "migration", obs->now_ns() + mig_offset, passes_,
+                {{"tid", static_cast<double>(last_mx_.tids[i])},
+                 {"src", static_cast<double>(src)},
+                 {"dst", static_cast<double>(result.allocation[i])},
+                 {"dJ", result.objective - result.initial_objective}});
+          }
+        }
       }
     }
   }
@@ -206,6 +270,30 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
   migrations_.add(static_cast<double>(migrations));
   if (result.initial_objective > 0) {
     objective_gain_.add(result.objective / result.initial_objective - 1.0);
+  }
+
+  if (obs != nullptr) {
+    const auto sns = static_cast<std::uint64_t>(last_.sense_host_ns);
+    const auto pns = static_cast<std::uint64_t>(last_.predict_host_ns);
+    const auto ons = static_cast<std::uint64_t>(last_.optimize_host_ns);
+    auto& m = obs->metrics();
+    m.histogram("epoch.sense_ns").record(sns);
+    m.histogram("epoch.predict_ns").record(pns);
+    m.histogram("epoch.optimize_ns").record(ons);
+    if (auto* tracer = obs->tracer()) {
+      // Phases laid out sequentially from the epoch boundary: simulated
+      // position, host-measured durations (the Fig. 7 overhead, visible
+      // per pass instead of as an end-of-run mean).
+      const std::uint64_t base = obs->now_ns();
+      tracer->span("sense", base, sns, passes_);
+      tracer->span("predict", base + sns, pns, passes_);
+      tracer->span("balance", base + sns + pns, ons, passes_,
+                   {{"iterations", static_cast<double>(result.iterations)},
+                    {"accepted_worse",
+                     static_cast<double>(result.accepted_worse)},
+                    {"resyncs", static_cast<double>(result.resyncs)},
+                    {"migrations", static_cast<double>(migrations)}});
+    }
   }
 }
 

@@ -146,6 +146,8 @@ class SmartBalancePolicy final : public os::LoadBalancer {
   std::unique_ptr<fault::FaultInjector> injector_;
   os::VanillaBalancer fallback_;
   std::uint64_t degraded_passes_ = 0;
+  /// Previous pass ran degraded (for enter/exit trace transitions).
+  bool degraded_prev_ = false;
   std::uint64_t faults_detected_ = 0;
   std::uint64_t faults_absorbed_ = 0;
 };

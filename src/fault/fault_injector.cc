@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "obs/sink.h"
 
 namespace sb::fault {
 
@@ -33,6 +34,27 @@ double to_uniform(std::uint64_t h) {
 }  // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void FaultInjector::note(FaultClass cls) {
+  const int idx = static_cast<int>(cls);
+  ++stats_.injected[idx];
+  if (obs_ == nullptr) return;
+  // Metric names are built once per class for the process lifetime.
+  static const auto kMetricNames = [] {
+    std::array<std::string, kNumFaultClasses> names;
+    for (int i = 0; i < kNumFaultClasses; ++i) {
+      names[static_cast<std::size_t>(i)] =
+          std::string("fault.injected.") +
+          fault_class_name(static_cast<FaultClass>(i));
+    }
+    return names;
+  }();
+  obs_->metrics().counter(kMetricNames[static_cast<std::size_t>(idx)]).add();
+  if (auto* tracer = obs_->tracer()) {
+    tracer->instant("fault.injected", obs_->now_ns(), obs_->epoch(),
+                    {{"class", static_cast<double>(idx)}});
+  }
+}
 
 void FaultInjector::begin_epoch(std::uint64_t epoch) { epoch_ = epoch; }
 
@@ -97,7 +119,7 @@ void FaultInjector::corrupt(std::vector<os::EpochSample>& samples) {
                          static_cast<std::uint64_t>(s.core))) {
       s.counters.reset();
       s.energy_j = 0.0;
-      ++stats_.injected[static_cast<int>(FaultClass::kCoreBlackout)];
+      note(FaultClass::kCoreBlackout);
       continue;
     }
 
@@ -109,7 +131,7 @@ void FaultInjector::corrupt(std::vector<os::EpochSample>& samples) {
         s.counters = it->second.counters;
         s.energy_j = it->second.energy_j;
         s.runtime = it->second.runtime;
-        ++stats_.injected[static_cast<int>(FaultClass::kSampleDuplicate)];
+        note(FaultClass::kSampleDuplicate);
       }
     }
 
@@ -122,7 +144,7 @@ void FaultInjector::corrupt(std::vector<os::EpochSample>& samples) {
                                  &s.counters.inst_mem, &s.counters.l1d_miss};
       std::uint64_t& f = *fields[h & 3];
       f = perf::HpcCounters::k32BitCeiling - (f & 0xFFFFFULL);
-      ++stats_.injected[static_cast<int>(FaultClass::kCounterWrap)];
+      note(FaultClass::kCounterWrap);
     }
 
     // Saturation: every field clamps at a narrow ceiling
@@ -131,7 +153,7 @@ void FaultInjector::corrupt(std::vector<os::EpochSample>& samples) {
       const auto ceiling = static_cast<std::uint64_t>(
           std::max(1.0, sat->magnitude) * 16'777'216.0);
       s.counters.saturate_fields(ceiling);
-      ++stats_.injected[static_cast<int>(FaultClass::kCounterSaturate)];
+      note(FaultClass::kCounterSaturate);
     }
   }
 
@@ -142,7 +164,7 @@ void FaultInjector::corrupt(std::vector<os::EpochSample>& samples) {
       if (!fires(*drop, epoch_, static_cast<std::uint64_t>(s.tid))) {
         return false;
       }
-      ++stats_.injected[static_cast<int>(FaultClass::kSampleDrop)];
+      note(FaultClass::kSampleDrop);
       return true;
     });
   }
@@ -155,12 +177,12 @@ FaultInjector::Decision FaultInjector::on_migrate(ThreadId tid, CoreId /*from*/,
   const auto tkey = static_cast<std::uint64_t>(tid);
   if (const FaultSpec* rej = plan_.spec_of(FaultClass::kMigrationReject);
       rej && fires(*rej, epoch_, tkey)) {
-    ++stats_.injected[static_cast<int>(FaultClass::kMigrationReject)];
+    note(FaultClass::kMigrationReject);
     return Decision::kReject;
   }
   if (const FaultSpec* del = plan_.spec_of(FaultClass::kMigrationDelay);
       del && fires(*del, epoch_, tkey)) {
-    ++stats_.injected[static_cast<int>(FaultClass::kMigrationDelay)];
+    note(FaultClass::kMigrationDelay);
     return Decision::kDefer;
   }
   return Decision::kAllow;
@@ -173,7 +195,7 @@ double FaultInjector::transform_energy(CoreId core, double joules) {
   const FaultSpec* blackout = plan_.spec_of(FaultClass::kCoreBlackout);
   if (blackout && active_in_window(*blackout, epoch_, ckey)) {
     // Blacked-out rail reads zero; don't update the stuck cache with it.
-    ++stats_.injected[static_cast<int>(FaultClass::kCoreBlackout)];
+    note(FaultClass::kCoreBlackout);
     return 0.0;
   }
 
@@ -181,7 +203,7 @@ double FaultInjector::transform_energy(CoreId core, double joules) {
       stuck && active_in_window(*stuck, epoch_, ckey)) {
     auto it = prev_energy_.find(core);
     out = it != prev_energy_.end() ? it->second : 0.0;
-    ++stats_.injected[static_cast<int>(FaultClass::kPowerStuck)];
+    note(FaultClass::kPowerStuck);
     return out;  // a latched ADC also doesn't pick up noise
   }
 
@@ -191,7 +213,7 @@ double FaultInjector::transform_energy(CoreId core, double joules) {
       noise && fires(*noise, epoch_, ckey)) {
     Rng g(hash_key(FaultClass::kPowerNoise, epoch_, ckey ^ 0x9e15eULL));
     out = std::max(0.0, out * (1.0 + noise->magnitude * g.gaussian()));
-    ++stats_.injected[static_cast<int>(FaultClass::kPowerNoise)];
+    note(FaultClass::kPowerNoise);
   }
   return out;
 }

@@ -20,6 +20,10 @@
 #include "os/kernel.h"
 #include "power/sensor.h"
 
+namespace sb::obs {
+class Sink;
+}  // namespace sb::obs
+
 namespace sb::fault {
 
 /// Injection counters, per fault class (indexed by FaultClass).
@@ -48,6 +52,11 @@ class FaultInjector final : public os::MigrationFilter,
   /// subsequent corrupt()/on_migrate()/transform_energy() decisions key on
   /// this epoch.
   void begin_epoch(std::uint64_t epoch);
+
+  /// Observability hook (null = off): every injection bumps a
+  /// `fault.injected.<class>` counter and drops a "fault.injected" instant
+  /// on the trace timeline.
+  void set_obs(obs::Sink* obs) { obs_ = obs; }
 
   /// Corrupts one epoch's drained samples in place: applies blackout, wrap,
   /// saturation, duplication, then drops. Caches the pristine samples first
@@ -80,10 +89,13 @@ class FaultInjector final : public os::MigrationFilter,
   /// `epoch`: some onset in (epoch - duration, epoch] fired.
   bool active_in_window(const FaultSpec& spec, std::uint64_t epoch,
                         std::uint64_t target) const;
+  /// Counts one injection of `cls` (stats + observability).
+  void note(FaultClass cls);
 
   FaultPlan plan_;
   FaultStats stats_;
   std::uint64_t epoch_ = 0;
+  obs::Sink* obs_ = nullptr;
 
   struct CachedSample {
     perf::HpcCounters counters;

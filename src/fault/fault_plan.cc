@@ -12,6 +12,45 @@ constexpr const char* kNames[kNumFaultClasses] = {
     "wrap", "sat", "drop", "dup", "stuck", "noise", "delay", "reject",
     "blackout"};
 
+/// std::stod/std::stoi throw std::out_of_range (not std::invalid_argument)
+/// on values outside the representable range ("wrap:1e999",
+/// "wrap:0.1:1:99999999999999999999" — found by the grammar fuzz test), so
+/// numeric fields go through these wrappers to keep parse()'s documented
+/// contract: any unparseable entry raises std::invalid_argument.
+double parse_double(const std::string& s, const std::string& entry,
+                    const char* what) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan: bad " + std::string(what) +
+                                " in '" + entry + "'");
+  }
+  if (pos != s.size()) {
+    throw std::invalid_argument("FaultPlan: bad " + std::string(what) +
+                                " in '" + entry + "'");
+  }
+  return v;
+}
+
+int parse_int(const std::string& s, const std::string& entry,
+              const char* what) {
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan: bad " + std::string(what) +
+                                " in '" + entry + "'");
+  }
+  if (pos != s.size()) {
+    throw std::invalid_argument("FaultPlan: bad " + std::string(what) +
+                                " in '" + entry + "'");
+  }
+  return v;
+}
+
 FaultSpec parse_entry(const std::string& entry) {
   std::vector<std::string> parts;
   std::string cur;
@@ -33,23 +72,20 @@ FaultSpec parse_entry(const std::string& entry) {
     throw std::invalid_argument("FaultPlan: unknown fault class '" + parts[0] +
                                 "'");
   }
-  std::size_t pos = 0;
-  spec.rate = std::stod(parts[1], &pos);
-  if (pos != parts[1].size() || !(spec.rate >= 0.0) || spec.rate > 1.0) {
+  spec.rate = parse_double(parts[1], entry, "rate");
+  if (!(spec.rate >= 0.0) || spec.rate > 1.0) {
     throw std::invalid_argument("FaultPlan: bad rate in '" + entry + "'");
   }
   if (parts.size() >= 3) {
-    spec.magnitude = std::stod(parts[2], &pos);
-    if (pos != parts[2].size() || !std::isfinite(spec.magnitude) ||
-        spec.magnitude < 0.0) {
+    spec.magnitude = parse_double(parts[2], entry, "magnitude");
+    if (!std::isfinite(spec.magnitude) || spec.magnitude < 0.0) {
       throw std::invalid_argument("FaultPlan: bad magnitude in '" + entry +
                                   "'");
     }
   }
   if (parts.size() == 4) {
-    spec.duration_epochs = std::stoi(parts[3], &pos);
-    if (pos != parts[3].size() || spec.duration_epochs < 1 ||
-        spec.duration_epochs > 1024) {
+    spec.duration_epochs = parse_int(parts[3], entry, "duration");
+    if (spec.duration_epochs < 1 || spec.duration_epochs > 1024) {
       throw std::invalid_argument("FaultPlan: bad duration in '" + entry +
                                   "'");
     }

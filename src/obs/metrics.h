@@ -1,0 +1,143 @@
+// Metrics registry: named counters, gauges and log-linear histograms for
+// the sense → predict → balance loop (and anything else that wants a
+// number watched).
+//
+// Design constraints, in order:
+//  - zero overhead when observability is off: call sites hold an obs::Sink*
+//    that is null by default, so every hook compiles down to one branch;
+//  - deterministic export: metrics live in ordered maps, so two registries
+//    built from the same run serialize byte-identically regardless of the
+//    order metrics were first touched in;
+//  - mergeable: ExperimentRunner workers each fill a per-run registry and
+//    the harness merges them after the batch — histogram merge is
+//    bucket-wise addition (associative and commutative, see the property
+//    tests in tests/obs/), counters add, gauges keep the merged-in value;
+//  - fixed-point friendly: histograms record unsigned 64-bit integers
+//    (nanoseconds, iteration counts, raw Q16.16 values) and never touch
+//    floating point on the record path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sb::obs {
+
+/// Monotonic event count.
+struct Counter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t delta = 1) { value += delta; }
+};
+
+/// Last-written value (plus how many times it was written, so merges can
+/// tell "never set" from "set to 0").
+struct Gauge {
+  double value = 0;
+  std::uint64_t updates = 0;
+  void set(double v) {
+    value = v;
+    ++updates;
+  }
+};
+
+/// Log-linear histogram over unsigned 64-bit values: buckets double every
+/// octave with kSubBuckets linear subdivisions, so the relative bucket
+/// width — and therefore the quantile estimation error — is bounded by
+/// 1/kSubBuckets (25%) everywhere. Values 0..kSubBuckets-1 get exact unit
+/// buckets. The record path is two shifts, a mask and an increment.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 2;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 4 per octave
+  static constexpr int kNumBuckets =
+      ((64 - kSubBucketBits) << kSubBucketBits) + kSubBuckets;  // 252
+
+  /// Bucket index for a value (total order preserving).
+  static int bucket_index(std::uint64_t v);
+  /// Inclusive lower bound of a bucket.
+  static std::uint64_t bucket_lower(int index);
+  /// Exclusive upper bound of a bucket (saturates at 2^64-1).
+  static std::uint64_t bucket_upper(int index);
+
+  void record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+  }
+  std::uint64_t bucket_count(int index) const {
+    return buckets_[static_cast<std::size_t>(index)];
+  }
+
+  /// Quantile estimate for q in [0, 1]: the inclusive upper edge of the
+  /// bucket holding the rank-⌈q·count⌉ value. The exact quantile is always
+  /// inside [quantile_lower(q), quantile(q)] — within one bucket, i.e.
+  /// within 25% relative error (exact below kSubBuckets).
+  std::uint64_t quantile(double q) const;
+  std::uint64_t quantile_lower(double q) const;
+
+  /// Bucket-wise merge: associative, commutative, identity = default
+  /// Histogram.
+  void merge(const Histogram& other);
+
+ private:
+  int quantile_bucket(double q) const;
+
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+/// Named metrics for one run. Lookup creates on first use; references stay
+/// valid for the registry's lifetime (node-based maps). Iteration — and
+/// therefore JSON export — is ordered by name.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Name-wise merge: counters and histograms accumulate; a gauge adopts
+  /// the merged-in value when the other side ever wrote it. Metrics absent
+  /// on one side are copied. Associative; commutative except for the gauge
+  /// last-writer rule (merge runs in submission order, which is
+  /// deterministic).
+  void merge(const MetricsRegistry& other);
+
+  /// Compact JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"x":{"count":..,"sum":..,"min":..,"max":..,
+  ///                       "mean":..,"p50":..,"p90":..,"p99":..}}}
+  /// Deterministic: ordered by metric name, integer-exact counters.
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace sb::obs

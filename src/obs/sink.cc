@@ -1,0 +1,21 @@
+#include "obs/sink.h"
+
+#include <utility>
+
+namespace sb::obs {
+
+Sink::Sink(ObsConfig cfg) : cfg_(cfg) {
+  if (cfg_.trace) tracer_ = std::make_unique<EpochTracer>(cfg_.trace_capacity);
+}
+
+RunObs Sink::snapshot(std::string label) const {
+  RunObs out;
+  out.label = std::move(label);
+  out.metrics_enabled = cfg_.metrics;
+  out.trace_enabled = cfg_.trace;
+  out.metrics = metrics_;
+  if (tracer_ != nullptr) out.trace = tracer_->snapshot();
+  return out;
+}
+
+}  // namespace sb::obs

@@ -42,6 +42,10 @@
 #include "power/power_model.h"
 #include "power/sensor.h"
 
+namespace sb::obs {
+class Sink;
+}  // namespace sb::obs
+
 namespace sb::os {
 
 struct KernelConfig {
@@ -175,6 +179,12 @@ class Kernel {
     migration_filter_ = filter;
   }
   MigrationFilter* migration_filter() const { return migration_filter_; }
+
+  /// Installs (or clears, with nullptr) the observability sink. Not owned;
+  /// the Simulation keeps it alive while installed. Policies read it via
+  /// obs() inside their balance pass; a null sink means observability off.
+  void set_obs(obs::Sink* sink) { obs_ = sink; }
+  obs::Sink* obs() const { return obs_; }
   /// Balance-pass migrations dropped / postponed by the filter.
   std::uint64_t migrations_rejected() const { return migrations_rejected_; }
   std::uint64_t migrations_deferred() const { return migrations_deferred_; }
@@ -289,6 +299,7 @@ class Kernel {
   std::uint64_t dvfs_transitions_ = 0;
 
   MigrationFilter* migration_filter_ = nullptr;
+  obs::Sink* obs_ = nullptr;
   struct DeferredMigration {
     ThreadId tid;
     CoreId dest;

@@ -3,10 +3,15 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+
+namespace sb::obs {
+struct RunObs;
+}  // namespace sb::obs
 
 namespace sb::sim {
 
@@ -86,6 +91,10 @@ struct SimulationResult {
   std::uint64_t migrations_rejected = 0;  // balancer migrations that failed
   std::uint64_t migrations_deferred = 0;  // ... that landed one epoch late
   double healthy_fraction = 1.0;       // sensing health at end of run
+
+  /// Observability snapshot (metrics registry + drained trace); null unless
+  /// SimulationConfig::obs enabled it. Shared so results stay copyable.
+  std::shared_ptr<obs::RunObs> obs;
 };
 
 /// Human-readable one-result summary.

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace sb::sim {
 namespace {
 
@@ -101,6 +103,13 @@ void write_json(std::ostream& os, const SimulationResult& r) {
        << ",\"healthy_fraction\":";
     number(os, r.healthy_fraction);
     os << "}";
+  }
+
+  // Metrics block only when observability collected something — default
+  // runs keep byte-identical reports.
+  if (r.obs && r.obs->metrics_enabled && !r.obs->metrics.empty()) {
+    os << ",\"metrics\":";
+    r.obs->metrics.write_json(os);
   }
 
   if (!r.final_temp_c.empty()) {

@@ -95,9 +95,16 @@ BatchResult ExperimentRunner::run(
   }
 
   batch.summary.wall_ms = ms_since(start);
-  for (const auto& r : batch.runs) {
+  for (std::size_t i = 0; i < batch.runs.size(); ++i) {
+    auto& r = batch.runs[i];
     batch.summary.cpu_ms += r.wall_ms;
     if (!r.ok()) ++batch.summary.failed;
+    // Stamp each observability snapshot with its submission index: the key
+    // that makes merged traces deterministic regardless of worker schedule.
+    if (r.result.obs) {
+      r.result.obs->run = static_cast<int>(i);
+      if (r.result.obs->label.empty()) r.result.obs->label = r.label;
+    }
   }
   return batch;
 }

@@ -16,6 +16,11 @@ Simulation::Simulation(const arch::Platform& platform, SimulationConfig cfg)
   perf_ = std::make_unique<perf::PerfModel>(platform_);
   power_ = std::make_unique<power::PowerModel>(platform_, *perf_);
   kernel_ = std::make_unique<os::Kernel>(platform_, *perf_, *power_, kcfg);
+  if (!cfg_.chrome_trace_path.empty()) cfg_.obs.trace = true;
+  if (cfg_.obs.enabled()) {
+    obs_ = std::make_unique<obs::Sink>(cfg_.obs);
+    kernel_->set_obs(obs_.get());
+  }
 }
 
 void Simulation::add_benchmark(const std::string& name, int threads) {
@@ -99,7 +104,11 @@ SimulationResult Simulation::run() {
   } else {
     kernel_->run_until(cfg_.duration);
   }
-  return snapshot();
+  SimulationResult r = snapshot();
+  if (!cfg_.chrome_trace_path.empty() && r.obs) {
+    obs::write_chrome_trace_file(cfg_.chrome_trace_path, {r.obs.get()});
+  }
+  return r;
 }
 
 void Simulation::sample_tick(TimeNs window) {
@@ -220,6 +229,9 @@ SimulationResult Simulation::snapshot() const {
   }
   r.migrations_rejected = kernel_->migrations_rejected();
   r.migrations_deferred = kernel_->migrations_deferred();
+  if (obs_) {
+    r.obs = std::make_shared<obs::RunObs>(obs_->snapshot(cfg_.label));
+  }
   return r;
 }
 

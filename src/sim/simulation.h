@@ -11,6 +11,7 @@
 #include "arch/platform.h"
 #include "common/csv.h"
 #include "common/rng.h"
+#include "obs/sink.h"
 #include "os/kernel.h"
 #include "perf/perf_model.h"
 #include "power/power_model.h"
@@ -38,6 +39,13 @@ struct SimulationConfig {
   std::string trace_path;
   /// Sampling period for thermal stepping and trace rows.
   TimeNs sample_interval = milliseconds(5);
+
+  /// Observability: metrics registry and/or epoch tracer (see src/obs/).
+  /// Off by default — a disabled run is bit-identical to a pre-obs build.
+  obs::ObsConfig obs;
+  /// Non-empty: writes the run's epoch trace as Chrome trace-event JSON at
+  /// the end of run() (implies obs.trace).
+  std::string chrome_trace_path;
 };
 
 class Simulation {
@@ -82,6 +90,9 @@ class Simulation {
   /// Thermal state (only when thermal_enabled); valid after/while running.
   const power::ThermalModel* thermal() const { return thermal_.get(); }
 
+  /// Observability sink (null unless cfg.obs enabled something).
+  obs::Sink* obs() { return obs_.get(); }
+
  private:
   void sample_tick(TimeNs window);
   void apply_arrivals();
@@ -99,6 +110,7 @@ class Simulation {
   std::unique_ptr<power::PowerModel> power_;
   std::unique_ptr<os::Kernel> kernel_;
   std::unique_ptr<power::ThermalModel> thermal_;
+  std::unique_ptr<obs::Sink> obs_;
   std::unique_ptr<CsvWriter> trace_;
   std::vector<double> prev_core_joules_;
   double max_temp_seen_c_ = 0;

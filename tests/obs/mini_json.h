@@ -1,0 +1,194 @@
+// Tiny recursive-descent JSON parser for test assertions only: just enough
+// to round-trip the observability exports (Chrome traces, metrics blocks,
+// bench_json documents). Objects are std::map, so key *ordering* claims are
+// asserted on the raw emitted string, not through this parser.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sb::testjson {
+
+struct Value {
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+  bool is_object() const { return std::holds_alternative<Object>(v); }
+  bool is_array() const { return std::holds_alternative<Array>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+
+  double num() const { return std::get<double>(v); }
+  bool boolean() const { return std::get<bool>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  const Array& arr() const { return std::get<Array>(v); }
+  const Object& obj() const { return std::get<Object>(v); }
+
+  bool contains(const std::string& key) const {
+    return is_object() && obj().count(key) > 0;
+  }
+  const Value& at(const std::string& key) const {
+    const auto& o = obj();
+    const auto it = o.find(key);
+    if (it == o.end()) throw std::out_of_range("no key '" + key + "'");
+    return it->second;
+  }
+  const Value& at(std::size_t i) const { return arr().at(i); }
+  std::size_t size() const {
+    return is_array() ? arr().size() : obj().size();
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse() {
+    Value v = value();
+    ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("mini_json: " + why + " at offset " +
+                                std::to_string(pos_));
+  }
+  void ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(const std::string& lit) {
+    if (s_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return Value{string()};
+    if (consume("null")) return Value{nullptr};
+    if (consume("true")) return Value{true};
+    if (consume("false")) return Value{false};
+    return number();
+  }
+
+  Value number() {
+    char* end = nullptr;
+    const double d = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) fail("bad number");
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    return Value{d};
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            const int cp = static_cast<int>(
+                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            out += cp < 0x80 ? static_cast<char>(cp) : '?';
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Value array() {
+    expect('[');
+    Value::Array out;
+    ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{out};
+    }
+    while (true) {
+      out.push_back(value());
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value{out};
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value::Object out;
+    ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{out};
+    }
+    while (true) {
+      ws();
+      std::string key = string();
+      ws();
+      expect(':');
+      out[key] = value();
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value{out};
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace sb::testjson

@@ -1,0 +1,226 @@
+// End-to-end observability: a SmartBalance simulation with the sink enabled
+// produces populated metrics and a well-formed trace; with the (default)
+// sink disabled nothing changes; and the merged multi-run export is a
+// deterministic function of the per-run traces regardless of --jobs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/platform.h"
+#include "mini_json.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "sim/simulation.h"
+
+namespace sb::sim {
+namespace {
+
+SimulationConfig base_cfg() {
+  SimulationConfig cfg;
+  cfg.duration = milliseconds(240);
+  cfg.seed = 1234;
+  return cfg;
+}
+
+SimulationResult run_smart(SimulationConfig cfg) {
+  const auto platform = arch::Platform::quad_heterogeneous();
+  Simulation s(platform, cfg);
+  s.set_balancer(smartbalance_factory()(s));
+  s.add_benchmark("IMB_HTHI", 2);
+  return s.run();
+}
+
+TEST(SinkIntegration, DisabledByDefaultLeavesResultAndReportClean) {
+  const SimulationResult r = run_smart(base_cfg());
+  EXPECT_EQ(r.obs, nullptr);
+  EXPECT_EQ(to_json(r).find("\"metrics\""), std::string::npos);
+}
+
+TEST(SinkIntegration, MetricsCoverTheBalancingLoop) {
+  SimulationConfig cfg = base_cfg();
+  cfg.obs.metrics = true;
+  const SimulationResult r = run_smart(cfg);
+  ASSERT_NE(r.obs, nullptr);
+  EXPECT_TRUE(r.obs->metrics_enabled);
+  EXPECT_FALSE(r.obs->trace_enabled);
+  const auto& m = r.obs->metrics;
+  ASSERT_GT(m.counters().count("epoch.passes"), 0u);
+  EXPECT_GT(m.counters().at("epoch.passes").value, 0u);
+  EXPECT_GT(m.counters().at("sa.calls").value, 0u);
+  EXPECT_GT(m.counters().at("sa.iterations").value, 0u);
+  EXPECT_GT(m.counters().at("balance.migrations").value, 0u);
+  EXPECT_GT(m.histograms().at("epoch.sense_ns").count(), 0u);
+  EXPECT_GT(m.histograms().at("epoch.predict_ns").count(), 0u);
+  EXPECT_GT(m.histograms().at("epoch.optimize_ns").count(), 0u);
+
+  // The metrics block rides inside the JSON report and parses back.
+  const auto doc = testjson::parse(to_json(r));
+  ASSERT_TRUE(doc.contains("metrics"));
+  EXPECT_EQ(doc.at("metrics").at("counters").at("epoch.passes").num(),
+            static_cast<double>(m.counters().at("epoch.passes").value));
+}
+
+TEST(SinkIntegration, TraceHasEpochAnatomy) {
+  SimulationConfig cfg = base_cfg();
+  cfg.obs.trace = true;
+  const SimulationResult r = run_smart(cfg);
+  ASSERT_NE(r.obs, nullptr);
+  EXPECT_TRUE(r.obs->trace_enabled);
+  std::ostringstream os;
+  obs::write_chrome_trace(os, {r.obs.get()});
+  const auto doc = testjson::parse(os.str());
+  int sense = 0, predict = 0, balance = 0, migration = 0;
+  for (const auto& ev : doc.at("traceEvents").arr()) {
+    const auto& name = ev.at("name").str();
+    const auto& ph = ev.at("ph").str();
+    if (ph == "X" && name == "sense") ++sense;
+    if (ph == "X" && name == "predict") ++predict;
+    if (ph == "X" && name == "balance") ++balance;
+    if (ph == "i" && name == "migration") ++migration;
+  }
+  EXPECT_GT(sense, 0);
+  EXPECT_GT(predict, 0);
+  EXPECT_GT(balance, 0);
+  EXPECT_GE(migration, 1);
+}
+
+TEST(SinkIntegration, ObservedRunMatchesGoldenPathResults) {
+  // Observability is read-only: enabling it must not change a single
+  // simulated number (it draws no RNG, feeds nothing back).
+  const SimulationResult plain = run_smart(base_cfg());
+  SimulationConfig cfg = base_cfg();
+  cfg.obs.metrics = true;
+  cfg.obs.trace = true;
+  const SimulationResult observed = run_smart(cfg);
+  EXPECT_EQ(plain.instructions, observed.instructions);
+  EXPECT_EQ(plain.migrations, observed.migrations);
+  EXPECT_DOUBLE_EQ(plain.ips_per_watt, observed.ips_per_watt);
+  EXPECT_DOUBLE_EQ(plain.energy_j, observed.energy_j);
+}
+
+// --------------------------------------------------------------------------
+// Merged exports are --jobs invariant
+// --------------------------------------------------------------------------
+
+std::vector<ExperimentSpec> sweep_specs() {
+  SimulationConfig cfg = base_cfg();
+  cfg.obs.metrics = true;
+  cfg.obs.trace = true;
+  std::vector<ExperimentSpec> specs;
+  for (const std::string bench : {"IMB_HTHI", "IMB_MTMI", "IMB_LTLI"}) {
+    for (const char* policy : {"vanilla", "smartbalance"}) {
+      ExperimentSpec spec;
+      spec.platform = arch::Platform::quad_heterogeneous();
+      spec.cfg = cfg;
+      spec.workload = [bench](Simulation& s) { s.add_benchmark(bench, 2); };
+      spec.policy = policy == std::string("vanilla") ? vanilla_factory()
+                                                     : smartbalance_factory();
+      spec.label = bench;
+      spec.policy_name = policy;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::string merged_trace(const BatchResult& batch) {
+  std::vector<const obs::RunObs*> runs;
+  for (const auto& r : batch.runs) {
+    if (r.result.obs) runs.push_back(r.result.obs.get());
+  }
+  std::ostringstream os;
+  obs::write_chrome_trace(os, runs);
+  return os.str();
+}
+
+// Everything in a trace except host wall-clock time: per-event identity,
+// ordering, pid assignment, and simulated arguments, plus the summary
+// block. Span `dur` (and the ts offsets derived from it within an epoch)
+// measure how long *this host* took and legitimately differ between
+// executions, so they are projected out.
+std::string trace_shape(const std::string& json) {
+  const auto doc = testjson::parse(json);
+  std::ostringstream os;
+  for (const auto& ev : doc.at("traceEvents").arr()) {
+    os << ev.at("pid").num() << '|' << ev.at("name").str() << '|'
+       << ev.at("ph").str();
+    if (ev.contains("cat")) os << '|' << ev.at("cat").str();
+    if (ev.contains("args")) {
+      for (const auto& [key, val] : ev.at("args").obj()) {
+        os << '|' << key << '=';
+        if (val.is_string()) {
+          os << val.str();
+        } else {
+          os << val.num();
+        }
+      }
+    }
+    os << '\n';
+  }
+  const auto& sb = doc.at("smartbalance");
+  os << "runs=" << sb.at("runs").num() << " events=" << sb.at("events").num()
+     << " dropped=" << sb.at("dropped_events").num() << '\n';
+  return os.str();
+}
+
+// Counters, gauges, and histogram sample counts are pure functions of the
+// simulation; histogram *values* (epoch.*_ns, sa.host_ns) are host time.
+std::string metrics_shape(const std::string& json) {
+  const auto doc = testjson::parse(json);
+  std::ostringstream os;
+  for (const auto& [name, c] : doc.at("counters").obj()) {
+    os << "c:" << name << '=' << c.num() << '\n';
+  }
+  for (const auto& [name, g] : doc.at("gauges").obj()) {
+    os << "g:" << name << '=' << g.num() << '\n';
+  }
+  for (const auto& [name, h] : doc.at("histograms").obj()) {
+    os << "h:" << name << ".count=" << h.at("count").num() << '\n';
+  }
+  return os.str();
+}
+
+TEST(SinkIntegration, MergedTraceAndMetricsAreJobsInvariant) {
+  const auto specs = sweep_specs();
+
+  ExperimentRunner::Config seq_cfg;
+  seq_cfg.threads = 1;
+  const BatchResult seq = ExperimentRunner(seq_cfg).run(specs);
+
+  ExperimentRunner::Config par_cfg;
+  par_cfg.threads = 8;
+  const BatchResult par = ExperimentRunner(par_cfg).run(specs);
+
+  for (const auto& r : seq.runs) ASSERT_TRUE(r.ok()) << r.error;
+  for (const auto& r : par.runs) ASSERT_TRUE(r.ok()) << r.error;
+
+  // Runs carry their submission index, so the merged export has the same
+  // events, in the same order, with the same simulated arguments whether
+  // one worker or eight produced it. (Byte identity is asserted in
+  // ChromeTrace.OutputIsIndependentOfRunOrderPassedIn, where the per-run
+  // snapshots — including host-clock durations — are held fixed.)
+  EXPECT_EQ(trace_shape(merged_trace(seq)), trace_shape(merged_trace(par)));
+
+  auto merged = [](const BatchResult& b) {
+    std::vector<const obs::RunObs*> runs;
+    for (const auto& r : b.runs) {
+      if (r.result.obs) runs.push_back(r.result.obs.get());
+    }
+    return obs::merge_metrics(runs).to_json();
+  };
+  EXPECT_EQ(metrics_shape(merged(seq)), metrics_shape(merged(par)));
+
+  // And the export itself is schema-shaped: one process per run.
+  const auto doc = testjson::parse(merged_trace(par));
+  EXPECT_EQ(doc.at("smartbalance").at("runs").num(),
+            static_cast<double>(specs.size()));
+}
+
+}  // namespace
+}  // namespace sb::sim

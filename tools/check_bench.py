@@ -2,11 +2,22 @@
 """Perf-regression gate over the machine-readable bench trajectories.
 
 Compares freshly generated BENCH_*.json files (micro_benchmarks emits
-BENCH_sa.json, fig7_overhead_scalability emits BENCH_epoch.json) against
-the baselines committed at the repo root. Fails when a hot-path time
-metric regresses by more than --max-regress (default 25%), or when the
-allocation count per optimizer call increases at all -- the zero-alloc
-inner loop is a hard invariant, not a soft budget.
+BENCH_sa.json and BENCH_obs.json, fig7_overhead_scalability emits
+BENCH_epoch.json) against the baselines committed at the repo root.
+Fails when a hot-path time metric regresses by more than --max-regress
+(default 25%), or when the allocation count per optimizer call / epoch
+pass increases at all -- the zero-alloc inner loop is a hard invariant,
+not a soft budget.
+
+A baseline section may carry its own "max_regress" key, which overrides
+the command-line value for that section. BENCH_obs.json uses this to
+hold the observability-off epoch pass to a 1% budget over the
+pre-observability (PR 2) hot path. Because absolute pass times are not
+comparable across runners, the gated metric there is pass_cost_index --
+the minimum pass CPU time divided by the minimum CPU time of a fixed
+integer yardstick loop measured interleaved in the same run. Machine
+speed cancels in the ratio, so a 1% budget is meaningful even when the
+fresh run executes on different hardware than the committed baseline.
 
 Usage:
     check_bench.py [--max-regress 0.25] BASELINE FRESH [BASELINE FRESH ...]
@@ -18,12 +29,14 @@ import argparse
 import json
 import sys
 
-# Wall-time metrics gated by --max-regress. Per-phase microsecond splits
-# (sense_us, optimize_us, ...) are reported but not gated: they jitter too
-# much on shared CI runners, while the aggregates below are stable.
-RATIO_METRICS = ("ns_per_iteration", "total_us")
+# Time (or normalized-time) metrics gated by --max-regress. Per-phase
+# microsecond splits (sense_us, optimize_us, ...) are reported but not
+# gated: they jitter too much on shared CI runners, while the aggregates
+# below are stable. pass_cost_index is dimensionless (yardstick-normalized
+# CPU time), which is what lets BENCH_obs pin it to a 1% section budget.
+RATIO_METRICS = ("ns_per_iteration", "total_us", "pass_cost_index")
 # Metrics where any increase is a failure.
-EXACT_METRICS = ("allocs_per_call",)
+EXACT_METRICS = ("allocs_per_call", "allocs_per_pass")
 # Tolerance for float noise in "exact" comparisons.
 EPSILON = 1e-9
 
@@ -51,12 +64,15 @@ def compare(baseline_path, fresh_path, max_regress):
         if fresh_sec is None:
             failures.append(f"{name}/{sec_name}: section missing from fresh run")
             continue
+        # A baseline section may pin its own regression budget (the
+        # observability-off path is held to 1% regardless of the CLI).
+        sec_regress = base_sec.get("max_regress", max_regress)
         for metric in RATIO_METRICS:
             if metric not in base_sec or metric not in fresh_sec:
                 continue
             base_v, fresh_v = base_sec[metric], fresh_sec[metric]
             checked += 1
-            limit = base_v * (1.0 + max_regress)
+            limit = base_v * (1.0 + sec_regress)
             status = "FAIL" if fresh_v > limit else "ok"
             print(f"  [{status}] {name}/{sec_name}/{metric}: "
                   f"{base_v:.3f} -> {fresh_v:.3f} "
@@ -65,7 +81,7 @@ def compare(baseline_path, fresh_path, max_regress):
             if fresh_v > limit:
                 failures.append(
                     f"{name}/{sec_name}/{metric}: {fresh_v:.3f} exceeds "
-                    f"{base_v:.3f} by more than {max_regress * 100.0:.0f}%")
+                    f"{base_v:.3f} by more than {sec_regress * 100.0:.0f}%")
         for metric in EXACT_METRICS:
             if metric not in base_sec or metric not in fresh_sec:
                 continue

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over a gcov-instrumented build (no gcovr needed).
+
+Walks a build tree for .gcda files (produced by running the test suite in
+a build configured with --coverage), shells out to `gcov --json-format
+--stdout` for each, and aggregates per-source-line execution counts --
+taking the max across translation units, so a header exercised by any TU
+counts as covered.
+
+Gates (either failing exits 1):
+  --min-obs PCT     minimum line coverage for src/obs/ (default 90)
+  --min-total PCT   minimum overall line coverage for src/ (default 0)
+
+--json FILE writes the per-file numbers for the CI artifact.
+
+Usage:
+    check_coverage.py --build-dir build-cov [--source-root .]
+                      [--min-obs 90] [--min-total 80] [--json coverage.json]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def gcov_reports(build_dir):
+    """Yields parsed gcov JSON documents for every .gcda under build_dir."""
+    gcda = []
+    for root, _dirs, files in os.walk(build_dir):
+        gcda += [os.path.join(root, f) for f in files if f.endswith(".gcda")]
+    if not gcda:
+        sys.exit(f"no .gcda files under {build_dir} -- did the tests run in "
+                 "a --coverage build?")
+    for path in sorted(gcda):
+        # Run gcov inside the .gcda's own directory (where the matching
+        # .gcno notes file lives) and hand it the bare filename.
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout", os.path.basename(path)],
+            capture_output=True, text=True,
+            cwd=os.path.dirname(os.path.abspath(path)))
+        if proc.returncode != 0:
+            print(f"warning: gcov failed on {path}: {proc.stderr.strip()}",
+                  file=sys.stderr)
+            continue
+        # One JSON document per input file; tolerate trailing noise lines.
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def aggregate(build_dir, source_root):
+    """Returns {rel_source_path: {line_number: max_count}}."""
+    source_root = os.path.realpath(source_root)
+    lines_by_file = {}
+    for doc in gcov_reports(build_dir):
+        for entry in doc.get("files", []):
+            path = os.path.realpath(
+                os.path.join(doc.get("current_working_directory", "."),
+                             entry["file"]))
+            if not path.startswith(source_root + os.sep):
+                continue
+            rel = os.path.relpath(path, source_root)
+            counts = lines_by_file.setdefault(rel, {})
+            for ln in entry.get("lines", []):
+                n = ln["line_number"]
+                counts[n] = max(counts.get(n, 0), ln["count"])
+    return lines_by_file
+
+
+def coverage_of(files):
+    covered = sum(1 for c in files.values() for n in c.values() if n > 0)
+    total = sum(len(c) for c in files.values())
+    return covered, total, (100.0 * covered / total if total else 100.0)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-root", default=".")
+    parser.add_argument("--min-obs", type=float, default=90.0,
+                        help="min line coverage %% for src/obs/ (default 90)")
+    parser.add_argument("--min-total", type=float, default=0.0,
+                        help="min line coverage %% for src/ (default 0)")
+    parser.add_argument("--json", help="write per-file numbers to this file")
+    args = parser.parse_args()
+
+    lines = aggregate(args.build_dir, args.source_root)
+    src = {f: c for f, c in lines.items() if f.startswith("src" + os.sep)}
+    obs = {f: c for f, c in src.items()
+           if f.startswith(os.path.join("src", "obs") + os.sep)}
+
+    per_file = {}
+    for f in sorted(src):
+        cov, tot, pct = coverage_of({f: src[f]})
+        per_file[f] = {"covered": cov, "lines": tot, "pct": round(pct, 2)}
+        print(f"  {pct:6.2f}%  {cov:5d}/{tot:<5d}  {f}")
+
+    obs_cov, obs_tot, obs_pct = coverage_of(obs)
+    tot_cov, tot_tot, tot_pct = coverage_of(src)
+    print(f"\nsrc/obs/: {obs_pct:.2f}% ({obs_cov}/{obs_tot} lines)")
+    print(f"src/ overall: {tot_pct:.2f}% ({tot_cov}/{tot_tot} lines)")
+
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump({"files": per_file,
+                       "src_obs_pct": round(obs_pct, 2),
+                       "src_total_pct": round(tot_pct, 2)}, f, indent=1,
+                      sort_keys=True)
+            f.write("\n")
+
+    failures = []
+    if not obs:
+        failures.append("no coverage data for src/obs/ at all")
+    if obs_pct < args.min_obs:
+        failures.append(f"src/obs/ coverage {obs_pct:.2f}% < "
+                        f"required {args.min_obs:.2f}%")
+    if tot_pct < args.min_total:
+        failures.append(f"src/ coverage {tot_pct:.2f}% < "
+                        f"required {args.min_total:.2f}%")
+    if failures:
+        print(f"\nCOVERAGE GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\ncoverage gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

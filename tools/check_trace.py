@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Validates a SmartBalance Chrome trace-event JSON export.
+
+Two layers of checking, both stdlib-only (CI has no jsonschema package):
+
+1. Structural: the file validates against the checked-in minimal schema
+   (tools/trace_schema.json) -- a small subset of JSON Schema draft-07
+   (type / required / properties / items / enum / minimum) interpreted
+   by this script.
+2. Semantic (beyond what a schema can say): 'X' events carry ts+dur,
+   'i' events carry ts+s, every event's args include the epoch number,
+   and the summary block's event count matches the payload.
+
+With --require-epoch the trace must additionally contain at least one
+sense, predict and balance span and at least one migration instant --
+the acceptance shape of a fig4a-style SmartBalance run.
+
+Usage:
+    check_trace.py TRACE.json [--schema tools/trace_schema.json]
+                   [--require-epoch]
+
+Exit status: 0 if valid, 1 otherwise (violations on stderr).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def validate(value, schema, path, errors):
+    """Checks `value` against the schema subset; appends messages to errors."""
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for req in schema.get("required", ()):
+            if req not in value:
+                errors.append(f"{path}: missing required key '{req}'")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def semantic_checks(doc, errors):
+    """Constraints the schema subset can't express."""
+    events = doc.get("traceEvents", [])
+    payload = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            continue
+        path = f"traceEvents[{i}]"
+        ph = ev.get("ph")
+        if ph == "X":
+            payload += 1
+            for key in ("ts", "dur"):
+                if key not in ev:
+                    errors.append(f"{path}: span missing '{key}'")
+        elif ph == "i":
+            payload += 1
+            if "ts" not in ev:
+                errors.append(f"{path}: instant missing 'ts'")
+            if ev.get("s") not in ("t", "p", "g"):
+                errors.append(f"{path}: instant missing scope 's'")
+        if ph in ("X", "i"):
+            args = ev.get("args")
+            if not isinstance(args, dict) or "epoch" not in args:
+                errors.append(f"{path}: args missing 'epoch'")
+    summary = doc.get("smartbalance", {})
+    if isinstance(summary, dict) and summary.get("events") != payload:
+        errors.append(f"smartbalance.events={summary.get('events')} but the "
+                      f"payload holds {payload} span/instant events")
+
+
+def epoch_shape_checks(doc, errors):
+    """--require-epoch: the canonical SmartBalance epoch anatomy."""
+    by_name = {}
+    for ev in doc.get("traceEvents", []):
+        if isinstance(ev, dict) and ev.get("ph") in ("X", "i"):
+            by_name.setdefault((ev.get("name"), ev.get("ph")), 0)
+            by_name[(ev.get("name"), ev.get("ph"))] += 1
+    for name in ("sense", "predict", "balance"):
+        if not by_name.get((name, "X")):
+            errors.append(f"--require-epoch: no '{name}' span ('X') events")
+    if not by_name.get(("migration", "i")):
+        errors.append("--require-epoch: no 'migration' instant ('i') events")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "trace_schema.json"),
+                        help="schema file (default: tools/trace_schema.json)")
+    parser.add_argument("--require-epoch", action="store_true",
+                        help="require sense/predict/balance spans and a "
+                             "migration instant")
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        print(f"{args.trace}: not valid JSON: {e}", file=sys.stderr)
+        return 1
+
+    errors = []
+    validate(doc, schema, "$", errors)
+    semantic_checks(doc, errors)
+    if args.require_epoch:
+        epoch_shape_checks(doc, errors)
+
+    if errors:
+        print(f"{args.trace}: INVALID ({len(errors)} violation(s)):",
+              file=sys.stderr)
+        for e in errors[:50]:
+            print(f"  {e}", file=sys.stderr)
+        if len(errors) > 50:
+            print(f"  ... and {len(errors) - 50} more", file=sys.stderr)
+        return 1
+
+    n = len(doc.get("traceEvents", []))
+    summary = doc.get("smartbalance", {})
+    print(f"{args.trace}: valid ({n} trace events, "
+          f"{summary.get('runs', '?')} run(s), "
+          f"{summary.get('dropped_events', '?')} dropped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

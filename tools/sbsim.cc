@@ -23,6 +23,7 @@
 #include "arch/platform.h"
 #include "arch/platform_loader.h"
 #include "core/predictor.h"
+#include "obs/trace.h"
 #include "os/dvfs_governor.h"
 #include "os/iks_balancer.h"
 #include "os/utilaware_balancer.h"
@@ -54,7 +55,12 @@ using namespace sb;
   --dvfs                    enable 4-point OPP tables
   --governor=ondemand | performance | powersave   (requires --dvfs)
   --thermal                 enable the RC thermal model
-  --trace=<file.csv>        per-core time series
+  --trace=<file>            .json: Chrome trace-event epoch trace (open in
+                            Perfetto / chrome://tracing); anything else:
+                            per-core CSV time series. SB_TRACE in the
+                            environment supplies a default .json path.
+  --metrics                 collect the observability metrics registry
+                            (embedded as "metrics" in --json output)
   --thread-trace=<csv>:<name>:<count>  spawn threads from a phase-trace CSV
                             (see workload/trace_loader.h for the format)
   --save-model=<file>       train the predictor for this platform and save it
@@ -79,7 +85,9 @@ struct Args {
   bool dvfs = false;
   std::string governor;
   bool thermal = false;
-  std::string trace;
+  std::string trace;         // per-core CSV time series
+  std::string chrome_trace;  // Chrome trace-event JSON (epoch tracer)
+  bool metrics = false;
   std::vector<std::tuple<std::string, std::string, int>> thread_traces;
   std::string save_model;
   std::string load_model;
@@ -145,12 +153,22 @@ Args parse(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       a.json_out = value("--json=");
     }
-    else if (arg.rfind("--trace=", 0) == 0) a.trace = value("--trace=");
+    else if (arg.rfind("--trace=", 0) == 0) {
+      // One flag, two formats: .json selects the epoch tracer's Chrome
+      // trace-event output, anything else the legacy per-core CSV series.
+      const std::string path = value("--trace=");
+      if (path.ends_with(".json")) a.chrome_trace = path;
+      else a.trace = path;
+    }
+    else if (arg == "--metrics") a.metrics = true;
     else if (arg == "--quiet") a.quiet = true;
     else {
       std::cerr << "unknown option: " << arg << "\n";
       usage(2);
     }
+  }
+  if (a.chrome_trace.empty()) {
+    if (const char* env = std::getenv("SB_TRACE")) a.chrome_trace = env;
   }
   if (a.benches.empty() && a.mixes.empty() && a.arrivals.empty() &&
       a.thread_traces.empty() && a.save_model.empty()) {
@@ -220,6 +238,10 @@ sim::SimulationResult run_once(const Args& a, const arch::Platform& platform,
   cfg.kernel.enable_dvfs = a.dvfs;
   cfg.thermal_enabled = a.thermal;
   cfg.trace_path = a.trace;
+  // The merged Chrome trace (one process per policy under --compare) is
+  // written once from main(); here we only turn the tracer on.
+  cfg.obs.trace = !a.chrome_trace.empty();
+  cfg.obs.metrics = a.metrics;
   sim::Simulation s(platform, cfg);
   s.set_balancer(policy_for(a, policy)(s));
   if (!a.governor.empty()) {
@@ -296,6 +318,19 @@ int main(int argc, char** argv) {
         }
         std::cout << '\n';
       }
+    }
+    if (!a.chrome_trace.empty()) {
+      std::vector<const obs::RunObs*> runs;
+      int idx = 0;
+      for (auto& r : results) {
+        if (r.obs) {
+          r.obs->run = idx++;
+          r.obs->label = r.policy;
+          runs.push_back(r.obs.get());
+        }
+      }
+      obs::write_chrome_trace_file(a.chrome_trace, runs);
+      std::cout << "trace written to " << a.chrome_trace << "\n";
     }
     if (!a.json_out.empty()) {
       std::ofstream js(a.json_out);
