@@ -11,6 +11,7 @@
 
 #include "common/types.h"
 #include "fault/fault_plan.h"
+#include "obs/audit_writer.h"
 #include "obs/trace.h"
 #include "sim/experiment.h"
 #include "sim/runner.h"
@@ -33,6 +34,10 @@ namespace sb::bench {
 ///   --trace=FILE     write the sweep's merged epoch trace as Chrome
 ///                    trace-event JSON (SB_TRACE env var is the default)
 ///   --metrics        collect and print the merged metrics registry
+///   --metrics-json=FILE  write the merged metrics registry as JSON
+///   --audit=FILE     record the prediction-audit flight recorder on every
+///                    run and write the merged packed-CSV export (analyze
+///                    with tools/sbaudit)
 struct Options {
   bool quick = false;
   std::uint64_t seed = 1234;
@@ -43,6 +48,8 @@ struct Options {
   bool no_defense = false;
   std::string trace;  // Chrome trace-event JSON output path (empty = off)
   bool metrics = false;
+  std::string metrics_json;  // merged metrics registry JSON (empty = off)
+  std::string audit;  // merged prediction-audit export (empty = off)
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -67,10 +74,16 @@ struct Options {
         o.trace = a.substr(8);
       } else if (a == "--metrics") {
         o.metrics = true;
+      } else if (a.rfind("--metrics-json=", 0) == 0) {
+        o.metrics_json = a.substr(15);
+        o.metrics = true;
+      } else if (a.rfind("--audit=", 0) == 0) {
+        o.audit = a.substr(8);
       } else if (a == "--help" || a == "-h") {
         std::cout << "options: --quick --seed=N --duration-ms=N --jobs=N "
                      "--faults=SPEC --fault-seed=N --no-defense "
-                     "--trace=FILE --metrics\n";
+                     "--trace=FILE --metrics --metrics-json=FILE "
+                     "--audit=FILE\n";
         std::exit(0);
       } else {
         std::cerr << "unknown option: " << a << "\n";
@@ -84,10 +97,11 @@ struct Options {
   }
 
   /// Applies the observability flags to a simulation config (no-op when
-  /// neither --trace nor --metrics was given — the bit-identical path).
+  /// none of --trace/--metrics/--audit was given — the bit-identical path).
   void apply_obs(sim::SimulationConfig& cfg) const {
     cfg.obs.trace = cfg.obs.trace || !trace.empty();
     cfg.obs.metrics = cfg.obs.metrics || metrics;
+    cfg.obs.audit = cfg.obs.audit || !audit.empty();
   }
 
   /// The fault plan requested on the command line ("uniform:R" expands to
@@ -237,6 +251,18 @@ class GainSweep {
     }
     if (runs.empty()) return false;
     obs::write_chrome_trace_file(path, runs);
+    return true;
+  }
+
+  /// Writes the last run()'s merged prediction-audit export. Returns false
+  /// (and writes nothing) if no run carried the recorder.
+  bool write_audit(const std::string& path) const {
+    std::vector<const obs::RunObs*> runs;
+    for (const auto& o : obs_) {
+      if (o && o->audit_enabled) runs.push_back(o.get());
+    }
+    if (runs.empty()) return false;
+    obs::write_audit_file(path, runs);
     return true;
   }
 

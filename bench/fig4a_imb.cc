@@ -5,6 +5,7 @@
 // with the interactive benchmarks". Expected shape here: very large gains
 // when threads ≤ cores (the Huge/Big cores can sleep), moderate gains at
 // 8 threads, average in the tens of percent.
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -80,7 +81,15 @@ int main(int argc, char** argv) {
   if (!opt.trace.empty() && sweep.write_trace(opt.trace)) {
     std::cout << "trace written to " << opt.trace << "\n";
   }
-  if (opt.metrics) {
+  if (!opt.audit.empty() && sweep.write_audit(opt.audit)) {
+    std::cout << "audit export written to " << opt.audit << "\n";
+  }
+  if (!opt.metrics_json.empty()) {
+    std::ofstream ms(opt.metrics_json);
+    sweep.merged_metrics().write_json(ms);
+    ms << "\n";
+    std::cout << "metrics written to " << opt.metrics_json << "\n";
+  } else if (opt.metrics) {
     std::cout << "metrics: ";
     sweep.merged_metrics().write_json(std::cout);
     std::cout << "\n";

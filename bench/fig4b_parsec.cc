@@ -4,6 +4,7 @@
 // Paper claim: "52% with the PARSEC benchmarks and their mixes ... Overall,
 // SmartBalance achieves an energy efficiency of over 50% across all the
 // benchmarks in comparison to the vanilla Linux kernel."
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   sim::SimulationConfig cfg;
   cfg.duration = opt.duration;
   cfg.seed = opt.seed;
+  opt.apply_obs(cfg);
 
   const std::vector<int> thread_counts =
       opt.quick ? std::vector<int>{2, 8} : std::vector<int>{2, 4, 8};
@@ -97,5 +99,21 @@ int main(int argc, char** argv) {
             << TextTable::fmt(gains.min(), 1) << " %, max "
             << TextTable::fmt(gains.max(), 1) << " %]\n"
             << "Series written to fig4b_parsec.csv\n";
+  if (!opt.trace.empty() && sweep.write_trace(opt.trace)) {
+    std::cout << "trace written to " << opt.trace << "\n";
+  }
+  if (!opt.audit.empty() && sweep.write_audit(opt.audit)) {
+    std::cout << "audit export written to " << opt.audit << "\n";
+  }
+  if (!opt.metrics_json.empty()) {
+    std::ofstream ms(opt.metrics_json);
+    sweep.merged_metrics().write_json(ms);
+    ms << "\n";
+    std::cout << "metrics written to " << opt.metrics_json << "\n";
+  } else if (opt.metrics) {
+    std::cout << "metrics: ";
+    sweep.merged_metrics().write_json(std::cout);
+    std::cout << "\n";
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 // Retention = (defended gain at rate r) / (zero-fault gain). The defense
 // target: >= 80% retention at a 5% per-epoch fault rate, with the
 // undefended arm measurably worse.
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
   sim::SimulationConfig cfg;
   cfg.duration = opt.duration;
   cfg.seed = opt.seed;
+  opt.apply_obs(cfg);
 
   const std::vector<std::pair<std::string, int>> workloads = {
       {"bodytrack", 8}, {"x264_H_crew", 8}, {"canneal", 8}, {"IMB_MTMI", 8}};
@@ -168,5 +170,34 @@ int main(int argc, char** argv) {
               << TextTable::fmt(undef_gain_at_5pct, 1) << " %\n";
   }
   std::cout << "Series written to fig_fault_resilience.csv\n";
+
+  // This sweep drives the runner with raw specs (no GainSweep), so collect
+  // the per-run observability snapshots by hand. Runs are stamped with
+  // their submission index by the runner — merges are --jobs-invariant.
+  std::vector<const obs::RunObs*> traced, audited, metered;
+  for (const auto& r : batch.runs) {
+    if (!r.result.obs) continue;
+    if (r.result.obs->trace_enabled) traced.push_back(r.result.obs.get());
+    if (r.result.obs->audit_enabled) audited.push_back(r.result.obs.get());
+    metered.push_back(r.result.obs.get());
+  }
+  if (!opt.trace.empty() && !traced.empty()) {
+    obs::write_chrome_trace_file(opt.trace, traced);
+    std::cout << "trace written to " << opt.trace << "\n";
+  }
+  if (!opt.audit.empty() && !audited.empty()) {
+    obs::write_audit_file(opt.audit, audited);
+    std::cout << "audit export written to " << opt.audit << "\n";
+  }
+  if (!opt.metrics_json.empty()) {
+    std::ofstream ms(opt.metrics_json);
+    obs::merge_metrics(metered).write_json(ms);
+    ms << "\n";
+    std::cout << "metrics written to " << opt.metrics_json << "\n";
+  } else if (opt.metrics) {
+    std::cout << "metrics: ";
+    obs::merge_metrics(metered).write_json(std::cout);
+    std::cout << "\n";
+  }
   return 0;
 }

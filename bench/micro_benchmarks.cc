@@ -316,8 +316,9 @@ void emit_bench_sa_json() {
 // SmartBalancePolicy::on_balance directly (sense → predict → balance) on a
 // fixed quad-HMP workload, timing only the pass itself — the kernel advances
 // one epoch between passes outside the timed region so each pass sees fresh
-// sensing data. Two configurations: null sink (the shipping default — hooks
-// reduce to a branch on nullptr) and metrics+tracing enabled.
+// sensing data. Three configurations: null sink (the shipping default —
+// hooks reduce to a branch on nullptr), metrics+tracing enabled, and the
+// prediction-audit flight recorder alone (join + record on every pass).
 //
 // Absolute pass times are not comparable across machines (or even across
 // runs on a shared/throttled runner: observed spread is >20% on the minimum
@@ -421,6 +422,11 @@ void emit_bench_obs_json() {
   ocfg.metrics = true;
   ocfg.trace = true;
   obs::Sink sink(ocfg);
+  // Audit recorder alone (no tracer/metrics), isolating the flight
+  // recorder's join+record cost on the pass.
+  obs::ObsConfig acfg;
+  acfg.audit = true;
+  obs::Sink audit_sink(acfg);
 
   // Interleave yardstick / off / on within each round so all three see the
   // same spread of environmental conditions; the index divides the global
@@ -431,14 +437,17 @@ void emit_bench_obs_json() {
   constexpr int kRounds = 6;
   ObsPoint off;
   ObsPoint on;
+  ObsPoint audit;
   double yard_ns = std::numeric_limits<double>::infinity();
   for (int round = 0; round < kRounds; ++round) {
     yard_ns = std::min(yard_ns, yardstick_round());
     measure_epoch_pass_round(nullptr, off);
     measure_epoch_pass_round(&sink, on);
+    measure_epoch_pass_round(&audit_sink, audit);
   }
   const double off_index = off.min_pass_ns / yard_ns;
   const double on_index = on.min_pass_ns / yard_ns;
+  const double audit_index = audit.min_pass_ns / yard_ns;
 
   bench::Json j;
   j.begin_object()
@@ -446,9 +455,10 @@ void emit_bench_obs_json() {
       .field("description",
              "SmartBalance epoch pass (on_balance: sense+predict+balance) "
              "with observability hooks disabled (null sink, the shipping "
-             "default) vs metrics+tracing enabled; quad HMP, "
-             "canneal:2+swaptions:2; pass_cost_index = min pass CPU time / "
-             "min yardstick CPU time over 6 interleaved rounds x 32 passes")
+             "default) vs metrics+tracing enabled vs the prediction-audit "
+             "recorder alone; quad HMP, canneal:2+swaptions:2; "
+             "pass_cost_index = min pass CPU time / min yardstick CPU time "
+             "over 6 interleaved rounds x 32 passes")
       .field("build", "-O2 -DNDEBUG")
       .field("baseline_note",
              "tracer-off budget is 1% on pass_cost_index over the committed "
@@ -466,6 +476,12 @@ void emit_bench_obs_json() {
       .field("min_pass_ns", on.min_pass_ns)
       .field("allocs_per_pass", on.allocs_per_pass)
       .field("overhead_vs_off_pct", 100.0 * (on_index / off_index - 1.0))
+      .end_object();
+  j.begin_object("epoch_pass_audit_on")
+      .field("pass_cost_index", audit_index)
+      .field("min_pass_ns", audit.min_pass_ns)
+      .field("allocs_per_pass", audit.allocs_per_pass)
+      .field("overhead_vs_off_pct", 100.0 * (audit_index / off_index - 1.0))
       .end_object();
   j.end_object();
   j.write("BENCH_obs.json");

@@ -13,6 +13,38 @@ TimeNs elapsed_ns(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
 }
 
+/// Observed analogue of the balancing objective: the same per-core sums the
+/// optimizer predicts, rebuilt from what sensing actually measured this
+/// epoch (occupancy = utilization, GIPS = duty-cycled measured throughput).
+/// This is the ground truth the audit recorder scores predicted ΔJ against;
+/// it feeds nothing back into the balancing decision.
+double realized_objective(const std::vector<ThreadObservation>& observations,
+                          int num_cores, const BalanceObjective& objective) {
+  std::vector<CoreSums> sums(static_cast<std::size_t>(num_cores));
+  for (const ThreadObservation& o : observations) {
+    if (o.core < 0 || o.core >= num_cores) continue;
+    CoreSums& s = sums[static_cast<std::size_t>(o.core)];
+    s.gips += o.util * o.ips / 1e9;
+    s.watts += o.util * o.power_w;
+    s.load += o.util;
+    ++s.nthreads;
+  }
+  if (objective.fractional()) {
+    double num = 0, den = 0;
+    for (CoreId c = 0; c < num_cores; ++c) {
+      const auto f = objective.core_fraction(sums[static_cast<std::size_t>(c)], c);
+      num += f[0];
+      den += f[1];
+    }
+    return den > 0 ? num / den : 0.0;
+  }
+  double j = 0;
+  for (CoreId c = 0; c < num_cores; ++c) {
+    j += objective.core_term(sums[static_cast<std::size_t>(c)], c);
+  }
+  return j;
+}
+
 }  // namespace
 
 SensingSubsystem::Config SmartBalancePolicy::resolve_sensing(
@@ -129,12 +161,54 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
     return;
   }
 
+  // Prediction audit (Phase A): join last pass's forecasts against what was
+  // actually sensed, score the previous decision's realized ΔJ, and advance
+  // the drift detector. Strictly read-only unless degrade_on_drift opts in.
+  obs::AuditRecorder* const audit = obs != nullptr ? obs->audit() : nullptr;
+  std::int64_t audit_fault_delta = 0;
+  if (audit != nullptr) {
+    if (injector_) {
+      const std::uint64_t total = injector_->stats().total();
+      audit_fault_delta = static_cast<std::int64_t>(total - audit_faults_prev_);
+      audit_faults_prev_ = total;
+    }
+    const double realized_j =
+        realized_objective(observations, kernel.num_cores(), *objective_);
+    std::vector<obs::AuditObservation> aobs;
+    aobs.reserve(observations.size());
+    for (const ThreadObservation& o : observations) {
+      obs::AuditObservation a;
+      a.tid = o.tid;
+      a.core = o.core;
+      a.core_type = o.core_type;
+      a.gips = o.ips / 1e9;
+      a.watts = o.power_w;
+      a.measured = o.measured;
+      aobs.push_back(a);
+    }
+    const auto edges = audit->join(passes_, aobs, realized_j);
+    for (const obs::DriftEvent& ev : edges) {
+      obs->metrics().counter("predictor.drift").add();
+      if (auto* tracer = obs->tracer()) {
+        tracer->instant("predictor.drift", obs->now_ns(), passes_,
+                        {{"src_type", static_cast<double>(ev.src_type)},
+                         {"dst_type", static_cast<double>(ev.dst_type)},
+                         {"metric", static_cast<double>(ev.metric)},
+                         {"ewma", ev.ewma}});
+      }
+    }
+  }
+
   // Degraded mode: when too few threads have trustworthy sensors, predicted
   // S/P matrices are mostly fiction — migrating on them is worse than not
   // using them at all. Delegate the pass to the heterogeneity-blind (but
-  // sensing-free) vanilla balancer until health recovers.
-  if (sensing_.config().defense.enabled && cfg_.degraded_healthy_threshold > 0 &&
-      sensing_.health().healthy_fraction < cfg_.degraded_healthy_threshold) {
+  // sensing-free) vanilla balancer until health recovers. Predictor drift
+  // (audit EWMAs above threshold) escalates the same way when opted in.
+  const bool drift_degraded =
+      cfg_.degrade_on_drift && audit != nullptr && audit->drift_active();
+  if (drift_degraded ||
+      (sensing_.config().defense.enabled && cfg_.degraded_healthy_threshold > 0 &&
+       sensing_.health().healthy_fraction < cfg_.degraded_healthy_threshold)) {
     ++degraded_passes_;
     last_.degraded = true;
     if (obs != nullptr) {
@@ -146,6 +220,17 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
       }
     }
     degraded_prev_ = true;
+    if (audit != nullptr) {
+      // A delegated pass still gets a ledger entry (degraded = 1, nothing
+      // applied): next epoch's realized ΔJ then measures how J moves under
+      // the fallback, and the forecast gap stays visible in the export.
+      obs::EpochDecision d;
+      d.epoch = passes_;
+      d.healthy_fraction = sensing_.health().healthy_fraction;
+      d.degraded = true;
+      d.faults_injected = audit_fault_delta;
+      audit->record_decision(d);
+    }
     fallback_.on_balance(kernel, now);
     last_.sense_host_ns = elapsed_ns(t0, t1);
     sense_ns_.add(static_cast<double>(last_.sense_host_ns));
@@ -234,8 +319,48 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
       result.initial_objective > 0
           ? result.initial_objective * (1.0 + cfg_.min_relative_gain)
           : 0.0;
+  const bool applied = result.objective > gain_threshold;
+
+  // Prediction audit (Phase B): open this pass's ledger entry before the
+  // apply loop so per-migration attribution can be registered against it.
+  if (audit != nullptr) {
+    obs::EpochDecision d;
+    d.epoch = passes_;
+    d.initial_j = result.initial_objective;
+    d.final_j = result.objective;
+    d.applied = applied;
+    d.pred_dj = applied ? result.objective - result.initial_objective : 0.0;
+    if (applied) {
+      for (std::size_t i = 0; i < last_mx_.num_threads(); ++i) {
+        if (result.allocation[i] != initial[i]) ++d.migrations;
+      }
+    }
+    d.healthy_fraction = sensing_.config().defense.enabled
+                             ? sensing_.health().healthy_fraction
+                             : 1.0;
+    d.sa_iterations = result.iterations;
+    d.sa_accepted_worse = result.accepted_worse;
+    d.sa_improved = result.improved;
+    d.faults_injected = audit_fault_delta;
+    audit->record_decision(d);
+    // One forecast per thread: the S/P cell for wherever it runs next.
+    for (std::size_t i = 0; i < last_mx_.num_threads(); ++i) {
+      const CoreId next = applied ? result.allocation[i] : initial[i];
+      if (next < 0) continue;
+      obs::ThreadPrediction tp;
+      tp.tid = last_mx_.tids[i];
+      tp.core = next;
+      tp.src_type =
+          initial[i] >= 0 ? platform_.type_of(initial[i]) : -1;
+      tp.dst_type = platform_.type_of(next);
+      tp.pred_gips = last_mx_.s.at(i, static_cast<std::size_t>(next));
+      tp.pred_w = last_mx_.p.at(i, static_cast<std::size_t>(next));
+      audit->record_prediction(tp);
+    }
+  }
+
   int migrations = 0;
-  if (result.objective > gain_threshold) {
+  if (applied) {
     // Migration instants land at the end of the balance phase on the
     // trace timeline (sense + predict + optimize host time into the pass).
     const auto mig_offset = static_cast<std::uint64_t>(elapsed_ns(t0, t3));
@@ -245,6 +370,26 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
         kernel.migrate(last_mx_.tids[i], result.allocation[i]);
         migrated_at_pass_[last_mx_.tids[i]] = passes_;
         ++migrations;
+        if (audit != nullptr) {
+          const CoreId dst = result.allocation[i];
+          const double ps = last_mx_.s.at(i, static_cast<std::size_t>(dst));
+          const double pp = last_mx_.p.at(i, static_cast<std::size_t>(dst));
+          double src_eff = 0;
+          if (src >= 0) {
+            const double ss = last_mx_.s.at(i, static_cast<std::size_t>(src));
+            const double sp = last_mx_.p.at(i, static_cast<std::size_t>(src));
+            if (sp > 0) src_eff = ss / sp;
+          }
+          obs::MigrationPrediction mp;
+          mp.tid = last_mx_.tids[i];
+          mp.src = src;
+          mp.dst = dst;
+          mp.src_type = src >= 0 ? platform_.type_of(src) : -1;
+          mp.dst_type = platform_.type_of(dst);
+          mp.pred_gain = (pp > 0 ? ps / pp : 0.0) - src_eff;
+          mp.src_eff = src_eff;
+          audit->record_migration(mp);
+        }
         if (obs != nullptr) {
           obs->metrics().counter("balance.migrations").add();
           if (auto* tracer = obs->tracer()) {

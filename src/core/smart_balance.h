@@ -82,6 +82,14 @@ struct SmartBalanceConfig {
   /// a vanilla CFS-style balancer — heterogeneity-blind but sensing-free,
   /// so garbage telemetry cannot steer migrations. 0 disables.
   double degraded_healthy_threshold = 0.5;
+  /// Escalate predictor drift to degraded mode: while the audit recorder's
+  /// per-(src,dst)-core-type residual EWMAs sit above their threshold,
+  /// delegate passes to the vanilla balancer exactly like a sensing-health
+  /// degradation. Off by default; requires the observability audit recorder
+  /// (ObsConfig::audit) — without it the flag is inert, and with it the
+  /// schedule depends on the audit verdicts, so goldens only stay
+  /// bit-identical while this is off.
+  bool degrade_on_drift = false;
 };
 
 class SmartBalancePolicy final : public os::LoadBalancer {
@@ -150,6 +158,8 @@ class SmartBalancePolicy final : public os::LoadBalancer {
   bool degraded_prev_ = false;
   std::uint64_t faults_detected_ = 0;
   std::uint64_t faults_absorbed_ = 0;
+  /// Injector total at the last audited pass (per-epoch delta attribution).
+  std::uint64_t audit_faults_prev_ = 0;
 };
 
 }  // namespace sb::core

@@ -107,6 +107,7 @@ void FaultInjector::corrupt(std::vector<os::EpochSample>& samples) {
   const FaultSpec* dup = plan_.spec_of(FaultClass::kSampleDuplicate);
   const FaultSpec* drop = plan_.spec_of(FaultClass::kSampleDrop);
   const FaultSpec* blackout = plan_.spec_of(FaultClass::kCoreBlackout);
+  const FaultSpec* pnoise = plan_.spec_of(FaultClass::kPowerNoise);
 
   for (auto& s : samples) {
     const auto tkey = static_cast<std::uint64_t>(s.tid);
@@ -132,6 +133,20 @@ void FaultInjector::corrupt(std::vector<os::EpochSample>& samples) {
         s.energy_j = it->second.energy_j;
         s.runtime = it->second.runtime;
         note(FaultClass::kSampleDuplicate);
+      }
+    }
+
+    // A noisy power rail pollutes every epoch sample attributed to the
+    // core, not just the per-core readout: same (epoch, core) key and RNG
+    // stream as transform_energy, so a firing rail reports one consistent
+    // multiplicative error everywhere it is read. Counted once per core in
+    // transform_energy (the policy reads every rail each pass), not here.
+    if (pnoise && s.core >= 0) {
+      const auto ckey = static_cast<std::uint64_t>(s.core);
+      if (fires(*pnoise, epoch_, ckey)) {
+        Rng g(hash_key(FaultClass::kPowerNoise, epoch_, ckey ^ 0x9e15eULL));
+        s.energy_j =
+            std::max(0.0, s.energy_j * (1.0 + pnoise->magnitude * g.gaussian()));
       }
     }
 

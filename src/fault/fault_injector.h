@@ -59,9 +59,9 @@ class FaultInjector final : public os::MigrationFilter,
   void set_obs(obs::Sink* obs) { obs_ = obs; }
 
   /// Corrupts one epoch's drained samples in place: applies blackout, wrap,
-  /// saturation, duplication, then drops. Caches the pristine samples first
-  /// so next epoch's duplicates replay truthful (pre-corruption) data, the
-  /// way a stale kernel buffer would.
+  /// saturation, duplication, rail noise, then drops. Caches the pristine
+  /// samples first so next epoch's duplicates replay truthful
+  /// (pre-corruption) data, the way a stale kernel buffer would.
   void corrupt(std::vector<os::EpochSample>& samples);
 
   /// True when core `c` is inside a blackout window this epoch. The sensing

@@ -24,7 +24,8 @@ enum class FaultClass : int {
   kSampleDrop,        // the thread's epoch sample is lost entirely
   kSampleDuplicate,   // the previous epoch's sample is delivered again
   kPowerStuck,        // a core's power rail repeats its previous reading
-  kPowerNoise,        // burst of heavy gaussian noise on a core's energy
+  kPowerNoise,        // gaussian noise on a core's rail: pollutes the
+                      // per-core readout and every sample charged to it
   kMigrationDelay,    // migration lands one epoch late
   kMigrationReject,   // set_cpus_allowed_ptr analogue fails silently
   kCoreBlackout,      // whole-core sensor blackout for duration_epochs

@@ -1,0 +1,232 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sb::obs {
+namespace {
+
+/// Signed relative residual, guarded against tiny observed values (a thread
+/// that retired essentially nothing says nothing about the predictor).
+double relative_residual(double observed, double predicted) {
+  if (!(std::abs(observed) > 1e-12)) return 0.0;
+  return (observed - predicted) / observed;
+}
+
+}  // namespace
+
+AuditRecorder::AuditRecorder(AuditConfig cfg)
+    : cfg_(cfg),
+      threads_(cfg.capacity),
+      epochs_(cfg.capacity),
+      migrations_(cfg.capacity) {}
+
+std::vector<DriftEvent> AuditRecorder::join(
+    std::uint64_t epoch, const std::vector<AuditObservation>& obs,
+    double realized_j) {
+  std::vector<DriftEvent> edges;
+
+  // A gap in the pass sequence (e.g. an epoch that sensed nothing) breaks
+  // the one-epoch-later contract: the previous entry stays unvalidated and
+  // its forecasts are written off as unjoined.
+  const bool contiguous = pending_valid_ && epoch == pending_epoch_ + 1;
+
+  // Join last pass's per-thread forecasts against this pass's observations.
+  int joined_now = 0;
+  int unjoined_now = 0;
+  if (pending_valid_) {
+    if (contiguous) {
+      for (const ThreadPrediction& p : pending_preds_) {
+        const AuditObservation* match = nullptr;
+        for (const AuditObservation& o : obs) {
+          if (o.tid == p.tid) {
+            match = &o;
+            break;
+          }
+        }
+        // Validate only when the thread really ran (and was measured) on
+        // the predicted core: sensing serves cached pre-migration rows
+        // while caches warm, and those would score the wrong core type.
+        if (match == nullptr || !match->measured || match->core != p.core ||
+            match->core_type != p.dst_type) {
+          ++unjoined_now;
+          continue;
+        }
+        ThreadAuditRecord rec;
+        rec.epoch = epoch;
+        rec.tid = p.tid;
+        rec.core = p.core;
+        rec.src_type = p.src_type;
+        rec.dst_type = p.dst_type;
+        rec.pred_gips = p.pred_gips;
+        rec.obs_gips = match->gips;
+        rec.pred_w = p.pred_w;
+        rec.obs_w = match->watts;
+        rec.gips_err = relative_residual(match->gips, p.pred_gips);
+        rec.power_err = relative_residual(match->watts, p.pred_w);
+        threads_.push(rec);
+        ++joined_now;
+
+        PairTracker& t = pairs_[{p.src_type, p.dst_type}];
+        ++t.joins;
+        const double a = cfg_.ewma_alpha;
+        t.ewma_gips =
+            (1.0 - a) * t.ewma_gips + a * std::abs(rec.gips_err);
+        t.ewma_power =
+            (1.0 - a) * t.ewma_power + a * std::abs(rec.power_err);
+        const bool over = t.ewma_gips > cfg_.drift_threshold ||
+                          t.ewma_power > cfg_.drift_threshold;
+        if (over && !t.active && t.joins >= cfg_.drift_min_joins) {
+          t.active = true;
+          DriftEvent ev;
+          ev.epoch = epoch;
+          ev.src_type = p.src_type;
+          ev.dst_type = p.dst_type;
+          ev.metric = t.ewma_gips > cfg_.drift_threshold ? 0 : 1;
+          ev.ewma = std::max(t.ewma_gips, t.ewma_power);
+          ev.joins = t.joins;
+          drift_events_.push_back(ev);
+          edges.push_back(ev);
+        } else if (!over && t.active) {
+          t.active = false;  // recovery: re-arm the rising-edge detector
+        }
+      }
+    } else {
+      unjoined_now += static_cast<int>(pending_preds_.size());
+    }
+  }
+  joined_ += static_cast<std::uint64_t>(joined_now);
+  unjoined_ += static_cast<std::uint64_t>(unjoined_now);
+
+  // Finalize the forecasting pass's epoch ledger entry: realized ΔJ and
+  // regret (only when contiguous) plus the join outcome of its forecasts.
+  if (open_epoch_valid_) {
+    if (EpochAuditRecord* rec = epochs_.find(open_epoch_seq_)) {
+      rec->joined = joined_now;
+      rec->unjoined = unjoined_now;
+      if (contiguous) {
+        rec->realized_dj = realized_j - open_epoch_realized_j_;
+        rec->realized_valid = 1;
+        rec->regret = rec->pred_dj - rec->realized_dj;
+      }
+    }
+  }
+  open_epoch_valid_ = false;
+  pending_preds_.clear();
+  pending_valid_ = false;
+
+  // Close out matured migrations: the first warmed-up measurement on the
+  // destination core validates the predicted gain; entries that outlive the
+  // join window stay realized_valid = 0 in the ledger.
+  for (auto it = pending_migrations_.begin();
+       it != pending_migrations_.end();) {
+    const PendingMigration& pm = *it;
+    const AuditObservation* match = nullptr;
+    for (const AuditObservation& o : obs) {
+      if (o.tid == pm.pred.tid) {
+        match = &o;
+        break;
+      }
+    }
+    bool done = false;
+    if (match != nullptr && match->measured && match->core == pm.pred.dst &&
+        match->core_type == pm.pred.dst_type) {
+      if (MigrationAuditRecord* rec = migrations_.find(pm.seq)) {
+        const double obs_eff =
+            match->watts > 0 ? match->gips / match->watts : 0.0;
+        rec->realized_gain = obs_eff - pm.pred.src_eff;
+        rec->realized_valid = 1;
+      }
+      done = true;
+    } else if (match == nullptr ||
+               epoch - pm.epoch >= cfg_.migration_join_max_age) {
+      // Thread exited or the window expired (sensing keeps serving the
+      // cached pre-migration row while caches warm, so an observation on
+      // the source core does NOT mean the thread moved back).
+      done = true;
+    }
+    it = done ? pending_migrations_.erase(it) : it + 1;
+  }
+
+  open_epoch_realized_j_ = realized_j;
+  return edges;
+}
+
+void AuditRecorder::record_decision(const EpochDecision& d) {
+  EpochAuditRecord rec;
+  rec.epoch = d.epoch;
+  rec.initial_j = d.initial_j;
+  rec.final_j = d.final_j;
+  rec.applied = d.applied ? 1 : 0;
+  rec.pred_dj = d.pred_dj;
+  rec.realized_j = open_epoch_realized_j_;
+  rec.migrations = d.migrations;
+  rec.healthy_fraction = d.healthy_fraction;
+  rec.degraded = d.degraded ? 1 : 0;
+  rec.sa_iterations = d.sa_iterations;
+  rec.sa_accepted_worse = d.sa_accepted_worse;
+  rec.sa_improved = d.sa_improved;
+  rec.faults_injected = d.faults_injected;
+  open_epoch_seq_ = epochs_.push(rec);
+  open_epoch_valid_ = true;
+  pending_epoch_ = d.epoch;
+  pending_valid_ = true;
+  pending_preds_.clear();
+}
+
+void AuditRecorder::record_prediction(const ThreadPrediction& p) {
+  if (!pending_valid_) return;  // forecasts only make sense under a decision
+  pending_preds_.push_back(p);
+  ++predictions_;
+}
+
+void AuditRecorder::record_migration(const MigrationPrediction& m) {
+  if (!pending_valid_) return;
+  MigrationAuditRecord rec;
+  rec.epoch = pending_epoch_;
+  rec.tid = m.tid;
+  rec.src = m.src;
+  rec.dst = m.dst;
+  rec.src_type = m.src_type;
+  rec.dst_type = m.dst_type;
+  rec.pred_gain = m.pred_gain;
+  PendingMigration pm;
+  pm.pred = m;
+  pm.epoch = pending_epoch_;
+  pm.seq = migrations_.push(rec);
+  pending_migrations_.push_back(pm);
+}
+
+bool AuditRecorder::drift_active() const {
+  for (const auto& [key, t] : pairs_) {
+    if (t.active) return true;
+  }
+  return false;
+}
+
+AuditSnapshot AuditRecorder::snapshot() const {
+  AuditSnapshot snap;
+  snap.threads = threads_.drain_copy();
+  snap.epochs = epochs_.drain_copy();
+  snap.migrations = migrations_.drain_copy();
+  snap.drift_events = drift_events_;
+  for (const auto& [key, t] : pairs_) {
+    DriftState st;
+    st.src_type = key.first;
+    st.dst_type = key.second;
+    st.joins = t.joins;
+    st.ewma_gips = t.ewma_gips;
+    st.ewma_power = t.ewma_power;
+    st.active = t.active ? 1 : 0;
+    snap.drift_states.push_back(st);
+  }
+  snap.joined = joined_;
+  snap.unjoined = unjoined_;
+  snap.predictions = predictions_;
+  snap.dropped_threads = threads_.dropped();
+  snap.dropped_epochs = epochs_.dropped();
+  snap.dropped_migrations = migrations_.dropped();
+  return snap;
+}
+
+}  // namespace sb::obs

@@ -1,0 +1,308 @@
+// Prediction-audit flight recorder: deterministic sim-time telemetry that
+// closes the sense → predict → balance loop on *decision quality*.
+//
+// Every epoch the balancer commits two kinds of forecasts: per-thread
+// predicted GIPS/watts on the core each thread will run on next (the S/P
+// characterization columns), and a predicted objective gain ΔJ_E for the
+// allocation it applies. One epoch later the sensing layer reports what
+// actually happened. The recorder joins the two streams by thread id and
+// produces three record ledgers:
+//
+//   thread     predicted vs observed GIPS / power for a thread whose next
+//              epoch landed on the predicted core (signed relative residual)
+//   epoch      SA trajectory summary + decision regret (predicted ΔJ vs the
+//              realized ΔJ measured one epoch later) + health/degraded state
+//   migration  per-migration attribution: predicted efficiency gain vs the
+//              first warmed-up measurement on the destination core
+//
+// Online per-(src,dst)-core-type EWMAs of the absolute residuals feed a
+// drift detector; a rising edge above the threshold yields a drift event
+// the caller surfaces as a `predictor.drift` trace instant (and may escalate
+// through the degraded-mode machinery).
+//
+// Everything here is sim-time only — epochs, tids, cores, objective values.
+// No host clocks, no RNG, no feedback into the simulation: like the rest of
+// the obs layer the recorder is strictly read-only, and its export is a
+// deterministic function of the simulated run (bit-identical across --jobs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace sb::obs {
+
+struct AuditConfig {
+  /// Per-ledger ring capacity (records); oldest records drop on overflow.
+  std::size_t capacity = 4096;
+  /// EWMA smoothing for the per-(src,dst) residual trackers.
+  double ewma_alpha = 0.25;
+  /// |relative residual| EWMA level that trips the drift detector.
+  double drift_threshold = 0.25;
+  /// Joins a (src,dst) pair must accumulate before it may trip (debounce:
+  /// the first few joins after a migration carry cold-start noise).
+  std::uint64_t drift_min_joins = 8;
+  /// Epochs a pending migration waits for a warmed-up measurement on its
+  /// destination core before being closed out unvalidated (must exceed the
+  /// balancer's migration cooldown, during which sensing serves the cached
+  /// pre-migration characterization).
+  std::uint64_t migration_join_max_age = 6;
+};
+
+/// One joined thread prediction: forecast at `epoch - 1`, validated against
+/// the observation sensed at `epoch`. Residuals are signed and relative to
+/// the observed value: err = (obs - pred) / obs.
+struct ThreadAuditRecord {
+  std::uint64_t epoch = 0;
+  std::int64_t tid = 0;
+  std::int32_t core = -1;      // core the thread was observed on (== predicted)
+  std::int32_t src_type = -1;  // core type the forecast extrapolated from
+  std::int32_t dst_type = -1;  // core type forecast / observed on
+  double pred_gips = 0;
+  double obs_gips = 0;
+  double pred_w = 0;
+  double obs_w = 0;
+  double gips_err = 0;
+  double power_err = 0;
+};
+
+/// One balance pass: SA trajectory, applied decision, and — filled in one
+/// epoch later — the realized objective delta and regret.
+struct EpochAuditRecord {
+  std::uint64_t epoch = 0;
+  double initial_j = 0;  // objective of the incumbent allocation (predicted)
+  double final_j = 0;    // objective of the SA result (predicted)
+  std::int32_t applied = 0;  // 1 when the allocation was actually applied
+  double pred_dj = 0;        // predicted ΔJ of the applied allocation (0 if not)
+  double realized_j = 0;     // observed objective when this pass sensed
+  double realized_dj = 0;    // realized_j(epoch+1) - realized_j(epoch)
+  std::int32_t realized_valid = 0;
+  double regret = 0;  // pred_dj - realized_dj (valid iff realized_valid)
+  std::int32_t migrations = 0;
+  std::int32_t joined = 0;    // thread predictions from this pass that joined
+  std::int32_t unjoined = 0;  // …and that could not be validated
+  double healthy_fraction = 1.0;
+  std::int32_t degraded = 0;
+  std::int32_t sa_iterations = 0;
+  std::int32_t sa_accepted_worse = 0;
+  std::int32_t sa_improved = 0;
+  std::int64_t faults_injected = 0;  // injector deltas attributed to this pass
+};
+
+/// One migration: predicted efficiency gain at decision time vs the first
+/// warmed-up measurement on the destination core (within the join window).
+struct MigrationAuditRecord {
+  std::uint64_t epoch = 0;  // pass that performed the migration
+  std::int64_t tid = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::int32_t src_type = -1;
+  std::int32_t dst_type = -1;
+  double pred_gain = 0;  // predicted GIPS/W on dst minus measured on src
+  double realized_gain = 0;
+  std::int32_t realized_valid = 0;
+};
+
+/// Drift-detector rising edge for one (src,dst) core-type pair.
+struct DriftEvent {
+  std::uint64_t epoch = 0;
+  std::int32_t src_type = -1;
+  std::int32_t dst_type = -1;
+  std::int32_t metric = 0;  // 0 = throughput residual, 1 = power residual
+  double ewma = 0;
+  std::uint64_t joins = 0;
+};
+
+/// Final state of one (src,dst) residual tracker.
+struct DriftState {
+  std::int32_t src_type = -1;
+  std::int32_t dst_type = -1;
+  std::uint64_t joins = 0;
+  double ewma_gips = 0;
+  double ewma_power = 0;
+  std::int32_t active = 0;
+};
+
+/// The observation subset the recorder joins against — mirrors the fields
+/// of core::ThreadObservation the audit needs, without depending on core/.
+struct AuditObservation {
+  std::int64_t tid = 0;
+  std::int32_t core = -1;
+  std::int32_t core_type = -1;
+  double gips = 0;
+  double watts = 0;
+  bool measured = false;
+};
+
+/// Per-thread forecast registered after a balance pass: where the thread
+/// will run next epoch and what S/P predict for it there.
+struct ThreadPrediction {
+  std::int64_t tid = 0;
+  std::int32_t core = -1;
+  std::int32_t src_type = -1;
+  std::int32_t dst_type = -1;
+  double pred_gips = 0;
+  double pred_w = 0;
+};
+
+/// Decision summary registered after a balance pass (epoch ledger input).
+struct EpochDecision {
+  std::uint64_t epoch = 0;
+  double initial_j = 0;
+  double final_j = 0;
+  bool applied = false;
+  double pred_dj = 0;
+  int migrations = 0;
+  double healthy_fraction = 1.0;
+  bool degraded = false;
+  int sa_iterations = 0;
+  int sa_accepted_worse = 0;
+  int sa_improved = 0;
+  std::int64_t faults_injected = 0;
+};
+
+/// Migration registered at apply time; `src_eff` is the thread's measured
+/// GIPS/W on the source core, the baseline the realized gain is against.
+struct MigrationPrediction {
+  std::int64_t tid = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::int32_t src_type = -1;
+  std::int32_t dst_type = -1;
+  double pred_gain = 0;
+  double src_eff = 0;
+};
+
+/// Everything the recorder produced for one run, detached and mergeable —
+/// carried alongside the metrics registry and trace snapshot in RunObs.
+struct AuditSnapshot {
+  std::vector<ThreadAuditRecord> threads;
+  std::vector<EpochAuditRecord> epochs;
+  std::vector<MigrationAuditRecord> migrations;
+  std::vector<DriftEvent> drift_events;
+  std::vector<DriftState> drift_states;  // keyed (src,dst), map order
+  std::uint64_t joined = 0;
+  std::uint64_t unjoined = 0;
+  std::uint64_t predictions = 0;
+  std::uint64_t dropped_threads = 0;
+  std::uint64_t dropped_epochs = 0;
+  std::uint64_t dropped_migrations = 0;
+};
+
+class AuditRecorder {
+ public:
+  explicit AuditRecorder(AuditConfig cfg);
+
+  const AuditConfig& config() const { return cfg_; }
+
+  /// Phase A of every pass, right after sensing: joins the predictions
+  /// registered last pass against this pass's observations, finalizes the
+  /// previous epoch record (realized ΔJ / regret), closes out matured
+  /// migrations and advances the drift EWMAs. `realized_j` is the observed
+  /// objective computed from the same observations. Returns the drift
+  /// rising edges this join produced (usually empty).
+  std::vector<DriftEvent> join(std::uint64_t epoch,
+                               const std::vector<AuditObservation>& obs,
+                               double realized_j);
+
+  /// Phase B: the pass's decision summary (opens the epoch ledger entry).
+  void record_decision(const EpochDecision& d);
+  /// Phase B: one forecast per balanced thread.
+  void record_prediction(const ThreadPrediction& p);
+  /// Phase B: one entry per applied migration.
+  void record_migration(const MigrationPrediction& m);
+
+  /// True while any (src,dst) residual EWMA sits above the threshold.
+  bool drift_active() const;
+
+  std::uint64_t joined() const { return joined_; }
+  std::uint64_t unjoined() const { return unjoined_; }
+  std::uint64_t predictions() const { return predictions_; }
+
+  AuditSnapshot snapshot() const;
+
+ private:
+  /// Drop-oldest ring with stable sequence numbers, so a pending entry can
+  /// be finalized in place later if (and only if) it is still retained.
+  template <class T>
+  class Ring {
+   public:
+    explicit Ring(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Returns the pushed record's sequence number.
+    std::uint64_t push(T rec) {
+      if (buf_.size() < capacity_) {
+        buf_.push_back(std::move(rec));
+      } else {
+        buf_[head_] = std::move(rec);
+        head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+      }
+      return seq_++;
+    }
+
+    /// Still-retained record by sequence number, else nullptr.
+    T* find(std::uint64_t seq) {
+      if (seq >= seq_ || seq < dropped_) return nullptr;
+      const std::size_t idx = (head_ + (seq - dropped_)) % buf_.size();
+      return &buf_[idx];
+    }
+
+    std::uint64_t dropped() const { return dropped_; }
+
+    std::vector<T> drain_copy() const {
+      std::vector<T> out;
+      out.reserve(buf_.size());
+      for (std::size_t i = 0; i < buf_.size(); ++i) {
+        out.push_back(buf_[(head_ + i) % buf_.size()]);
+      }
+      return out;
+    }
+
+   private:
+    std::size_t capacity_;
+    std::vector<T> buf_;
+    std::size_t head_ = 0;     // index of the oldest retained record
+    std::uint64_t seq_ = 0;    // total records ever pushed
+    std::uint64_t dropped_ = 0;
+  };
+
+  struct PendingMigration {
+    MigrationPrediction pred;
+    std::uint64_t epoch = 0;  // pass that migrated
+    std::uint64_t seq = 0;    // ring slot of its (open) ledger record
+  };
+
+  struct PairTracker {
+    std::uint64_t joins = 0;
+    double ewma_gips = 0;
+    double ewma_power = 0;
+    bool active = false;
+  };
+
+  AuditConfig cfg_;
+  Ring<ThreadAuditRecord> threads_;
+  Ring<EpochAuditRecord> epochs_;
+  Ring<MigrationAuditRecord> migrations_;
+  std::vector<DriftEvent> drift_events_;
+
+  /// Forecasts awaiting next epoch's observations.
+  std::vector<ThreadPrediction> pending_preds_;
+  std::uint64_t pending_epoch_ = 0;  // pass the forecasts were made at
+  bool pending_valid_ = false;
+  /// The previous pass's (still open) epoch ledger entry.
+  std::uint64_t open_epoch_seq_ = 0;
+  bool open_epoch_valid_ = false;
+  double open_epoch_realized_j_ = 0;
+  /// Migrations awaiting a warmed-up destination measurement.
+  std::vector<PendingMigration> pending_migrations_;
+
+  std::map<std::pair<std::int32_t, std::int32_t>, PairTracker> pairs_;
+
+  std::uint64_t joined_ = 0;
+  std::uint64_t unjoined_ = 0;
+  std::uint64_t predictions_ = 0;
+};
+
+}  // namespace sb::obs

@@ -6,6 +6,7 @@ namespace sb::obs {
 
 Sink::Sink(ObsConfig cfg) : cfg_(cfg) {
   if (cfg_.trace) tracer_ = std::make_unique<EpochTracer>(cfg_.trace_capacity);
+  if (cfg_.audit) audit_ = std::make_unique<AuditRecorder>(cfg_.audit_config);
 }
 
 RunObs Sink::snapshot(std::string label) const {
@@ -13,8 +14,10 @@ RunObs Sink::snapshot(std::string label) const {
   out.label = std::move(label);
   out.metrics_enabled = cfg_.metrics;
   out.trace_enabled = cfg_.trace;
+  out.audit_enabled = cfg_.audit;
   out.metrics = metrics_;
   if (tracer_ != nullptr) out.trace = tracer_->snapshot();
+  if (audit_ != nullptr) out.audit = audit_->snapshot();
   return out;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -26,8 +27,11 @@ struct ObsConfig {
   bool trace = false;
   /// Ring capacity (events) for the tracer; oldest events drop on overflow.
   std::size_t trace_capacity = std::size_t{1} << 16;
+  /// Prediction-audit flight recorder (see obs/audit.h).
+  bool audit = false;
+  AuditConfig audit_config;
 
-  bool enabled() const { return metrics || trace; }
+  bool enabled() const { return metrics || trace || audit; }
 };
 
 class Sink {
@@ -42,6 +46,10 @@ class Sink {
   /// Null when tracing is off — check before recording trace events.
   EpochTracer* tracer() { return tracer_.get(); }
   const EpochTracer* tracer() const { return tracer_.get(); }
+
+  /// Null when the audit recorder is off — check before recording.
+  AuditRecorder* audit() { return audit_.get(); }
+  const AuditRecorder* audit() const { return audit_.get(); }
 
   /// Positions subsequent events on the simulated timeline: `epoch` is the
   /// balance-pass index and `now_ns` its simulated timestamp.
@@ -59,6 +67,7 @@ class Sink {
   ObsConfig cfg_;
   MetricsRegistry metrics_;
   std::unique_ptr<EpochTracer> tracer_;
+  std::unique_ptr<AuditRecorder> audit_;
   std::uint64_t epoch_ = 0;
   std::uint64_t now_ns_ = 0;
 };

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/audit.h"
 #include "obs/metrics.h"
 
 namespace sb::obs {
@@ -103,8 +104,10 @@ struct RunObs {
   std::string label;
   bool metrics_enabled = false;
   bool trace_enabled = false;
+  bool audit_enabled = false;
   MetricsRegistry metrics;
   EpochTracer::Snapshot trace;
+  AuditSnapshot audit;
 };
 
 /// Merges per-run traces into one Chrome trace-event JSON document:

@@ -112,6 +112,18 @@ void write_json(std::ostream& os, const SimulationResult& r) {
     r.obs->metrics.write_json(os);
   }
 
+  // Audit block only when the flight recorder ran — same bit-identity rule.
+  if (r.obs && r.obs->audit_enabled) {
+    const obs::AuditSnapshot& a = r.obs->audit;
+    os << ",\"audit\":{\"joined\":" << a.joined
+       << ",\"unjoined\":" << a.unjoined
+       << ",\"predictions\":" << a.predictions
+       << ",\"thread_records\":" << a.threads.size()
+       << ",\"epoch_records\":" << a.epochs.size()
+       << ",\"migration_records\":" << a.migrations.size()
+       << ",\"drift_events\":" << a.drift_events.size() << "}";
+  }
+
   if (!r.final_temp_c.empty()) {
     os << ",\"thermal\":{\"max_temp_c\":";
     number(os, r.max_temp_c);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/smart_balance.h"
+#include "obs/audit_writer.h"
 
 namespace sb::sim {
 
@@ -17,6 +18,7 @@ Simulation::Simulation(const arch::Platform& platform, SimulationConfig cfg)
   power_ = std::make_unique<power::PowerModel>(platform_, *perf_);
   kernel_ = std::make_unique<os::Kernel>(platform_, *perf_, *power_, kcfg);
   if (!cfg_.chrome_trace_path.empty()) cfg_.obs.trace = true;
+  if (!cfg_.audit_path.empty()) cfg_.obs.audit = true;
   if (cfg_.obs.enabled()) {
     obs_ = std::make_unique<obs::Sink>(cfg_.obs);
     kernel_->set_obs(obs_.get());
@@ -107,6 +109,9 @@ SimulationResult Simulation::run() {
   SimulationResult r = snapshot();
   if (!cfg_.chrome_trace_path.empty() && r.obs) {
     obs::write_chrome_trace_file(cfg_.chrome_trace_path, {r.obs.get()});
+  }
+  if (!cfg_.audit_path.empty() && r.obs) {
+    obs::write_audit_file(cfg_.audit_path, {r.obs.get()});
   }
   return r;
 }

@@ -46,6 +46,9 @@ struct SimulationConfig {
   /// Non-empty: writes the run's epoch trace as Chrome trace-event JSON at
   /// the end of run() (implies obs.trace).
   std::string chrome_trace_path;
+  /// Non-empty: writes the run's prediction-audit export (packed CSV, see
+  /// obs/audit_writer.h) at the end of run() (implies obs.audit).
+  std::string audit_path;
 };
 
 class Simulation {

@@ -1,0 +1,388 @@
+// Unit tests for the prediction-audit flight recorder: join semantics,
+// residual math, decision regret, the drift detector's rising-edge/re-arm
+// contract, ring overflow accounting, migration close-out, and the
+// schema-versioned export's byte-level determinism.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/audit.h"
+#include "obs/audit_writer.h"
+#include "obs/trace.h"
+
+namespace sb::obs {
+namespace {
+
+AuditObservation make_obs(std::int64_t tid, std::int32_t core,
+                          std::int32_t core_type, double gips, double watts,
+                          bool measured = true) {
+  AuditObservation o;
+  o.tid = tid;
+  o.core = core;
+  o.core_type = core_type;
+  o.gips = gips;
+  o.watts = watts;
+  o.measured = measured;
+  return o;
+}
+
+ThreadPrediction make_pred(std::int64_t tid, std::int32_t core,
+                           std::int32_t src_type, std::int32_t dst_type,
+                           double gips, double w) {
+  ThreadPrediction p;
+  p.tid = tid;
+  p.core = core;
+  p.src_type = src_type;
+  p.dst_type = dst_type;
+  p.pred_gips = gips;
+  p.pred_w = w;
+  return p;
+}
+
+EpochDecision make_decision(std::uint64_t epoch, double pred_dj = 0,
+                            bool applied = true) {
+  EpochDecision d;
+  d.epoch = epoch;
+  d.applied = applied;
+  d.pred_dj = pred_dj;
+  return d;
+}
+
+TEST(AuditRecorder, JoinComputesSignedRelativeResiduals) {
+  AuditRecorder r(AuditConfig{});
+  r.join(1, {}, 10.0);
+  r.record_decision(make_decision(1, /*pred_dj=*/0.5));
+  r.record_prediction(make_pred(7, 2, 0, 1, /*gips=*/2.0, /*w=*/1.0));
+
+  const auto edges =
+      r.join(2, {make_obs(7, 2, 1, /*gips=*/2.5, /*watts=*/0.8)}, 10.4);
+  EXPECT_TRUE(edges.empty());
+  EXPECT_EQ(r.joined(), 1u);
+  EXPECT_EQ(r.unjoined(), 0u);
+  EXPECT_EQ(r.predictions(), 1u);
+
+  const AuditSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  const ThreadAuditRecord& t = snap.threads[0];
+  EXPECT_EQ(t.epoch, 2u);
+  EXPECT_EQ(t.tid, 7);
+  EXPECT_EQ(t.core, 2);
+  EXPECT_EQ(t.src_type, 0);
+  EXPECT_EQ(t.dst_type, 1);
+  // err = (obs - pred) / obs, signed.
+  EXPECT_DOUBLE_EQ(t.gips_err, (2.5 - 2.0) / 2.5);
+  EXPECT_DOUBLE_EQ(t.power_err, (0.8 - 1.0) / 0.8);
+
+  // The forecasting pass's epoch entry got its realized ΔJ and regret.
+  ASSERT_EQ(snap.epochs.size(), 1u);
+  const EpochAuditRecord& e = snap.epochs[0];
+  EXPECT_EQ(e.epoch, 1u);
+  EXPECT_DOUBLE_EQ(e.realized_j, 10.0);
+  EXPECT_EQ(e.realized_valid, 1);
+  EXPECT_DOUBLE_EQ(e.realized_dj, 10.4 - 10.0);
+  EXPECT_DOUBLE_EQ(e.regret, 0.5 - (10.4 - 10.0));
+  EXPECT_EQ(e.joined, 1);
+  EXPECT_EQ(e.unjoined, 0);
+}
+
+TEST(AuditRecorder, JoinRequiresMeasuredObservationOnPredictedCore) {
+  struct Case {
+    const char* name;
+    AuditObservation obs;
+    bool has_obs;
+  };
+  const Case cases[] = {
+      {"thread gone", AuditObservation{}, false},
+      {"unmeasured", make_obs(7, 2, 1, 2.0, 1.0, /*measured=*/false), true},
+      {"wrong core", make_obs(7, 3, 1, 2.0, 1.0), true},
+      {"wrong type (cached pre-migration row)", make_obs(7, 2, 0, 2.0, 1.0),
+       true},
+  };
+  for (const Case& c : cases) {
+    AuditRecorder r(AuditConfig{});
+    r.join(1, {}, 0.0);
+    r.record_decision(make_decision(1));
+    r.record_prediction(make_pred(7, 2, 0, 1, 2.0, 1.0));
+    std::vector<AuditObservation> obs;
+    if (c.has_obs) obs.push_back(c.obs);
+    r.join(2, obs, 0.0);
+    EXPECT_EQ(r.joined(), 0u) << c.name;
+    EXPECT_EQ(r.unjoined(), 1u) << c.name;
+    EXPECT_TRUE(r.snapshot().threads.empty()) << c.name;
+  }
+}
+
+TEST(AuditRecorder, NearZeroObservationYieldsZeroResidual) {
+  // A thread that retired essentially nothing says nothing about the
+  // predictor; the residual is defined as 0 rather than a huge ratio.
+  AuditRecorder r(AuditConfig{});
+  r.join(1, {}, 0.0);
+  r.record_decision(make_decision(1));
+  r.record_prediction(make_pred(7, 2, 0, 1, 2.0, 1.0));
+  r.join(2, {make_obs(7, 2, 1, /*gips=*/0.0, /*watts=*/1e-13)}, 0.0);
+  const AuditSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.threads[0].gips_err, 0.0);
+  EXPECT_DOUBLE_EQ(snap.threads[0].power_err, 0.0);
+}
+
+TEST(AuditRecorder, EpochGapDiscardsPendingForecasts) {
+  AuditRecorder r(AuditConfig{});
+  r.join(1, {}, 10.0);
+  r.record_decision(make_decision(1, 0.5));
+  r.record_prediction(make_pred(7, 2, 0, 1, 2.0, 1.0));
+
+  // Pass 3, not 2: the one-epoch-later contract is broken.
+  r.join(3, {make_obs(7, 2, 1, 2.0, 1.0)}, 11.0);
+  EXPECT_EQ(r.joined(), 0u);
+  EXPECT_EQ(r.unjoined(), 1u);
+  const AuditSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.epochs.size(), 1u);
+  EXPECT_EQ(snap.epochs[0].realized_valid, 0);
+  EXPECT_EQ(snap.epochs[0].joined, 0);
+  EXPECT_EQ(snap.epochs[0].unjoined, 1);
+}
+
+TEST(AuditRecorder, PredictionsWithoutDecisionAreIgnored) {
+  AuditRecorder r(AuditConfig{});
+  r.record_prediction(make_pred(7, 2, 0, 1, 2.0, 1.0));
+  r.record_migration(MigrationPrediction{});
+  EXPECT_EQ(r.predictions(), 0u);
+  const AuditSnapshot snap = r.snapshot();
+  EXPECT_TRUE(snap.migrations.empty());
+}
+
+TEST(AuditRecorder, DriftRisingEdgeDebounceAndRearm) {
+  AuditConfig cfg;
+  cfg.ewma_alpha = 0.5;
+  cfg.drift_threshold = 0.2;
+  cfg.drift_min_joins = 2;
+  AuditRecorder r(cfg);
+
+  // Each "round" forecasts gips=1.0 and observes `obs_gips` one pass later:
+  // err = (obs - 1) / obs.
+  std::uint64_t epoch = 1;
+  auto round = [&](double obs_gips) {
+    r.join(epoch, {make_obs(7, 2, 1, obs_gips, 1.0)}, 0.0);
+    r.record_decision(make_decision(epoch));
+    r.record_prediction(make_pred(7, 2, 0, 1, 1.0, 1.0));
+    ++epoch;
+  };
+
+  round(2.0);  // nothing pending yet
+  // |err| = 0.5 per join; EWMA: 0.25 after 1 join (debounced: joins < 2),
+  // 0.375 after 2 — rising edge.
+  round(2.0);
+  EXPECT_FALSE(r.drift_active());
+  round(2.0);
+  EXPECT_TRUE(r.drift_active());
+  const AuditSnapshot first = r.snapshot();
+  ASSERT_EQ(first.drift_events.size(), 1u);
+  const DriftEvent& ev = first.drift_events[0];
+  EXPECT_EQ(ev.src_type, 0);
+  EXPECT_EQ(ev.dst_type, 1);
+  EXPECT_EQ(ev.metric, 0);  // throughput residual tripped
+  EXPECT_DOUBLE_EQ(ev.ewma, 0.375);
+  EXPECT_EQ(ev.joins, 2u);
+
+  // Staying over the threshold emits no further edges.
+  round(2.0);
+  EXPECT_EQ(r.snapshot().drift_events.size(), 1u);
+
+  // Recovery decays the EWMA back under the threshold and re-arms.
+  round(1.0);  // exact prediction; EWMA 0.4375 -> joins keep accumulating
+  round(1.0);
+  round(1.0);  // 0.4375 -> 0.21875 -> 0.109375: recovered
+  EXPECT_FALSE(r.drift_active());
+  EXPECT_EQ(r.snapshot().drift_events.size(), 1u);
+
+  // A second degradation is a fresh rising edge.
+  round(2.0);
+  round(2.0);
+  EXPECT_TRUE(r.drift_active());
+  EXPECT_EQ(r.snapshot().drift_events.size(), 2u);
+
+  // Final tracker state is exported.
+  const AuditSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.drift_states.size(), 1u);
+  EXPECT_EQ(snap.drift_states[0].src_type, 0);
+  EXPECT_EQ(snap.drift_states[0].dst_type, 1);
+  EXPECT_EQ(snap.drift_states[0].active, 1);
+}
+
+TEST(AuditRecorder, RingOverflowDropsOldestAndKeepsCounts) {
+  AuditConfig cfg;
+  cfg.capacity = 2;
+  AuditRecorder r(cfg);
+  for (std::uint64_t e = 1; e <= 4; ++e) {
+    r.join(e, {make_obs(7, 2, 1, 2.0, 1.0)}, 0.0);
+    r.record_decision(make_decision(e));
+    r.record_prediction(make_pred(7, 2, 0, 1, 1.0, 1.0));
+  }
+  const AuditSnapshot snap = r.snapshot();
+  // 4 decisions into a capacity-2 ring: epochs 3 and 4 retained.
+  ASSERT_EQ(snap.epochs.size(), 2u);
+  EXPECT_EQ(snap.epochs[0].epoch, 3u);
+  EXPECT_EQ(snap.epochs[1].epoch, 4u);
+  EXPECT_EQ(snap.dropped_epochs, 2u);
+  // 3 thread joins (passes 2..4) into a capacity-2 ring.
+  ASSERT_EQ(snap.threads.size(), 2u);
+  EXPECT_EQ(snap.threads[0].epoch, 3u);
+  EXPECT_EQ(snap.threads[1].epoch, 4u);
+  EXPECT_EQ(snap.dropped_threads, 1u);
+  EXPECT_EQ(r.joined(), 3u);
+}
+
+TEST(AuditRecorder, MigrationValidatedByFirstWarmedDestinationMeasurement) {
+  AuditRecorder r(AuditConfig{});
+  r.join(1, {}, 0.0);
+  r.record_decision(make_decision(1));
+  MigrationPrediction m;
+  m.tid = 5;
+  m.src = 0;
+  m.dst = 3;
+  m.src_type = 0;
+  m.dst_type = 2;
+  m.pred_gain = 0.4;
+  m.src_eff = 1.0;
+  r.record_migration(m);
+
+  // Epoch 2 still serves the cached pre-migration row (source core): the
+  // entry must stay pending, not be closed out as "thread moved away".
+  r.join(2, {make_obs(5, 0, 0, 1.0, 1.0)}, 0.0);
+  {
+    const AuditSnapshot snap = r.snapshot();
+    ASSERT_EQ(snap.migrations.size(), 1u);
+    EXPECT_EQ(snap.migrations[0].realized_valid, 0);
+  }
+
+  // Epoch 3 sees the warmed-up destination measurement.
+  r.join(3, {make_obs(5, 3, 2, /*gips=*/3.0, /*watts=*/2.0)}, 0.0);
+  const AuditSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.migrations.size(), 1u);
+  const MigrationAuditRecord& rec = snap.migrations[0];
+  EXPECT_EQ(rec.epoch, 1u);
+  EXPECT_EQ(rec.tid, 5);
+  EXPECT_EQ(rec.src, 0);
+  EXPECT_EQ(rec.dst, 3);
+  EXPECT_DOUBLE_EQ(rec.pred_gain, 0.4);
+  EXPECT_EQ(rec.realized_valid, 1);
+  EXPECT_DOUBLE_EQ(rec.realized_gain, 3.0 / 2.0 - 1.0);
+}
+
+TEST(AuditRecorder, MigrationWindowExpiryLeavesRecordUnvalidated) {
+  AuditConfig cfg;
+  cfg.migration_join_max_age = 2;
+  AuditRecorder r(cfg);
+  r.join(1, {}, 0.0);
+  r.record_decision(make_decision(1));
+  MigrationPrediction m;
+  m.tid = 5;
+  m.src = 0;
+  m.dst = 3;
+  m.dst_type = 2;
+  r.record_migration(m);
+
+  // The destination measurement never warms up within the window.
+  r.join(2, {make_obs(5, 0, 0, 1.0, 1.0)}, 0.0);
+  r.join(3, {make_obs(5, 0, 0, 1.0, 1.0)}, 0.0);  // age 2 >= max_age: closed
+  r.join(4, {make_obs(5, 3, 2, 3.0, 2.0)}, 0.0);  // too late
+  const AuditSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.migrations.size(), 1u);
+  EXPECT_EQ(snap.migrations[0].realized_valid, 0);
+  EXPECT_DOUBLE_EQ(snap.migrations[0].realized_gain, 0.0);
+}
+
+TEST(AuditRecorder, MigrationOfExitedThreadIsClosedImmediately) {
+  AuditRecorder r(AuditConfig{});
+  r.join(1, {}, 0.0);
+  r.record_decision(make_decision(1));
+  MigrationPrediction m;
+  m.tid = 5;
+  m.dst = 3;
+  m.dst_type = 2;
+  r.record_migration(m);
+  r.join(2, {}, 0.0);  // thread gone
+  r.join(3, {make_obs(5, 3, 2, 3.0, 2.0)}, 0.0);  // reappearance: ignored
+  EXPECT_EQ(r.snapshot().migrations[0].realized_valid, 0);
+}
+
+// --------------------------------------------------------------------------
+// Export writer
+// --------------------------------------------------------------------------
+
+RunObs audited_run(int run, const std::string& label, double obs_gips) {
+  AuditRecorder r(AuditConfig{});
+  r.join(1, {}, 1.0);
+  r.record_decision(make_decision(1, 0.25));
+  r.record_prediction(make_pred(7, 2, 0, 1, 1.0, 1.0));
+  MigrationPrediction m;
+  m.tid = 7;
+  m.src = 0;
+  m.dst = 2;
+  m.src_type = 0;
+  m.dst_type = 1;
+  m.src_eff = 0.5;
+  r.record_migration(m);
+  r.join(2, {make_obs(7, 2, 1, obs_gips, 1.0)}, 1.5);
+  RunObs o;
+  o.run = run;
+  o.label = label;
+  o.audit_enabled = true;
+  o.audit = r.snapshot();
+  return o;
+}
+
+std::string render(const std::vector<const RunObs*>& runs) {
+  std::ostringstream os;
+  write_audit(os, runs);
+  return os.str();
+}
+
+TEST(AuditWriter, OutputIsIndependentOfRunOrderPassedIn) {
+  const RunObs a = audited_run(0, "alpha", 2.0);
+  const RunObs b = audited_run(1, "beta", 4.0);
+  const std::string fwd = render({&a, &b});
+  const std::string rev = render({&b, &a});
+  EXPECT_EQ(fwd, rev);  // byte identity: blocks ordered by stamped index
+  EXPECT_NE(fwd.find("#run 0 alpha"), std::string::npos);
+  EXPECT_NE(fwd.find("#run 1 beta"), std::string::npos);
+  EXPECT_LT(fwd.find("#run 0 alpha"), fwd.find("#run 1 beta"));
+}
+
+TEST(AuditWriter, HeaderDeclaresSchemaVersionAndColumns) {
+  const RunObs a = audited_run(0, "alpha", 2.0);
+  const std::string out = render({&a});
+  EXPECT_EQ(out.rfind("#sb-audit v1\n", 0), 0u);
+  for (const char* cols :
+       {audit_thread_columns(), audit_epoch_columns(),
+        audit_migration_columns(), audit_drift_columns(),
+        audit_state_columns()}) {
+    EXPECT_NE(out.find(cols), std::string::npos) << cols;
+  }
+  EXPECT_NE(out.find("#summary runs=1"), std::string::npos);
+  EXPECT_NE(out.find("#counters 0 "), std::string::npos);
+}
+
+TEST(AuditWriter, SkipsRunsWithoutTheRecorder) {
+  const RunObs a = audited_run(3, "only", 2.0);
+  RunObs plain;  // e.g. a metrics-only vanilla run in the same sweep
+  plain.run = 1;
+  plain.label = "plain";
+  const std::string out = render({&plain, &a});
+  EXPECT_NE(out.find("#summary runs=1"), std::string::npos);
+  EXPECT_EQ(out.find("plain"), std::string::npos);
+}
+
+TEST(AuditWriter, RendersIdenticalSnapshotsIdentically) {
+  // Same simulated content rendered twice must produce the same bytes —
+  // the property the golden/byte-identity integration tests build on.
+  const RunObs a1 = audited_run(0, "alpha", 2.0);
+  const RunObs a2 = audited_run(0, "alpha", 2.0);
+  EXPECT_EQ(render({&a1}), render({&a2}));
+}
+
+}  // namespace
+}  // namespace sb::obs

@@ -23,6 +23,7 @@
 #include "arch/platform.h"
 #include "arch/platform_loader.h"
 #include "core/predictor.h"
+#include "obs/audit_writer.h"
 #include "obs/trace.h"
 #include "os/dvfs_governor.h"
 #include "os/iks_balancer.h"
@@ -61,6 +62,12 @@ using namespace sb;
                             environment supplies a default .json path.
   --metrics                 collect the observability metrics registry
                             (embedded as "metrics" in --json output)
+  --metrics=<file>          ...and also write it (merged across --compare
+                            runs) as standalone JSON to <file>
+  --audit=<file>            record the prediction-audit flight recorder and
+                            write its packed-CSV export (merged across
+                            --compare runs; see obs/audit_writer.h; analyze
+                            with sbaudit)
   --thread-trace=<csv>:<name>:<count>  spawn threads from a phase-trace CSV
                             (see workload/trace_loader.h for the format)
   --save-model=<file>       train the predictor for this platform and save it
@@ -88,6 +95,8 @@ struct Args {
   std::string trace;         // per-core CSV time series
   std::string chrome_trace;  // Chrome trace-event JSON (epoch tracer)
   bool metrics = false;
+  std::string metrics_out;   // standalone metrics JSON file
+  std::string audit;         // prediction-audit export (packed CSV)
   std::vector<std::tuple<std::string, std::string, int>> thread_traces;
   std::string save_model;
   std::string load_model;
@@ -161,6 +170,10 @@ Args parse(int argc, char** argv) {
       else a.trace = path;
     }
     else if (arg == "--metrics") a.metrics = true;
+    else if (arg.rfind("--metrics=", 0) == 0) {
+      a.metrics_out = value("--metrics=");
+      a.metrics = true;
+    } else if (arg.rfind("--audit=", 0) == 0) a.audit = value("--audit=");
     else if (arg == "--quiet") a.quiet = true;
     else {
       std::cerr << "unknown option: " << arg << "\n";
@@ -242,6 +255,7 @@ sim::SimulationResult run_once(const Args& a, const arch::Platform& platform,
   // written once from main(); here we only turn the tracer on.
   cfg.obs.trace = !a.chrome_trace.empty();
   cfg.obs.metrics = a.metrics;
+  cfg.obs.audit = !a.audit.empty();
   sim::Simulation s(platform, cfg);
   s.set_balancer(policy_for(a, policy)(s));
   if (!a.governor.empty()) {
@@ -319,8 +333,10 @@ int main(int argc, char** argv) {
         std::cout << '\n';
       }
     }
-    if (!a.chrome_trace.empty()) {
-      std::vector<const obs::RunObs*> runs;
+    // Merged per-policy observability exports: run index = policy order.
+    std::vector<const obs::RunObs*> runs;
+    if (!a.chrome_trace.empty() || !a.audit.empty() ||
+        !a.metrics_out.empty()) {
       int idx = 0;
       for (auto& r : results) {
         if (r.obs) {
@@ -329,8 +345,21 @@ int main(int argc, char** argv) {
           runs.push_back(r.obs.get());
         }
       }
+    }
+    if (!a.chrome_trace.empty()) {
       obs::write_chrome_trace_file(a.chrome_trace, runs);
       std::cout << "trace written to " << a.chrome_trace << "\n";
+    }
+    if (!a.audit.empty()) {
+      obs::write_audit_file(a.audit, runs);
+      std::cout << "audit export written to " << a.audit << "\n";
+    }
+    if (!a.metrics_out.empty()) {
+      std::ofstream ms(a.metrics_out);
+      if (!ms) throw std::runtime_error("cannot write " + a.metrics_out);
+      obs::merge_metrics(runs).write_json(ms);
+      ms << '\n';
+      std::cout << "metrics written to " << a.metrics_out << "\n";
     }
     if (!a.json_out.empty()) {
       std::ofstream js(a.json_out);
