@@ -82,6 +82,9 @@ SmartBalancePolicy::SmartBalancePolicy(
   if (!cfg_.fault_plan.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(cfg_.fault_plan);
   }
+  if (cfg_.adaptation.enabled()) {
+    adapter_ = std::make_unique<OnlineAdapter>(cfg_.adaptation, &model_);
+  }
 }
 
 void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
@@ -199,13 +202,44 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
     }
   }
 
+  // Online adaptation (Phase A, same join point as the audit recorder):
+  // validate last pass's raw forecasts against this pass's sensing, advance
+  // the bias/gain correctors, absorb RLS samples into Θ and run the
+  // covariance-reset drift detector — all before PREDICT, so this pass's
+  // fan-out already uses the repaired coefficients.
+  if (adapter_) {
+    const AdaptPassStats astats = adapter_->observe(passes_, observations);
+    if (obs != nullptr) {
+      auto& m = obs->metrics();
+      if (astats.joined > 0) {
+        m.counter("predictor.adapt.joins")
+            .add(static_cast<std::uint64_t>(astats.joined));
+      }
+      if (astats.rls_updates > 0) {
+        m.counter("predictor.adapt.rls_updates")
+            .add(static_cast<std::uint64_t>(astats.rls_updates));
+      }
+      if (astats.cov_resets > 0) {
+        m.counter("predictor.adapt.cov_resets")
+            .add(static_cast<std::uint64_t>(astats.cov_resets));
+        if (auto* tracer = obs->tracer()) {
+          tracer->instant(
+              "predictor.adapt.reset", obs->now_ns(), passes_,
+              {{"resets", static_cast<double>(astats.cov_resets)}});
+        }
+      }
+    }
+  }
+
   // Degraded mode: when too few threads have trustworthy sensors, predicted
   // S/P matrices are mostly fiction — migrating on them is worse than not
   // using them at all. Delegate the pass to the heterogeneity-blind (but
   // sensing-free) vanilla balancer until health recovers. Predictor drift
-  // (audit EWMAs above threshold) escalates the same way when opted in.
-  const bool drift_degraded =
-      cfg_.degrade_on_drift && audit != nullptr && audit->drift_active();
+  // (audit EWMAs above threshold) escalates the same way when opted in —
+  // unless online adaptation is active, which repairs the predictor in
+  // place (covariance reset) instead of retreating to the fallback.
+  const bool drift_degraded = cfg_.degrade_on_drift && !adapter_ &&
+                              audit != nullptr && audit->drift_active();
   if (drift_degraded ||
       (sensing_.config().defense.enabled && cfg_.degraded_healthy_threshold > 0 &&
        sensing_.health().healthy_fraction < cfg_.degraded_healthy_threshold)) {
@@ -255,8 +289,12 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
   }
 
   // ---- Phase 2: PREDICT ---------------------------------------------------
+  // RLS rewrites Θ every epoch, so cached rows would be stale; tier-1-only
+  // adaptation keeps the cache (rows stay raw, gains are a post-pass).
   PredictionCache* cache =
-      cfg_.prediction_cache.enabled ? &pred_cache_ : nullptr;
+      cfg_.prediction_cache.enabled && !(adapter_ && cfg_.adaptation.rls)
+          ? &pred_cache_
+          : nullptr;
   if (cache) pred_cache_.advance_epoch();
   if (kernel.config().enable_dvfs) {
     // Predict at each core's *current* operating point.
@@ -270,6 +308,27 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
   } else {
     last_mx_ = build_characterization(observations, model_, platform_,
                                       nullptr, cache);
+  }
+  // Tier 1 bias/gain: multiply every forecast cell by its pair's
+  // correction, keeping a raw copy so forecasts are scored (and adapted)
+  // against the uncorrected Eq. 8 output. Same-type cells are corrected
+  // too: they bypass Θ but still drift against biased sensing (a noisy
+  // power rail inflates observed watts on every pair alike).
+  Matrix raw_s;
+  Matrix raw_p;
+  if (adapter_ && cfg_.adaptation.bias) {
+    raw_s = last_mx_.s;
+    raw_p = last_mx_.p;
+    for (std::size_t i = 0; i < last_mx_.num_threads(); ++i) {
+      const ThreadObservation& o = observations[i];
+      if (o.core_type < 0) continue;
+      for (CoreId c = 0; c < kernel.num_cores(); ++c) {
+        const CoreTypeId t = platform_.type_of(c);
+        const auto j = static_cast<std::size_t>(c);
+        last_mx_.s.at(i, j) *= adapter_->gips_multiplier(o.core_type, t);
+        last_mx_.p.at(i, j) *= adapter_->power_multiplier(o.core_type, t);
+      }
+    }
   }
   const auto t2 = Clock::now();
 
@@ -343,19 +402,51 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
     d.sa_improved = result.improved;
     d.faults_injected = audit_fault_delta;
     audit->record_decision(d);
-    // One forecast per thread: the S/P cell for wherever it runs next.
+  }
+  // One forecast per thread: the S/P cell for wherever it runs next. The
+  // audit ledger gets both the corrected and the raw value; the adapter
+  // registers the raw cross-type forecasts it will validate next pass.
+  if (audit != nullptr || adapter_) {
+    const bool have_raw = adapter_ != nullptr && cfg_.adaptation.bias;
+    if (adapter_) adapter_->begin_forecasts(passes_);
     for (std::size_t i = 0; i < last_mx_.num_threads(); ++i) {
       const CoreId next = applied ? result.allocation[i] : initial[i];
       if (next < 0) continue;
-      obs::ThreadPrediction tp;
-      tp.tid = last_mx_.tids[i];
-      tp.core = next;
-      tp.src_type =
+      const auto jn = static_cast<std::size_t>(next);
+      const std::int32_t src_type =
           initial[i] >= 0 ? platform_.type_of(initial[i]) : -1;
-      tp.dst_type = platform_.type_of(next);
-      tp.pred_gips = last_mx_.s.at(i, static_cast<std::size_t>(next));
-      tp.pred_w = last_mx_.p.at(i, static_cast<std::size_t>(next));
-      audit->record_prediction(tp);
+      const std::int32_t dst_type = platform_.type_of(next);
+      const double pred_gips = last_mx_.s.at(i, jn);
+      const double pred_w = last_mx_.p.at(i, jn);
+      const double rg = have_raw ? raw_s.at(i, jn) : pred_gips;
+      const double rw = have_raw ? raw_p.at(i, jn) : pred_w;
+      if (audit != nullptr) {
+        obs::ThreadPrediction tp;
+        tp.tid = last_mx_.tids[i];
+        tp.core = next;
+        tp.src_type = src_type;
+        tp.dst_type = dst_type;
+        tp.pred_gips = pred_gips;
+        tp.pred_w = pred_w;
+        tp.raw_pred_gips = rg;
+        tp.raw_pred_w = rw;
+        audit->record_prediction(tp);
+      }
+      // The adapter keys on the Θ row the forecast actually came from: the
+      // predictor extrapolates from the *observed* core type (the audit's
+      // src_type column is the thread's scheduled core, which can lag one
+      // migration behind while sensing serves cached rows).
+      const ThreadObservation& o = observations[i];
+      if (adapter_ && o.measured && o.core_type >= 0) {
+        const double src_freq =
+            o.freq_mhz > 0 ? o.freq_mhz
+                           : platform_.params_of_type(o.core_type).freq_mhz;
+        const double dst_freq = kernel.config().enable_dvfs
+                                    ? kernel.core_opp(next).freq_mhz
+                                    : platform_.params_of(next).freq_mhz;
+        adapter_->add_forecast(last_mx_.tids[i], next, o.core_type, dst_type,
+                               rg, rw, make_features(o, src_freq / dst_freq));
+      }
     }
   }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "core/adapt.h"
 #include "core/char_matrix.h"
 #include "core/objective.h"
 #include "core/prediction_cache.h"
@@ -88,8 +89,17 @@ struct SmartBalanceConfig {
   /// degradation. Off by default; requires the observability audit recorder
   /// (ObsConfig::audit) — without it the flag is inert, and with it the
   /// schedule depends on the audit verdicts, so goldens only stay
-  /// bit-identical while this is off.
+  /// bit-identical while this is off. When online adaptation is enabled it
+  /// takes precedence: drift triggers a covariance reset (repair the
+  /// predictor) instead of retreating to the vanilla balancer.
   bool degrade_on_drift = false;
+  /// Online predictor adaptation (see core/adapt.h): bias/gain correction
+  /// of the Eq. 8 forecasts and/or RLS coefficient updates, driven by the
+  /// policy's own forecast→observation joins. Off by default — every
+  /// golden stays bit-identical. While tier 2 (RLS) is active the
+  /// prediction cache is bypassed, since cached rows would embed stale Θ.
+  using Adaptation = AdaptationConfig;
+  Adaptation adaptation;
 };
 
 class SmartBalancePolicy final : public os::LoadBalancer {
@@ -118,6 +128,9 @@ class SmartBalancePolicy final : public os::LoadBalancer {
 
   /// The most recent characterization matrices (empty before first pass).
   const CharacterizationMatrices& last_matrices() const { return last_mx_; }
+
+  /// Online adaptation layer (null unless cfg.adaptation enables a tier).
+  const OnlineAdapter* adapter() const { return adapter_.get(); }
 
   /// Fault-resilience introspection.
   const fault::FaultInjector* injector() const { return injector_.get(); }
@@ -149,6 +162,9 @@ class SmartBalancePolicy final : public os::LoadBalancer {
   RunningStats objective_gain_;
   CharacterizationMatrices last_mx_;
   std::unordered_map<ThreadId, std::uint64_t> migrated_at_pass_;
+
+  /// Online predictor adaptation (null when cfg.adaptation is all-off).
+  std::unique_ptr<OnlineAdapter> adapter_;
 
   /// Fault injection (null when the plan is empty) and graceful degradation.
   std::unique_ptr<fault::FaultInjector> injector_;

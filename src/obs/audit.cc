@@ -64,6 +64,8 @@ std::vector<DriftEvent> AuditRecorder::join(
         rec.obs_w = match->watts;
         rec.gips_err = relative_residual(match->gips, p.pred_gips);
         rec.power_err = relative_residual(match->watts, p.pred_w);
+        rec.raw_gips_err = relative_residual(match->gips, p.raw_pred_gips);
+        rec.raw_power_err = relative_residual(match->watts, p.raw_pred_w);
         threads_.push(rec);
         ++joined_now;
 
@@ -74,6 +76,8 @@ std::vector<DriftEvent> AuditRecorder::join(
             (1.0 - a) * t.ewma_gips + a * std::abs(rec.gips_err);
         t.ewma_power =
             (1.0 - a) * t.ewma_power + a * std::abs(rec.power_err);
+        t.sewma_gips = (1.0 - a) * t.sewma_gips + a * rec.gips_err;
+        t.sewma_power = (1.0 - a) * t.sewma_power + a * rec.power_err;
         const bool over = t.ewma_gips > cfg_.drift_threshold ||
                           t.ewma_power > cfg_.drift_threshold;
         if (over && !t.active && t.joins >= cfg_.drift_min_joins) {
@@ -177,6 +181,12 @@ void AuditRecorder::record_decision(const EpochDecision& d) {
 void AuditRecorder::record_prediction(const ThreadPrediction& p) {
   if (!pending_valid_) return;  // forecasts only make sense under a decision
   pending_preds_.push_back(p);
+  // Unadapted callers leave the raw fields at 0: raw == corrected then, so
+  // backfill per field (a genuine raw forecast of exactly 0.0 cannot occur —
+  // predictions are clamped strictly positive).
+  ThreadPrediction& stored = pending_preds_.back();
+  if (stored.raw_pred_gips == 0.0) stored.raw_pred_gips = stored.pred_gips;
+  if (stored.raw_pred_w == 0.0) stored.raw_pred_w = stored.pred_w;
   ++predictions_;
 }
 
@@ -218,6 +228,8 @@ AuditSnapshot AuditRecorder::snapshot() const {
     st.ewma_gips = t.ewma_gips;
     st.ewma_power = t.ewma_power;
     st.active = t.active ? 1 : 0;
+    st.ewma_gips_signed = t.sewma_gips;
+    st.ewma_power_signed = t.sewma_power;
     snap.drift_states.push_back(st);
   }
   snap.joined = joined_;

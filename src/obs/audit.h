@@ -65,6 +65,12 @@ struct ThreadAuditRecord {
   double obs_w = 0;
   double gips_err = 0;
   double power_err = 0;
+  /// Residuals of the *raw* (pre-adaptation) Eq. 8 forecast, so a single
+  /// export scores the online bias/gain correction as a first-class column
+  /// (raw == corrected, and these equal gips_err/power_err, when the
+  /// balancer runs unadapted).
+  double raw_gips_err = 0;
+  double raw_power_err = 0;
 };
 
 /// One balance pass: SA trajectory, applied decision, and — filled in one
@@ -122,6 +128,11 @@ struct DriftState {
   double ewma_gips = 0;
   double ewma_power = 0;
   std::int32_t active = 0;
+  /// Signed residual EWMAs (the drift EWMAs above track |residual|): their
+  /// sign says which way the predictor leans, which is exactly what the
+  /// online bias/gain corrector consumes.
+  double ewma_gips_signed = 0;
+  double ewma_power_signed = 0;
 };
 
 /// The observation subset the recorder joins against — mirrors the fields
@@ -144,6 +155,11 @@ struct ThreadPrediction {
   std::int32_t dst_type = -1;
   double pred_gips = 0;
   double pred_w = 0;
+  /// Pre-adaptation forecast for the same cell. Callers that don't adapt
+  /// may leave these 0: record_prediction backfills them from
+  /// pred_gips/pred_w so raw == corrected in unadapted exports.
+  double raw_pred_gips = 0;
+  double raw_pred_w = 0;
 };
 
 /// Decision summary registered after a balance pass (epoch ledger input).
@@ -278,6 +294,8 @@ class AuditRecorder {
     std::uint64_t joins = 0;
     double ewma_gips = 0;
     double ewma_power = 0;
+    double sewma_gips = 0;  // signed (drift tracking stays on |residual|)
+    double sewma_power = 0;
     bool active = false;
   };
 

@@ -15,7 +15,7 @@ namespace {
 
 constexpr char kThreadCols[] =
     "epoch,tid,core,src_type,dst_type,pred_gips,obs_gips,pred_w,obs_w,"
-    "gips_err,power_err";
+    "gips_err,power_err,raw_gips_err,raw_power_err";
 constexpr char kEpochCols[] =
     "epoch,initial_j,final_j,applied,pred_dj,realized_j,realized_dj,"
     "realized_valid,regret,migrations,joined,unjoined,healthy_fraction,"
@@ -25,7 +25,8 @@ constexpr char kMigrationCols[] =
     "realized_valid";
 constexpr char kDriftCols[] = "epoch,src_type,dst_type,metric,ewma,joins";
 constexpr char kStateCols[] =
-    "src_type,dst_type,joins,ewma_gips,ewma_power,active";
+    "src_type,dst_type,joins,ewma_gips,ewma_power,active,"
+    "ewma_gips_signed,ewma_power_signed";
 
 /// Shortest round-trip double: reparsing the text yields the same bits, and
 /// the rendering is locale-independent (unlike iostream/printf paths).
@@ -121,6 +122,10 @@ void write_run(std::ostream& os, const RunObs& run) {
     append_double(line, r.gips_err);
     line += ',';
     append_double(line, r.power_err);
+    line += ',';
+    append_double(line, r.raw_gips_err);
+    line += ',';
+    append_double(line, r.raw_power_err);
     line += '\n';
     os << line;
   }
@@ -175,6 +180,10 @@ void write_run(std::ostream& os, const RunObs& run) {
     append_double(line, r.ewma_power);
     line += ',';
     append_i64(line, r.active);
+    line += ',';
+    append_double(line, r.ewma_gips_signed);
+    line += ',';
+    append_double(line, r.ewma_power_signed);
     line += '\n';
     os << line;
   }

@@ -3,8 +3,10 @@
 // environment — so the bytes are a deterministic function of the simulated
 // runs (bit-identical across --jobs worker counts, golden-testable).
 //
-// Layout (kSchemaVersion = 1):
-//   #sb-audit v1
+// Layout (kSchemaVersion = 2 — v2 appended the pre-adaptation residual
+// columns raw_gips_err/raw_power_err to thread records and the signed
+// residual EWMAs to state records):
+//   #sb-audit v2
 //   #columns thread <comma-separated field names>
 //   #columns epoch ...
 //   #columns migration ...
@@ -32,7 +34,7 @@
 
 namespace sb::obs {
 
-inline constexpr int kAuditSchemaVersion = 1;
+inline constexpr int kAuditSchemaVersion = 2;
 
 /// Column lists, kept in one place so the writer, the schema JSON and the
 /// tests cannot drift apart silently.

@@ -92,6 +92,12 @@ struct SimulationResult {
   std::uint64_t migrations_deferred = 0;  // ... that landed one epoch late
   double healthy_fraction = 1.0;       // sensing health at end of run
 
+  /// Online predictor adaptation (all zero unless SmartBalanceConfig::
+  /// adaptation enabled a tier; see src/core/adapt.h).
+  std::uint64_t adapt_joins = 0;        // forecasts validated by the adapter
+  std::uint64_t adapt_rls_updates = 0;  // RLS samples absorbed into Θ
+  std::uint64_t adapt_cov_resets = 0;   // drift-triggered covariance resets
+
   /// Observability snapshot (metrics registry + drained trace); null unless
   /// SimulationConfig::obs enabled it. Shared so results stay copyable.
   std::shared_ptr<obs::RunObs> obs;

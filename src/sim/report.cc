@@ -121,7 +121,34 @@ void write_json(std::ostream& os, const SimulationResult& r) {
        << ",\"thread_records\":" << a.threads.size()
        << ",\"epoch_records\":" << a.epochs.size()
        << ",\"migration_records\":" << a.migrations.size()
-       << ",\"drift_events\":" << a.drift_events.size() << "}";
+       << ",\"drift_events\":" << a.drift_events.size();
+    // Retained-ledger residual summary, corrected vs raw: in an unadapted
+    // run the two pairs coincide; under online adaptation their gap is the
+    // bias/gain correction's contribution, visible without the CSV export.
+    double g = 0, p = 0, rg = 0, rp = 0;
+    for (const obs::ThreadAuditRecord& t : a.threads) {
+      g += std::abs(t.gips_err);
+      p += std::abs(t.power_err);
+      rg += std::abs(t.raw_gips_err);
+      rp += std::abs(t.raw_power_err);
+    }
+    const double n = a.threads.empty()
+                         ? 1.0
+                         : static_cast<double>(a.threads.size());
+    os << ",\"mean_abs_gips_err\":";
+    number(os, g / n);
+    os << ",\"mean_abs_power_err\":";
+    number(os, p / n);
+    os << ",\"raw_mean_abs_gips_err\":";
+    number(os, rg / n);
+    os << ",\"raw_mean_abs_power_err\":";
+    number(os, rp / n);
+    if (r.adapt_joins || r.adapt_rls_updates || r.adapt_cov_resets) {
+      os << ",\"adapt\":{\"joins\":" << r.adapt_joins
+         << ",\"rls_updates\":" << r.adapt_rls_updates
+         << ",\"cov_resets\":" << r.adapt_cov_resets << "}";
+    }
+    os << "}";
   }
 
   if (!r.final_temp_c.empty()) {

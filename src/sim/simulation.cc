@@ -231,6 +231,11 @@ SimulationResult Simulation::snapshot() const {
     if (sb->defenses_enabled()) {
       r.healthy_fraction = sb->sensing_health().healthy_fraction;
     }
+    if (const auto* adapter = sb->adapter()) {
+      r.adapt_joins = adapter->joins();
+      r.adapt_rls_updates = adapter->rls_updates();
+      r.adapt_cov_resets = adapter->cov_resets();
+    }
   }
   r.migrations_rejected = kernel_->migrations_rejected();
   r.migrations_deferred = kernel_->migrations_deferred();

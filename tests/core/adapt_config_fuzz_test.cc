@@ -1,0 +1,175 @@
+// Grammar fuzz for AdaptationConfig::parse: ~10k seeded, deterministic
+// mutations of valid adaptation specs plus raw garbage (the same harness
+// shape as fault_plan_fuzz_test.cc). The contract under test: parse()
+// either returns a config or throws std::invalid_argument — never any
+// other exception type, never UB (the suite also runs under ASan/UBSan
+// in CI). The parse_double/parse_ll wrappers in adapt.cc exist precisely
+// so over-range numerics ("rls:1e999") can't leak std::out_of_range.
+#include "core/adapt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+namespace sb::core {
+namespace {
+
+/// SplitMix64: deterministic mutation stream, independent of libc rand.
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  char random_char() {
+    // Biased toward grammar-relevant bytes so mutations stay interesting.
+    static const char kAlphabet[] =
+        "0123456789.:,-+eE \tinfnanbiasrlsdriftresetlambdaclamp\0\x7f";
+    return kAlphabet[below(sizeof(kAlphabet) - 1)];
+  }
+
+  std::string mutate(std::string s) {
+    const int edits = 1 + static_cast<int>(below(4));
+    for (int e = 0; e < edits; ++e) {
+      switch (below(5)) {
+        case 0:  // flip one byte
+          if (!s.empty()) s[below(s.size())] = random_char();
+          break;
+        case 1:  // insert
+          s.insert(s.begin() + static_cast<std::ptrdiff_t>(
+                                   below(s.size() + 1)),
+                   random_char());
+          break;
+        case 2:  // delete
+          if (!s.empty()) s.erase(below(s.size()), 1);
+          break;
+        case 3:  // truncate
+          if (!s.empty()) s.resize(below(s.size()));
+          break;
+        case 4:  // duplicate a slice onto the end
+          if (!s.empty()) {
+            const std::size_t at = below(s.size());
+            s += s.substr(at, below(s.size() - at) + 1);
+          }
+          break;
+      }
+    }
+    return s;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> kCorpus = {
+      "bias",
+      "rls",
+      "bias,rls",
+      "bias:0.25",
+      "bias:0.25:0.5",
+      "rls:0.995",
+      "rls:0.995:1:1",
+      "rls:1:1000000:0",
+      "bias:0.1,rls:0.9:10:1,drift:0.25:8",
+      "drift:0.5:4,bias",
+      "",
+  };
+  return kCorpus;
+}
+
+/// parse() must return or throw std::invalid_argument; nothing else.
+void expect_contract(const std::string& input) {
+  try {
+    const AdaptationConfig cfg = AdaptationConfig::parse(input);
+    // Success: the canonical form must be a fixed point of parse∘to_string
+    // (full config equality would spuriously fail when a fuzzed literal has
+    // more precision than to_string() prints).
+    const std::string canon = cfg.to_string();
+    const AdaptationConfig again = AdaptationConfig::parse(canon);
+    EXPECT_EQ(again.to_string(), canon)
+        << "unstable round-trip for input '" << input << "'";
+    EXPECT_EQ(again.enabled(), cfg.enabled());
+  } catch (const std::invalid_argument&) {
+    // Documented rejection path.
+  } catch (const std::exception& e) {
+    FAIL() << "parse('" << input << "') leaked " << typeid(e).name() << ": "
+           << e.what();
+  }
+}
+
+TEST(AdaptationConfigFuzz, TenThousandSeededMutations) {
+  Mutator m(0xada9f00dULL);
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::string& base = corpus()[m.below(corpus().size())];
+    const std::string input =
+        m.below(10) == 0
+            ? std::string(m.below(32), static_cast<char>(m.next() & 0xff))
+            : m.mutate(base);
+    try {
+      (void)AdaptationConfig::parse(input);
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+    expect_contract(input);
+  }
+  // The mutation stream must exercise both sides of the grammar.
+  EXPECT_GT(parsed, 100) << "mutations never produced a valid spec";
+  EXPECT_GT(rejected, 1000) << "mutations never produced an invalid spec";
+}
+
+TEST(AdaptationConfigFuzz, OverRangeNumericsAreInvalidArgumentNotOutOfRange) {
+  for (const char* input :
+       {"rls:1e999", "rls:1e-999", "bias:1e999", "rls:0.9:1e999",
+        "drift:1e999", "drift:0.5:99999999999999999999",
+        "drift:0.5:9223372036854775808", "rls:0.9:1:99999999999999999999"}) {
+    EXPECT_THROW((void)AdaptationConfig::parse(input), std::invalid_argument)
+        << input;
+  }
+}
+
+TEST(AdaptationConfigFuzz, ValidCorpusStillParses) {
+  for (const std::string& input : corpus()) {
+    EXPECT_NO_THROW((void)AdaptationConfig::parse(input)) << input;
+  }
+}
+
+TEST(AdaptationConfigFuzz, GrammarEdgeCases) {
+  // Accepted: empty entries between commas are skipped.
+  EXPECT_NO_THROW((void)AdaptationConfig::parse(",,bias,,"));
+  // Rejected: bad key, bare drift, too many fields, embedded NUL, bad
+  // numerics, out-of-range knobs.
+  EXPECT_THROW((void)AdaptationConfig::parse("bais"), std::invalid_argument);
+  EXPECT_THROW((void)AdaptationConfig::parse("drift"), std::invalid_argument);
+  EXPECT_THROW((void)AdaptationConfig::parse("bias:0.5:1:2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdaptationConfig::parse(std::string("bias\0x", 6)),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdaptationConfig::parse("bias:nan"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdaptationConfig::parse("rls:inf"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdaptationConfig::parse("bias:-0.1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdaptationConfig::parse("rls:0.49"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdaptationConfig::parse("rls:1:1:3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdaptationConfig::parse("drift:0.5:0"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sb::core

@@ -355,7 +355,7 @@ TEST(AuditWriter, OutputIsIndependentOfRunOrderPassedIn) {
 TEST(AuditWriter, HeaderDeclaresSchemaVersionAndColumns) {
   const RunObs a = audited_run(0, "alpha", 2.0);
   const std::string out = render({&a});
-  EXPECT_EQ(out.rfind("#sb-audit v1\n", 0), 0u);
+  EXPECT_EQ(out.rfind("#sb-audit v2\n", 0), 0u);
   for (const char* cols :
        {audit_thread_columns(), audit_epoch_columns(),
         audit_migration_columns(), audit_drift_columns(),

@@ -7,8 +7,9 @@ a build configured with --coverage), shells out to `gcov --json-format
 taking the max across translation units, so a header exercised by any TU
 counts as covered.
 
-Gates (either failing exits 1):
+Gates (any failing exits 1):
   --min-obs PCT     minimum line coverage for src/obs/ (default 90)
+  --min-adapt PCT   minimum line coverage for src/core/adapt.* (default 0)
   --min-total PCT   minimum overall line coverage for src/ (default 0)
 
 --json FILE writes the per-file numbers for the CI artifact.
@@ -86,6 +87,9 @@ def main():
     parser.add_argument("--source-root", default=".")
     parser.add_argument("--min-obs", type=float, default=90.0,
                         help="min line coverage %% for src/obs/ (default 90)")
+    parser.add_argument("--min-adapt", type=float, default=0.0,
+                        help="min line coverage %% for src/core/adapt.* "
+                             "(default 0)")
     parser.add_argument("--min-total", type=float, default=0.0,
                         help="min line coverage %% for src/ (default 0)")
     parser.add_argument("--json", help="write per-file numbers to this file")
@@ -95,6 +99,8 @@ def main():
     src = {f: c for f, c in lines.items() if f.startswith("src" + os.sep)}
     obs = {f: c for f, c in src.items()
            if f.startswith(os.path.join("src", "obs") + os.sep)}
+    adapt = {f: c for f, c in src.items()
+             if f.startswith(os.path.join("src", "core", "adapt."))}
 
     per_file = {}
     for f in sorted(src):
@@ -103,14 +109,17 @@ def main():
         print(f"  {pct:6.2f}%  {cov:5d}/{tot:<5d}  {f}")
 
     obs_cov, obs_tot, obs_pct = coverage_of(obs)
+    adapt_cov, adapt_tot, adapt_pct = coverage_of(adapt)
     tot_cov, tot_tot, tot_pct = coverage_of(src)
     print(f"\nsrc/obs/: {obs_pct:.2f}% ({obs_cov}/{obs_tot} lines)")
+    print(f"src/core/adapt.*: {adapt_pct:.2f}% ({adapt_cov}/{adapt_tot} lines)")
     print(f"src/ overall: {tot_pct:.2f}% ({tot_cov}/{tot_tot} lines)")
 
     if args.json:
         with open(args.json, "w") as f:
             json.dump({"files": per_file,
                        "src_obs_pct": round(obs_pct, 2),
+                       "src_adapt_pct": round(adapt_pct, 2),
                        "src_total_pct": round(tot_pct, 2)}, f, indent=1,
                       sort_keys=True)
             f.write("\n")
@@ -121,6 +130,11 @@ def main():
     if obs_pct < args.min_obs:
         failures.append(f"src/obs/ coverage {obs_pct:.2f}% < "
                         f"required {args.min_obs:.2f}%")
+    if args.min_adapt > 0 and not adapt:
+        failures.append("no coverage data for src/core/adapt.* at all")
+    if adapt_pct < args.min_adapt:
+        failures.append(f"src/core/adapt.* coverage {adapt_pct:.2f}% < "
+                        f"required {args.min_adapt:.2f}%")
     if tot_pct < args.min_total:
         failures.append(f"src/ coverage {tot_pct:.2f}% < "
                         f"required {args.min_total:.2f}%")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Deterministic corrupters for #sb-audit export files.
+
+Used by the ctest wiring to assert that `sbaudit --diff` (and --check)
+fails *cleanly nonzero* on damaged inputs instead of diffing garbage:
+
+    corrupt_csv.py truncate in.csv out.csv   drop the trailing 40% of lines
+                                             (and the last line's tail), so
+                                             the #summary footer and record
+                                             arity checks must both trip
+    corrupt_csv.py permute  in.csv out.csv   deterministically shuffle the
+                                             record lines and reverse every
+                                             field order, so rows no longer
+                                             match any known record kind
+
+No RNG: both transforms are pure functions of the input, so the fixtures
+are reproducible byte for byte.
+"""
+import sys
+
+
+def truncate(lines):
+    keep = max(1, (len(lines) * 6) // 10)
+    out = lines[:keep]
+    if out:
+        # Also chop the final kept line mid-field: arity checks must fire
+        # even when the line count alone would pass.
+        out[-1] = out[-1][: max(1, len(out[-1]) * 2 // 3)]
+    return out
+
+
+def permute(lines):
+    header = [ln for ln in lines if ln.startswith("#")]
+    records = [ln for ln in lines if not ln.startswith("#")]
+    # Deterministic shuffle: sort by a field-reversed key, then reverse the
+    # fields of every record so the kind tag lands in the last column.
+    records.sort(key=lambda ln: ",".join(reversed(ln.split(","))))
+    mangled = [",".join(reversed(ln.split(","))) for ln in records]
+    return header + mangled
+
+
+def main(argv):
+    if len(argv) != 4 or argv[1] not in ("truncate", "permute"):
+        print(f"usage: {argv[0]} truncate|permute <in.csv> <out.csv>",
+              file=sys.stderr)
+        return 2
+    with open(argv[2], "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    out = truncate(lines) if argv[1] == "truncate" else permute(lines)
+    with open(argv[3], "w", encoding="utf-8") as f:
+        f.write("\n".join(out) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

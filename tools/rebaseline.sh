@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Regenerates the committed perf baselines (BENCH_sa.json, BENCH_epoch.json,
+# BENCH_obs.json at the repo root) from N interleaved repetitions of the
+# release-mode benchmark harnesses, taking the best-of envelope on every
+# gated metric.
+#
+# Why interleaved best-of: a single benchmark run bakes whatever thermal /
+# frequency / cache state the machine happened to be in into the committed
+# numbers, and a slow baseline silently loosens the regression gate forever.
+# Running the two harnesses alternately N times and keeping the per-metric
+# minimum (maximum for rate metrics) approximates the machine's true
+# steady-state capability: transient noise can only make a repetition
+# slower, never faster.
+#
+# Envelope rules (matching tools/check_bench.py's gates):
+#   min over reps   ns_per_iteration, ns_per_call, total_us, min_pass_ns,
+#                   pass_cost_index, allocs_per_call, allocs_per_pass,
+#                   sense_us, predict_us, optimize_us, migrate_us
+#   max over reps   iterations_per_sec
+#   first rep       everything else (descriptions, counts, derived
+#                   percentages — informational, not gated)
+#
+# Usage:
+#   tools/rebaseline.sh [-n REPS] [-b BUILD_DIR]
+#     -n REPS       repetitions (default 5)
+#     -b BUILD_DIR  existing or to-be-created Release build (default
+#                   build-rel)
+# Run from the repo root. Review the diff, then commit the refreshed
+# BENCH_*.json files together with a note of the machine they came from.
+set -euo pipefail
+
+REPS=5
+BUILD_DIR=build-rel
+while getopts "n:b:h" opt; do
+  case "$opt" in
+    n) REPS="$OPTARG" ;;
+    b) BUILD_DIR="$OPTARG" ;;
+    h|*) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+  esac
+done
+
+if [[ ! -f CMakeLists.txt || ! -d tools ]]; then
+  echo "rebaseline.sh: run from the repository root" >&2
+  exit 2
+fi
+
+if [[ ! -x "$BUILD_DIR/bench/micro_benchmarks" ||
+      ! -x "$BUILD_DIR/bench/fig7_overhead_scalability" ]]; then
+  echo "== configuring + building $BUILD_DIR (Release)"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD_DIR" -j \
+        --target micro_benchmarks fig7_overhead_scalability
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+ROOT=$(pwd)
+
+for rep in $(seq 1 "$REPS"); do
+  echo "== repetition $rep/$REPS"
+  mkdir -p "$WORK/rep$rep"
+  # Interleave the two harnesses so slow machine phases hit both equally.
+  (cd "$WORK/rep$rep" &&
+   "$ROOT/$BUILD_DIR/bench/micro_benchmarks" \
+       --benchmark_filter='BM_SaOptimize|BM_BuildCharacterization' \
+       --benchmark_min_time=0.05 >/dev/null)
+  (cd "$WORK/rep$rep" &&
+   "$ROOT/$BUILD_DIR/bench/fig7_overhead_scalability" >/dev/null)
+  for f in BENCH_sa.json BENCH_obs.json BENCH_epoch.json; do
+    [[ -f "$WORK/rep$rep/$f" ]] ||
+        { echo "rebaseline.sh: rep $rep did not produce $f" >&2; exit 1; }
+  done
+done
+
+echo "== merging best-of envelope over $REPS repetitions"
+python3 - "$WORK" "$REPS" <<'PY'
+import json
+import sys
+
+work, reps = sys.argv[1], int(sys.argv[2])
+MIN_KEYS = {"ns_per_iteration", "ns_per_call", "total_us", "min_pass_ns",
+            "pass_cost_index", "allocs_per_call", "allocs_per_pass",
+            "sense_us", "predict_us", "optimize_us", "migrate_us"}
+MAX_KEYS = {"iterations_per_sec"}
+
+for name in ("BENCH_sa.json", "BENCH_obs.json", "BENCH_epoch.json"):
+    docs = []
+    for rep in range(1, reps + 1):
+        with open(f"{work}/rep{rep}/{name}") as f:
+            docs.append(json.load(f))
+    merged = docs[0]
+    for section, body in merged.items():
+        if not isinstance(body, dict):
+            continue
+        others = [d.get(section) for d in docs[1:]]
+        for key, value in body.items():
+            pool = [value] + [o[key] for o in others
+                              if isinstance(o, dict) and key in o]
+            if key in MIN_KEYS:
+                body[key] = min(pool)
+            elif key in MAX_KEYS:
+                body[key] = max(pool)
+    # Match the emitters' 6-decimal float style so diffs stay readable.
+    def fmt(obj):
+        if isinstance(obj, float):
+            return round(obj, 6)
+        if isinstance(obj, dict):
+            return {k: fmt(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [fmt(v) for v in obj]
+        return obj
+    with open(name, "w") as f:
+        json.dump(fmt(merged), f, indent=2)
+        f.write("\n")
+    print(f"  wrote {name}")
+PY
+
+echo "== done; review with: git diff BENCH_sa.json BENCH_epoch.json BENCH_obs.json"

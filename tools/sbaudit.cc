@@ -163,6 +163,9 @@ struct ThreadRec {
   long tid;
   int core, src_type, dst_type;
   double pred_gips, obs_gips, pred_w, obs_w, gips_err, power_err;
+  // v2: residuals of the pre-adaptation forecast (== gips_err/power_err in
+  // v1 exports and unadapted v2 runs).
+  double raw_gips_err, raw_power_err;
 };
 struct EpochRec {
   std::uint64_t epoch;
@@ -194,6 +197,8 @@ struct StateRec {
   std::uint64_t joins;
   double ewma_gips, ewma_power;
   int active;
+  // v2: signed residual EWMAs (0 in v1 exports).
+  double ewma_gips_signed, ewma_power_signed;
 };
 
 struct Export {
@@ -301,6 +306,13 @@ void parse_file(const std::string& path, Export& ex, bool check) {
       r.obs_w = field(f, 9);
       r.gips_err = field(f, 10);
       r.power_err = field(f, 11);
+      if (f.size() >= 14) {
+        r.raw_gips_err = field(f, 12);
+        r.raw_power_err = field(f, 13);
+      } else {  // v1 export: no adaptation existed, raw == corrected
+        r.raw_gips_err = r.gips_err;
+        r.raw_power_err = r.power_err;
+      }
       ex.threads.push_back(r);
     } else if (kind == "epoch") {
       EpochRec r{};
@@ -352,7 +364,9 @@ void parse_file(const std::string& path, Export& ex, bool check) {
       r.ewma_gips = field(f, 4);
       r.ewma_power = field(f, 5);
       r.active = static_cast<int>(field(f, 6));
-    ex.states.push_back(r);
+      r.ewma_gips_signed = field(f, 7);
+      r.ewma_power_signed = field(f, 8);
+      ex.states.push_back(r);
     }
   }
   if (check) {
@@ -472,10 +486,16 @@ void report(const Export& ex, const std::string& summary_path) {
   // Per-(src,dst) residual tables.
   std::map<std::pair<int, int>, PairStats> pairs;
   std::map<int, PairStats> by_dst_type;
-  std::vector<double> all_gips, all_power;
+  std::vector<double> all_gips, all_power, all_raw_gips, all_raw_power;
+  bool corrected = false;  // any record where adaptation moved the forecast
   for (const ThreadRec& r : ex.threads) {
     const double ge = std::abs(r.gips_err) * 100.0;
     const double pe = std::abs(r.power_err) * 100.0;
+    all_raw_gips.push_back(std::abs(r.raw_gips_err) * 100.0);
+    all_raw_power.push_back(std::abs(r.raw_power_err) * 100.0);
+    if (r.raw_gips_err != r.gips_err || r.raw_power_err != r.power_err) {
+      corrected = true;
+    }
     auto& p = pairs[{r.src_type, r.dst_type}];
     p.gips_err.push_back(ge);
     p.power_err.push_back(pe);
@@ -522,6 +542,18 @@ void report(const Export& ex, const std::string& summary_path) {
               percentile(all_gips, 0.95));
   std::printf("    power:      mean %.2f %%  p95 %.2f %%\n", mean(all_power),
               percentile(all_power, 0.95));
+  if (corrected) {
+    std::printf("  pre-adaptation (raw Eq.8 forecasts):\n");
+    std::printf("    throughput: mean %.2f %%  p95 %.2f %%\n",
+                mean(all_raw_gips), percentile(all_raw_gips, 0.95));
+    std::printf("    power:      mean %.2f %%  p95 %.2f %%\n",
+                mean(all_raw_power), percentile(all_raw_power, 0.95));
+    const double before =
+        0.5 * (mean(all_raw_gips) + mean(all_raw_power));
+    const double after = 0.5 * (mean(all_gips) + mean(all_power));
+    std::printf("    bias/gain correction: combined mean %.2f %% -> %.2f %%\n",
+                before, after);
+  }
 
   std::printf("\nper-(src,dst) core-type residuals:\n");
   std::printf("    %3s %3s %8s %12s %12s\n", "src", "dst", "joins",
@@ -620,16 +652,123 @@ void report(const Export& ex, const std::string& summary_path) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Diff mode: before/after Fig.6-style comparison of two exports
+// ---------------------------------------------------------------------------
+struct DiffSide {
+  std::vector<double> gips, power;            // corrected |err| %
+  std::vector<double> raw_gips, raw_power;    // pre-adaptation |err| %
+  std::map<std::pair<int, int>, PairStats> pairs;
+};
+
+DiffSide collect_side(const Export& ex) {
+  DiffSide s;
+  for (const ThreadRec& r : ex.threads) {
+    const double ge = std::abs(r.gips_err) * 100.0;
+    const double pe = std::abs(r.power_err) * 100.0;
+    s.gips.push_back(ge);
+    s.power.push_back(pe);
+    s.raw_gips.push_back(std::abs(r.raw_gips_err) * 100.0);
+    s.raw_power.push_back(std::abs(r.raw_power_err) * 100.0);
+    auto& p = s.pairs[{r.src_type, r.dst_type}];
+    p.gips_err.push_back(ge);
+    p.power_err.push_back(pe);
+  }
+  return s;
+}
+
+int diff_report(const Export& a, const std::string& pa, const Export& b,
+                const std::string& pb, bool require_improvement) {
+  // Both inputs were parsed in check mode: structural damage (truncated
+  // rows, permuted sections, missing header/summary) fails the diff
+  // outright rather than producing a silently wrong comparison.
+  std::vector<std::string> errors;
+  errors.insert(errors.end(), a.errors.begin(), a.errors.end());
+  errors.insert(errors.end(), b.errors.begin(), b.errors.end());
+  if (a.threads.empty()) errors.push_back(pa + ": no joined thread records");
+  if (b.threads.empty()) errors.push_back(pb + ": no joined thread records");
+  if (!errors.empty()) {
+    for (const auto& e : errors) std::cerr << "sbaudit: " << e << "\n";
+    std::cerr << "sbaudit: diff FAILED (" << errors.size() << " error(s))\n";
+    return 1;
+  }
+
+  const DiffSide da = collect_side(a);
+  const DiffSide db = collect_side(b);
+
+  std::printf("prediction-audit diff (Fig.6 analogue, before -> after):\n");
+  std::printf("    A: %s (v%d, %zu thread records, %zu drift events)\n",
+              pa.c_str(), a.version, a.threads.size(), a.drifts.size());
+  std::printf("    B: %s (v%d, %zu thread records, %zu drift events)\n",
+              pb.c_str(), b.version, b.threads.size(), b.drifts.size());
+
+  std::printf("\naggregate |err| %% (corrected forecasts):\n");
+  std::printf("    %-18s %10s %10s %10s\n", "", "A", "B", "delta");
+  auto row = [](const char* name, double va, double vb) {
+    std::printf("    %-18s %10.2f %10.2f %+10.2f\n", name, va, vb, vb - va);
+  };
+  row("throughput mean", mean(da.gips), mean(db.gips));
+  row("throughput p95", percentile(da.gips, 0.95),
+      percentile(db.gips, 0.95));
+  row("power mean", mean(da.power), mean(db.power));
+  row("power p95", percentile(da.power, 0.95), percentile(db.power, 0.95));
+  const double score_a = 0.5 * (mean(da.gips) + mean(da.power));
+  const double score_b = 0.5 * (mean(db.gips) + mean(db.power));
+  row("combined mean", score_a, score_b);
+  const double raw_b = 0.5 * (mean(db.raw_gips) + mean(db.raw_power));
+  if (raw_b != score_b) {
+    std::printf("    (B pre-correction combined mean: %.2f %%)\n", raw_b);
+  }
+
+  std::printf("\nper-(src,dst) mean |err| %% (A -> B):\n");
+  std::printf("    %3s %3s %8s %8s  %8s->%-8s %8s->%-8s\n", "src", "dst",
+              "joins A", "joins B", "gips A", "gips B", "power A", "power B");
+  std::map<std::pair<int, int>, int> merged;
+  for (const auto& kv : da.pairs) merged[kv.first] = 0;
+  for (const auto& kv : db.pairs) merged[kv.first] = 0;
+  for (const auto& kv : merged) {
+    const std::pair<int, int>& k = kv.first;
+    const auto ita = da.pairs.find(k);
+    const auto itb = db.pairs.find(k);
+    const PairStats empty;
+    const PairStats& sa = ita != da.pairs.end() ? ita->second : empty;
+    const PairStats& sb = itb != db.pairs.end() ? itb->second : empty;
+    std::printf("    %3d %3d %8zu %8zu  %8.2f->%-8.2f %8.2f->%-8.2f\n",
+                k.first, k.second, sa.gips_err.size(), sb.gips_err.size(),
+                mean(sa.gips_err), mean(sb.gips_err), mean(sa.power_err),
+                mean(sb.power_err));
+  }
+
+  const bool improved = score_b < score_a;
+  std::printf("\nverdict: combined mean |err| %.2f %% -> %.2f %% (%s)\n",
+              score_a, score_b,
+              improved ? "improved" : "NOT improved");
+  if (require_improvement && !improved) {
+    std::cerr << "sbaudit: diff FAILED (--require-improvement: B must "
+                 "strictly reduce combined mean |err|)\n";
+    return 1;
+  }
+  return 0;
+}
+
 [[noreturn]] void usage(int code) {
   std::cout << R"(sbaudit — SmartBalance prediction-audit analyzer
 
   sbaudit [options] <export.csv> [more exports ...]
+  sbaudit --diff <before.csv> <after.csv> [--require-improvement]
 
   --summary=<file>   write a machine-readable JSON summary
   --check            validate the export structure (directives, row arity,
                      finite fields); exit 1 on any violation
   --schema=<file>    with --check: also validate column names and schema
                      version against the schema JSON (tools/audit_schema.json)
+  --diff             compare exactly two exports (e.g. adaptation off vs on)
+                     and render before/after Fig.6-style error tables; both
+                     files are structurally validated first and any damage
+                     fails the diff
+  --require-improvement
+                     with --diff: exit 1 unless the second export strictly
+                     reduces the combined mean |err| (gated in CI)
 )";
   std::exit(code);
 }
@@ -640,13 +779,15 @@ int main(int argc, char** argv) {
   try {
     std::vector<std::string> inputs;
     std::string summary_path, schema_path;
-    bool check = false;
+    bool check = false, diff = false, require_improvement = false;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--help" || arg == "-h") usage(0);
       else if (arg.rfind("--summary=", 0) == 0)
         summary_path = arg.substr(std::strlen("--summary="));
       else if (arg == "--check") check = true;
+      else if (arg == "--diff") diff = true;
+      else if (arg == "--require-improvement") require_improvement = true;
       else if (arg.rfind("--schema=", 0) == 0)
         schema_path = arg.substr(std::strlen("--schema="));
       else if (arg.rfind("--", 0) == 0) {
@@ -655,6 +796,20 @@ int main(int argc, char** argv) {
       } else {
         inputs.push_back(arg);
       }
+    }
+    if (require_improvement && !diff) {
+      std::cerr << "--require-improvement needs --diff\n";
+      usage(2);
+    }
+    if (diff) {
+      if (inputs.size() != 2) {
+        std::cerr << "--diff needs exactly two export files\n";
+        usage(2);
+      }
+      Export a, b;
+      parse_file(inputs[0], a, /*check=*/true);
+      parse_file(inputs[1], b, /*check=*/true);
+      return diff_report(a, inputs[0], b, inputs[1], require_improvement);
     }
     if (inputs.empty()) {
       std::cerr << "no export files given\n";

@@ -68,6 +68,13 @@ using namespace sb;
                             write its packed-CSV export (merged across
                             --compare runs; see obs/audit_writer.h; analyze
                             with sbaudit)
+  --adapt=<spec>            online predictor adaptation for smartbalance
+                            policies (see core/adapt.h), e.g.
+                            "bias", "bias:0.25:0.5,rls:0.995", "rls"
+  --faults=<spec>           deterministic sensor-fault plan (fault/
+                            fault_plan.h), e.g. "noise:0.8:8,wrap:0.05"
+  --defenses=auto|on|off    sensing-defense activation (default auto:
+                            on exactly when --faults is non-empty)
   --thread-trace=<csv>:<name>:<count>  spawn threads from a phase-trace CSV
                             (see workload/trace_loader.h for the format)
   --save-model=<file>       train the predictor for this platform and save it
@@ -97,6 +104,9 @@ struct Args {
   bool metrics = false;
   std::string metrics_out;   // standalone metrics JSON file
   std::string audit;         // prediction-audit export (packed CSV)
+  std::string adapt;         // AdaptationConfig::parse spec
+  std::string faults;        // FaultPlan::parse spec
+  std::string defenses;      // auto | on | off
   std::vector<std::tuple<std::string, std::string, int>> thread_traces;
   std::string save_model;
   std::string load_model;
@@ -174,6 +184,10 @@ Args parse(int argc, char** argv) {
       a.metrics_out = value("--metrics=");
       a.metrics = true;
     } else if (arg.rfind("--audit=", 0) == 0) a.audit = value("--audit=");
+    else if (arg.rfind("--adapt=", 0) == 0) a.adapt = value("--adapt=");
+    else if (arg.rfind("--faults=", 0) == 0) a.faults = value("--faults=");
+    else if (arg.rfind("--defenses=", 0) == 0)
+      a.defenses = value("--defenses=");
     else if (arg == "--quiet") a.quiet = true;
     else {
       std::cerr << "unknown option: " << arg << "\n";
@@ -207,7 +221,23 @@ arch::Platform make_platform(const std::string& spec) {
   usage(2);
 }
 
-sim::BalancerFactory make_policy(const std::string& name) {
+core::SmartBalanceConfig sb_config(const Args& a) {
+  core::SmartBalanceConfig cfg;
+  // Parse errors surface as std::invalid_argument -> main's catch -> exit 1.
+  if (!a.adapt.empty()) cfg.adaptation = core::AdaptationConfig::parse(a.adapt);
+  if (!a.faults.empty()) cfg.fault_plan = fault::FaultPlan::parse(a.faults);
+  if (a.defenses == "on") {
+    cfg.defenses = core::SmartBalanceConfig::Defenses::kOn;
+  } else if (a.defenses == "off") {
+    cfg.defenses = core::SmartBalanceConfig::Defenses::kOff;
+  } else if (!a.defenses.empty() && a.defenses != "auto") {
+    std::cerr << "unknown --defenses value: " << a.defenses << "\n";
+    usage(2);
+  }
+  return cfg;
+}
+
+sim::BalancerFactory make_policy(const Args& a, const std::string& name) {
   if (name == "none") {
     return [](const sim::Simulation&) {
       return std::make_unique<os::NullBalancer>();
@@ -225,9 +255,9 @@ sim::BalancerFactory make_policy(const std::string& name) {
       return std::make_unique<os::UtilAwareBalancer>();
     };
   }
-  if (name == "smartbalance") return sim::smartbalance_factory();
+  if (name == "smartbalance") return sim::smartbalance_factory(sb_config(a));
   if (name == "smartbalance-eq11") {
-    return sim::smartbalance_factory(core::SmartBalanceConfig(),
+    return sim::smartbalance_factory(sb_config(a),
                                      /*paper_eq11_objective=*/true);
   }
   std::cerr << "unknown policy: " << name << "\n";
@@ -237,9 +267,9 @@ sim::BalancerFactory make_policy(const std::string& name) {
 sim::BalancerFactory policy_for(const Args& a, const std::string& name) {
   if (name == "smartbalance" && !a.load_model.empty()) {
     return sim::smartbalance_factory_with_model(
-        core::PredictorModel::load_from_file(a.load_model));
+        core::PredictorModel::load_from_file(a.load_model), sb_config(a));
   }
-  return make_policy(name);
+  return make_policy(a, name);
 }
 
 sim::SimulationResult run_once(const Args& a, const arch::Platform& platform,
