@@ -60,7 +60,8 @@ sb::arch::Platform make_platform(int cores) {
 }
 
 PhaseRow measure(int cores, int threads, sb::TimeNs duration,
-                 std::uint64_t seed, bool prediction_cache = false) {
+                 std::uint64_t seed, bool prediction_cache = false,
+                 bool force_cache = false) {
   using namespace sb;
   const auto platform = make_platform(cores);
   sim::SimulationConfig cfg;
@@ -69,6 +70,10 @@ PhaseRow measure(int cores, int threads, sb::TimeNs duration,
   sim::Simulation s(platform, cfg);
   core::SmartBalanceConfig sb_cfg;
   sb_cfg.prediction_cache.enabled = prediction_cache;
+  // force_cache drops the small-platform floor (min_cores) so the quad
+  // crossover — where key hashing costs more than the Θ fan-out it saves —
+  // stays measurable even though the policy auto-disables the cache there.
+  if (force_cache) sb_cfg.prediction_cache.min_cores = 0;
   s.set_balancer(sim::smartbalance_factory(sb_cfg)(s));
   // Mixed workload touching all characterization regimes.
   const char* names[] = {"swaptions", "canneal", "bodytrack", "x264_H_crew"};
@@ -114,10 +119,12 @@ void emit_phase_object(sb::bench::Json& j, const std::string& key,
 }
 
 void emit_cache_object(sb::bench::Json& j, const std::string& key,
-                       const PhaseRow& off, const PhaseRow& on) {
+                       const PhaseRow& off, const PhaseRow& on,
+                       bool auto_disabled = false) {
   j.begin_object(key)
       .field("cores", off.cores)
       .field("threads", off.threads)
+      .field("auto_disabled", auto_disabled)
       .field("predict_us_cache_off", off.predict_us)
       .field("predict_us_cache_on", on.predict_us)
       .field("predict_speedup",
@@ -194,7 +201,13 @@ int main(int argc, char** argv) {
   // --- BENCH_epoch.json ----------------------------------------------------
   // Pre-PR per-phase baselines measured on the same machine at -O2 -DNDEBUG
   // (commit b792c4d, default duration, seed 1234, identical workload mix).
+  // On the quad the cache auto-disables (num_cores < min_cores: hashing a
+  // key costs more than the 2-group Θ fan-out it would skip), so the
+  // "quad" row documents the no-op; "quad_forced" drops the floor to keep
+  // the crossover itself measured (predict_speedup < 1 is expected there —
+  // that regression is exactly why the floor exists).
   const auto quad_cached = measure(4, 8, opt.duration, opt.seed, true);
+  const auto quad_forced = measure(4, 8, opt.duration, opt.seed, true, true);
   bench::Json j;
   j.begin_object()
       .field("bench", "BENCH_epoch")
@@ -208,7 +221,8 @@ int main(int argc, char** argv) {
     emit_phase_object(j, "fig7_large", large, 130.9, 788.1, 7386.8);
   }
   j.begin_object("prediction_cache");
-  emit_cache_object(j, "quad", quad, quad_cached);
+  emit_cache_object(j, "quad", quad, quad_cached, /*auto_disabled=*/true);
+  emit_cache_object(j, "quad_forced", quad, quad_forced);
   if (large.cores == 128) {
     const auto large_cached =
         measure(128, 256, milliseconds(180), opt.seed, true);

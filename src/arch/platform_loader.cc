@@ -1,11 +1,13 @@
 #include "arch/platform_loader.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
 #include "arch/core_params.h"
+#include "common/types.h"
 
 namespace sb::arch {
 namespace {
@@ -104,6 +106,46 @@ Platform load_platform_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot read platform file: " + path);
   return load_platform(is);
+}
+
+Platform generate_platform(const std::string& spec) {
+  auto bad = [&spec](const std::string& why) -> std::invalid_argument {
+    return std::invalid_argument("generate_platform: " + why + " in '" +
+                                 spec + "' (expected <big>x<LITTLE>[:clusters])");
+  };
+  auto parse_count = [&](const std::string& tok, const char* what, long lo) {
+    if (tok.empty()) throw bad(std::string("empty ") + what);
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size() || v < lo || v > kMaxCores) {
+      throw bad(std::string("bad ") + what + " '" + tok + "'");
+    }
+    return static_cast<int>(v);
+  };
+
+  std::string counts = spec;
+  int clusters = 1;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    counts = spec.substr(0, colon);
+    clusters = parse_count(spec.substr(colon + 1), "cluster count", 1);
+  }
+  const auto x = counts.find('x');
+  if (x == std::string::npos) throw bad("missing 'x'");
+  const int big = parse_count(counts.substr(0, x), "big count", 0);
+  const int little = parse_count(counts.substr(x + 1), "LITTLE count", 0);
+  const long total = static_cast<long>(big + little) * clusters;
+  if (total < 1) throw bad("empty platform");
+  if (total > kMaxCores) {
+    throw bad("total of " + std::to_string(total) + " cores exceeds kMaxCores");
+  }
+
+  // Type-major layout (see header): one contiguous block per type, so the
+  // generated platform round-trips through save_platform byte for byte.
+  Platform platform;
+  if (big > 0) platform.add_cores(big_core(), big * clusters);
+  if (little > 0) platform.add_cores(small_core(), little * clusters);
+  platform.validate();
+  return platform;
 }
 
 void save_platform(std::ostream& os, const Platform& platform) {

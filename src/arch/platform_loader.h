@@ -36,4 +36,15 @@ Platform load_platform_file(const std::string& path);
 /// Writes `platform` in the same format (round-trips with load_platform).
 void save_platform(std::ostream& os, const Platform& platform);
 
+/// Synthetic large-platform generator (sbsim --platform=gen:<spec>): spec is
+/// `<big>x<LITTLE>[:clusters]`, e.g. "2x2" (one cluster of 2 big + 2
+/// LITTLE) or "32x96:8" (8 clusters totalling 256 big + 768 LITTLE = 1024
+/// cores). Cores are laid out type-major (all big cores first, then all
+/// LITTLEs) so the description round-trips through save_platform /
+/// load_platform, which group by type; cluster c owns big cores
+/// [c·big, (c+1)·big) and LITTLEs clusters·big + [c·little, (c+1)·little).
+/// Throws std::invalid_argument on a malformed spec or a total core count
+/// of 0 or beyond kMaxCores.
+Platform generate_platform(const std::string& spec);
+
 }  // namespace sb::arch

@@ -41,8 +41,8 @@ constexpr double to_millis(TimeNs t) { return static_cast<double>(t) * 1e-6; }
 /// Sentinel "never" timestamp used by event scheduling.
 inline constexpr TimeNs kTimeNever = std::numeric_limits<TimeNs>::max();
 
-/// Upper bound on platform size (the Fig. 7 scalability study reaches 128
-/// cores; affinity masks are sized for headroom beyond that).
-inline constexpr int kMaxCores = 256;
+/// Upper bound on platform size (the sharded scaling study reaches 1024
+/// cores; affinity masks are sized exactly for that ceiling).
+inline constexpr int kMaxCores = 1024;
 
 }  // namespace sb

@@ -61,6 +61,17 @@ class BalanceObjective {
   }
 
   virtual std::string name() const = 0;
+
+  /// Returns an objective equivalent to this one evaluated on the
+  /// sub-platform formed by `cores`: column j of the sub-problem is physical
+  /// core cores[j]. Used by the sharded balancer so per-core weights keep
+  /// pointing at the right physical core inside a shard-local SA pass. The
+  /// default implementation wraps *this* (which must outlive the returned
+  /// object) with an index remap and reports kCustom; built-in objectives
+  /// override with kind-preserving value clones so the optimizer's
+  /// devirtualized kernels still apply inside shards.
+  virtual std::unique_ptr<BalanceObjective> restrict_to_cores(
+      const std::vector<CoreId>& cores) const;
 };
 
 /// The paper's J_E: per-core energy efficiency (GIPS per watt), weighted.
@@ -87,6 +98,18 @@ class EnergyEfficiencyObjective final : public BalanceObjective {
   }
   std::string name() const override { return "ips_per_watt"; }
 
+  std::unique_ptr<BalanceObjective> restrict_to_cores(
+      const std::vector<CoreId>& cores) const override {
+    std::vector<double> w(cores.size(), weight_);
+    for (std::size_t j = 0; j < cores.size(); ++j) {
+      const CoreId c = cores[j];
+      if (c >= 0 && static_cast<std::size_t>(c) < core_weights_.size()) {
+        w[j] = core_weights_[static_cast<std::size_t>(c)];
+      }
+    }
+    return std::make_unique<EnergyEfficiencyObjective>(std::move(w));
+  }
+
  private:
   double weight_ = 1.0;
   std::vector<double> core_weights_;
@@ -101,6 +124,10 @@ class ThroughputObjective final : public BalanceObjective {
   }
   ObjectiveKind kind() const override { return ObjectiveKind::kThroughput; }
   std::string name() const override { return "throughput"; }
+  std::unique_ptr<BalanceObjective> restrict_to_cores(
+      const std::vector<CoreId>&) const override {
+    return std::make_unique<ThroughputObjective>();
+  }
 };
 
 /// Energy-delay-product flavour: throughput² per watt, biasing toward
@@ -114,6 +141,10 @@ class EdpObjective final : public BalanceObjective {
   }
   ObjectiveKind kind() const override { return ObjectiveKind::kEdp; }
   std::string name() const override { return "edp"; }
+  std::unique_ptr<BalanceObjective> restrict_to_cores(
+      const std::vector<CoreId>&) const override {
+    return std::make_unique<EdpObjective>();
+  }
 };
 
 /// Global platform energy efficiency: J = total predicted IPS / total
@@ -156,6 +187,18 @@ class GlobalEfficiencyObjective final : public BalanceObjective {
     return ObjectiveKind::kGlobalEfficiency;
   }
   std::string name() const override { return "global_ips_per_watt"; }
+
+  std::unique_ptr<BalanceObjective> restrict_to_cores(
+      const std::vector<CoreId>& cores) const override {
+    std::vector<double> sleep(cores.size(), 0.0);
+    for (std::size_t j = 0; j < cores.size(); ++j) {
+      const CoreId c = cores[j];
+      if (c >= 0 && static_cast<std::size_t>(c) < sleep_w_.size()) {
+        sleep[j] = sleep_w_[static_cast<std::size_t>(c)];
+      }
+    }
+    return std::make_unique<GlobalEfficiencyObjective>(std::move(sleep));
+  }
 
  private:
   std::vector<double> sleep_w_;

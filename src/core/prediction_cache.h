@@ -44,6 +44,13 @@ struct PredictionCacheConfig {
   /// under ~1% on IPC-scale features — well inside the predictor's own
   /// Fig. 6 error — while still absorbing epoch-to-epoch counter noise.
   double quantization_steps = 128.0;
+  /// Auto-disable below this core count: on small platforms the Θ fan-out
+  /// is only a handful of multiplies per thread, so key hashing + lookup
+  /// costs more than it saves (BENCH_epoch measured 0.56× predict speedup
+  /// on the 4c/8t quad vs 1.9× at 128c with grouped prediction). The
+  /// policy ignores `enabled` when the platform has fewer cores than this;
+  /// 0 removes the floor.
+  int min_cores = 16;
 };
 
 class PredictionCache {

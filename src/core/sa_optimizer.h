@@ -116,6 +116,12 @@ class SaOptimizer {
   /// epoch).
   void set_seed(std::uint64_t seed) { cfg_.seed = seed; }
 
+  /// Overrides the iteration budget of subsequent optimize() calls (0 =
+  /// auto-scale). The sharded balancer uses this to split one global budget
+  /// across shard-local passes so total annealing work stays constant as
+  /// shards are added.
+  void set_max_iterations(int iters) { cfg_.max_iterations = iters; }
+
   /// Observability hook (null = off): each optimize() call feeds the `sa.*`
   /// counters and the sa.host_ns histogram. Recording happens after the
   /// anneal returns, so the search itself is untouched.

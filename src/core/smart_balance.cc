@@ -85,6 +85,11 @@ SmartBalancePolicy::SmartBalancePolicy(
   if (cfg_.adaptation.enabled()) {
     adapter_ = std::make_unique<OnlineAdapter>(cfg_.adaptation, &model_);
   }
+  if (cfg_.sharding.enabled()) {
+    SaConfig sa = cfg_.sa;
+    sa.seed = cfg_.seed ^ 0x0a0aULL;
+    sharded_ = std::make_unique<ShardedBalancer>(platform_, cfg_.sharding, sa);
+  }
 }
 
 void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
@@ -290,9 +295,13 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
 
   // ---- Phase 2: PREDICT ---------------------------------------------------
   // RLS rewrites Θ every epoch, so cached rows would be stale; tier-1-only
-  // adaptation keeps the cache (rows stay raw, gains are a post-pass).
+  // adaptation keeps the cache (rows stay raw, gains are a post-pass). On
+  // platforms below min_cores the Θ fan-out is cheaper than the cache's own
+  // key hashing, so the cache auto-disables (BENCH_epoch's quad crossover).
   PredictionCache* cache =
-      cfg_.prediction_cache.enabled && !(adapter_ && cfg_.adaptation.rls)
+      cfg_.prediction_cache.enabled &&
+              kernel.num_cores() >= cfg_.prediction_cache.min_cores &&
+              !(adapter_ && cfg_.adaptation.rls)
           ? &pred_cache_
           : nullptr;
   if (cache) pred_cache_.advance_epoch();
@@ -365,12 +374,22 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
     }
   }
   // Fresh annealing trajectory each epoch (deterministic per pass index),
-  // reusing the member optimizer so its scratch arena persists across
-  // epochs — re-seeded, never re-allocated.
-  optimizer_.set_seed(cfg_.seed ^ (0x0a0aULL + passes_ * 0x9e3779b9ULL));
-  const SaResult result = optimizer_.optimize(last_mx_.s, last_mx_.p,
-                                              *objective_, initial, &affinity,
-                                              &demand);
+  // reusing persistent optimizer scratch arenas — re-seeded, never
+  // re-allocated. Sharded mode swaps only this call: K cluster-local
+  // anneals in parallel plus the bounded global exchange, same inputs,
+  // same merged-result contract.
+  const std::uint64_t pass_seed =
+      cfg_.seed ^ (0x0a0aULL + passes_ * 0x9e3779b9ULL);
+  SaResult result;
+  if (sharded_) {
+    result = sharded_->balance(passes_, pass_seed, last_mx_.s, last_mx_.p,
+                               *objective_, initial, affinity, demand, obs,
+                               elapsed_ns(t0, t2));
+  } else {
+    optimizer_.set_seed(pass_seed);
+    result = optimizer_.optimize(last_mx_.s, last_mx_.p, *objective_, initial,
+                                 &affinity, &demand);
+  }
   const auto t3 = Clock::now();
 
   // Apply the new allocation (set_cpus_allowed_ptr / migrate analogue).

@@ -27,6 +27,7 @@
 #include "core/predictor.h"
 #include "core/sa_optimizer.h"
 #include "core/sensing.h"
+#include "core/shard.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "os/kernel.h"
@@ -100,6 +101,14 @@ struct SmartBalanceConfig {
   /// prediction cache is bypassed, since cached rows would embed stale Θ.
   using Adaptation = AdaptationConfig;
   Adaptation adaptation;
+  /// Sharded hierarchical balancing (see core/shard.h): partition the
+  /// platform into clusters, anneal each shard in parallel on the shared
+  /// fork-join pool, then run a bounded global exchange phase. Off by
+  /// default — the unsharded SA path runs and every golden stays
+  /// bit-identical; `shards = 1` routes through the shard machinery but
+  /// replays the unsharded trajectory exactly.
+  using Sharding = ShardingConfig;
+  Sharding sharding;
 };
 
 class SmartBalancePolicy final : public os::LoadBalancer {
@@ -131,6 +140,9 @@ class SmartBalancePolicy final : public os::LoadBalancer {
 
   /// Online adaptation layer (null unless cfg.adaptation enables a tier).
   const OnlineAdapter* adapter() const { return adapter_.get(); }
+
+  /// Sharded balancing layer (null unless cfg.sharding.enabled()).
+  const ShardedBalancer* sharded() const { return sharded_.get(); }
 
   /// Fault-resilience introspection.
   const fault::FaultInjector* injector() const { return injector_.get(); }
@@ -165,6 +177,9 @@ class SmartBalancePolicy final : public os::LoadBalancer {
 
   /// Online predictor adaptation (null when cfg.adaptation is all-off).
   std::unique_ptr<OnlineAdapter> adapter_;
+
+  /// Sharded balancing (null when cfg.sharding is off).
+  std::unique_ptr<ShardedBalancer> sharded_;
 
   /// Fault injection (null when the plan is empty) and graceful degradation.
   std::unique_ptr<fault::FaultInjector> injector_;

@@ -98,6 +98,13 @@ struct SimulationResult {
   std::uint64_t adapt_rls_updates = 0;  // RLS samples absorbed into Θ
   std::uint64_t adapt_cov_resets = 0;   // drift-triggered covariance resets
 
+  /// Sharded balancing (all zero unless SmartBalanceConfig::sharding is on;
+  /// see src/core/shard.h).
+  int shards = 0;                          // configured shard count
+  std::uint64_t shard_passes = 0;          // cluster-local SA passes run
+  std::uint64_t shard_exchange_moves = 0;  // threads traded between shards
+  double avg_exchange_us = 0;              // mean exchange-phase host time
+
   /// Observability snapshot (metrics registry + drained trace); null unless
   /// SimulationConfig::obs enabled it. Shared so results stay copyable.
   std::shared_ptr<obs::RunObs> obs;

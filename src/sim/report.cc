@@ -105,6 +105,17 @@ void write_json(std::ostream& os, const SimulationResult& r) {
     os << "}";
   }
 
+  // Shards block only when sharded balancing ran — the unsharded path
+  // keeps byte-identical reports.
+  if (r.shards > 0) {
+    os << ",\"shards\":{\"count\":" << r.shards
+       << ",\"passes\":" << r.shard_passes
+       << ",\"exchange_moves\":" << r.shard_exchange_moves
+       << ",\"avg_exchange_us\":";
+    number(os, r.avg_exchange_us);
+    os << "}";
+  }
+
   // Metrics block only when observability collected something — default
   // runs keep byte-identical reports.
   if (r.obs && r.obs->metrics_enabled && !r.obs->metrics.empty()) {

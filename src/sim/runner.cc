@@ -1,13 +1,10 @@
 #include "sim/runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <exception>
-#include <thread>
 
-#include "common/log.h"
+#include "common/parallel.h"
 
 namespace sb::sim {
 namespace {
@@ -42,17 +39,7 @@ void run_one(const ExperimentSpec& spec, ExperimentResult& out) {
 
 }  // namespace
 
-int ExperimentRunner::default_threads() {
-  if (const char* env = std::getenv("SB_JOBS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) return static_cast<int>(v);
-    log_warn() << "SB_JOBS='" << env << "' is not a positive integer; "
-               << "falling back to hardware concurrency";
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
-}
+int ExperimentRunner::default_threads() { return common::resolve_jobs(0); }
 
 ExperimentRunner::ExperimentRunner() : ExperimentRunner(Config()) {}
 
@@ -71,28 +58,11 @@ BatchResult ExperimentRunner::run(
           static_cast<std::size_t>(threads_), specs.size()));
   batch.summary.threads = std::max(workers, specs.empty() ? 0 : 1);
 
-  if (workers <= 1) {
-    // Inline path: no thread spawn for a single worker (or empty batch).
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      run_one(specs[i], batch.runs[i]);
-    }
-  } else {
-    // Work-stealing by atomic index: completion order is arbitrary but each
-    // result lands in its submission slot, and every spec is self-seeded, so
-    // the batch output is independent of the schedule.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-           i < specs.size();
-           i = next.fetch_add(1, std::memory_order_relaxed)) {
-        run_one(specs[i], batch.runs[i]);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
+  // Each result lands in its submission slot and every spec is self-seeded,
+  // so the batch output is independent of the worker schedule.
+  common::parallel_for(specs.size(), workers, [&](std::size_t i, int) {
+    run_one(specs[i], batch.runs[i]);
+  });
 
   batch.summary.wall_ms = ms_since(start);
   for (std::size_t i = 0; i < batch.runs.size(); ++i) {

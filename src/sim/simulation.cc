@@ -236,6 +236,12 @@ SimulationResult Simulation::snapshot() const {
       r.adapt_rls_updates = adapter->rls_updates();
       r.adapt_cov_resets = adapter->cov_resets();
     }
+    if (const auto* sharded = sb->sharded()) {
+      r.shards = sharded->partition().num_shards();
+      r.shard_passes = sharded->shard_passes_total();
+      r.shard_exchange_moves = sharded->exchange_moves_total();
+      r.avg_exchange_us = sharded->exchange_ns().mean() / 1e3;
+    }
   }
   r.migrations_rejected = kernel_->migrations_rejected();
   r.migrations_deferred = kernel_->migrations_deferred();

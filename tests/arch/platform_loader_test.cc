@@ -115,5 +115,82 @@ TEST(PlatformLoader, ErrorsCarryLineNumbers) {
   }
 }
 
+TEST(PlatformLoader, GeneratesBigLittle) {
+  const Platform p = generate_platform("2x2");
+  EXPECT_EQ(p.num_cores(), 4);
+  EXPECT_EQ(p.num_types(), 2);
+  EXPECT_EQ(p.cores_of_type(0).size(), 2u);
+  EXPECT_EQ(p.cores_of_type(1).size(), 2u);
+  // Type-major layout: big block first, LITTLE block after.
+  EXPECT_EQ(p.type_of(0), p.type_of(1));
+  EXPECT_EQ(p.type_of(2), p.type_of(3));
+  EXPECT_NE(p.type_of(0), p.type_of(2));
+}
+
+TEST(PlatformLoader, GeneratesClusteredThousandCorePlatform) {
+  const Platform p = generate_platform("32x96:8");
+  EXPECT_EQ(p.num_cores(), 1024);
+  EXPECT_EQ(p.num_types(), 2);
+  EXPECT_EQ(p.cores_of_type(0).size(), 256u);
+  EXPECT_EQ(p.cores_of_type(1).size(), 768u);
+}
+
+TEST(PlatformLoader, GeneratedSingleTypePlatforms) {
+  EXPECT_EQ(generate_platform("4x0").num_types(), 1);
+  EXPECT_EQ(generate_platform("0x4").num_types(), 1);
+  EXPECT_EQ(generate_platform("0x1:3").num_cores(), 3);
+}
+
+TEST(PlatformLoader, GeneratedPlatformRoundTripsThroughSave) {
+  // The generated layout is type-major precisely so save_platform (which
+  // groups by type) reproduces it: save -> load must preserve every core's
+  // type and per-type parameters.
+  const Platform original = generate_platform("2x6:2");
+  std::stringstream buf;
+  save_platform(buf, original);
+  const Platform restored = load_platform(buf);
+  ASSERT_EQ(restored.num_cores(), original.num_cores());
+  ASSERT_EQ(restored.num_types(), original.num_types());
+  for (CoreId c = 0; c < original.num_cores(); ++c) {
+    EXPECT_EQ(restored.type_of(c), original.type_of(c)) << "core " << c;
+  }
+  for (CoreTypeId t = 0; t < original.num_types(); ++t) {
+    EXPECT_TRUE(restored.params_of_type(t).same_microarchitecture(
+        original.params_of_type(t)));
+  }
+}
+
+TEST(PlatformLoader, GeneratedMatchesHandWrittenQuadFixture) {
+  // gen:2x2 must describe the same platform as the equivalent hand-written
+  // big.LITTLE fixture loaded from text (modulo type names).
+  const Platform gen = generate_platform("2x2");
+  std::stringstream buf;
+  save_platform(buf, gen);
+  const Platform fixture = load_platform(buf);
+  EXPECT_EQ(fixture.num_cores(), gen.num_cores());
+  for (CoreId c = 0; c < gen.num_cores(); ++c) {
+    EXPECT_DOUBLE_EQ(fixture.params_of(c).freq_mhz, gen.params_of(c).freq_mhz);
+    EXPECT_DOUBLE_EQ(fixture.params_of(c).peak_power_w,
+                     gen.params_of(c).peak_power_w);
+  }
+}
+
+TEST(PlatformLoader, GenerateErrors) {
+  EXPECT_THROW(generate_platform(""), std::invalid_argument);
+  EXPECT_THROW(generate_platform("4"), std::invalid_argument);      // no 'x'
+  EXPECT_THROW(generate_platform("x4"), std::invalid_argument);     // no big
+  EXPECT_THROW(generate_platform("4x"), std::invalid_argument);     // no LITTLE
+  EXPECT_THROW(generate_platform("0x0"), std::invalid_argument);    // empty
+  EXPECT_THROW(generate_platform("0x0:4"), std::invalid_argument);  // empty
+  EXPECT_THROW(generate_platform("2x2:0"), std::invalid_argument);
+  EXPECT_THROW(generate_platform("2x2:-1"), std::invalid_argument);
+  EXPECT_THROW(generate_platform("-2x2"), std::invalid_argument);
+  EXPECT_THROW(generate_platform("2x2x2"), std::invalid_argument);
+  EXPECT_THROW(generate_platform("a2x2"), std::invalid_argument);
+  EXPECT_THROW(generate_platform("2x2:junk"), std::invalid_argument);
+  // Totals beyond kMaxCores are rejected even when each field parses.
+  EXPECT_THROW(generate_platform("512x512:3"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace sb::arch

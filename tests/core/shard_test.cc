@@ -1,0 +1,378 @@
+// Unit and property tests for the sharded hierarchical balancer
+// (core/shard.h): the --shards= grammar, the partition function's
+// true-partition invariants under fuzzed platforms, the kind-preserving
+// objective restrictions, and the ShardedBalancer determinism contract —
+// worker-count independence and the K=1 bit-identity with the unsharded
+// optimizer that anchors the --shards=1 golden equivalence.
+#include "core/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bitset>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/platform.h"
+#include "common/rng.h"
+#include "core/objective.h"
+#include "core/sa_optimizer.h"
+
+namespace sb::core {
+namespace {
+
+TEST(ShardingConfig, ParsesGrammar) {
+  const auto k = ShardingConfig::parse("8");
+  EXPECT_EQ(k.shards, 8);
+  EXPECT_EQ(k.jobs, 0);
+  EXPECT_EQ(k.exchange_moves, -1);  // auto
+
+  const auto kj = ShardingConfig::parse("8:4");
+  EXPECT_EQ(kj.shards, 8);
+  EXPECT_EQ(kj.jobs, 4);
+  EXPECT_EQ(kj.exchange_moves, -1);
+
+  const auto kjm = ShardingConfig::parse("8:4:16");
+  EXPECT_EQ(kjm.shards, 8);
+  EXPECT_EQ(kjm.jobs, 4);
+  EXPECT_EQ(kjm.exchange_moves, 16);
+
+  // "0" parses (sharding disabled), and moves=0 disables the exchange.
+  EXPECT_FALSE(ShardingConfig::parse("0").enabled());
+  EXPECT_TRUE(ShardingConfig::parse("1").enabled());
+  EXPECT_EQ(ShardingConfig::parse("4:0:0").exchange_moves, 0);
+}
+
+TEST(ShardingConfig, ToStringRoundTrips) {
+  for (const std::string spec : {"8", "8:4", "8:4:16", "1", "4:0:0", "2:1"}) {
+    const auto cfg = ShardingConfig::parse(spec);
+    const auto again = ShardingConfig::parse(cfg.to_string());
+    EXPECT_EQ(again.shards, cfg.shards) << spec;
+    EXPECT_EQ(again.jobs, cfg.jobs) << spec;
+    EXPECT_EQ(again.exchange_moves, cfg.exchange_moves) << spec;
+  }
+  EXPECT_EQ(ShardingConfig::parse("8").to_string(), "8");
+  EXPECT_EQ(ShardingConfig::parse("8:4:16").to_string(), "8:4:16");
+}
+
+TEST(ShardingConfig, ParseErrors) {
+  for (const std::string bad :
+       {"", ":", "8:", ":4", "8:4:16:2", "-1", "8:-2", "8:4:-2", "abc", "8x",
+        "8:4x", " 8", "8 ", "2048",  // beyond kMaxCores
+        "99999999999999999999"}) {
+    EXPECT_THROW(ShardingConfig::parse(bad), std::invalid_argument)
+        << "'" << bad << "'";
+  }
+}
+
+TEST(ShardingConfig, FuzzedSpecsEitherParseOrThrowInvalidArgument) {
+  // The CLI surface: arbitrary bytes must never leak std::out_of_range
+  // from numeric conversion or crash — only std::invalid_argument.
+  Rng rng(2024);
+  const std::string alphabet = "0123456789:-+x abc";
+  for (int it = 0; it < 10'000; ++it) {
+    std::string spec;
+    const int len = static_cast<int>(rng.randi(0, 12));
+    for (int i = 0; i < len; ++i) {
+      spec += alphabet[static_cast<std::size_t>(
+          rng.randi(0, static_cast<std::int64_t>(alphabet.size())))];
+    }
+    try {
+      const auto cfg = ShardingConfig::parse(spec);
+      EXPECT_GE(cfg.shards, 0) << spec;
+    } catch (const std::invalid_argument&) {
+      // expected for malformed specs
+    }
+  }
+}
+
+arch::Platform two_type_platform(int big, int little) {
+  arch::Platform p;
+  if (big > 0) p.add_cores(arch::big_core(), big);
+  if (little > 0) p.add_cores(arch::small_core(), little);
+  p.validate();
+  return p;
+}
+
+void expect_true_partition(const arch::Platform& platform, int shards) {
+  const ShardPartition part = make_shard_partition(platform, shards);
+  const int n = platform.num_cores();
+  const int k = std::min(shards, n);
+  ASSERT_EQ(part.num_shards(), k);
+  ASSERT_EQ(part.shard_of.size(), static_cast<std::size_t>(n));
+
+  std::set<CoreId> seen;
+  for (int sidx = 0; sidx < part.num_shards(); ++sidx) {
+    const auto& cores = part.cores[static_cast<std::size_t>(sidx)];
+    // Non-empty (k <= n by construction) and strictly ascending.
+    EXPECT_FALSE(cores.empty()) << "shard " << sidx << " empty, n=" << n
+                                << " k=" << k;
+    EXPECT_TRUE(std::is_sorted(cores.begin(), cores.end()));
+    for (const CoreId c : cores) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, n);
+      // Membership and the reverse map agree, and no core is in two shards.
+      EXPECT_EQ(part.shard_of[static_cast<std::size_t>(c)], sidx);
+      EXPECT_TRUE(seen.insert(c).second) << "core " << c << " in two shards";
+    }
+  }
+  // Every core is in exactly one shard.
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+}
+
+TEST(ShardPartition, IsTruePartitionUnderFuzzedConfigs) {
+  Rng rng(7);
+  for (int it = 0; it < 10'000; ++it) {
+    arch::Platform platform;
+    switch (rng.randi(0, 3)) {
+      case 0:  // two-type big.LITTLE, possibly lopsided
+        platform = two_type_platform(static_cast<int>(rng.randi(1, 17)),
+                                     static_cast<int>(rng.randi(0, 33)));
+        break;
+      case 1:  // four-type scaled HMP
+        platform = arch::Platform::scaled_heterogeneous(
+            static_cast<int>(rng.randi(1, 9)));
+        break;
+      default:  // single-type
+        platform = two_type_platform(static_cast<int>(rng.randi(1, 49)), 0);
+        break;
+    }
+    // K from degenerate 1 up to past the core count (clamped).
+    const int shards =
+        static_cast<int>(rng.randi(1, platform.num_cores() + 6));
+    expect_true_partition(platform, shards);
+  }
+}
+
+TEST(ShardPartition, SingletonTypesSpreadAcrossShards) {
+  // Four one-core types, four shards: the rotating remainder cursor must
+  // put one core in each shard instead of piling all four onto shard 0.
+  const auto platform = arch::Platform::scaled_heterogeneous(1);
+  ASSERT_EQ(platform.num_cores(), 4);
+  ASSERT_EQ(platform.num_types(), 4);
+  const ShardPartition part = make_shard_partition(platform, 4);
+  ASSERT_EQ(part.num_shards(), 4);
+  for (const auto& cores : part.cores) {
+    EXPECT_EQ(cores.size(), 1u);
+  }
+}
+
+TEST(ShardPartition, ClampsAndThrows) {
+  const auto platform = two_type_platform(2, 2);
+  EXPECT_EQ(make_shard_partition(platform, 100).num_shards(), 4);
+  EXPECT_EQ(make_shard_partition(platform, 1).num_shards(), 1);
+  EXPECT_THROW(make_shard_partition(platform, 0), std::invalid_argument);
+  EXPECT_THROW(make_shard_partition(platform, -3), std::invalid_argument);
+}
+
+CoreSums sums(double gips, double watts, double load, int nthreads) {
+  CoreSums s;
+  s.gips = gips;
+  s.watts = watts;
+  s.load = load;
+  s.nthreads = nthreads;
+  return s;
+}
+
+TEST(RestrictToCores, EnergyEfficiencyRemapsPerCoreWeights) {
+  EnergyEfficiencyObjective base(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  const std::vector<CoreId> cores = {2, 0};
+  const auto restricted = base.restrict_to_cores(cores);
+  ASSERT_NE(restricted, nullptr);
+  // Kind preserved: the optimizer's devirtualized kernel still applies.
+  EXPECT_EQ(restricted->kind(), ObjectiveKind::kEnergyEfficiency);
+  const CoreSums s = sums(6.0, 2.0, 1.0, 1);
+  // Local column j scores exactly like physical core cores[j].
+  EXPECT_DOUBLE_EQ(restricted->core_term(s, 0), base.core_term(s, 2));
+  EXPECT_DOUBLE_EQ(restricted->core_term(s, 1), base.core_term(s, 0));
+  EXPECT_DOUBLE_EQ(restricted->core_term(s, 0), 3.0 * 6.0 / 2.0);
+}
+
+TEST(RestrictToCores, GlobalEfficiencyRemapsSleepPower) {
+  GlobalEfficiencyObjective base(std::vector<double>{0.1, 0.2, 0.3});
+  const std::vector<CoreId> cores = {1};
+  const auto restricted = base.restrict_to_cores(cores);
+  EXPECT_EQ(restricted->kind(), ObjectiveKind::kGlobalEfficiency);
+  EXPECT_TRUE(restricted->fractional());
+  const CoreSums half = sums(2.0, 1.0, 0.5, 1);
+  const auto fr = restricted->core_fraction(half, 0);
+  const auto fb = base.core_fraction(half, 1);
+  EXPECT_DOUBLE_EQ(fr[0], fb[0]);
+  EXPECT_DOUBLE_EQ(fr[1], fb[1]);
+  // Idle-fraction sleep power uses core 1's 0.2 W, not column 0's 0.1 W.
+  EXPECT_DOUBLE_EQ(fr[1], 1.0 + 0.2 * 0.5);
+}
+
+TEST(RestrictToCores, StatelessObjectivesCloneByKind) {
+  ThroughputObjective tp;
+  EdpObjective edp;
+  const std::vector<CoreId> cores = {3, 1};
+  EXPECT_EQ(tp.restrict_to_cores(cores)->kind(), ObjectiveKind::kThroughput);
+  EXPECT_EQ(edp.restrict_to_cores(cores)->kind(), ObjectiveKind::kEdp);
+  const CoreSums s = sums(4.0, 2.0, 2.0, 2);
+  EXPECT_DOUBLE_EQ(tp.restrict_to_cores(cores)->core_term(s, 0),
+                   tp.core_term(s, 3));
+}
+
+/// Custom objective exercising the default (wrapper) restriction path:
+/// scores core c as (c + 1) · gips, so the remap is directly observable.
+class CoreIndexObjective final : public BalanceObjective {
+ public:
+  double core_term(const CoreSums& s, CoreId core) const override {
+    return static_cast<double>(core + 1) * s.gips;
+  }
+  std::string name() const override { return "core_index"; }
+};
+
+TEST(RestrictToCores, DefaultWrapperRemapsCustomObjectives) {
+  CoreIndexObjective base;
+  const std::vector<CoreId> cores = {5, 2};
+  const auto restricted = base.restrict_to_cores(cores);
+  // Wrapper cannot preserve the (custom) kind — and must not pretend to.
+  EXPECT_EQ(restricted->kind(), ObjectiveKind::kCustom);
+  EXPECT_FALSE(restricted->fractional());
+  const CoreSums s = sums(2.0, 1.0, 1.0, 1);
+  EXPECT_DOUBLE_EQ(restricted->core_term(s, 0), base.core_term(s, 5));
+  EXPECT_DOUBLE_EQ(restricted->core_term(s, 1), base.core_term(s, 2));
+}
+
+/// A ShardedBalancer problem instance over a real platform: m threads on
+/// the platform's n cores with value-random S/P and CPU-bound demand.
+struct Instance {
+  Matrix s, p;
+  std::vector<CoreId> initial;
+  std::vector<std::bitset<kMaxCores>> affinity;
+  std::vector<double> demand;
+};
+
+Instance random_instance(const arch::Platform& platform, std::size_t m,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  const auto n = static_cast<std::size_t>(platform.num_cores());
+  Instance inst{Matrix(m, n), Matrix(m, n), {}, {}, {}};
+  std::bitset<kMaxCores> all;
+  for (std::size_t j = 0; j < n; ++j) all.set(j);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      inst.s.at(i, j) = rng.uniform(0.1, 4.0);
+      inst.p.at(i, j) = rng.uniform(0.05, 3.0);
+    }
+    inst.initial.push_back(
+        static_cast<CoreId>(rng.randi(0, static_cast<std::int64_t>(n))));
+    inst.affinity.push_back(all);
+    inst.demand.push_back(-1.0);  // CPU-bound
+  }
+  return inst;
+}
+
+TEST(ShardedBalancer, SingleShardIsBitIdenticalToUnshardedOptimizer) {
+  // The contract behind the --shards=1 golden equivalence: one shard means
+  // the sub-problem IS the problem and shard 0's seed IS the pass seed, so
+  // the merged result must replay the unsharded annealing trajectory
+  // bit for bit — exact ==, not tolerance.
+  const auto platform = arch::Platform::scaled_heterogeneous(1);
+  const auto inst = random_instance(platform, 8, 42);
+  EnergyEfficiencyObjective obj;
+  SaConfig sa;
+  sa.max_iterations = 2000;
+  const std::uint64_t pass_seed = 0xfeedULL;
+
+  ShardingConfig cfg;
+  cfg.shards = 1;
+  ShardedBalancer sharded(platform, cfg, sa);
+  const SaResult a =
+      sharded.balance(0, pass_seed, inst.s, inst.p, obj, inst.initial,
+                      inst.affinity, inst.demand, nullptr, 0);
+
+  SaOptimizer ref(sa);
+  ref.set_seed(pass_seed);
+  const SaResult b = ref.optimize(inst.s, inst.p, obj, inst.initial,
+                                  &inst.affinity, &inst.demand);
+
+  EXPECT_EQ(a.allocation, b.allocation);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.initial_objective, b.initial_objective);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.accepted_worse, b.accepted_worse);
+  EXPECT_EQ(a.improved, b.improved);
+}
+
+TEST(ShardedBalancer, ResultsIndependentOfWorkerCount) {
+  // jobs=1 vs jobs=8 must produce the same numbers: every shard writes only
+  // its own slot and seeds from (pass seed, shard index), never from
+  // execution order.
+  const auto platform = arch::Platform::scaled_heterogeneous(4);  // 16 cores
+  const auto inst = random_instance(platform, 32, 7);
+  EnergyEfficiencyObjective obj;
+  SaConfig sa;
+  sa.max_iterations = 4000;
+
+  auto run = [&](int jobs) {
+    ShardingConfig cfg;
+    cfg.shards = 4;
+    cfg.jobs = jobs;
+    ShardedBalancer b(platform, cfg, sa);
+    return b.balance(0, 0x1234ULL, inst.s, inst.p, obj, inst.initial,
+                     inst.affinity, inst.demand, nullptr, 0);
+  };
+  const SaResult seq = run(1);
+  const SaResult par = run(8);
+  EXPECT_EQ(seq.allocation, par.allocation);
+  EXPECT_EQ(seq.objective, par.objective);
+  EXPECT_EQ(seq.initial_objective, par.initial_objective);
+  EXPECT_EQ(seq.iterations, par.iterations);
+}
+
+TEST(ShardedBalancer, MergedObjectiveNeverWorseThanInitial) {
+  // Per-shard SA only improves its local objective and the exchange phase
+  // reverts non-improving moves, so the merged global J cannot regress.
+  const auto platform = arch::Platform::scaled_heterogeneous(2);  // 8 cores
+  EnergyEfficiencyObjective obj;
+  SaConfig sa;
+  sa.max_iterations = 2000;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    const auto inst = random_instance(platform, 16, seed);
+    ShardingConfig cfg;
+    cfg.shards = 4;
+    ShardedBalancer b(platform, cfg, sa);
+    const SaResult r =
+        b.balance(0, seed, inst.s, inst.p, obj, inst.initial, inst.affinity,
+                  inst.demand, nullptr, 0);
+    EXPECT_GE(r.objective, r.initial_objective - 1e-9) << "seed " << seed;
+    ASSERT_EQ(r.allocation.size(), inst.initial.size());
+    for (std::size_t i = 0; i < r.allocation.size(); ++i) {
+      EXPECT_GE(r.allocation[i], 0);
+      EXPECT_LT(r.allocation[i], platform.num_cores());
+    }
+    // Accounting is wired: every non-empty shard ran and was counted.
+    EXPECT_GT(b.last_pass().shard_passes, 0);
+    EXPECT_GT(b.last_pass().iterations_total, 0);
+    EXPECT_GT(b.shard_cpu_ns_total(), 0u);
+  }
+}
+
+TEST(ShardedBalancer, RespectsAffinityMasks) {
+  // Pin every thread to its initial core: neither the shard anneals nor the
+  // exchange phase may move anything.
+  const auto platform = arch::Platform::scaled_heterogeneous(2);
+  auto inst = random_instance(platform, 12, 99);
+  for (std::size_t i = 0; i < inst.affinity.size(); ++i) {
+    inst.affinity[i].reset();
+    inst.affinity[i].set(static_cast<std::size_t>(inst.initial[i]));
+  }
+  ShardingConfig cfg;
+  cfg.shards = 4;
+  SaConfig sa;
+  sa.max_iterations = 1000;
+  EnergyEfficiencyObjective obj;
+  ShardedBalancer b(platform, cfg, sa);
+  const SaResult r = b.balance(0, 5, inst.s, inst.p, obj, inst.initial,
+                               inst.affinity, inst.demand, nullptr, 0);
+  EXPECT_EQ(r.allocation, inst.initial);
+  EXPECT_EQ(b.last_pass().exchange_moves, 0);
+}
+
+}  // namespace
+}  // namespace sb::core

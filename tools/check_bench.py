@@ -3,7 +3,8 @@
 
 Compares freshly generated BENCH_*.json files (micro_benchmarks emits
 BENCH_sa.json and BENCH_obs.json, fig7_overhead_scalability emits
-BENCH_epoch.json) against the baselines committed at the repo root.
+BENCH_epoch.json, fig_shard_scaling emits BENCH_shard.json) against the
+baselines committed at the repo root.
 Fails when a hot-path time metric regresses by more than --max-regress
 (default 25%), or when the allocation count per optimizer call / epoch
 pass increases at all -- the zero-alloc inner loop is a hard invariant,
@@ -34,9 +35,14 @@ import sys
 # gated: they jitter too much on shared CI runners, while the aggregates
 # below are stable. pass_cost_index is dimensionless (yardstick-normalized
 # CPU time), which is what lets BENCH_obs pin it to a 1% section budget.
-RATIO_METRICS = ("ns_per_iteration", "total_us", "pass_cost_index")
-# Metrics where any increase is a failure.
-EXACT_METRICS = ("allocs_per_call", "allocs_per_pass")
+RATIO_METRICS = ("ns_per_iteration", "total_us", "pass_cost_index",
+                 "opt_exchange_us_per_core")
+# Metrics where any increase is a failure. sublinear_violations counts
+# scale steps in the sharded-scaling sweep where optimize+exchange CPU
+# per core failed to drop -- the tentpole claim of the sharded balancer
+# is that this stays at zero, so any increase over the committed
+# baseline (itself zero) is a hard failure.
+EXACT_METRICS = ("allocs_per_call", "allocs_per_pass", "sublinear_violations")
 # Tolerance for float noise in "exact" comparisons.
 EPSILON = 1e-9
 
@@ -94,6 +100,27 @@ def compare(baseline_path, fresh_path, max_regress):
                 failures.append(
                     f"{name}/{sec_name}/{metric}: increased "
                     f"{base_v:g} -> {fresh_v:g}")
+        # A baseline section may pin absolute ceilings on chosen metrics
+        # ("max_allowed": {"advantage_lost_pct": 5.0}). Unlike the ratio
+        # gates these do not compare against the baseline value -- they
+        # bound the fresh value directly, which is the right shape for
+        # quality metrics that must never exceed a spec'd budget no
+        # matter what the committed run happened to measure.
+        for metric, ceiling in base_sec.get("max_allowed", {}).items():
+            fresh_v = fresh_sec.get(metric)
+            if fresh_v is None:
+                failures.append(
+                    f"{name}/{sec_name}/{metric}: ceiling {ceiling:g} set "
+                    "but metric missing from fresh run")
+                continue
+            checked += 1
+            status = "FAIL" if fresh_v > ceiling + EPSILON else "ok"
+            print(f"  [{status}] {name}/{sec_name}/{metric}: "
+                  f"{fresh_v:g} (ceiling {ceiling:g})")
+            if fresh_v > ceiling + EPSILON:
+                failures.append(
+                    f"{name}/{sec_name}/{metric}: {fresh_v:g} exceeds "
+                    f"ceiling {ceiling:g}")
     if checked == 0:
         failures.append(f"{name}: no gated metrics found -- "
                         "baseline/fresh schema mismatch?")

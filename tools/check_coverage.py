@@ -10,6 +10,7 @@ counts as covered.
 Gates (any failing exits 1):
   --min-obs PCT     minimum line coverage for src/obs/ (default 90)
   --min-adapt PCT   minimum line coverage for src/core/adapt.* (default 0)
+  --min-shard PCT   minimum line coverage for src/core/shard.* (default 0)
   --min-total PCT   minimum overall line coverage for src/ (default 0)
 
 --json FILE writes the per-file numbers for the CI artifact.
@@ -90,6 +91,9 @@ def main():
     parser.add_argument("--min-adapt", type=float, default=0.0,
                         help="min line coverage %% for src/core/adapt.* "
                              "(default 0)")
+    parser.add_argument("--min-shard", type=float, default=0.0,
+                        help="min line coverage %% for src/core/shard.* "
+                             "(default 0)")
     parser.add_argument("--min-total", type=float, default=0.0,
                         help="min line coverage %% for src/ (default 0)")
     parser.add_argument("--json", help="write per-file numbers to this file")
@@ -101,6 +105,8 @@ def main():
            if f.startswith(os.path.join("src", "obs") + os.sep)}
     adapt = {f: c for f, c in src.items()
              if f.startswith(os.path.join("src", "core", "adapt."))}
+    shard = {f: c for f, c in src.items()
+             if f.startswith(os.path.join("src", "core", "shard."))}
 
     per_file = {}
     for f in sorted(src):
@@ -110,9 +116,11 @@ def main():
 
     obs_cov, obs_tot, obs_pct = coverage_of(obs)
     adapt_cov, adapt_tot, adapt_pct = coverage_of(adapt)
+    shard_cov, shard_tot, shard_pct = coverage_of(shard)
     tot_cov, tot_tot, tot_pct = coverage_of(src)
     print(f"\nsrc/obs/: {obs_pct:.2f}% ({obs_cov}/{obs_tot} lines)")
     print(f"src/core/adapt.*: {adapt_pct:.2f}% ({adapt_cov}/{adapt_tot} lines)")
+    print(f"src/core/shard.*: {shard_pct:.2f}% ({shard_cov}/{shard_tot} lines)")
     print(f"src/ overall: {tot_pct:.2f}% ({tot_cov}/{tot_tot} lines)")
 
     if args.json:
@@ -120,6 +128,7 @@ def main():
             json.dump({"files": per_file,
                        "src_obs_pct": round(obs_pct, 2),
                        "src_adapt_pct": round(adapt_pct, 2),
+                       "src_shard_pct": round(shard_pct, 2),
                        "src_total_pct": round(tot_pct, 2)}, f, indent=1,
                       sort_keys=True)
             f.write("\n")
@@ -135,6 +144,11 @@ def main():
     if adapt_pct < args.min_adapt:
         failures.append(f"src/core/adapt.* coverage {adapt_pct:.2f}% < "
                         f"required {args.min_adapt:.2f}%")
+    if args.min_shard > 0 and not shard:
+        failures.append("no coverage data for src/core/shard.* at all")
+    if shard_pct < args.min_shard:
+        failures.append(f"src/core/shard.* coverage {shard_pct:.2f}% < "
+                        f"required {args.min_shard:.2f}%")
     if tot_pct < args.min_total:
         failures.append(f"src/ coverage {tot_pct:.2f}% < "
                         f"required {args.min_total:.2f}%")

@@ -15,9 +15,15 @@ With --require-epoch the trace must additionally contain at least one
 sense, predict and balance span and at least one migration instant --
 the acceptance shape of a fig4a-style SmartBalance run.
 
+Whenever shard.pass / shard.exchange spans are present (a --shards=K
+run), each one must nest strictly inside the 'epoch' span of its own
+(pid, epoch) pair, and spans sharing a (pid, epoch, args.worker) lane
+must not overlap. --require-shards makes the presence of at least one
+shard.pass span mandatory.
+
 Usage:
     check_trace.py TRACE.json [--schema tools/trace_schema.json]
-                   [--require-epoch]
+                   [--require-epoch] [--require-shards]
 
 Exit status: 0 if valid, 1 otherwise (violations on stderr).
 """
@@ -90,6 +96,56 @@ def semantic_checks(doc, errors):
                       f"payload holds {payload} span/instant events")
 
 
+def shard_shape_checks(doc, errors, required):
+    """Per-shard span nesting under sharded balancing.
+
+    Every 'shard.pass' span must sit strictly inside the 'epoch' span of
+    its own (pid, epoch) pair, and spans sharing a worker lane -- same
+    (pid, epoch, args.worker) -- must not overlap: one worker thread
+    executes its shard passes sequentially, so overlap means the span
+    layout lies about the schedule.
+    """
+    epochs = {}       # (pid, epoch) -> (ts, ts+dur)
+    shard_spans = []  # ((pid, epoch, worker), name, ts, ts+dur, index)
+    for i, ev in enumerate(doc.get("traceEvents", [])):
+        if not isinstance(ev, dict) or ev.get("ph") != "X":
+            continue
+        args = ev.get("args") or {}
+        key = (ev.get("pid"), args.get("epoch"))
+        ts, dur = ev.get("ts", 0), ev.get("dur", 0)
+        if ev.get("name") == "epoch":
+            epochs[key] = (ts, ts + dur)
+        elif ev.get("name") in ("shard.pass", "shard.exchange"):
+            shard_spans.append((key + (args.get("worker"),),
+                                ev.get("name"), ts, ts + dur, i))
+    if required and not any(n == "shard.pass" for _, n, _, _, _ in shard_spans):
+        errors.append("--require-shards: no 'shard.pass' span ('X') events")
+        return
+    for (pid, epoch, worker), name, ts, end, i in shard_spans:
+        enclosing = epochs.get((pid, epoch))
+        if enclosing is None:
+            errors.append(f"traceEvents[{i}]: '{name}' has no enclosing "
+                          f"'epoch' span for (pid={pid}, epoch={epoch})")
+        elif ts < enclosing[0] - 1e-3 or end > enclosing[1] + 1e-3:
+            errors.append(
+                f"traceEvents[{i}]: '{name}' [{ts}, {end}] escapes its "
+                f"'epoch' span [{enclosing[0]}, {enclosing[1]}]")
+    by_lane = {}
+    for lane, name, ts, end, i in shard_spans:
+        by_lane.setdefault(lane, []).append((ts, end, name, i))
+    for lane, spans in by_lane.items():
+        spans.sort()
+        for (ts_a, end_a, name_a, i_a), (ts_b, end_b, name_b, i_b) in \
+                zip(spans, spans[1:]):
+            # Chained spans share boundaries; ns->us conversion can push the
+            # predecessor's end a few ulps past the successor's start.
+            if ts_b < end_a - 1e-3:
+                errors.append(
+                    f"traceEvents[{i_b}]: '{name_b}' [{ts_b}, {end_b}] "
+                    f"overlaps '{name_a}' [{ts_a}, {end_a}] on worker lane "
+                    f"(pid={lane[0]}, epoch={lane[1]}, worker={lane[2]})")
+
+
 def epoch_shape_checks(doc, errors):
     """--require-epoch: the canonical SmartBalance epoch anatomy."""
     by_name = {}
@@ -114,6 +170,10 @@ def main():
     parser.add_argument("--require-epoch", action="store_true",
                         help="require sense/predict/balance spans and a "
                              "migration instant")
+    parser.add_argument("--require-shards", action="store_true",
+                        help="require shard.pass spans (sharded balancing "
+                             "run); nesting checks always apply when shard "
+                             "spans are present")
     args = parser.parse_args()
 
     with open(args.schema) as f:
@@ -130,6 +190,7 @@ def main():
     semantic_checks(doc, errors)
     if args.require_epoch:
         epoch_shape_checks(doc, errors)
+    shard_shape_checks(doc, errors, args.require_shards)
 
     if errors:
         print(f"{args.trace}: INVALID ({len(errors)} violation(s)):",

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates the committed perf baselines (BENCH_sa.json, BENCH_epoch.json,
-# BENCH_obs.json at the repo root) from N interleaved repetitions of the
+# BENCH_obs.json, BENCH_shard.json at the repo root) from N interleaved
+# repetitions of the
 # release-mode benchmark harnesses, taking the best-of envelope on every
 # gated metric.
 #
@@ -45,11 +46,12 @@ if [[ ! -f CMakeLists.txt || ! -d tools ]]; then
 fi
 
 if [[ ! -x "$BUILD_DIR/bench/micro_benchmarks" ||
-      ! -x "$BUILD_DIR/bench/fig7_overhead_scalability" ]]; then
+      ! -x "$BUILD_DIR/bench/fig7_overhead_scalability" ||
+      ! -x "$BUILD_DIR/bench/fig_shard_scaling" ]]; then
   echo "== configuring + building $BUILD_DIR (Release)"
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "$BUILD_DIR" -j \
-        --target micro_benchmarks fig7_overhead_scalability
+        --target micro_benchmarks fig7_overhead_scalability fig_shard_scaling
 fi
 
 WORK=$(mktemp -d)
@@ -66,7 +68,9 @@ for rep in $(seq 1 "$REPS"); do
        --benchmark_min_time=0.05 >/dev/null)
   (cd "$WORK/rep$rep" &&
    "$ROOT/$BUILD_DIR/bench/fig7_overhead_scalability" >/dev/null)
-  for f in BENCH_sa.json BENCH_obs.json BENCH_epoch.json; do
+  (cd "$WORK/rep$rep" &&
+   "$ROOT/$BUILD_DIR/bench/fig_shard_scaling" >/dev/null)
+  for f in BENCH_sa.json BENCH_obs.json BENCH_epoch.json BENCH_shard.json; do
     [[ -f "$WORK/rep$rep/$f" ]] ||
         { echo "rebaseline.sh: rep $rep did not produce $f" >&2; exit 1; }
   done
@@ -80,10 +84,14 @@ import sys
 work, reps = sys.argv[1], int(sys.argv[2])
 MIN_KEYS = {"ns_per_iteration", "ns_per_call", "total_us", "min_pass_ns",
             "pass_cost_index", "allocs_per_call", "allocs_per_pass",
-            "sense_us", "predict_us", "optimize_us", "migrate_us"}
+            "sense_us", "predict_us", "optimize_us", "migrate_us",
+            "opt_exchange_us_per_core", "sa_cpu_us_per_pass",
+            "exchange_us_per_pass", "sublinear_violations",
+            "advantage_lost_pct"}
 MAX_KEYS = {"iterations_per_sec"}
 
-for name in ("BENCH_sa.json", "BENCH_obs.json", "BENCH_epoch.json"):
+for name in ("BENCH_sa.json", "BENCH_obs.json", "BENCH_epoch.json",
+             "BENCH_shard.json"):
     docs = []
     for rep in range(1, reps + 1):
         with open(f"{work}/rep{rep}/{name}") as f:
@@ -115,4 +123,4 @@ for name in ("BENCH_sa.json", "BENCH_obs.json", "BENCH_epoch.json"):
     print(f"  wrote {name}")
 PY
 
-echo "== done; review with: git diff BENCH_sa.json BENCH_epoch.json BENCH_obs.json"
+echo "== done; review with: git diff BENCH_sa.json BENCH_epoch.json BENCH_obs.json BENCH_shard.json"

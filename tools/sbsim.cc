@@ -41,7 +41,9 @@ using namespace sb;
 [[noreturn]] void usage(int code) {
   std::cout << R"(sbsim — SmartBalance heterogeneous-MPSoC simulator
 
-  --platform=quad | biglittle | scaled:<per-type> | homogeneous:<n>
+  --platform=quad | biglittle | scaled:<per-type> | homogeneous:<n> |
+             gen:<big>x<LITTLE>[:clusters]   synthetic large platform
+                            (e.g. gen:32x96:8 = 1024 cores in 8 clusters)
   --platform-file=<desc.txt>   custom platform (see arch/platform_loader.h)
   --policy=none | vanilla | gts | iks | utilaware | smartbalance |
            smartbalance-eq11                     (default: smartbalance)
@@ -71,6 +73,12 @@ using namespace sb;
   --adapt=<spec>            online predictor adaptation for smartbalance
                             policies (see core/adapt.h), e.g.
                             "bias", "bias:0.25:0.5,rls:0.995", "rls"
+  --shards=K[:jobs[:moves]] sharded hierarchical balancing for smartbalance
+                            policies (see core/shard.h): K cluster-local SA
+                            passes in parallel on <jobs> workers (0 = auto)
+                            plus a global exchange of up to <moves> threads
+                            per epoch (default auto). --shards=1 replays
+                            the unsharded trajectory bit for bit
   --faults=<spec>           deterministic sensor-fault plan (fault/
                             fault_plan.h), e.g. "noise:0.8:8,wrap:0.05"
   --defenses=auto|on|off    sensing-defense activation (default auto:
@@ -105,6 +113,7 @@ struct Args {
   std::string metrics_out;   // standalone metrics JSON file
   std::string audit;         // prediction-audit export (packed CSV)
   std::string adapt;         // AdaptationConfig::parse spec
+  std::string shards;        // ShardingConfig::parse spec
   std::string faults;        // FaultPlan::parse spec
   std::string defenses;      // auto | on | off
   std::vector<std::tuple<std::string, std::string, int>> thread_traces;
@@ -185,6 +194,7 @@ Args parse(int argc, char** argv) {
       a.metrics = true;
     } else if (arg.rfind("--audit=", 0) == 0) a.audit = value("--audit=");
     else if (arg.rfind("--adapt=", 0) == 0) a.adapt = value("--adapt=");
+    else if (arg.rfind("--shards=", 0) == 0) a.shards = value("--shards=");
     else if (arg.rfind("--faults=", 0) == 0) a.faults = value("--faults=");
     else if (arg.rfind("--defenses=", 0) == 0)
       a.defenses = value("--defenses=");
@@ -209,6 +219,9 @@ Args parse(int argc, char** argv) {
 arch::Platform make_platform(const std::string& spec) {
   if (spec == "quad") return arch::Platform::quad_heterogeneous();
   if (spec == "biglittle") return arch::Platform::octa_big_little();
+  if (spec.rfind("gen:", 0) == 0) {
+    return arch::generate_platform(spec.substr(4));
+  }
   const auto parts = split(spec, ':');
   if (parts.size() == 2 && parts[0] == "scaled") {
     return arch::Platform::scaled_heterogeneous(std::atoi(parts[1].c_str()));
@@ -225,6 +238,7 @@ core::SmartBalanceConfig sb_config(const Args& a) {
   core::SmartBalanceConfig cfg;
   // Parse errors surface as std::invalid_argument -> main's catch -> exit 1.
   if (!a.adapt.empty()) cfg.adaptation = core::AdaptationConfig::parse(a.adapt);
+  if (!a.shards.empty()) cfg.sharding = core::ShardingConfig::parse(a.shards);
   if (!a.faults.empty()) cfg.fault_plan = fault::FaultPlan::parse(a.faults);
   if (a.defenses == "on") {
     cfg.defenses = core::SmartBalanceConfig::Defenses::kOn;
