@@ -1,0 +1,131 @@
+#include "fleet/dispatch.h"
+
+#include <limits>
+
+namespace sb::fleet {
+
+namespace {
+
+class RoundRobinDispatcher final : public Dispatcher {
+ public:
+  const char* name() const override { return "rr"; }
+  int pick(const JobView&, const std::vector<NodeView>& views) override {
+    if (views.empty()) return -1;
+    const int n = static_cast<int>(views.size());
+    const int choice = next_ % n;
+    next_ = (next_ + 1) % n;
+    return views[static_cast<std::size_t>(choice)].index;
+  }
+
+ private:
+  int next_ = 0;
+};
+
+double load_per_core(const NodeView& v) {
+  return v.cores > 0 ? static_cast<double>(v.runnable_threads) / v.cores
+                     : std::numeric_limits<double>::infinity();
+}
+
+class LeastLoadedDispatcher final : public Dispatcher {
+ public:
+  const char* name() const override { return "least"; }
+  int pick(const JobView&, const std::vector<NodeView>& views) override {
+    int best = -1;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (const auto& v : views) {
+      const double load = load_per_core(v);
+      if (load < best_load) {
+        best_load = load;
+        best = v.index;
+      }
+    }
+    return best;
+  }
+};
+
+class EnergyAwareDispatcher final : public Dispatcher {
+ public:
+  EnergyAwareDispatcher(double load_cap, double consolidation_bias)
+      : load_cap_(load_cap), bias_(consolidation_bias) {}
+
+  const char* name() const override { return "energy"; }
+
+  int pick(const JobView& job, const std::vector<NodeView>& views) override {
+    // Lexicographic ranking: (tier, predicted energy, load). Tier 0 nodes
+    // can absorb every thread of the job on a free core — placement there
+    // costs no time-sharing, so they rank purely by predicted marginal
+    // joules. Tier 1 nodes are below the cap but would time-share; their
+    // energy score is stretched by the contention the placement creates
+    // (the static power the rack burns while the job drags). Equal-energy
+    // candidates (identical shapes) fall back to least-loaded, which keeps
+    // the latency tail honest when efficiency cannot discriminate.
+    int best = -1;
+    int best_tier = 2;
+    double best_score = std::numeric_limits<double>::infinity();
+    double best_load = std::numeric_limits<double>::infinity();
+    for (const auto& v : views) {
+      if (v.cores <= 0) continue;
+      // Saturation guard: placing here would push the node past the cap,
+      // so the job queues at the fleet instead of bloating a runqueue.
+      if (v.runnable_threads + job.threads >
+          static_cast<int>(load_cap_ * v.cores)) {
+        continue;
+      }
+      const double load =
+          static_cast<double>(v.runnable_threads + job.threads) / v.cores;
+      const int tier = v.runnable_threads + job.threads <= v.cores ? 0 : 1;
+      // Predicted marginal joules of running the job on this node's best
+      // *available* core type; without a prediction, rank by load alone so
+      // the policy degrades to least-loaded rather than arbitrary placement.
+      double score =
+          v.best_eff_ipj > 0
+              ? static_cast<double>(job.total_instructions) / v.best_eff_ipj
+              : 1e18;
+      if (tier == 1) score *= 1.0 + load;
+      // Consolidation bias: an idle node pays a relative energy surcharge,
+      // so traffic packs onto already-awake nodes while idle ones drain.
+      if (v.idle) score *= 1.0 + bias_;
+      if (tier < best_tier ||
+          (tier == best_tier &&
+           (score < best_score ||
+            (score == best_score && load < best_load)))) {
+        best_tier = tier;
+        best_score = score;
+        best_load = load;
+        best = v.index;
+      }
+    }
+    return best;  // -1 when every node is saturated: defer the job
+  }
+
+ private:
+  double load_cap_;
+  double bias_;
+};
+
+}  // namespace
+
+std::unique_ptr<Dispatcher> make_round_robin() {
+  return std::make_unique<RoundRobinDispatcher>();
+}
+
+std::unique_ptr<Dispatcher> make_least_loaded() {
+  return std::make_unique<LeastLoadedDispatcher>();
+}
+
+std::unique_ptr<Dispatcher> make_energy_aware(double load_cap,
+                                              double consolidation_bias) {
+  return std::make_unique<EnergyAwareDispatcher>(load_cap, consolidation_bias);
+}
+
+std::unique_ptr<Dispatcher> make_dispatcher(const FleetConfig& cfg) {
+  switch (cfg.policy) {
+    case DispatchPolicy::kRoundRobin: return make_round_robin();
+    case DispatchPolicy::kLeastLoaded: return make_least_loaded();
+    case DispatchPolicy::kEnergyAware:
+      return make_energy_aware(cfg.load_cap, cfg.consolidation_bias);
+  }
+  return make_round_robin();
+}
+
+}  // namespace sb::fleet

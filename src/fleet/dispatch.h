@@ -1,0 +1,74 @@
+// Fleet-level job placement policies.
+//
+// A Dispatcher sees only NodeView summaries — deterministic per-quantum
+// digests of each node's simulation state plus (for the energy-aware
+// policy) the predicted best-case energy efficiency of placing the
+// incoming job class there. Keeping the policies pure functions of their
+// views makes them unit-testable without spinning up simulations and
+// guarantees placement decisions are independent of the node-stepping
+// worker count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fleet/fleet_config.h"
+
+namespace sb::fleet {
+
+/// Dispatcher-visible summary of one node at a quantum boundary.
+struct NodeView {
+  int index = 0;
+  int cores = 0;
+  /// Live (not yet exited) threads of fleet jobs currently on the node.
+  int runnable_threads = 0;
+  /// True when the node hosts no live fleet job — dispatching here wakes it.
+  bool idle = true;
+  /// Predicted marginal instructions-per-joule of placing the incoming job
+  /// class on this node: harmonic-mean efficiency over the cores still
+  /// free, since the node's own balancer decides the actual core placement
+  /// (0 = no prediction available).
+  double best_eff_ipj = 0;
+};
+
+/// Dispatcher-visible summary of the job being placed.
+struct JobView {
+  int job_class = 0;
+  int threads = 1;
+  std::uint64_t total_instructions = 0;
+};
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+  virtual const char* name() const = 0;
+  /// Picks the destination node index for `job`, or -1 to defer the job to
+  /// the next quantum (fleet-level queueing; only the energy-aware policy
+  /// defers, and only when every node is saturated).
+  virtual int pick(const JobView& job, const std::vector<NodeView>& views) = 0;
+};
+
+/// Round-robin: the blind baseline — cycles node indices, ignoring load,
+/// platform and job class entirely.
+std::unique_ptr<Dispatcher> make_round_robin();
+
+/// Least-loaded: minimum runnable-threads-per-core, ties to the lowest
+/// node index.
+std::unique_ptr<Dispatcher> make_least_loaded();
+
+/// Energy-aware: minimum predicted marginal energy-delay — job
+/// instructions / best predicted IPJ, stretched by the contention the
+/// placement creates (runnable threads per core) — with an idle-node
+/// surcharge of `consolidation_bias` (keeps idle nodes drainable) and
+/// saturation exclusion above `load_cap` threads per core (protects the
+/// latency tail). Falls back to least-loaded scoring among eligible nodes
+/// when no prediction is available; defers (-1) when every node is
+/// saturated.
+std::unique_ptr<Dispatcher> make_energy_aware(double load_cap,
+                                              double consolidation_bias);
+
+/// Factory keyed by the FleetConfig's policy + tuning fields.
+std::unique_ptr<Dispatcher> make_dispatcher(const FleetConfig& cfg);
+
+}  // namespace sb::fleet

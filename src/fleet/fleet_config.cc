@@ -1,0 +1,134 @@
+#include "fleet/fleet_config.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace sb::fleet {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+int parse_nodes(const std::string& tok) {
+  if (tok.empty() || tok.size() > 5) {
+    throw std::invalid_argument("--fleet: bad node count '" + tok + "'");
+  }
+  for (char c : tok) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("--fleet: bad node count '" + tok + "'");
+    }
+  }
+  const long n = std::strtol(tok.c_str(), nullptr, 10);
+  if (n < 1 || n > 1024) {
+    throw std::invalid_argument("--fleet: node count must be in [1, 1024]");
+  }
+  return static_cast<int>(n);
+}
+
+double parse_rate(const std::string& tok) {
+  if (tok.empty()) {
+    throw std::invalid_argument("--fleet: empty rate");
+  }
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size() || !std::isfinite(v)) {
+    throw std::invalid_argument("--fleet: bad rate '" + tok + "'");
+  }
+  if (!(v > 0) || !(v <= 1e7)) {
+    throw std::invalid_argument("--fleet: rate must be in (0, 1e7]");
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::kRoundRobin: return "rr";
+    case DispatchPolicy::kLeastLoaded: return "least";
+    case DispatchPolicy::kEnergyAware: return "energy";
+  }
+  return "?";
+}
+
+DispatchPolicy dispatch_policy_from(const std::string& name) {
+  if (name == "rr" || name == "roundrobin" || name == "round-robin") {
+    return DispatchPolicy::kRoundRobin;
+  }
+  if (name == "least" || name == "least-loaded" || name == "leastloaded") {
+    return DispatchPolicy::kLeastLoaded;
+  }
+  if (name == "energy" || name == "energy-aware" || name == "energyaware") {
+    return DispatchPolicy::kEnergyAware;
+  }
+  throw std::invalid_argument("--fleet: unknown dispatch policy '" + name +
+                              "' (want rr | least | energy)");
+}
+
+FleetConfig FleetConfig::parse(const std::string& text) {
+  const auto parts = split(text, ':');
+  if (parts.size() > 3) {
+    throw std::invalid_argument("--fleet: too many fields in '" + text +
+                                "' (grammar: N[:policy[:rate]])");
+  }
+  FleetConfig cfg;
+  cfg.nodes = parse_nodes(parts[0]);
+  if (parts.size() >= 2) cfg.policy = dispatch_policy_from(parts[1]);
+  if (parts.size() >= 3) cfg.rate_hz = parse_rate(parts[2]);
+  cfg.validate();
+  return cfg;
+}
+
+std::string FleetConfig::canonical() const {
+  std::string rate = std::to_string(rate_hz);
+  // Trim trailing zeros of the default %f formatting (keep "300", "450.5").
+  while (!rate.empty() && rate.back() == '0') rate.pop_back();
+  if (!rate.empty() && rate.back() == '.') rate.pop_back();
+  return std::to_string(nodes) + ":" + to_string(policy) + ":" + rate;
+}
+
+void FleetConfig::validate() const {
+  if (nodes < 1 || nodes > 1024) {
+    throw std::invalid_argument("FleetConfig: nodes out of [1, 1024]");
+  }
+  if (!(rate_hz > 0) || !(rate_hz <= 1e7)) {
+    throw std::invalid_argument("FleetConfig: rate_hz out of (0, 1e7]");
+  }
+  if (duration <= 0) {
+    throw std::invalid_argument("FleetConfig: duration must be > 0");
+  }
+  if (quantum <= 0 || quantum > duration) {
+    throw std::invalid_argument("FleetConfig: quantum out of (0, duration]");
+  }
+  if (node_policy != "smartbalance" && node_policy != "vanilla") {
+    throw std::invalid_argument(
+        "FleetConfig: node_policy must be smartbalance or vanilla");
+  }
+  if (!(burst_factor >= 1.0) || !(burst_factor <= 1e3)) {
+    throw std::invalid_argument("FleetConfig: burst_factor out of [1, 1e3]");
+  }
+  if (zipf_theta < 0 || zipf_theta > 16.0) {
+    throw std::invalid_argument("FleetConfig: zipf_theta out of [0, 16]");
+  }
+  if (!(load_cap >= 0.5) || !(load_cap <= 64.0)) {
+    throw std::invalid_argument("FleetConfig: load_cap out of [0.5, 64]");
+  }
+  if (consolidation_bias < 0 || consolidation_bias > 10.0) {
+    throw std::invalid_argument(
+        "FleetConfig: consolidation_bias out of [0, 10]");
+  }
+}
+
+}  // namespace sb::fleet

@@ -1,0 +1,73 @@
+// Fleet configuration and the sbsim `--fleet=N[:policy[:rate]]` grammar.
+//
+// Parsed FaultPlan-style: a compact colon-separated spec covers the knobs a
+// CLI user reaches for (node count, dispatch policy, mean arrival rate);
+// everything else — quantum, duration, catalog, consolidation tuning — is
+// an API field the harnesses set directly. parse() throws
+// std::invalid_argument with a message naming the offending token, and
+// canonical() round-trips through parse() for the config fuzz tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace sb::fleet {
+
+/// Fleet-level job placement policies (see fleet/dispatch.h).
+enum class DispatchPolicy { kRoundRobin, kLeastLoaded, kEnergyAware };
+
+const char* to_string(DispatchPolicy p);
+
+/// Accepts the canonical names ("rr", "least", "energy") plus the common
+/// long spellings; throws std::invalid_argument otherwise.
+DispatchPolicy dispatch_policy_from(const std::string& name);
+
+struct FleetConfig {
+  // --- CLI grammar fields: "N[:policy[:rate]]" ---
+  int nodes = 4;
+  DispatchPolicy policy = DispatchPolicy::kEnergyAware;
+  /// Long-run mean job arrival rate for the whole fleet (jobs/second).
+  double rate_hz = 300.0;
+
+  // --- API knobs (not part of the grammar) ---
+  /// Simulated window; jobs still queued or running at the end are counted
+  /// as dispatched/arrived but not completed.
+  TimeNs duration = milliseconds(1500);
+  /// Dispatch cadence: arrivals are admitted and placed at every quantum
+  /// boundary, and nodes advance in lockstep quanta between boundaries.
+  TimeNs quantum = milliseconds(5);
+  std::uint64_t seed = 1234;
+  /// Worker threads for the per-quantum node stepping (0 = SB_JOBS env or
+  /// hardware concurrency). Results are identical for any value.
+  int step_jobs = 0;
+  /// Per-node balancing policy: "smartbalance" or "vanilla".
+  std::string node_policy = "smartbalance";
+  /// Arrival-process shape (see workload/arrival.h).
+  double burst_factor = 4.0;
+  double zipf_theta = 0.99;
+  /// Energy-aware placement: a node is saturated (ineligible) once its
+  /// live fleet threads would exceed load_cap * cores.
+  double load_cap = 2.0;
+  /// Relative energy surcharge for waking an idle node — the consolidation
+  /// bias that keeps idle nodes drainable.
+  double consolidation_bias = 0.25;
+  /// Fleet-level observability (fleet.quantum spans, fleet.dispatch
+  /// instants, job latency histograms).
+  bool trace = false;
+  bool metrics = false;
+  /// Also collect each node's metrics registry (merged into exports).
+  bool node_obs = false;
+
+  /// Parses "N[:policy[:rate]]", e.g. "8", "8:rr", "8:energy:450".
+  static FleetConfig parse(const std::string& text);
+
+  /// The grammar string that parses back to the grammar fields.
+  std::string canonical() const;
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+}  // namespace sb::fleet

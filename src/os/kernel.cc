@@ -350,6 +350,7 @@ void Kernel::dispatch(CoreId c) {
     t.runnable_since = kTimeNever;
   }
   ++t.dispatches;
+  if (t.first_dispatched_at == kTimeNever) t.first_dispatched_at = now_;
   t.state = TaskState::Running;
   t.cpu = c;
   cs.running = tid;

@@ -83,6 +83,9 @@ struct Task {
   TimeNs total_wait = 0;               // accumulated runqueue wait
   TimeNs max_wait = 0;
   std::uint64_t dispatches = 0;
+  /// First time the task ever ran (wake-to-run latency = this - arrived_at);
+  /// kTimeNever until the first dispatch.
+  TimeNs first_dispatched_at = kTimeNever;
 
   bool alive() const { return state != TaskState::Exited; }
   bool can_run_on(CoreId c) const {

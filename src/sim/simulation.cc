@@ -26,10 +26,22 @@ Simulation::Simulation(const arch::Platform& platform, SimulationConfig cfg)
 }
 
 void Simulation::add_benchmark(const std::string& name, int threads) {
-  const auto bench = workload::BenchmarkLibrary::get(name);
-  for (auto& tb : bench.spawn(threads, spawn_rng_)) {
-    kernel_->fork(std::move(tb));
+  (void)admit_benchmark(name, threads, 0);
+}
+
+std::vector<ThreadId> Simulation::admit_benchmark(
+    const std::string& name, int threads,
+    std::uint64_t per_thread_instructions) {
+  auto bench = workload::BenchmarkLibrary::get(name);
+  if (per_thread_instructions > 0) {
+    bench.per_thread_instructions = per_thread_instructions;
   }
+  std::vector<ThreadId> tids;
+  tids.reserve(static_cast<std::size_t>(threads));
+  for (auto& tb : bench.spawn(threads, spawn_rng_)) {
+    tids.push_back(kernel_->fork(std::move(tb)));
+  }
+  return tids;
 }
 
 void Simulation::add_mix(int mix_id, int threads_per_member) {
@@ -66,11 +78,8 @@ void Simulation::set_balancer(std::unique_ptr<os::LoadBalancer> balancer) {
   kernel_->set_balancer(std::move(balancer));
 }
 
-SimulationResult Simulation::run() {
-  if (ran_) throw std::logic_error("Simulation::run called twice");
-  ran_ = true;
-
-  const bool sampled = cfg_.thermal_enabled || !cfg_.trace_path.empty();
+void Simulation::prepare_run() {
+  sampled_ = cfg_.thermal_enabled || !cfg_.trace_path.empty();
   if (cfg_.thermal_enabled) {
     thermal_ =
         std::make_unique<power::ThermalModel>(platform_, cfg_.thermal);
@@ -82,14 +91,31 @@ SimulationResult Simulation::run() {
         std::vector<std::string>{"time_ms", "core", "power_w", "temp_c",
                                  "nr_running", "freq_mhz"});
   }
-  if (sampled) {
+  if (sampled_) {
     prev_core_joules_.assign(static_cast<std::size_t>(platform_.num_cores()),
                              0.0);
   }
+}
 
-  if (cfg_.run_to_completion || sampled || !arrivals_.empty()) {
+SimulationResult Simulation::finalize_run() {
+  SimulationResult r = snapshot();
+  if (!cfg_.chrome_trace_path.empty() && r.obs) {
+    obs::write_chrome_trace_file(cfg_.chrome_trace_path, {r.obs.get()});
+  }
+  if (!cfg_.audit_path.empty() && r.obs) {
+    obs::write_audit_file(cfg_.audit_path, {r.obs.get()});
+  }
+  return r;
+}
+
+SimulationResult Simulation::run() {
+  if (ran_) throw std::logic_error("Simulation::run called twice");
+  ran_ = true;
+  prepare_run();
+
+  if (cfg_.run_to_completion || sampled_ || !arrivals_.empty()) {
     // Advance in steps: fine-grained when sampling, epoch-sized otherwise.
-    const TimeNs step = sampled ? cfg_.sample_interval : milliseconds(20);
+    const TimeNs step = sampled_ ? cfg_.sample_interval : milliseconds(20);
     while (kernel_->now() < cfg_.duration &&
            !(cfg_.run_to_completion && kernel_->all_exited() &&
              arrivals_.empty())) {
@@ -101,19 +127,42 @@ SimulationResult Simulation::run() {
       }
       kernel_->run_for(chunk);
       apply_arrivals();
-      if (sampled) sample_tick(chunk);
+      if (sampled_) sample_tick(chunk);
     }
   } else {
     kernel_->run_until(cfg_.duration);
   }
-  SimulationResult r = snapshot();
-  if (!cfg_.chrome_trace_path.empty() && r.obs) {
-    obs::write_chrome_trace_file(cfg_.chrome_trace_path, {r.obs.get()});
+  return finalize_run();
+}
+
+void Simulation::begin_service() {
+  if (ran_) throw std::logic_error("begin_service: simulation already run");
+  ran_ = true;
+  service_ = true;
+  prepare_run();
+}
+
+void Simulation::advance_service(TimeNs dt) {
+  if (!service_) throw std::logic_error("advance_service: not in service mode");
+  const TimeNs until = kernel_->now() + dt;
+  while (kernel_->now() < until) {
+    TimeNs chunk = until - kernel_->now();
+    if (sampled_) chunk = std::min(chunk, cfg_.sample_interval);
+    for (const Arrival& a : arrivals_) {
+      if (a.at > kernel_->now()) {
+        chunk = std::min(chunk, a.at - kernel_->now());
+      }
+    }
+    kernel_->run_for(chunk);
+    apply_arrivals();
+    if (sampled_) sample_tick(chunk);
   }
-  if (!cfg_.audit_path.empty() && r.obs) {
-    obs::write_audit_file(cfg_.audit_path, {r.obs.get()});
-  }
-  return r;
+}
+
+SimulationResult Simulation::finish_service() {
+  if (!service_) throw std::logic_error("finish_service: not in service mode");
+  service_ = false;
+  return finalize_run();
 }
 
 void Simulation::sample_tick(TimeNs window) {

@@ -80,6 +80,30 @@ class Simulation {
   /// run_to_completion). Returns the final metrics; callable once.
   SimulationResult run();
 
+  // --- Service mode (incremental driving; used by the fleet layer) ---
+  // begin_service() performs run()'s setup without the batch loop, after
+  // which advance_service() steps the kernel in arbitrary increments and
+  // jobs can be admitted at the current simulated time between steps.
+  // finish_service() finalizes the run (writing any configured exports)
+  // and returns the final metrics. Mutually exclusive with run().
+
+  /// Enters service mode; throws std::logic_error if already run.
+  void begin_service();
+
+  /// Advances simulated time by `dt`, honoring deferred arrivals and the
+  /// sampling cadence exactly like run()'s stepping loop.
+  void advance_service(TimeNs dt);
+
+  /// Forks `threads` workers of a library benchmark at the current
+  /// simulated time, overriding each worker's instruction budget when
+  /// `per_thread_instructions` > 0 (so service jobs terminate). Returns
+  /// the forked thread ids for completion tracking.
+  std::vector<ThreadId> admit_benchmark(const std::string& name, int threads,
+                                        std::uint64_t per_thread_instructions);
+
+  /// Leaves service mode, writes configured exports, returns final metrics.
+  SimulationResult finish_service();
+
   /// Metrics of the run so far (valid after run(), or mid-run for tools
   /// driving the kernel directly).
   SimulationResult snapshot() const;
@@ -97,6 +121,8 @@ class Simulation {
   obs::Sink* obs() { return obs_.get(); }
 
  private:
+  void prepare_run();
+  SimulationResult finalize_run();
   void sample_tick(TimeNs window);
   void apply_arrivals();
 
@@ -119,6 +145,8 @@ class Simulation {
   double max_temp_seen_c_ = 0;
   Rng spawn_rng_;
   bool ran_ = false;
+  bool service_ = false;
+  bool sampled_ = false;
 };
 
 }  // namespace sb::sim

@@ -1,0 +1,96 @@
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sb::workload {
+
+ZipfGenerator::ZipfGenerator(int n, double theta, std::uint64_t seed)
+    : theta_(theta), rng_(seed) {
+  if (n < 1) throw std::invalid_argument("ZipfGenerator: n must be >= 1");
+  if (theta < 0 || theta > 16.0) {
+    throw std::invalid_argument("ZipfGenerator: theta out of [0, 16]");
+  }
+  cdf_.resize(static_cast<std::size_t>(n));
+  double sum = 0;
+  for (int k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[static_cast<std::size_t>(k)] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against rounding in the last bucket
+}
+
+int ZipfGenerator::next() {
+  const double u = rng_.uniform();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto k = static_cast<int>(it - cdf_.begin());
+  return std::min(k, size() - 1);
+}
+
+double ZipfGenerator::probability(int rank) const {
+  if (rank < 0 || rank >= size()) {
+    throw std::out_of_range("ZipfGenerator::probability: bad rank");
+  }
+  const auto k = static_cast<std::size_t>(rank);
+  return rank == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+void ArrivalProcess::Config::validate() const {
+  if (!(rate_hz > 0) || !(rate_hz <= 1e7)) {
+    throw std::invalid_argument("ArrivalProcess: rate_hz out of (0, 1e7]");
+  }
+  if (!(burst_factor >= 1.0) || !(burst_factor <= 1e3)) {
+    throw std::invalid_argument("ArrivalProcess: burst_factor out of [1, 1e3]");
+  }
+  if (burst_mean <= 0 || calm_mean <= 0) {
+    throw std::invalid_argument("ArrivalProcess: state dwell means must be > 0");
+  }
+  if (num_classes < 1 || num_classes > 1'000'000) {
+    throw std::invalid_argument("ArrivalProcess: num_classes out of [1, 1e6]");
+  }
+  if (zipf_theta < 0 || zipf_theta > 16.0) {
+    throw std::invalid_argument("ArrivalProcess: zipf_theta out of [0, 16]");
+  }
+}
+
+ArrivalProcess::ArrivalProcess(Config cfg)
+    : cfg_((cfg.validate(), cfg)),
+      zipf_(cfg.num_classes, cfg.zipf_theta, cfg.seed ^ 0x7a69'7066ULL),
+      rng_(cfg.seed ^ 0x6172'7276ULL) {
+  // Duty cycle d of the burst state; solve
+  //   calm_rate * (1 - d) + calm_rate * burst_factor * d == rate_hz.
+  const double d = to_seconds(cfg_.burst_mean) /
+                   (to_seconds(cfg_.burst_mean) + to_seconds(cfg_.calm_mean));
+  calm_rate_hz_ = cfg_.rate_hz / (1.0 - d + cfg_.burst_factor * d);
+  state_until_ = exponential_ns(1.0 / to_seconds(cfg_.calm_mean));
+}
+
+TimeNs ArrivalProcess::exponential_ns(double rate_hz) {
+  const double u = rng_.uniform();
+  const double secs = -std::log(1.0 - u) / rate_hz;
+  return std::max<TimeNs>(1, static_cast<TimeNs>(secs * 1e9));
+}
+
+JobArrival ArrivalProcess::next() {
+  for (;;) {
+    const double rate =
+        bursting_ ? calm_rate_hz_ * cfg_.burst_factor : calm_rate_hz_;
+    const TimeNs dt = exponential_ns(rate);
+    if (now_ + dt >= state_until_) {
+      // The draw crosses a state boundary: jump to it, flip the state and
+      // redraw (the exponential is memoryless, so discarding the partial
+      // draw keeps the process exact).
+      now_ = state_until_;
+      bursting_ = !bursting_;
+      const TimeNs mean = bursting_ ? cfg_.burst_mean : cfg_.calm_mean;
+      state_until_ = now_ + exponential_ns(1.0 / to_seconds(mean));
+      continue;
+    }
+    now_ += dt;
+    return JobArrival{next_id_++, now_, zipf_.next()};
+  }
+}
+
+}  // namespace sb::workload

@@ -1,0 +1,99 @@
+// Fleet-level job-arrival process: a seeded Zipf popularity distribution
+// over job classes combined with a bursty (two-state Markov-modulated
+// Poisson) interarrival clock.
+//
+// Datacenter request streams are skewed — a handful of job classes receive
+// most of the traffic (rank-popularity ~ 1/rank^theta) — and they arrive in
+// bursts, not as a smooth Poisson stream. Both properties matter to a
+// dispatcher: skew concentrates the predictor's work on a few classes, and
+// bursts are what separate load-aware placement from blind round-robin.
+// Every draw comes from one private Rng, so a process is a deterministic
+// function of its Config (the fleet determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace sb::workload {
+
+/// Zipf(theta) sampler over ranks [0, n): P(rank k) ~ 1/(k+1)^theta,
+/// drawn by inverse-CDF over the precomputed normalized harmonic partial
+/// sums. theta = 0 degenerates to uniform; theta ~ 0.99 is the classic
+/// YCSB/memcached skew.
+class ZipfGenerator {
+ public:
+  /// Throws std::invalid_argument for n < 1, theta < 0 or theta > 16.
+  ZipfGenerator(int n, double theta, std::uint64_t seed);
+
+  /// Next rank in [0, size()).
+  int next();
+
+  /// Exact probability mass of `rank` (the chi-squared test's expectation).
+  double probability(int rank) const;
+
+  int size() const { return static_cast<int>(cdf_.size()); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1
+  Rng rng_;
+};
+
+/// One job hitting the fleet: `at` is its (strictly increasing) arrival
+/// time, `job_class` the Zipf-popularity rank into the dispatch catalog.
+struct JobArrival {
+  std::uint64_t id = 0;
+  TimeNs at = 0;
+  int job_class = 0;
+};
+
+/// Two-state bursty Poisson arrival stream of Zipf-distributed job classes.
+///
+/// The clock alternates between a calm and a burst state with exponentially
+/// distributed dwell times (mean calm_mean / burst_mean); interarrivals are
+/// exponential at the state's rate, with the burst state `burst_factor`
+/// times faster. The calm rate is chosen so the long-run mean rate equals
+/// rate_hz regardless of the burst knobs.
+class ArrivalProcess {
+ public:
+  struct Config {
+    double rate_hz = 300.0;     // long-run mean arrival rate
+    double burst_factor = 4.0;  // rate multiplier while bursting (>= 1)
+    TimeNs burst_mean = milliseconds(40);
+    TimeNs calm_mean = milliseconds(160);
+    int num_classes = 8;
+    double zipf_theta = 0.99;
+    std::uint64_t seed = 1234;
+
+    /// Throws std::invalid_argument on out-of-range knobs.
+    void validate() const;
+  };
+
+  explicit ArrivalProcess(Config cfg);
+
+  /// Next arrival; `at` is strictly greater than the previous one.
+  JobArrival next();
+
+  /// True while the modulating state is in a burst.
+  bool bursting() const { return bursting_; }
+  const Config& config() const { return cfg_; }
+  const ZipfGenerator& zipf() const { return zipf_; }
+
+ private:
+  TimeNs exponential_ns(double rate_hz);
+
+  Config cfg_;
+  ZipfGenerator zipf_;
+  Rng rng_;
+  double calm_rate_hz_ = 0;
+  TimeNs now_ = 0;
+  bool bursting_ = false;
+  TimeNs state_until_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace sb::workload

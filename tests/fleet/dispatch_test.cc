@@ -1,0 +1,143 @@
+// Pure-policy unit tests: dispatchers are functions of NodeView/JobView
+// digests, so every placement rule is checkable without a simulation.
+#include "fleet/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sb::fleet {
+namespace {
+
+NodeView view(int index, int cores, int runnable, double eff_ipj) {
+  NodeView v;
+  v.index = index;
+  v.cores = cores;
+  v.runnable_threads = runnable;
+  v.idle = runnable == 0;
+  v.best_eff_ipj = eff_ipj;
+  return v;
+}
+
+JobView job(std::uint64_t insts = 10'000'000, int threads = 1) {
+  JobView j;
+  j.threads = threads;
+  j.total_instructions = insts;
+  return j;
+}
+
+TEST(RoundRobin, CyclesNodeIndices) {
+  auto d = make_round_robin();
+  std::vector<NodeView> views = {view(0, 4, 0, 0), view(1, 4, 0, 0),
+                                 view(2, 4, 0, 0)};
+  EXPECT_EQ(d->pick(job(), views), 0);
+  EXPECT_EQ(d->pick(job(), views), 1);
+  EXPECT_EQ(d->pick(job(), views), 2);
+  EXPECT_EQ(d->pick(job(), views), 0);
+}
+
+TEST(RoundRobin, IgnoresLoadAndEfficiency) {
+  auto d = make_round_robin();
+  std::vector<NodeView> views = {view(0, 4, 100, 0.0), view(1, 4, 0, 1e9)};
+  EXPECT_EQ(d->pick(job(), views), 0);  // blind: saturated node still chosen
+  EXPECT_EQ(d->pick(job(), views), 1);
+}
+
+TEST(RoundRobin, EmptyFleetDefers) {
+  auto d = make_round_robin();
+  EXPECT_EQ(d->pick(job(), {}), -1);
+}
+
+TEST(LeastLoaded, PicksMinimumThreadsPerCore) {
+  auto d = make_least_loaded();
+  // Node 1: 2/8 = 0.25 beats node 0: 2/4 = 0.5 and node 2: 3/8.
+  std::vector<NodeView> views = {view(0, 4, 2, 0), view(1, 8, 2, 0),
+                                 view(2, 8, 3, 0)};
+  EXPECT_EQ(d->pick(job(), views), 1);
+}
+
+TEST(LeastLoaded, TiesResolveToLowestIndex) {
+  auto d = make_least_loaded();
+  std::vector<NodeView> views = {view(0, 4, 1, 0), view(1, 4, 1, 0),
+                                 view(2, 4, 1, 0)};
+  EXPECT_EQ(d->pick(job(), views), 0);
+  EXPECT_EQ(d->pick(job(), views), 0);  // stateless: no rotation
+}
+
+TEST(EnergyAware, PrefersHigherPredictedEfficiency) {
+  auto d = make_energy_aware(2.0, 0.0);
+  std::vector<NodeView> views = {view(0, 4, 0, 1000.0), view(1, 4, 0, 2500.0)};
+  EXPECT_EQ(d->pick(job(), views), 1);
+}
+
+TEST(EnergyAware, FreeCapacityTierBeatsTimeSharedEfficiency) {
+  auto d = make_energy_aware(4.0, 0.0);
+  // Node 0 would time-share (5 threads on 4 cores) despite stellar
+  // efficiency; node 1 still has a free core. Tier ranking must win.
+  std::vector<NodeView> views = {view(0, 4, 4, 9000.0), view(1, 4, 3, 900.0)};
+  EXPECT_EQ(d->pick(job(), views), 1);
+}
+
+TEST(EnergyAware, WithinTimeSharedTierLoadStretchesEnergy) {
+  auto d = make_energy_aware(8.0, 0.0);
+  // Both nodes time-share. Node 0: score = insts/2000 * (1 + 6/4).
+  // Node 1: insts/2000 * (1 + 5/4) — lighter contention wins at equal eff.
+  std::vector<NodeView> views = {view(0, 4, 5, 2000.0), view(1, 4, 4, 2000.0)};
+  EXPECT_EQ(d->pick(job(), views), 1);
+}
+
+TEST(EnergyAware, EqualScoresFallBackToLeastLoaded) {
+  auto d = make_energy_aware(2.0, 0.0);
+  // Identical shapes and predictions, both tier 0: the lower-load node
+  // must win even though it appears later in the list.
+  std::vector<NodeView> views = {view(0, 8, 3, 1500.0), view(1, 8, 1, 1500.0)};
+  EXPECT_EQ(d->pick(job(), views), 1);
+}
+
+TEST(EnergyAware, LoadCapExcludesSaturatedNodes) {
+  auto d = make_energy_aware(1.5, 0.0);
+  // Cap = 1.5 * 4 = 6 threads. Node 0 at 6 can't take one more; node 1 at
+  // 5 can (5 + 1 <= 6).
+  std::vector<NodeView> views = {view(0, 4, 6, 5000.0), view(1, 4, 5, 100.0)};
+  EXPECT_EQ(d->pick(job(), views), 1);
+}
+
+TEST(EnergyAware, DefersWhenEveryNodeSaturated) {
+  auto d = make_energy_aware(1.0, 0.0);
+  std::vector<NodeView> views = {view(0, 4, 4, 5000.0), view(1, 2, 2, 5000.0)};
+  EXPECT_EQ(d->pick(job(), views), -1);
+}
+
+TEST(EnergyAware, MultiThreadJobsCountEveryThreadAgainstTheCap) {
+  auto d = make_energy_aware(1.0, 0.0);
+  std::vector<NodeView> views = {view(0, 4, 2, 5000.0), view(1, 4, 0, 100.0)};
+  // A 3-thread job does not fit node 0 (2 + 3 > 4) but fits node 1.
+  EXPECT_EQ(d->pick(job(10'000'000, 3), views), 1);
+}
+
+TEST(EnergyAware, ConsolidationBiasSurchargesIdleNodes) {
+  // Idle node 1 is slightly more efficient, but a 50% wake surcharge makes
+  // the already-busy node 0 cheaper; with bias 0 the preference flips.
+  std::vector<NodeView> views = {view(0, 4, 1, 2000.0), view(1, 4, 0, 2400.0)};
+  EXPECT_EQ(make_energy_aware(2.0, 0.5)->pick(job(), views), 0);
+  EXPECT_EQ(make_energy_aware(2.0, 0.0)->pick(job(), views), 1);
+}
+
+TEST(EnergyAware, NoPredictionDegradesToLeastLoaded) {
+  auto d = make_energy_aware(4.0, 0.0);
+  std::vector<NodeView> views = {view(0, 4, 3, 0.0), view(1, 4, 1, 0.0)};
+  EXPECT_EQ(d->pick(job(), views), 1);
+}
+
+TEST(MakeDispatcher, HonorsConfigPolicy) {
+  FleetConfig cfg;
+  cfg.policy = DispatchPolicy::kRoundRobin;
+  EXPECT_STREQ(make_dispatcher(cfg)->name(), "rr");
+  cfg.policy = DispatchPolicy::kLeastLoaded;
+  EXPECT_STREQ(make_dispatcher(cfg)->name(), "least");
+  cfg.policy = DispatchPolicy::kEnergyAware;
+  EXPECT_STREQ(make_dispatcher(cfg)->name(), "energy");
+}
+
+}  // namespace
+}  // namespace sb::fleet

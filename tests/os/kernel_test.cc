@@ -356,6 +356,25 @@ TEST_F(KernelTest, SchedulingLatencyTracked) {
   EXPECT_NEAR(frac, 2.0 / 3.0, 0.1);
 }
 
+TEST_F(KernelTest, FirstDispatchedAtStampedOnceAtFirstRun) {
+  Kernel k = make_kernel();
+  k.fork_on(cpu_bound("busy"), 0);
+  k.run_for(milliseconds(30));
+  // Forked mid-run onto a contended core: the task is runnable at 30 ms
+  // and first executes once the core next schedules it.
+  const ThreadId late = k.fork_on(cpu_bound("late"), 0);
+  EXPECT_EQ(k.task(late).first_dispatched_at, kTimeNever);
+  k.run_for(milliseconds(30));
+  const TimeNs first = k.task(late).first_dispatched_at;
+  ASSERT_NE(first, kTimeNever);
+  EXPECT_GE(first, k.task(late).arrived_at);
+  EXPECT_LT(first, k.now());
+  // The stamp is the *first* dispatch: later slices must not move it.
+  k.run_for(milliseconds(30));
+  EXPECT_GT(k.task(late).dispatches, 1u);
+  EXPECT_EQ(k.task(late).first_dispatched_at, first);
+}
+
 TEST_F(HeteroKernelTest, SetNiceReweights) {
   Kernel k = make_kernel();
   const ThreadId a = k.fork_on(cpu_bound("a"), 0);

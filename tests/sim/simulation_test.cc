@@ -129,5 +129,81 @@ TEST(Simulation, UnknownBenchmarkThrows) {
   EXPECT_THROW(s.add_benchmark("not-a-benchmark", 2), std::out_of_range);
 }
 
+// --- Service mode (the fleet layer's incremental driving) ---
+
+TEST(Simulation, ServiceModeMatchesBatchRunExactly) {
+  auto batch = [] {
+    Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+    s.set_balancer(std::make_unique<os::VanillaBalancer>());
+    s.add_benchmark("ferret", 4);
+    return s.run();
+  };
+  auto service = [](TimeNs chunk) {
+    Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+    s.set_balancer(std::make_unique<os::VanillaBalancer>());
+    s.add_benchmark("ferret", 4);
+    s.begin_service();
+    for (TimeNs t = 0; t < milliseconds(120); t += chunk) {
+      s.advance_service(std::min(chunk, milliseconds(120) - t));
+    }
+    return s.finish_service();
+  };
+  // One advance_service over the whole window replays batch run() exactly.
+  const auto a = batch();
+  const auto b = service(milliseconds(120));
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.simulated, b.simulated);
+  // Chunk boundaries split accounting segments, so a different quantum
+  // shifts per-segment rounding — but for a FIXED quantum the results are
+  // bit-reproducible (the fleet determinism contract) and the physics
+  // stays within rounding noise of the batch run.
+  for (const TimeNs chunk : {milliseconds(5), milliseconds(7)}) {
+    const auto c = service(chunk);
+    const auto d = service(chunk);
+    EXPECT_EQ(c.instructions, d.instructions) << "chunk=" << chunk;
+    EXPECT_DOUBLE_EQ(c.energy_j, d.energy_j) << "chunk=" << chunk;
+    EXPECT_NEAR(static_cast<double>(c.instructions),
+                static_cast<double>(a.instructions),
+                0.01 * static_cast<double>(a.instructions))
+        << "chunk=" << chunk;
+    EXPECT_NEAR(c.energy_j, a.energy_j, 0.01 * a.energy_j)
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(Simulation, AdmitBenchmarkMidServiceForksAndCapsInstructions) {
+  Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+  s.set_balancer(std::make_unique<os::VanillaBalancer>());
+  s.begin_service();
+  s.advance_service(milliseconds(10));
+  const auto tids = s.admit_benchmark("blackscholes", 2, 1'000'000);
+  ASSERT_EQ(tids.size(), 2u);
+  for (const ThreadId tid : tids) {
+    EXPECT_EQ(s.kernel().task(tid).arrived_at, milliseconds(10));
+  }
+  s.advance_service(milliseconds(110));
+  const auto r = s.finish_service();
+  // The per-thread budget override makes service jobs terminate.
+  for (const ThreadId tid : tids) {
+    const auto& t = s.kernel().task(tid);
+    EXPECT_FALSE(t.alive());
+    EXPECT_EQ(t.insts_retired, 1'000'000u);
+  }
+  EXPECT_EQ(r.simulated, milliseconds(120));
+}
+
+TEST(Simulation, ServiceModeLifecycleGuards) {
+  Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+  EXPECT_THROW(s.advance_service(milliseconds(1)), std::logic_error);
+  EXPECT_THROW(s.finish_service(), std::logic_error);
+  s.begin_service();
+  EXPECT_THROW(s.begin_service(), std::logic_error);
+  EXPECT_THROW(s.run(), std::logic_error);
+  s.finish_service();
+  EXPECT_THROW(s.finish_service(), std::logic_error);
+}
+
 }  // namespace
 }  // namespace sb::sim

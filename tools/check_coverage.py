@@ -11,13 +11,17 @@ Gates (any failing exits 1):
   --min-obs PCT     minimum line coverage for src/obs/ (default 90)
   --min-adapt PCT   minimum line coverage for src/core/adapt.* (default 0)
   --min-shard PCT   minimum line coverage for src/core/shard.* (default 0)
+  --min-fleet PCT   minimum line coverage for src/fleet/ (default 0)
   --min-total PCT   minimum overall line coverage for src/ (default 0)
 
 --json FILE writes the per-file numbers for the CI artifact.
+--step-summary FILE appends a markdown summary table (pass $GITHUB_STEP_SUMMARY
+in CI to surface the area percentages on the run page).
 
 Usage:
     check_coverage.py --build-dir build-cov [--source-root .]
                       [--min-obs 90] [--min-total 80] [--json coverage.json]
+                      [--step-summary "$GITHUB_STEP_SUMMARY"]
 """
 
 import argparse
@@ -25,6 +29,19 @@ import json
 import os
 import subprocess
 import sys
+
+# Gated areas: (name, path prefix relative to the source root). A prefix
+# ending in a separator selects a directory subtree; otherwise it is a
+# filename-prefix match (e.g. src/core/adapt. matches adapt.h/.cc). Adding
+# an area here is the whole change: the CLI flag, the report line, the JSON
+# key and the step-summary row all derive from this table.
+AREAS = [
+    ("obs", os.path.join("src", "obs") + os.sep),
+    ("adapt", os.path.join("src", "core", "adapt.")),
+    ("shard", os.path.join("src", "core", "shard.")),
+    ("fleet", os.path.join("src", "fleet") + os.sep),
+]
+DEFAULT_MINIMUMS = {"obs": 90.0}
 
 
 def gcov_reports(build_dir):
@@ -82,31 +99,29 @@ def coverage_of(files):
     return covered, total, (100.0 * covered / total if total else 100.0)
 
 
+def area_label(name, prefix):
+    return "src/ overall" if name == "total" else prefix.replace(os.sep, "/") \
+        + ("*" if not prefix.endswith(os.sep) else "")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", required=True)
     parser.add_argument("--source-root", default=".")
-    parser.add_argument("--min-obs", type=float, default=90.0,
-                        help="min line coverage %% for src/obs/ (default 90)")
-    parser.add_argument("--min-adapt", type=float, default=0.0,
-                        help="min line coverage %% for src/core/adapt.* "
-                             "(default 0)")
-    parser.add_argument("--min-shard", type=float, default=0.0,
-                        help="min line coverage %% for src/core/shard.* "
-                             "(default 0)")
+    for name, _prefix in AREAS:
+        parser.add_argument(f"--min-{name}", type=float,
+                            default=DEFAULT_MINIMUMS.get(name, 0.0),
+                            help=f"min line coverage %% for the {name} area "
+                                 f"(default {DEFAULT_MINIMUMS.get(name, 0.0)})")
     parser.add_argument("--min-total", type=float, default=0.0,
                         help="min line coverage %% for src/ (default 0)")
     parser.add_argument("--json", help="write per-file numbers to this file")
+    parser.add_argument("--step-summary",
+                        help="append a markdown summary table to this file")
     args = parser.parse_args()
 
     lines = aggregate(args.build_dir, args.source_root)
     src = {f: c for f, c in lines.items() if f.startswith("src" + os.sep)}
-    obs = {f: c for f, c in src.items()
-           if f.startswith(os.path.join("src", "obs") + os.sep)}
-    adapt = {f: c for f, c in src.items()
-             if f.startswith(os.path.join("src", "core", "adapt."))}
-    shard = {f: c for f, c in src.items()
-             if f.startswith(os.path.join("src", "core", "shard."))}
 
     per_file = {}
     for f in sorted(src):
@@ -114,44 +129,48 @@ def main():
         per_file[f] = {"covered": cov, "lines": tot, "pct": round(pct, 2)}
         print(f"  {pct:6.2f}%  {cov:5d}/{tot:<5d}  {f}")
 
-    obs_cov, obs_tot, obs_pct = coverage_of(obs)
-    adapt_cov, adapt_tot, adapt_pct = coverage_of(adapt)
-    shard_cov, shard_tot, shard_pct = coverage_of(shard)
-    tot_cov, tot_tot, tot_pct = coverage_of(src)
-    print(f"\nsrc/obs/: {obs_pct:.2f}% ({obs_cov}/{obs_tot} lines)")
-    print(f"src/core/adapt.*: {adapt_pct:.2f}% ({adapt_cov}/{adapt_tot} lines)")
-    print(f"src/core/shard.*: {shard_pct:.2f}% ({shard_cov}/{shard_tot} lines)")
-    print(f"src/ overall: {tot_pct:.2f}% ({tot_cov}/{tot_tot} lines)")
+    # name -> (minimum, label, covered, total, pct); src/ overall rides along
+    # as the final pseudo-area.
+    results = {}
+    for name, prefix in AREAS + [("total", "src" + os.sep)]:
+        files = {f: c for f, c in src.items() if f.startswith(prefix)}
+        minimum = getattr(args, f"min_{name}")
+        cov, tot, pct = coverage_of(files)
+        results[name] = (minimum, area_label(name, prefix), cov, tot, pct)
+
+    print()
+    for _name, (_minimum, label, cov, tot, pct) in results.items():
+        print(f"{label}: {pct:.2f}% ({cov}/{tot} lines)")
 
     if args.json:
+        doc = {"files": per_file}
+        for name, (_minimum, _label, _cov, _tot, pct) in results.items():
+            doc[f"src_{name}_pct"] = round(pct, 2)
         with open(args.json, "w") as f:
-            json.dump({"files": per_file,
-                       "src_obs_pct": round(obs_pct, 2),
-                       "src_adapt_pct": round(adapt_pct, 2),
-                       "src_shard_pct": round(shard_pct, 2),
-                       "src_total_pct": round(tot_pct, 2)}, f, indent=1,
-                      sort_keys=True)
+            json.dump(doc, f, indent=1, sort_keys=True)
             f.write("\n")
 
     failures = []
-    if not obs:
-        failures.append("no coverage data for src/obs/ at all")
-    if obs_pct < args.min_obs:
-        failures.append(f"src/obs/ coverage {obs_pct:.2f}% < "
-                        f"required {args.min_obs:.2f}%")
-    if args.min_adapt > 0 and not adapt:
-        failures.append("no coverage data for src/core/adapt.* at all")
-    if adapt_pct < args.min_adapt:
-        failures.append(f"src/core/adapt.* coverage {adapt_pct:.2f}% < "
-                        f"required {args.min_adapt:.2f}%")
-    if args.min_shard > 0 and not shard:
-        failures.append("no coverage data for src/core/shard.* at all")
-    if shard_pct < args.min_shard:
-        failures.append(f"src/core/shard.* coverage {shard_pct:.2f}% < "
-                        f"required {args.min_shard:.2f}%")
-    if tot_pct < args.min_total:
-        failures.append(f"src/ coverage {tot_pct:.2f}% < "
-                        f"required {args.min_total:.2f}%")
+    for name, (minimum, label, _cov, tot, pct) in results.items():
+        if minimum > 0 and tot == 0:
+            failures.append(f"no coverage data for {label} at all")
+        if pct < minimum:
+            failures.append(f"{label} coverage {pct:.2f}% < "
+                            f"required {minimum:.2f}%")
+
+    if args.step_summary:
+        with open(args.step_summary, "a") as f:
+            f.write("### Coverage gate\n\n")
+            f.write("| Area | Coverage | Lines | Required | Status |\n")
+            f.write("|---|---|---|---|---|\n")
+            for _name, (minimum, label, cov, tot, pct) in results.items():
+                required = f"{minimum:.2f}%" if minimum > 0 else "—"
+                status = "✅" if (pct >= minimum and (minimum == 0 or tot > 0)) \
+                    else "❌"
+                f.write(f"| `{label}` | {pct:.2f}% | {cov}/{tot} "
+                        f"| {required} | {status} |\n")
+            f.write("\n")
+
     if failures:
         print(f"\nCOVERAGE GATE FAILED:", file=sys.stderr)
         for f in failures:

@@ -21,9 +21,14 @@ run), each one must nest strictly inside the 'epoch' span of its own
 must not overlap. --require-shards makes the presence of at least one
 shard.pass span mandatory.
 
+Whenever fleet.quantum / fleet.dispatch events are present (a --fleet=N
+run), every dispatch instant must land inside the fleet.quantum span of
+its own (pid, epoch) pair and the quantum spans of one pid must not
+overlap. --require-fleet makes their presence mandatory.
+
 Usage:
     check_trace.py TRACE.json [--schema tools/trace_schema.json]
-                   [--require-epoch] [--require-shards]
+                   [--require-epoch] [--require-shards] [--require-fleet]
 
 Exit status: 0 if valid, 1 otherwise (violations on stderr).
 """
@@ -146,6 +151,58 @@ def shard_shape_checks(doc, errors, required):
                     f"(pid={lane[0]}, epoch={lane[1]}, worker={lane[2]})")
 
 
+def fleet_shape_checks(doc, errors, required):
+    """Fleet dispatch-layer span anatomy (a --fleet=N run).
+
+    Every 'fleet.dispatch' instant must land inside the 'fleet.quantum'
+    span of its own (pid, epoch) pair -- jobs are only placed at quantum
+    boundaries, so a dispatch outside its quantum means the fleet timeline
+    lies about when placement happened. fleet.quantum spans of one pid form
+    a single sequential lane (one dispatcher), so they must not overlap.
+    """
+    quanta = {}      # (pid, epoch) -> (ts, ts+dur, index)
+    dispatches = []  # ((pid, epoch), ts, index)
+    for i, ev in enumerate(doc.get("traceEvents", [])):
+        if not isinstance(ev, dict):
+            continue
+        args = ev.get("args") or {}
+        key = (ev.get("pid"), args.get("epoch"))
+        if ev.get("ph") == "X" and ev.get("name") == "fleet.quantum":
+            ts, dur = ev.get("ts", 0), ev.get("dur", 0)
+            quanta[key] = (ts, ts + dur, i)
+        elif ev.get("ph") == "i" and ev.get("name") == "fleet.dispatch":
+            dispatches.append((key, ev.get("ts", 0), i))
+    if required:
+        if not quanta:
+            errors.append("--require-fleet: no 'fleet.quantum' span ('X') "
+                          "events")
+        if not dispatches:
+            errors.append("--require-fleet: no 'fleet.dispatch' instant "
+                          "('i') events")
+        if not quanta:
+            return
+    for key, ts, i in dispatches:
+        enclosing = quanta.get(key)
+        if enclosing is None:
+            errors.append(f"traceEvents[{i}]: 'fleet.dispatch' has no "
+                          f"enclosing 'fleet.quantum' span for (pid={key[0]}, "
+                          f"epoch={key[1]})")
+        elif ts < enclosing[0] - 1e-3 or ts > enclosing[1] + 1e-3:
+            errors.append(
+                f"traceEvents[{i}]: 'fleet.dispatch' at {ts} escapes its "
+                f"'fleet.quantum' span [{enclosing[0]}, {enclosing[1]}]")
+    by_pid = {}
+    for (pid, _), (ts, end, i) in quanta.items():
+        by_pid.setdefault(pid, []).append((ts, end, i))
+    for pid, spans in by_pid.items():
+        spans.sort()
+        for (ts_a, end_a, i_a), (ts_b, end_b, i_b) in zip(spans, spans[1:]):
+            if ts_b < end_a - 1e-3:
+                errors.append(
+                    f"traceEvents[{i_b}]: 'fleet.quantum' [{ts_b}, {end_b}] "
+                    f"overlaps 'fleet.quantum' [{ts_a}, {end_a}] on pid {pid}")
+
+
 def epoch_shape_checks(doc, errors):
     """--require-epoch: the canonical SmartBalance epoch anatomy."""
     by_name = {}
@@ -174,6 +231,10 @@ def main():
                         help="require shard.pass spans (sharded balancing "
                              "run); nesting checks always apply when shard "
                              "spans are present")
+    parser.add_argument("--require-fleet", action="store_true",
+                        help="require fleet.quantum spans and fleet.dispatch "
+                             "instants (a --fleet=N run); nesting checks "
+                             "always apply when fleet spans are present")
     args = parser.parse_args()
 
     with open(args.schema) as f:
@@ -191,6 +252,7 @@ def main():
     if args.require_epoch:
         epoch_shape_checks(doc, errors)
     shard_shape_checks(doc, errors, args.require_shards)
+    fleet_shape_checks(doc, errors, args.require_fleet)
 
     if errors:
         print(f"{args.trace}: INVALID ({len(errors)} violation(s)):",

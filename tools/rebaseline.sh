@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
-# Regenerates the committed perf baselines (BENCH_sa.json, BENCH_epoch.json,
-# BENCH_obs.json, BENCH_shard.json at the repo root) from N interleaved
-# repetitions of the
-# release-mode benchmark harnesses, taking the best-of envelope on every
-# gated metric.
+# Regenerates the committed perf baselines (the BENCH_*.json files at the
+# repo root) from N interleaved repetitions of the release-mode benchmark
+# harnesses, taking the best-of envelope on every gated metric.
 #
 # Why interleaved best-of: a single benchmark run bakes whatever thermal /
 # frequency / cache state the machine happened to be in into the committed
 # numbers, and a slow baseline silently loosens the regression gate forever.
-# Running the two harnesses alternately N times and keeping the per-metric
+# Running the harnesses alternately N times and keeping the per-metric
 # minimum (maximum for rate metrics) approximates the machine's true
 # steady-state capability: transient noise can only make a repetition
 # slower, never faster.
+#
+# The harness roster lives in the HARNESSES table below — one line per
+# harness: its binary, its extra arguments, and the BENCH files it writes.
+# Adding a benchmark to the committed baseline set means adding one line.
 #
 # Envelope rules (matching tools/check_bench.py's gates):
 #   min over reps   ns_per_iteration, ns_per_call, total_us, min_pass_ns,
@@ -30,6 +32,15 @@
 # BENCH_*.json files together with a note of the machine they came from.
 set -euo pipefail
 
+# "binary;extra args;BENCH files written" — ';'-separated because benchmark
+# filters contain '|'. The run order below is the interleave order.
+HARNESSES=(
+  "micro_benchmarks;--benchmark_filter=BM_SaOptimize|BM_BuildCharacterization --benchmark_min_time=0.05;BENCH_sa.json BENCH_obs.json"
+  "fig7_overhead_scalability;;BENCH_epoch.json"
+  "fig_shard_scaling;;BENCH_shard.json"
+  "fig_fleet;;BENCH_fleet.json"
+)
+
 REPS=5
 BUILD_DIR=build-rel
 while getopts "n:b:h" opt; do
@@ -45,13 +56,22 @@ if [[ ! -f CMakeLists.txt || ! -d tools ]]; then
   exit 2
 fi
 
-if [[ ! -x "$BUILD_DIR/bench/micro_benchmarks" ||
-      ! -x "$BUILD_DIR/bench/fig7_overhead_scalability" ||
-      ! -x "$BUILD_DIR/bench/fig_shard_scaling" ]]; then
+BINARIES=()
+BENCH_FILES=()
+for spec in "${HARNESSES[@]}"; do
+  BINARIES+=("${spec%%;*}")
+  files=${spec##*;}
+  for f in $files; do BENCH_FILES+=("$f"); done
+done
+
+need_build=0
+for bin in "${BINARIES[@]}"; do
+  [[ -x "$BUILD_DIR/bench/$bin" ]] || need_build=1
+done
+if [[ "$need_build" == 1 ]]; then
   echo "== configuring + building $BUILD_DIR (Release)"
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build "$BUILD_DIR" -j \
-        --target micro_benchmarks fig7_overhead_scalability fig_shard_scaling
+  cmake --build "$BUILD_DIR" -j --target "${BINARIES[@]}"
 fi
 
 WORK=$(mktemp -d)
@@ -61,24 +81,24 @@ ROOT=$(pwd)
 for rep in $(seq 1 "$REPS"); do
   echo "== repetition $rep/$REPS"
   mkdir -p "$WORK/rep$rep"
-  # Interleave the two harnesses so slow machine phases hit both equally.
-  (cd "$WORK/rep$rep" &&
-   "$ROOT/$BUILD_DIR/bench/micro_benchmarks" \
-       --benchmark_filter='BM_SaOptimize|BM_BuildCharacterization' \
-       --benchmark_min_time=0.05 >/dev/null)
-  (cd "$WORK/rep$rep" &&
-   "$ROOT/$BUILD_DIR/bench/fig7_overhead_scalability" >/dev/null)
-  (cd "$WORK/rep$rep" &&
-   "$ROOT/$BUILD_DIR/bench/fig_shard_scaling" >/dev/null)
-  for f in BENCH_sa.json BENCH_obs.json BENCH_epoch.json BENCH_shard.json; do
+  # Interleave the harnesses so slow machine phases hit all of them equally.
+  for spec in "${HARNESSES[@]}"; do
+    bin=${spec%%;*}
+    rest=${spec#*;}
+    args=${rest%%;*}
+    # shellcheck disable=SC2086  # intentional word splitting of the args
+    (cd "$WORK/rep$rep" && "$ROOT/$BUILD_DIR/bench/$bin" $args >/dev/null)
+  done
+  for f in "${BENCH_FILES[@]}"; do
     [[ -f "$WORK/rep$rep/$f" ]] ||
         { echo "rebaseline.sh: rep $rep did not produce $f" >&2; exit 1; }
   done
 done
 
 echo "== merging best-of envelope over $REPS repetitions"
-python3 - "$WORK" "$REPS" <<'PY'
+REBASELINE_FILES="${BENCH_FILES[*]}" python3 - "$WORK" "$REPS" <<'PY'
 import json
+import os
 import sys
 
 work, reps = sys.argv[1], int(sys.argv[2])
@@ -90,8 +110,7 @@ MIN_KEYS = {"ns_per_iteration", "ns_per_call", "total_us", "min_pass_ns",
             "advantage_lost_pct"}
 MAX_KEYS = {"iterations_per_sec"}
 
-for name in ("BENCH_sa.json", "BENCH_obs.json", "BENCH_epoch.json",
-             "BENCH_shard.json"):
+for name in os.environ["REBASELINE_FILES"].split():
     docs = []
     for rep in range(1, reps + 1):
         with open(f"{work}/rep{rep}/{name}") as f:
@@ -123,4 +142,4 @@ for name in ("BENCH_sa.json", "BENCH_obs.json", "BENCH_epoch.json",
     print(f"  wrote {name}")
 PY
 
-echo "== done; review with: git diff BENCH_sa.json BENCH_epoch.json BENCH_obs.json BENCH_shard.json"
+echo "== done; review with: git diff ${BENCH_FILES[*]}"

@@ -23,6 +23,7 @@
 #include "arch/platform.h"
 #include "arch/platform_loader.h"
 #include "core/predictor.h"
+#include "fleet/fleet.h"
 #include "obs/audit_writer.h"
 #include "obs/trace.h"
 #include "os/dvfs_governor.h"
@@ -53,6 +54,13 @@ using namespace sb;
                             IMB_{H,M,L}T{H,M,L}I
   --bench-at=<ms>:<name>:<threads>  deferred arrival
   --mix=<id>:<threads-per-member>   Table 3 mix (repeatable)
+  --fleet=N[:policy[:rate]]  simulate a fleet of N nodes (each a full
+                            simulation of --platform under --policy, which
+                            must be smartbalance or vanilla) fed by a bursty
+                            Zipf job stream at <rate> jobs/s, placed by the
+                            fleet dispatch <policy>: rr | least | energy.
+                            Excludes --bench/--mix/--bench-at/--compare.
+                            e.g. --fleet=8:energy:450
   --duration-ms=<n>         simulated window (default 600)
   --seed=<n>                RNG seed (default 1234)
   --dvfs                    enable 4-point OPP tables
@@ -98,6 +106,7 @@ struct Args {
   std::string platform = "quad";
   std::string platform_file;
   std::string policy = "smartbalance";
+  std::string fleet;  // FleetConfig::parse spec (empty = single-node mode)
   bool compare = false;
   std::vector<std::pair<std::string, int>> benches;
   std::vector<std::tuple<TimeNs, std::string, int>> arrivals;
@@ -147,6 +156,7 @@ Args parse(int argc, char** argv) {
     else if (arg.rfind("--platform-file=", 0) == 0)
       a.platform_file = value("--platform-file=");
     else if (arg.rfind("--policy=", 0) == 0) a.policy = value("--policy=");
+    else if (arg.rfind("--fleet=", 0) == 0) a.fleet = value("--fleet=");
     else if (arg == "--compare") a.compare = true;
     else if (arg.rfind("--bench=", 0) == 0) {
       const auto parts = split(value("--bench="), ':');
@@ -207,10 +217,20 @@ Args parse(int argc, char** argv) {
   if (a.chrome_trace.empty()) {
     if (const char* env = std::getenv("SB_TRACE")) a.chrome_trace = env;
   }
-  if (a.benches.empty() && a.mixes.empty() && a.arrivals.empty() &&
-      a.thread_traces.empty() && a.save_model.empty()) {
+  if (!a.fleet.empty()) {
+    // The fleet generates its own workload; the single-node workload flags
+    // would silently do nothing, so reject the combination outright.
+    if (!a.benches.empty() || !a.mixes.empty() || !a.arrivals.empty() ||
+        !a.thread_traces.empty() || a.compare) {
+      std::cerr << "--fleet generates its own job stream; it cannot be "
+                   "combined with --bench/--mix/--bench-at/--thread-trace/"
+                   "--compare\n";
+      usage(2);
+    }
+  } else if (a.benches.empty() && a.mixes.empty() && a.arrivals.empty() &&
+             a.thread_traces.empty() && a.save_model.empty()) {
     std::cerr << "no workload given (need --bench/--mix/--bench-at/"
-                 "--thread-trace)\n";
+                 "--thread-trace/--fleet)\n";
     usage(2);
   }
   return a;
@@ -332,6 +352,65 @@ sim::SimulationResult run_once(const Args& a, const arch::Platform& platform,
   return r;
 }
 
+int run_fleet(const Args& a, const arch::Platform& platform) {
+  fleet::FleetConfig cfg = fleet::FleetConfig::parse(a.fleet);
+  cfg.duration = a.duration;
+  cfg.seed = a.seed;
+  cfg.node_policy = a.policy;  // validate() rejects anything but
+                               // smartbalance/vanilla
+  cfg.trace = !a.chrome_trace.empty();
+  cfg.metrics = a.metrics;
+  cfg.node_obs = a.metrics;
+  fleet::FleetSimulation f(cfg, {platform});
+  const fleet::FleetResult r = f.run();
+
+  std::cout << "fleet: " << r.nodes << " nodes (" << a.platform << ", "
+            << r.node_policy << "), dispatch=" << r.dispatch_policy
+            << ", " << to_millis(r.simulated) << " ms simulated\n"
+            << "jobs: " << r.jobs_arrived << " arrived, "
+            << r.jobs_dispatched << " dispatched, " << r.jobs_completed
+            << " completed, " << r.jobs_deferred << " deferrals\n"
+            << "fleet J_E: " << r.je_inst_per_joule / 1e6
+            << " M inst/J  (" << r.instructions / 1e9 << " G inst, "
+            << r.energy_j << " J)\n";
+  if (!a.quiet) {
+    auto tail = [](const char* name, const fleet::LatencyTail& t) {
+      std::cout << name << ": p50 " << t.p50_ns / 1e6 << " ms, p95 "
+                << t.p95_ns / 1e6 << " ms, p99 " << t.p99_ns / 1e6
+                << " ms (n=" << t.count << ")\n";
+    };
+    tail("queue", r.queue);
+    tail("wake-to-run", r.wake);
+    tail("sojourn", r.sojourn);
+    std::cout << "p99 arrival-to-run: " << r.p99_dispatch_to_run_ns / 1e6
+              << " ms\n";
+  }
+
+  // Observability exports: the fleet run is pid 0, nodes are pid 1..N.
+  std::vector<const obs::RunObs*> runs;
+  if (r.obs) runs.push_back(r.obs.get());
+  for (const auto& n : r.node_obs) runs.push_back(n.get());
+  if (!a.chrome_trace.empty()) {
+    obs::write_chrome_trace_file(a.chrome_trace, runs);
+    std::cout << "trace written to " << a.chrome_trace << "\n";
+  }
+  if (!a.metrics_out.empty()) {
+    std::ofstream ms(a.metrics_out);
+    if (!ms) throw std::runtime_error("cannot write " + a.metrics_out);
+    obs::merge_metrics(runs).write_json(ms);
+    ms << '\n';
+    std::cout << "metrics written to " << a.metrics_out << "\n";
+  }
+  if (!a.json_out.empty()) {
+    std::ofstream js(a.json_out);
+    if (!js) throw std::runtime_error("cannot write " + a.json_out);
+    fleet::write_fleet_json(js, r);
+    js << '\n';
+    std::cout << "metrics written to " << a.json_out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -340,6 +419,8 @@ int main(int argc, char** argv) {
     const auto platform = a.platform_file.empty()
                               ? make_platform(a.platform)
                               : arch::load_platform_file(a.platform_file);
+
+    if (!a.fleet.empty()) return run_fleet(a, platform);
 
     if (!a.save_model.empty()) {
       sim::Simulation probe(platform, sim::SimulationConfig{});
