@@ -15,6 +15,7 @@
 #include "sim/report.h"
 #include "sim/simulation.h"
 #include "workload/benchmarks.h"
+#include "workload/sched_replay.h"
 
 namespace sb::fleet {
 
@@ -85,39 +86,6 @@ std::vector<JobClass> default_catalog() {
   };
 }
 
-std::uint64_t nearest_rank(std::vector<std::uint64_t> sample, double q) {
-  if (sample.empty()) return 0;
-  std::sort(sample.begin(), sample.end());
-  const auto n = static_cast<double>(sample.size());
-  auto rank = static_cast<std::size_t>(std::ceil(q * n));
-  if (rank < 1) rank = 1;
-  if (rank > sample.size()) rank = sample.size();
-  return sample[rank - 1];
-}
-
-LatencyTail tail_of(const std::vector<std::uint64_t>& sample) {
-  LatencyTail t;
-  t.count = sample.size();
-  if (sample.empty()) return t;
-  std::vector<std::uint64_t> sorted = sample;
-  std::sort(sorted.begin(), sorted.end());
-  double sum = 0;
-  for (std::uint64_t v : sorted) sum += static_cast<double>(v);
-  t.mean_ns = sum / static_cast<double>(sorted.size());
-  auto at = [&](double q) {
-    auto rank = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(sorted.size())));
-    if (rank < 1) rank = 1;
-    if (rank > sorted.size()) rank = sorted.size();
-    return sorted[rank - 1];
-  };
-  t.p50_ns = at(0.50);
-  t.p95_ns = at(0.95);
-  t.p99_ns = at(0.99);
-  t.max_ns = sorted.back();
-  return t;
-}
-
 // --- FleetSimulation ------------------------------------------------------
 
 struct FleetSimulation::PendingJob {
@@ -164,6 +132,22 @@ FleetSimulation::FleetSimulation(FleetConfig cfg,
     ocfg.metrics = cfg_.metrics;
     ocfg.trace = cfg_.trace;
     obs_ = std::make_unique<obs::Sink>(ocfg);
+  }
+  if (!cfg_.arrival_replay.empty()) {
+    // Replace the MMPP clock with the trace's spawn instants. The trace is
+    // pure data, so the stream stays identical across dispatch policies and
+    // worker counts — the same determinism contract the MMPP source keeps.
+    const workload::ReplayTrace trace =
+        workload::load_replay_trace_file(cfg_.arrival_replay);
+    replay_span_ = trace.span();
+    const int classes = static_cast<int>(catalog_.size());
+    for (const auto& e : trace.events) {
+      if (e.kind != workload::ReplayEvent::Kind::Spawn) continue;
+      workload::JobArrival a;
+      a.at = e.at;
+      a.job_class = workload::replay_class_of(e.task, classes);
+      replay_base_.push_back(a);
+    }
   }
   build_nodes(node_platforms);
 }
@@ -307,10 +291,29 @@ NodeView FleetSimulation::view_of(int node, int job_class) {
   return v;
 }
 
+workload::JobArrival FleetSimulation::next_arrival_event() {
+  if (replay_base_.empty()) return arrivals_.next();
+  if (replay_idx_ >= replay_base_.size()) {
+    if (replay_span_ <= 0) {
+      // A zero-span trace (every spawn at one instant) cannot loop; close
+      // the stream by handing back an arrival beyond the window.
+      workload::JobArrival done;
+      done.at = cfg_.duration;
+      return done;
+    }
+    replay_idx_ = 0;
+    replay_offset_ += replay_span_;
+  }
+  workload::JobArrival a = replay_base_[replay_idx_++];
+  a.at += replay_offset_;
+  a.id = replay_next_id_++;
+  return a;
+}
+
 void FleetSimulation::pull_arrivals(TimeNs until) {
   while (!arrivals_done_) {
     if (!have_next_arrival_) {
-      next_arrival_ = arrivals_.next();
+      next_arrival_ = next_arrival_event();
       have_next_arrival_ = true;
       if (next_arrival_.at >= cfg_.duration) {
         // The stream is infinite; stop drawing once it leaves the window.

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "arch/platform.h"
+#include "common/percentile.h"
 #include "fleet/dispatch.h"
 #include "fleet/fleet_config.h"
 #include "obs/sink.h"
@@ -63,21 +64,12 @@ struct JobRecord {
   TimeNs completed = kTimeNever;  // last thread exit
 };
 
-/// Exact (nearest-rank, not histogram-bucketed) latency tail of one job
-/// lifecycle stage, in nanoseconds.
-struct LatencyTail {
-  std::uint64_t count = 0;
-  double mean_ns = 0;
-  std::uint64_t p50_ns = 0;
-  std::uint64_t p95_ns = 0;
-  std::uint64_t p99_ns = 0;
-  std::uint64_t max_ns = 0;
-};
-
-/// Nearest-rank percentile of an unsorted sample (q in [0, 1]); 0 when
-/// empty. Exposed for the determinism-matrix tests.
-std::uint64_t nearest_rank(std::vector<std::uint64_t> sample, double q);
-LatencyTail tail_of(const std::vector<std::uint64_t>& sample);
+/// Exact latency tails now live in common/percentile.h (shared with the
+/// per-node wake-to-run latency report); re-exported here for the fleet
+/// call sites and the determinism-matrix tests.
+using sb::LatencyTail;
+using sb::nearest_rank;
+using sb::tail_of;
 
 struct FleetResult {
   std::string dispatch_policy;
@@ -171,6 +163,14 @@ class FleetSimulation {
   bool arrivals_done_ = false;
   workload::JobArrival next_arrival_{};
   bool have_next_arrival_ = false;
+  /// Replay arrival source (cfg.arrival_replay): one trace pass of spawn
+  /// events, looped by the trace span. Empty = MMPP clock.
+  std::vector<workload::JobArrival> replay_base_;
+  TimeNs replay_span_ = 0;
+  std::size_t replay_idx_ = 0;
+  TimeNs replay_offset_ = 0;
+  std::uint64_t replay_next_id_ = 0;
+  workload::JobArrival next_arrival_event();
 
   std::vector<PendingJob> pending_;   // FIFO fleet queue
   std::vector<JobRecord> jobs_;       // by arrival order; jobs_[i].id == i

@@ -53,6 +53,12 @@ struct FleetConfig {
   /// Relative energy surcharge for waking an idle node — the consolidation
   /// bias that keeps idle nodes drainable.
   double consolidation_bias = 0.25;
+  /// Non-empty: replace the MMPP arrival clock with a scheduler-trace
+  /// replay (workload/sched_replay.h) — spawn events become job arrivals at
+  /// their traced timestamps (job class = stable hash of the task name into
+  /// the catalog), looping the trace by its span until the window closes.
+  /// Set via sbsim --fleet-arrivals=replay:<file>.
+  std::string arrival_replay;
   /// Fleet-level observability (fleet.quantum spans, fleet.dispatch
   /// instants, job latency histograms).
   bool trace = false;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/sink.h"
 
 namespace sb::os {
 
@@ -351,6 +352,22 @@ void Kernel::dispatch(CoreId c) {
   }
   ++t.dispatches;
   if (t.first_dispatched_at == kTimeNever) t.first_dispatched_at = now_;
+  if (t.last_wake_at != kTimeNever) {
+    const TimeNs wake_to_run = now_ - t.last_wake_at;
+    t.last_wake_at = kTimeNever;
+    wake_latencies_.push_back(wake_to_run);
+    if (obs_ != nullptr) {
+      obs_->metrics()
+          .histogram("sched.wake_to_run_ns")
+          .record(static_cast<std::uint64_t>(wake_to_run));
+      if (auto* tracer = obs_->tracer()) {
+        tracer->instant("sched.run", static_cast<std::uint64_t>(now_),
+                        obs_->epoch(),
+                        {{"tid", static_cast<double>(tid)},
+                         {"wait_ns", static_cast<double>(wake_to_run)}});
+      }
+    }
+  }
   t.state = TaskState::Running;
   t.cpu = c;
   cs.running = tid;
@@ -529,6 +546,13 @@ void Kernel::handle_wake(ThreadId tid) {
   if (t.state != TaskState::Sleeping) return;  // stale (exited or migrated+woken)
   advance_util(t, /*active=*/false);
   t.state = TaskState::Runnable;
+  t.last_wake_at = now_;
+  if (obs_ != nullptr) {
+    if (auto* tracer = obs_->tracer()) {
+      tracer->instant("sched.wake", static_cast<std::uint64_t>(now_),
+                      obs_->epoch(), {{"tid", static_cast<double>(tid)}});
+    }
+  }
 
   CoreId target = t.cpu;
   if (!t.can_run_on(target) || core(target).offline) {
@@ -543,6 +567,25 @@ void Kernel::handle_wake(ThreadId tid) {
       }
     }
     if (best < 0) throw std::logic_error("wake: no online core allowed");
+  }
+  if (cfg_.wake_idle_select) {
+    const CoreState& resident = core(target);
+    if (resident.running != kInvalidThread || !resident.rq.empty()) {
+      // Busy resident core: prefer an idle core of the same type (the
+      // same-LLC affine choice), else the lowest-id idle core of any type.
+      CoreId idle_any = kInvalidCore;
+      for (CoreId c = 0; c < num_cores(); ++c) {
+        if (c == target || !t.can_run_on(c) || core(c).offline) continue;
+        const CoreState& cs = core(c);
+        if (cs.running != kInvalidThread || !cs.rq.empty()) continue;
+        if (platform_.type_of(c) == platform_.type_of(target)) {
+          idle_any = c;
+          break;
+        }
+        if (idle_any == kInvalidCore) idle_any = c;
+      }
+      if (idle_any != kInvalidCore) target = idle_any;
+    }
   }
   t.cpu = target;
   // Sleeper fairness: don't let a long sleep turn into unbounded credit.
@@ -668,12 +711,20 @@ void Kernel::migrate(ThreadId tid, CoreId dest) {
         throw std::logic_error("migrate: runnable task not on runqueue");
       }
       break;
-    case TaskState::Sleeping:
-      // Retarget only; it enqueues at `dest` on wake.
+    case TaskState::Sleeping: {
+      // Retarget only; it enqueues at `dest` on wake. The vruntime still
+      // has to be re-based into the destination queue's frame here: queues
+      // advance min_vruntime independently, so keeping the source-frame
+      // value can leave the sleeper so far "ahead" of the destination queue
+      // that its wakes lose preemption for whole scheduling periods (the
+      // wake-to-run p99 gate in bench/fig_latency.cc catches exactly this).
+      const double rel = std::max(0.0, t.vruntime - core(src).rq.min_vruntime());
+      t.vruntime = core(dest).rq.min_vruntime() + rel;
       t.cpu = dest;
       ++t.migrations;
       ++total_migrations_;
       return;
+    }
     case TaskState::Exited:
       return;  // unreachable (guarded above)
   }

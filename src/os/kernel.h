@@ -53,6 +53,12 @@ struct KernelConfig {
   TimeNs min_granularity = microseconds(750);  // minimum timeslice
   TimeNs wakeup_granularity = milliseconds(1); // preemption hysteresis
   bool wakeup_preemption = true;
+  /// select_idle_sibling analogue: a wake whose resident core is busy while
+  /// an allowed online core sits fully idle moves to the idle core (same
+  /// core type preferred, then lowest id) instead of queueing. Keeps
+  /// wake-to-run latency flat when capacity exists; balancing policies
+  /// re-place the thread at the next epoch as usual.
+  bool wake_idle_select = true;
   std::uint64_t seed = 42;
   arch::CacheWarmupModel warmup{};
   arch::SharedBus::Config bus{};
@@ -185,6 +191,13 @@ class Kernel {
   /// obs() inside their balance pass; a null sink means observability off.
   void set_obs(obs::Sink* sink) { obs_ = sink; }
   obs::Sink* obs() const { return obs_; }
+
+  /// Exact wake→first-dispatch deltas, one per Sleeping→Runnable wake, in
+  /// event order. Pure accounting (never fed back into scheduling), so
+  /// collecting it cannot perturb a golden run; the latency report's
+  /// nearest-rank p50/p95/p99 are computed from this ground truth while the
+  /// obs histogram (sched.wake_to_run_ns) stays the mergeable view.
+  const std::vector<TimeNs>& wake_latencies() const { return wake_latencies_; }
   /// Balance-pass migrations dropped / postponed by the filter.
   std::uint64_t migrations_rejected() const { return migrations_rejected_; }
   std::uint64_t migrations_deferred() const { return migrations_deferred_; }
@@ -300,6 +313,7 @@ class Kernel {
 
   MigrationFilter* migration_filter_ = nullptr;
   obs::Sink* obs_ = nullptr;
+  std::vector<TimeNs> wake_latencies_;
   struct DeferredMigration {
     ThreadId tid;
     CoreId dest;

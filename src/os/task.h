@@ -86,6 +86,9 @@ struct Task {
   /// First time the task ever ran (wake-to-run latency = this - arrived_at);
   /// kTimeNever until the first dispatch.
   TimeNs first_dispatched_at = kTimeNever;
+  /// Timestamp of the latest Sleeping→Runnable wake; cleared at the first
+  /// dispatch after it (wake-to-run latency = dispatch time - this).
+  TimeNs last_wake_at = kTimeNever;
 
   bool alive() const { return state != TaskState::Exited; }
   bool can_run_on(CoreId c) const {

@@ -14,6 +14,14 @@ void print_result(std::ostream& os, const SimulationResult& r, bool per_core) {
      << r.ips_per_watt / 1e6 << " MIPS/W"
      << " (migrations=" << r.migrations
      << ", ctx=" << r.context_switches << ")\n";
+  if (r.wake_to_run.count > 0) {
+    os << "  wake-to-run over " << r.wake_to_run.count
+       << " wakes: p50=" << static_cast<double>(r.wake_to_run.p50_ns) / 1e3
+       << " us, p95=" << static_cast<double>(r.wake_to_run.p95_ns) / 1e3
+       << " us, p99=" << static_cast<double>(r.wake_to_run.p99_ns) / 1e3
+       << " us, max=" << static_cast<double>(r.wake_to_run.max_ns) / 1e3
+       << " us\n";
+  }
   if (!per_core) return;
   TextTable t({"core", "type", "Minsts", "J", "busy%", "sleep%", "MIPS",
                "MIPS/W"});

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/percentile.h"
 #include "common/types.h"
 
 namespace sb::obs {
@@ -77,6 +78,12 @@ struct SimulationResult {
   /// threads on slow cores pay here — reported so the trade is visible).
   double avg_sched_latency_us = 0;
   double max_sched_latency_us = 0;
+
+  /// Interactive responsiveness: exact nearest-rank tail of every
+  /// Sleeping→Runnable wake → first-dispatch delta (count is 0 for purely
+  /// CPU-bound workloads — the JSON report emits its `latency` block only
+  /// when a wake ever happened).
+  LatencyTail wake_to_run;
 
   /// Thermal statistics (only when SimulationConfig::thermal_enabled).
   double max_temp_c = 0;               // hottest any core got, any time

@@ -105,6 +105,24 @@ void write_json(std::ostream& os, const SimulationResult& r) {
     os << "}";
   }
 
+  // Latency block only when a wake ever happened — purely CPU-bound runs
+  // (no interactive tasks) keep byte-identical reports. Percentiles are
+  // exact nearest-rank over every wake→first-dispatch delta.
+  if (r.wake_to_run.count > 0) {
+    os << ",\"latency\":{\"wakes\":" << r.wake_to_run.count
+       << ",\"mean_us\":";
+    number(os, r.wake_to_run.mean_ns / 1e3);
+    os << ",\"p50_us\":";
+    number(os, static_cast<double>(r.wake_to_run.p50_ns) / 1e3);
+    os << ",\"p95_us\":";
+    number(os, static_cast<double>(r.wake_to_run.p95_ns) / 1e3);
+    os << ",\"p99_us\":";
+    number(os, static_cast<double>(r.wake_to_run.p99_ns) / 1e3);
+    os << ",\"max_us\":";
+    number(os, static_cast<double>(r.wake_to_run.max_ns) / 1e3);
+    os << "}";
+  }
+
   // Shards block only when sharded balancing ran — the unsharded path
   // keeps byte-identical reports.
   if (r.shards > 0) {

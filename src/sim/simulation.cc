@@ -60,13 +60,28 @@ void Simulation::add_benchmark_at(TimeNs at, const std::string& name,
   if (ran_) throw std::logic_error("add_benchmark_at: already running");
   // Validate the name eagerly so failures surface at setup time.
   (void)workload::BenchmarkLibrary::get(name);
-  arrivals_.push_back({at, name, threads});
+  arrivals_.push_back({at, name, threads, {}});
+}
+
+void Simulation::add_replay(const workload::ReplaySchedule& schedule) {
+  if (ran_) throw std::logic_error("add_replay: already running");
+  for (const auto& rt : schedule.tasks) {
+    if (rt.spawn_at <= 0) {
+      kernel_->fork(rt.behavior);
+    } else {
+      arrivals_.push_back({rt.spawn_at, {}, 0, {rt.behavior}});
+    }
+  }
 }
 
 void Simulation::apply_arrivals() {
   for (auto it = arrivals_.begin(); it != arrivals_.end();) {
     if (it->at <= kernel_->now()) {
-      add_benchmark(it->benchmark, it->threads);
+      if (!it->behaviors.empty()) {
+        for (const auto& tb : it->behaviors) kernel_->fork(tb);
+      } else {
+        add_benchmark(it->benchmark, it->threads);
+      }
       it = arrivals_.erase(it);
     } else {
       ++it;
@@ -257,6 +272,14 @@ SimulationResult Simulation::snapshot() const {
     if (dispatches > 0) {
       r.avg_sched_latency_us = wait_sum / static_cast<double>(dispatches) / 1e3;
     }
+  }
+
+  {
+    const auto& waits = kernel_->wake_latencies();
+    std::vector<std::uint64_t> sample;
+    sample.reserve(waits.size());
+    for (TimeNs w : waits) sample.push_back(static_cast<std::uint64_t>(w));
+    r.wake_to_run = tail_of(sample);
   }
 
   r.dvfs_transitions = kernel_->dvfs_transitions();

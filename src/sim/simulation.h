@@ -19,6 +19,7 @@
 #include "sim/metrics.h"
 #include "workload/benchmarks.h"
 #include "workload/mixes.h"
+#include "workload/sched_replay.h"
 
 namespace sb::sim {
 
@@ -72,6 +73,11 @@ class Simulation {
   /// dynamic thread model ("threads can enter and leave the system at any
   /// time"). Arrivals are applied during run().
   void add_benchmark_at(TimeNs at, const std::string& name, int threads);
+
+  /// Populates the run from a compiled scheduler-trace replay (see
+  /// workload/sched_replay.h): tasks spawning at t=0 fork immediately, the
+  /// rest become deferred arrivals at their traced spawn times.
+  void add_replay(const workload::ReplaySchedule& schedule);
 
   /// Installs the balancing policy (must be called before run()).
   void set_balancer(std::unique_ptr<os::LoadBalancer> balancer);
@@ -130,6 +136,9 @@ class Simulation {
     TimeNs at;
     std::string benchmark;
     int threads;
+    /// Replay arrivals carry fully compiled behaviors instead of a
+    /// benchmark name (benchmark is empty then).
+    std::vector<workload::ThreadBehavior> behaviors;
   };
   std::vector<Arrival> arrivals_;
 

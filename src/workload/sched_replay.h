@@ -1,0 +1,121 @@
+// Scheduler-trace replay: real wake/sleep patterns as a workload source.
+//
+// Downstream users record what their system actually did — `perf sched` /
+// ftrace style event streams of task spawns, sleeps, wakes and exits — and
+// feed it back in as CSV. The replay compiler turns that event stream plus a
+// per-task phase characterization (the trace_loader format, or a builtin
+// benchmark) into a deterministic arrival/interactivity schedule that plugs
+// in next to the synthetic PARSEC mixes and the fleet's MMPP arrivals. This
+// closes the responsiveness loop: the wake-to-run latency report
+// (sim/metrics.h) can then be gated on traffic shaped like production, not
+// just on synthetic interactive microbenchmarks.
+//
+// Trace CSV grammar (header required, in this order):
+//   event,t_us,task,ref
+// where
+//   event  one of spawn | wake | sleep | exit
+//   t_us   event timestamp in microseconds (up to 0.001 us = 1 ns
+//          resolution; non-decreasing across the file, strictly increasing
+//          per task; at most 1e9 us so nanosecond round-trips stay exact)
+//   task   non-empty task name (one simulated thread per name)
+//   ref    spawn only: phase characterization — either `builtin:<name>`
+//          (a BenchmarkLibrary entry) or the path of a trace_loader phase
+//          CSV, resolved relative to the replay file; empty otherwise
+// Per-task lifecycle: spawn first (exactly once), then alternating
+// sleep/wake (a spawned task starts awake), optionally ending in exit
+// (any state). Malformed input always throws std::runtime_error with a
+// line number — never std::out_of_range or UB (fuzzed).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/profile.h"
+
+namespace sb::workload {
+
+/// The exact header line expected/produced by the replay format.
+const std::string& replay_csv_header();
+
+struct ReplayEvent {
+  enum class Kind { Spawn, Wake, Sleep, Exit };
+  Kind kind = Kind::Spawn;
+  TimeNs at = 0;
+  std::string task;
+  std::string ref;  // spawn only; empty otherwise
+
+  bool operator==(const ReplayEvent&) const = default;
+};
+
+/// A validated, time-ordered replay event stream.
+struct ReplayTrace {
+  std::vector<ReplayEvent> events;
+
+  /// Timestamp of the last event (0 for an empty stream — parse never
+  /// returns one; there is at least one spawn).
+  TimeNs span() const;
+  /// Number of distinct tasks (== number of spawn events).
+  std::size_t num_tasks() const;
+
+  bool operator==(const ReplayTrace&) const = default;
+};
+
+/// Parses and validates a replay trace. `context` names the source in error
+/// messages. Throws std::runtime_error with a line number on any malformed,
+/// out-of-range or out-of-order input.
+ReplayTrace parse_replay_trace(std::istream& is,
+                               const std::string& context = "sched replay");
+ReplayTrace load_replay_trace_file(const std::string& path);
+
+/// Writes a trace in the same format (bit-exact round-trip with parse:
+/// timestamps are printed as fixed-point microseconds with 3 fractional
+/// digits, which reparse to the identical nanosecond value).
+void save_replay_trace(std::ostream& os, const ReplayTrace& trace);
+void save_replay_trace_file(const std::string& path,
+                            const ReplayTrace& trace);
+
+/// One compiled task: spawn time plus the ThreadBehavior reproducing the
+/// trace's duty cycle (burst/sleep means, zero jitter — the schedule is a
+/// pure function of the trace and options).
+struct ReplayTask {
+  std::string name;
+  TimeNs spawn_at = 0;
+  ThreadBehavior behavior;
+
+  // Trace-derived statistics (reporting aid; behavior already encodes them).
+  std::uint64_t wakes = 0;
+  TimeNs busy_ns = 0;   // total awake time covered by the trace
+  TimeNs sleep_ns = 0;  // total completed sleep→wake time
+  bool exits = false;   // tasks without an exit event run forever
+};
+
+struct ReplayCompileOptions {
+  /// Calibration: instructions retired per busy nanosecond when mapping the
+  /// trace's wall-clock busy intervals onto instruction budgets.
+  double ips_hint = 1.0;
+  /// Directory for resolving relative phase-CSV refs (typically the replay
+  /// file's directory; empty = current directory).
+  std::string base_dir;
+};
+
+/// Compiles a trace into per-task arrival times + behaviors, resolving each
+/// spawn's phase characterization ref. Tasks come out in spawn order (file
+/// order for equal timestamps). Throws std::runtime_error when a ref cannot
+/// be resolved or the options are out of range.
+struct ReplaySchedule {
+  std::vector<ReplayTask> tasks;
+  TimeNs span = 0;  // trace span (drives fleet arrival looping)
+};
+ReplaySchedule compile_replay_schedule(const ReplayTrace& trace,
+                                       const ReplayCompileOptions& opts = {});
+
+/// Deterministic job-class assignment for fleet replay arrivals: FNV-1a
+/// over the task name, reduced mod num_classes. Stable across platforms
+/// and runs (part of the fleet determinism contract).
+int replay_class_of(std::string_view task, int num_classes);
+
+}  // namespace sb::workload

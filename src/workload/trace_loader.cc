@@ -1,5 +1,6 @@
 #include "workload/trace_loader.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -57,6 +58,13 @@ ThreadBehavior load_thread_trace(std::istream& is, const std::string& name) {
                        std::to_string(v.size()));
     }
     Phase ph;
+    // Range-check before the float→integer cast: a negative, huge or
+    // non-finite instruction count would be undefined behaviour in the
+    // static_cast, not just a bad value (same over-range leak class
+    // FaultPlan::parse fixed).
+    if (!std::isfinite(v[0]) || v[0] < 0 || v[0] >= 1e18) {
+      fail(lineno, "instruction count out of [0, 1e18)");
+    }
     ph.instructions = static_cast<std::uint64_t>(v[0]);
     WorkloadProfile& p = ph.profile;
     p.name = name + ".phase" + std::to_string(tb.phases.size());

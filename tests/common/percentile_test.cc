@@ -1,0 +1,89 @@
+// Hand-computed nearest-rank percentile cross-checks. The latency gates in
+// bench/fig_latency.cc and the fleet dispatcher report both promise *exact*
+// nearest-rank tails; these tests pin the rank arithmetic so a silent switch
+// to interpolation (or an off-by-one in the rank) cannot pass.
+#include "common/percentile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace sb {
+namespace {
+
+TEST(NearestRank, TenElementHandComputed) {
+  // sorted = {10, 20, ..., 100}; rank = ceil(q * 10) clamped to [1, 10].
+  const std::vector<std::uint64_t> s = {10, 20, 30, 40, 50,
+                                        60, 70, 80, 90, 100};
+  EXPECT_EQ(nearest_rank(s, 0.50), 50u);   // rank ceil(5.0)  = 5
+  EXPECT_EQ(nearest_rank(s, 0.95), 100u);  // rank ceil(9.5)  = 10
+  EXPECT_EQ(nearest_rank(s, 0.99), 100u);  // rank ceil(9.9)  = 10
+  EXPECT_EQ(nearest_rank(s, 0.90), 90u);   // rank ceil(9.0)  = 9
+  EXPECT_EQ(nearest_rank(s, 1.00), 100u);  // rank 10
+  EXPECT_EQ(nearest_rank(s, 0.0), 10u);    // rank clamps up to 1
+  EXPECT_EQ(nearest_rank(s, 0.01), 10u);   // rank ceil(0.1)  = 1
+}
+
+TEST(NearestRank, HundredElementPercentilesAreExactRanks) {
+  std::vector<std::uint64_t> s(100);
+  std::iota(s.begin(), s.end(), 1);  // 1..100
+  EXPECT_EQ(nearest_rank(s, 0.50), 50u);
+  EXPECT_EQ(nearest_rank(s, 0.95), 95u);
+  EXPECT_EQ(nearest_rank(s, 0.99), 99u);
+}
+
+TEST(NearestRank, InputOrderDoesNotMatter) {
+  const std::vector<std::uint64_t> shuffled = {70, 10, 100, 40, 90,
+                                               20, 60,  80, 30, 50};
+  EXPECT_EQ(nearest_rank(shuffled, 0.50), 50u);
+  EXPECT_EQ(nearest_rank(shuffled, 0.99), 100u);
+}
+
+TEST(NearestRank, EmptyAndSingleton) {
+  EXPECT_EQ(nearest_rank({}, 0.99), 0u);
+  const std::vector<std::uint64_t> one = {42};
+  EXPECT_EQ(nearest_rank(one, 0.0), 42u);
+  EXPECT_EQ(nearest_rank(one, 0.5), 42u);
+  EXPECT_EQ(nearest_rank(one, 1.0), 42u);
+}
+
+TEST(TailOf, HandComputedSummary) {
+  const std::vector<std::uint64_t> s = {10, 20, 30, 40, 50,
+                                        60, 70, 80, 90, 100};
+  const LatencyTail t = tail_of(s);
+  EXPECT_EQ(t.count, 10u);
+  EXPECT_DOUBLE_EQ(t.mean_ns, 55.0);
+  EXPECT_EQ(t.p50_ns, 50u);
+  EXPECT_EQ(t.p95_ns, 100u);
+  EXPECT_EQ(t.p99_ns, 100u);
+  EXPECT_EQ(t.max_ns, 100u);
+}
+
+TEST(TailOf, EmptySampleIsAllZero) {
+  const LatencyTail t = tail_of({});
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_DOUBLE_EQ(t.mean_ns, 0.0);
+  EXPECT_EQ(t.p50_ns, 0u);
+  EXPECT_EQ(t.p95_ns, 0u);
+  EXPECT_EQ(t.p99_ns, 0u);
+  EXPECT_EQ(t.max_ns, 0u);
+}
+
+TEST(TailOf, MatchesNearestRankOnLargeSample) {
+  // 1000 samples: tail_of and nearest_rank must agree exactly.
+  std::vector<std::uint64_t> s(1000);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = (i * 7919) % 100000;  // deterministic scatter
+  }
+  const LatencyTail t = tail_of(s);
+  EXPECT_EQ(t.p50_ns, nearest_rank(s, 0.50));
+  EXPECT_EQ(t.p95_ns, nearest_rank(s, 0.95));
+  EXPECT_EQ(t.p99_ns, nearest_rank(s, 0.99));
+  EXPECT_EQ(t.max_ns, *std::max_element(s.begin(), s.end()));
+}
+
+}  // namespace
+}  // namespace sb

@@ -1,0 +1,119 @@
+// Wake-to-run latency accounting through the simulation façade: the exact
+// nearest-rank tail in SimulationResult, its JSON `latency` block, the
+// cross-check against the obs-layer histogram, and run-to-run determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/percentile.h"
+#include "obs/trace.h"
+#include "os/vanilla_balancer.h"
+#include "sim/report.h"
+#include "sim/simulation.h"
+#include "workload/sched_replay.h"
+
+namespace sb::sim {
+namespace {
+
+/// A short interactive replay: two UI-style tasks duty-cycling against a
+/// CPU-bound background task, all inside a 60 ms window.
+workload::ReplaySchedule interactive_schedule() {
+  std::ostringstream os;
+  os << workload::replay_csv_header() << "\n"
+     << "spawn,0.000,bg,builtin:canneal\n"
+     << "spawn,0.000,ui0,builtin:IMB_MTHI\n"
+     << "spawn,500.000,ui1,builtin:IMB_MTHI\n";
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const long base = 1000 + cycle * 2500;
+    os << "sleep," << base << ".000,ui0,\n"
+       << "sleep," << (base + 300) << ".000,ui1,\n"
+       << "wake," << (base + 1500) << ".000,ui0,\n"
+       << "wake," << (base + 1800) << ".000,ui1,\n";
+  }
+  std::istringstream in(os.str());
+  return workload::compile_replay_schedule(workload::parse_replay_trace(in));
+}
+
+SimulationConfig quick_cfg() {
+  SimulationConfig cfg;
+  cfg.duration = milliseconds(60);
+  return cfg;
+}
+
+TEST(WakeToRun, CpuBoundRunHasNoWakes) {
+  Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+  s.set_balancer(std::make_unique<os::VanillaBalancer>());
+  s.add_benchmark("canneal", 4);  // pure CPU-bound, never sleeps
+  const SimulationResult r = s.run();
+  EXPECT_EQ(r.wake_to_run.count, 0u);
+  EXPECT_EQ(r.wake_to_run.p99_ns, 0u);
+  // The JSON report omits the latency block entirely for such runs.
+  EXPECT_EQ(to_json(r).find("\"latency\""), std::string::npos);
+}
+
+TEST(WakeToRun, InteractiveRunReportsExactTail) {
+  Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+  s.set_balancer(std::make_unique<os::VanillaBalancer>());
+  s.add_replay(interactive_schedule());
+  const SimulationResult r = s.run();
+  ASSERT_GT(r.wake_to_run.count, 0u);
+
+  // The reported tail must be exactly tail_of() over the kernel's raw
+  // wake→first-dispatch samples — no bucketing, no sampling.
+  const auto& waits = s.kernel().wake_latencies();
+  std::vector<std::uint64_t> sample;
+  for (TimeNs w : waits) {
+    EXPECT_GE(w, 0);
+    sample.push_back(static_cast<std::uint64_t>(w));
+  }
+  const LatencyTail expect = tail_of(sample);
+  EXPECT_EQ(r.wake_to_run.count, expect.count);
+  EXPECT_DOUBLE_EQ(r.wake_to_run.mean_ns, expect.mean_ns);
+  EXPECT_EQ(r.wake_to_run.p50_ns, expect.p50_ns);
+  EXPECT_EQ(r.wake_to_run.p95_ns, expect.p95_ns);
+  EXPECT_EQ(r.wake_to_run.p99_ns, expect.p99_ns);
+  EXPECT_EQ(r.wake_to_run.max_ns, expect.max_ns);
+  EXPECT_LE(r.wake_to_run.p50_ns, r.wake_to_run.p95_ns);
+  EXPECT_LE(r.wake_to_run.p95_ns, r.wake_to_run.p99_ns);
+  EXPECT_LE(r.wake_to_run.p99_ns, r.wake_to_run.max_ns);
+
+  // ...and the JSON report carries the block.
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+}
+
+TEST(WakeToRun, IdenticalRunsProduceIdenticalSamples) {
+  const auto run_once = [] {
+    Simulation s(arch::Platform::quad_heterogeneous(), quick_cfg());
+    s.set_balancer(std::make_unique<os::VanillaBalancer>());
+    s.add_replay(interactive_schedule());
+    s.run();
+    return s.kernel().wake_latencies();
+  };
+  const std::vector<TimeNs> a = run_once();
+  const std::vector<TimeNs> b = run_once();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(WakeToRun, ObsHistogramMatchesExactTail) {
+  auto cfg = quick_cfg();
+  cfg.obs.metrics = true;
+  Simulation s(arch::Platform::quad_heterogeneous(), cfg);
+  s.set_balancer(std::make_unique<os::VanillaBalancer>());
+  s.add_replay(interactive_schedule());
+  const SimulationResult r = s.run();
+  ASSERT_GT(r.wake_to_run.count, 0u);
+  ASSERT_NE(r.obs, nullptr);
+  const auto& hists = r.obs->metrics.histograms();
+  const auto it = hists.find("sched.wake_to_run_ns");
+  ASSERT_NE(it, hists.end());
+  EXPECT_EQ(it->second.count(), r.wake_to_run.count);
+}
+
+}  // namespace
+}  // namespace sb::sim

@@ -1,0 +1,190 @@
+// Grammar fuzz for parse_replay_trace: ~10k seeded, deterministic mutations
+// of valid traces plus raw garbage. The contract under test: the parser
+// either returns a trace or throws std::runtime_error with a line number —
+// never any other exception type, never UB (the suite also runs under
+// ASan/UBSan in CI). Same harness shape as fault_plan_fuzz_test.cc, which
+// caught the std::out_of_range leak from std::stod on over-range numerics.
+#include "workload/sched_replay.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <typeinfo>
+#include <vector>
+
+namespace sb::workload {
+namespace {
+
+/// SplitMix64: deterministic mutation stream, independent of libc rand.
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  char random_char() {
+    // Biased toward grammar-relevant bytes so mutations stay interesting.
+    static const char kAlphabet[] =
+        "0123456789.,-+eE \t\nspawnwakesleepexit"
+        "event,t_us,task,refbuiltin:cannealIMB_MTHI\0\x7f";
+    return kAlphabet[below(sizeof(kAlphabet) - 1)];
+  }
+
+  std::string mutate(std::string s) {
+    const int edits = 1 + static_cast<int>(below(4));
+    for (int e = 0; e < edits; ++e) {
+      switch (below(5)) {
+        case 0:  // flip one byte
+          if (!s.empty()) s[below(s.size())] = random_char();
+          break;
+        case 1:  // insert
+          s.insert(s.begin() + static_cast<std::ptrdiff_t>(
+                                   below(s.size() + 1)),
+                   random_char());
+          break;
+        case 2:  // delete
+          if (!s.empty()) s.erase(below(s.size()), 1);
+          break;
+        case 3:  // truncate
+          if (!s.empty()) s.resize(below(s.size()));
+          break;
+        case 4:  // duplicate a slice onto the end
+          if (!s.empty()) {
+            const std::size_t at = below(s.size());
+            s += s.substr(at, below(s.size() - at) + 1);
+          }
+          break;
+      }
+    }
+    return s;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> kCorpus = {
+      "event,t_us,task,ref\n"
+      "spawn,0.000,a,builtin:canneal\n",
+
+      "event,t_us,task,ref\n"
+      "spawn,0.000,a,builtin:canneal\n"
+      "sleep,1000.000,a,\n"
+      "wake,3000.000,a,\n"
+      "sleep,4000.000,a,\n"
+      "exit,5000.000,a,\n",
+
+      "event,t_us,task,ref\n"
+      "spawn,0.000,bg,builtin:canneal\n"
+      "spawn,100.000,ui,builtin:IMB_MTHI\n"
+      "sleep,500.500,ui,\n"
+      "wake,1500.250,ui,\n",
+
+      "event,t_us,task,ref\n"
+      "spawn,0.000,a,builtin:IMB_MTHI\n"
+      "spawn,0.000,b,builtin:canneal\n"
+      "sleep,10.125,a,\n"
+      "wake,20.750,a,\n"
+      "exit,30.000,b,\n",
+
+      "",
+  };
+  return kCorpus;
+}
+
+bool all_refs_builtin(const ReplayTrace& trace) {
+  for (const ReplayEvent& ev : trace.events) {
+    if (ev.kind == ReplayEvent::Kind::Spawn &&
+        !std::string_view(ev.ref).starts_with("builtin:")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The parser must return or throw std::runtime_error; nothing else. On
+/// success, save→reparse must reproduce the trace exactly, and — when all
+/// refs resolve to builtins so no filesystem access happens — the compiler
+/// must also return or throw std::runtime_error.
+void expect_contract(const std::string& input) {
+  try {
+    std::istringstream in(input);
+    const ReplayTrace trace = parse_replay_trace(in);
+    std::ostringstream saved;
+    save_replay_trace(saved, trace);
+    std::istringstream in2(saved.str());
+    const ReplayTrace again = parse_replay_trace(in2);
+    EXPECT_EQ(again, trace) << "unstable round-trip for input '" << input
+                            << "'";
+    if (all_refs_builtin(trace)) {
+      try {
+        const ReplaySchedule sched = compile_replay_schedule(trace);
+        EXPECT_EQ(sched.tasks.size(), trace.num_tasks());
+      } catch (const std::runtime_error&) {
+        // Documented rejection path (e.g. unknown builtin benchmark).
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // Documented rejection path.
+  } catch (const std::exception& e) {
+    FAIL() << "parse_replay_trace('" << input << "') leaked "
+           << typeid(e).name() << ": " << e.what();
+  }
+}
+
+TEST(SchedReplayFuzz, TenThousandSeededMutations) {
+  Mutator m(0x5eedcafeULL);
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::string& base = corpus()[m.below(corpus().size())];
+    const std::string input =
+        m.below(10) == 0
+            ? std::string(m.below(32), static_cast<char>(m.next() & 0xff))
+            : m.mutate(base);
+    try {
+      std::istringstream in(input);
+      (void)parse_replay_trace(in);
+      ++parsed;
+    } catch (const std::runtime_error&) {
+      ++rejected;
+    }
+    expect_contract(input);
+  }
+  // The mutation stream must exercise both sides of the grammar.
+  EXPECT_GT(parsed, 100) << "mutations never produced a valid trace";
+  EXPECT_GT(rejected, 1000) << "mutations never produced an invalid trace";
+}
+
+TEST(SchedReplayFuzz, OverRangeNumericsAreRuntimeErrorNotOutOfRange) {
+  // std::stod throws std::out_of_range on these; the parser must map that
+  // onto its documented std::runtime_error contract.
+  const std::string h = replay_csv_header() + "\n";
+  for (const char* t :
+       {"1e999", "1e-999", "9e307", "1e309", "99999999999999999999",
+        "184467440737095516160"}) {
+    std::istringstream in(h + "spawn," + t + ",a,builtin:canneal\n");
+    EXPECT_THROW((void)parse_replay_trace(in), std::runtime_error) << t;
+  }
+}
+
+TEST(SchedReplayFuzz, ValidCorpusStillParses) {
+  for (const std::string& input : corpus()) {
+    if (input.empty()) continue;  // empty input is the documented rejection
+    std::istringstream in(input);
+    EXPECT_NO_THROW((void)parse_replay_trace(in)) << input;
+  }
+}
+
+}  // namespace
+}  // namespace sb::workload

@@ -1,0 +1,254 @@
+// Property tests for the scheduler-trace replay format and compiler:
+// save/load round-trips, load determinism, hand-computed duty-cycle
+// compilation, and the documented rejection paths (std::runtime_error with
+// a line number, never anything else).
+#include "workload/sched_replay.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sb::workload {
+namespace {
+
+/// A small but representative valid trace: two background tasks and two
+/// interactive tasks, one of which exits.
+std::string sample_trace_csv() {
+  std::ostringstream os;
+  os << replay_csv_header() << "\n"
+     << "spawn,0.000,bg,builtin:canneal\n"
+     << "spawn,100.000,a,builtin:IMB_MTHI\n"
+     << "spawn,200.500,b,builtin:IMB_LTHI\n"
+     << "sleep,1000.000,a,\n"
+     << "sleep,1500.250,b,\n"
+     << "wake,3000.000,a,\n"
+     << "wake,3500.250,b,\n"
+     << "sleep,4000.000,a,\n"
+     << "exit,5000.000,a,\n"
+     << "sleep,6000.000,b,\n"
+     << "wake,8000.000,b,\n";
+  return os.str();
+}
+
+TEST(SchedReplay, ParsesSampleTrace) {
+  std::istringstream in(sample_trace_csv());
+  const ReplayTrace t = parse_replay_trace(in);
+  EXPECT_EQ(t.events.size(), 11u);
+  EXPECT_EQ(t.num_tasks(), 3u);
+  EXPECT_EQ(t.span(), microseconds(8000));
+  EXPECT_EQ(t.events[0].kind, ReplayEvent::Kind::Spawn);
+  EXPECT_EQ(t.events[0].task, "bg");
+  EXPECT_EQ(t.events[0].ref, "builtin:canneal");
+  // 200.5 us parses to the exact nanosecond value.
+  EXPECT_EQ(t.events[2].at, 200'500);
+}
+
+TEST(SchedReplay, SaveLoadRoundTripIsExact) {
+  std::istringstream in(sample_trace_csv());
+  const ReplayTrace original = parse_replay_trace(in);
+
+  std::ostringstream saved;
+  save_replay_trace(saved, original);
+  std::istringstream in2(saved.str());
+  const ReplayTrace restored = parse_replay_trace(in2);
+  EXPECT_EQ(restored, original);
+
+  // Saving the restored trace reproduces the identical bytes (the format
+  // is canonical: fixed-point microseconds, three fractional digits).
+  std::ostringstream saved2;
+  save_replay_trace(saved2, restored);
+  EXPECT_EQ(saved2.str(), saved.str());
+}
+
+TEST(SchedReplay, FileRoundTrip) {
+  const std::string path = "sched_replay_test_tmp.csv";
+  std::istringstream in(sample_trace_csv());
+  const ReplayTrace original = parse_replay_trace(in);
+  save_replay_trace_file(path, original);
+  const ReplayTrace restored = load_replay_trace_file(path);
+  EXPECT_EQ(restored, original);
+  std::remove(path.c_str());
+}
+
+TEST(SchedReplay, TwoLoadsAreIdentical) {
+  std::istringstream a(sample_trace_csv());
+  std::istringstream b(sample_trace_csv());
+  const ReplayTrace ta = parse_replay_trace(a);
+  const ReplayTrace tb = parse_replay_trace(b);
+  EXPECT_EQ(ta, tb);
+
+  // ...and so are the compiled schedules (the compiler is a pure function
+  // of the trace and options — zero jitter, no hidden state).
+  const ReplaySchedule sa = compile_replay_schedule(ta);
+  const ReplaySchedule sb2 = compile_replay_schedule(tb);
+  ASSERT_EQ(sa.tasks.size(), sb2.tasks.size());
+  EXPECT_EQ(sa.span, sb2.span);
+  for (std::size_t i = 0; i < sa.tasks.size(); ++i) {
+    EXPECT_EQ(sa.tasks[i].name, sb2.tasks[i].name);
+    EXPECT_EQ(sa.tasks[i].spawn_at, sb2.tasks[i].spawn_at);
+    EXPECT_EQ(sa.tasks[i].behavior.burst_instructions,
+              sb2.tasks[i].behavior.burst_instructions);
+    EXPECT_EQ(sa.tasks[i].behavior.sleep_mean_ns,
+              sb2.tasks[i].behavior.sleep_mean_ns);
+    EXPECT_EQ(sa.tasks[i].behavior.total_instructions,
+              sb2.tasks[i].behavior.total_instructions);
+  }
+}
+
+TEST(SchedReplay, CompilesHandComputedDutyCycle) {
+  // a: busy [0,1000] and [3000,4000] us (mean 1e6 ns), one completed sleep
+  //    [1000,3000] us, exits asleep at 5000 us.
+  // b: busy [100,1100] us plus the truncated final interval [3100,5000] us
+  //    (mean 1.45e6 ns), one completed sleep [1100,3100] us, never exits.
+  std::ostringstream os;
+  os << replay_csv_header() << "\n"
+     << "spawn,0.000,a,builtin:canneal\n"
+     << "spawn,100.000,b,builtin:IMB_MTHI\n"
+     << "sleep,1000.000,a,\n"
+     << "sleep,1100.000,b,\n"
+     << "wake,3000.000,a,\n"
+     << "wake,3100.000,b,\n"
+     << "sleep,4000.000,a,\n"
+     << "exit,5000.000,a,\n";
+  std::istringstream in(os.str());
+  const ReplayTrace trace = parse_replay_trace(in);
+
+  ReplayCompileOptions opts;
+  opts.ips_hint = 2.0;
+  const ReplaySchedule sched = compile_replay_schedule(trace, opts);
+  ASSERT_EQ(sched.tasks.size(), 2u);
+  EXPECT_EQ(sched.span, microseconds(5000));
+
+  const ReplayTask& a = sched.tasks[0];  // spawn order
+  EXPECT_EQ(a.name, "a");
+  EXPECT_EQ(a.spawn_at, 0);
+  EXPECT_EQ(a.wakes, 1u);
+  EXPECT_EQ(a.busy_ns, 2'000'000);
+  EXPECT_EQ(a.sleep_ns, 2'000'000);
+  EXPECT_TRUE(a.exits);
+  EXPECT_EQ(a.behavior.burst_instructions, 2'000'000u);  // 1e6 ns * 2 i/ns
+  EXPECT_EQ(a.behavior.sleep_mean_ns, 2'000'000);
+  EXPECT_EQ(a.behavior.total_instructions, 4'000'000u);  // 2e6 ns * 2 i/ns
+  EXPECT_DOUBLE_EQ(a.behavior.sleep_jitter, 0.0);
+  EXPECT_TRUE(a.behavior.interactive());
+
+  const ReplayTask& b = sched.tasks[1];
+  EXPECT_EQ(b.name, "b");
+  EXPECT_EQ(b.spawn_at, microseconds(100));
+  EXPECT_EQ(b.busy_ns, 2'900'000);
+  EXPECT_EQ(b.behavior.burst_instructions, 2'900'000u);  // 1.45e6 ns * 2
+  EXPECT_EQ(b.behavior.sleep_mean_ns, 2'000'000);
+  EXPECT_EQ(b.behavior.total_instructions, 0u);  // runs forever
+  EXPECT_FALSE(b.exits);
+}
+
+TEST(SchedReplay, TaskWithoutCompletedCycleCompilesCpuBound) {
+  std::ostringstream os;
+  os << replay_csv_header() << "\n"
+     << "spawn,0.000,hog,builtin:canneal\n"
+     << "sleep,9000.000,hog,\n";  // sleeps but never wakes again
+  std::istringstream in(os.str());
+  const ReplaySchedule sched = compile_replay_schedule(parse_replay_trace(in));
+  ASSERT_EQ(sched.tasks.size(), 1u);
+  EXPECT_EQ(sched.tasks[0].wakes, 0u);
+  EXPECT_EQ(sched.tasks[0].behavior.burst_instructions, 0u);
+  EXPECT_FALSE(sched.tasks[0].behavior.interactive());
+}
+
+TEST(SchedReplay, RejectsMalformedInput) {
+  const auto reject = [](const std::string& body) {
+    std::istringstream in(body);
+    EXPECT_THROW(parse_replay_trace(in), std::runtime_error) << body;
+  };
+  reject("");                                             // empty
+  reject("foo,bar\nspawn,0.000,a,builtin:canneal\n");     // bad header
+  const std::string h = replay_csv_header() + "\n";
+  reject(h);                                              // no spawn
+  reject(h + "hop,0.000,a,builtin:canneal\n");            // unknown event
+  reject(h + "spawn,0.000,a\n");                          // missing column
+  reject(h + "spawn,0.000,,builtin:canneal\n");           // empty task
+  reject(h + "spawn,0.000,a,\n");                         // spawn without ref
+  reject(h + "wake,0.000,a,\n");                          // event before spawn
+  reject(h + "spawn,0.000,a,builtin:canneal\n"
+             "spawn,0.000,a,builtin:canneal\n");          // duplicate spawn
+  reject(h + "spawn,1000.000,a,builtin:canneal\n"
+             "sleep,500.000,a,\n");                       // global order
+  reject(h + "spawn,0.000,a,builtin:canneal\n"
+             "sleep,0.000,a,\n");                         // per-task strict
+  reject(h + "spawn,0.000,a,builtin:canneal\n"
+             "wake,1.000,a,\n");                          // wake while awake
+  reject(h + "spawn,0.000,a,builtin:canneal\n"
+             "sleep,1.000,a,\n"
+             "sleep,2.000,a,\n");                         // sleep while asleep
+  reject(h + "spawn,0.000,a,builtin:canneal\n"
+             "exit,1.000,a,\n"
+             "wake,2.000,a,\n");                          // event after exit
+  reject(h + "spawn,0.000,a,builtin:canneal\n"
+             "sleep,1.000,a,ref\n");                      // ref on non-spawn
+  reject(h + "spawn,abc,a,builtin:canneal\n");            // non-numeric time
+  reject(h + "spawn,-1.000,a,builtin:canneal\n");         // negative time
+  reject(h + "spawn,1e999,a,builtin:canneal\n");          // over-range time
+  reject(h + "spawn,2000000000.000,a,builtin:canneal\n"); // > 1e9 us
+}
+
+TEST(SchedReplay, ErrorsCarryLineNumbers) {
+  std::istringstream in(replay_csv_header() + "\n" +
+                        "spawn,0.000,a,builtin:canneal\n" +
+                        "sleep,1.000,a,\n" + "sleep,2.000,a,\n");
+  try {
+    parse_replay_trace(in);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SchedReplay, MissingFileThrows) {
+  EXPECT_THROW(load_replay_trace_file("/no/such/replay.csv"),
+               std::runtime_error);
+}
+
+TEST(SchedReplay, CompileRejectsBadRefsAndOptions) {
+  std::istringstream in(replay_csv_header() + "\n" +
+                        "spawn,0.000,a,builtin:not_a_benchmark\n");
+  const ReplayTrace t = parse_replay_trace(in);
+  EXPECT_THROW(compile_replay_schedule(t), std::runtime_error);
+
+  std::istringstream in2(replay_csv_header() + "\n" +
+                         "spawn,0.000,a,/no/such/phases.csv\n");
+  const ReplayTrace t2 = parse_replay_trace(in2);
+  EXPECT_THROW(compile_replay_schedule(t2), std::runtime_error);
+
+  std::istringstream in3(sample_trace_csv());
+  const ReplayTrace t3 = parse_replay_trace(in3);
+  for (const double bad : {0.0, -1.0, 1e9}) {
+    ReplayCompileOptions opts;
+    opts.ips_hint = bad;
+    EXPECT_THROW(compile_replay_schedule(t3, opts), std::runtime_error) << bad;
+  }
+}
+
+TEST(SchedReplay, ClassHashIsStableAndInRange) {
+  // Pinned values: part of the fleet determinism contract (changing the
+  // hash silently re-classes every replayed fleet job).
+  EXPECT_EQ(replay_class_of("bg/canneal", 8), replay_class_of("bg/canneal", 8));
+  std::set<int> seen;
+  for (const char* name : {"ui0", "ui1", "ui2", "bg/canneal", "worker/a",
+                           "worker/b", "x", "yy"}) {
+    const int c = replay_class_of(name, 8);
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 8);
+    seen.insert(c);
+  }
+  EXPECT_GT(seen.size(), 2u) << "hash collapses every name to one class";
+  EXPECT_EQ(replay_class_of("anything", 1), 0);
+  EXPECT_THROW(replay_class_of("x", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sb::workload

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <typeinfo>
 
 #include "workload/benchmarks.h"
 
@@ -100,6 +101,33 @@ TEST(TraceLoader, ErrorsCarryLineNumbers) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(TraceLoader, OverRangeNumericsAreRuntimeErrorNotOutOfRange) {
+  // Regression for the stod/stoi leak class: over-range numerics used to
+  // escape as std::out_of_range instead of the documented runtime_error
+  // (with a line number). Same bug family fault_plan_fuzz_test.cc caught.
+  const std::string tail = ",2.5,0.3,0.12,0.04,24,512,1.1,0.006,0.07,0.4,1.8,1.0";
+  for (const char* insts : {"1e999", "9e18", "1e309", "-5", "nan", "inf",
+                            "99999999999999999999"}) {
+    std::stringstream buf;
+    buf << trace_csv_header() << "\n" << insts << tail << "\n";
+    try {
+      load_thread_trace(buf, "x");
+      FAIL() << "accepted instructions=" << insts;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << insts << " -> " << e.what();
+    } catch (const std::exception& e) {
+      FAIL() << "instructions=" << insts << " leaked " << typeid(e).name()
+             << ": " << e.what();
+    }
+  }
+  // Over-range in a double column, too.
+  std::stringstream buf;
+  buf << trace_csv_header()
+      << "\n10000000,1e999,0.3,0.12,0.04,24,512,1.1,0.006,0.07,0.4,1.8,1.0\n";
+  EXPECT_THROW(load_thread_trace(buf, "x"), std::runtime_error);
 }
 
 TEST(TraceLoader, MissingFileThrows) {

@@ -12,6 +12,8 @@ Gates (any failing exits 1):
   --min-adapt PCT   minimum line coverage for src/core/adapt.* (default 0)
   --min-shard PCT   minimum line coverage for src/core/shard.* (default 0)
   --min-fleet PCT   minimum line coverage for src/fleet/ (default 0)
+  --min-replay PCT  minimum line coverage for src/workload/sched_replay.*
+                    (default 0)
   --min-total PCT   minimum overall line coverage for src/ (default 0)
 
 --json FILE writes the per-file numbers for the CI artifact.
@@ -40,6 +42,7 @@ AREAS = [
     ("adapt", os.path.join("src", "core", "adapt.")),
     ("shard", os.path.join("src", "core", "shard.")),
     ("fleet", os.path.join("src", "fleet") + os.sep),
+    ("replay", os.path.join("src", "workload", "sched_replay.")),
 ]
 DEFAULT_MINIMUMS = {"obs": 90.0}
 

@@ -203,6 +203,50 @@ def fleet_shape_checks(doc, errors, required):
                     f"overlaps 'fleet.quantum' [{ts_a}, {end_a}] on pid {pid}")
 
 
+def sched_shape_checks(doc, errors, required):
+    """Wake-to-run latency instants (an interactive / replayed run).
+
+    'sched.wake' marks a Sleeping->Runnable transition, 'sched.run' the
+    woken task's first dispatch. Every instant must carry args.tid;
+    'sched.run' additionally carries the measured args.wait_ns (>= 0).
+    Dispatches never outnumber wakes for one (pid, tid): each run instant
+    consumes exactly one preceding wake (the trailing wake of a task still
+    queued at the end of the run stays unconsumed).
+    """
+    wakes = {}  # (pid, tid) -> count
+    runs = {}   # (pid, tid) -> count
+    seen = False
+    for i, ev in enumerate(doc.get("traceEvents", [])):
+        if not isinstance(ev, dict) or ev.get("ph") != "i":
+            continue
+        name = ev.get("name")
+        if name not in ("sched.wake", "sched.run"):
+            continue
+        seen = True
+        args = ev.get("args") or {}
+        if "tid" not in args:
+            errors.append(f"traceEvents[{i}]: '{name}' args missing 'tid'")
+            continue
+        key = (ev.get("pid"), args.get("tid"))
+        if name == "sched.wake":
+            wakes[key] = wakes.get(key, 0) + 1
+        else:
+            runs[key] = runs.get(key, 0) + 1
+            wait = args.get("wait_ns")
+            if not isinstance(wait, (int, float)) or isinstance(wait, bool) \
+                    or wait < 0:
+                errors.append(f"traceEvents[{i}]: 'sched.run' args.wait_ns "
+                              f"must be a number >= 0, got {wait!r}")
+    if required and not seen:
+        errors.append("--require-sched: no 'sched.wake'/'sched.run' instant "
+                      "('i') events")
+    for key, n in runs.items():
+        if n > wakes.get(key, 0):
+            errors.append(
+                f"(pid={key[0]}, tid={key[1]}): {n} 'sched.run' instants "
+                f"but only {wakes.get(key, 0)} 'sched.wake' instants")
+
+
 def epoch_shape_checks(doc, errors):
     """--require-epoch: the canonical SmartBalance epoch anatomy."""
     by_name = {}
@@ -235,6 +279,11 @@ def main():
                         help="require fleet.quantum spans and fleet.dispatch "
                              "instants (a --fleet=N run); nesting checks "
                              "always apply when fleet spans are present")
+    parser.add_argument("--require-sched", action="store_true",
+                        help="require sched.wake/sched.run instants (an "
+                             "interactive or replayed run); tid/wait_ns "
+                             "checks always apply when sched instants are "
+                             "present")
     args = parser.parse_args()
 
     with open(args.schema) as f:
@@ -253,6 +302,7 @@ def main():
         epoch_shape_checks(doc, errors)
     shard_shape_checks(doc, errors, args.require_shards)
     fleet_shape_checks(doc, errors, args.require_fleet)
+    sched_shape_checks(doc, errors, args.require_sched)
 
     if errors:
         print(f"{args.trace}: INVALID ({len(errors)} violation(s)):",

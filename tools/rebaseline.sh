@@ -39,6 +39,7 @@ HARNESSES=(
   "fig7_overhead_scalability;;BENCH_epoch.json"
   "fig_shard_scaling;;BENCH_shard.json"
   "fig_fleet;;BENCH_fleet.json"
+  "fig_latency;;BENCH_latency.json"
 )
 
 REPS=5

@@ -93,6 +93,17 @@ using namespace sb;
                             on exactly when --faults is non-empty)
   --thread-trace=<csv>:<name>:<count>  spawn threads from a phase-trace CSV
                             (see workload/trace_loader.h for the format)
+  --replay=<csv>            replay a recorded scheduler trace (perf-sched
+                            style spawn/wake/sleep/exit events; see
+                            workload/sched_replay.h for the grammar) as the
+                            workload; phase refs resolve relative to the
+                            trace file
+  --replay-ips=<x>          replay calibration: instructions per busy
+                            nanosecond when compiling the trace (default 1)
+  --fleet-arrivals=mmpp | replay:<csv>   fleet arrival source (with --fleet):
+                            the default bursty MMPP clock, or a scheduler
+                            trace whose spawn events become job arrivals
+                            (looped by its span; class = hash of task name)
   --save-model=<file>       train the predictor for this platform and save it
   --load-model=<file>       use a previously saved predictor (smartbalance)
   --json=<file>             dump the (last) run's full metrics as JSON
@@ -126,6 +137,9 @@ struct Args {
   std::string faults;        // FaultPlan::parse spec
   std::string defenses;      // auto | on | off
   std::vector<std::tuple<std::string, std::string, int>> thread_traces;
+  std::string replay;          // sched-replay trace CSV (single-node)
+  double replay_ips = 1.0;     // compile calibration (instructions per ns)
+  std::string fleet_arrivals;  // "mmpp" (default) or "replay:<csv>"
   std::string save_model;
   std::string load_model;
   std::string json_out;
@@ -184,6 +198,12 @@ Args parse(int argc, char** argv) {
       if (parts.size() != 3) usage(2);
       a.thread_traces.emplace_back(parts[0], parts[1],
                                    std::atoi(parts[2].c_str()));
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      a.replay = value("--replay=");
+    } else if (arg.rfind("--replay-ips=", 0) == 0) {
+      a.replay_ips = std::atof(value("--replay-ips=").c_str());
+    } else if (arg.rfind("--fleet-arrivals=", 0) == 0) {
+      a.fleet_arrivals = value("--fleet-arrivals=");
     } else if (arg.rfind("--save-model=", 0) == 0) {
       a.save_model = value("--save-model=");
     } else if (arg.rfind("--load-model=", 0) == 0) {
@@ -221,16 +241,21 @@ Args parse(int argc, char** argv) {
     // The fleet generates its own workload; the single-node workload flags
     // would silently do nothing, so reject the combination outright.
     if (!a.benches.empty() || !a.mixes.empty() || !a.arrivals.empty() ||
-        !a.thread_traces.empty() || a.compare) {
+        !a.thread_traces.empty() || !a.replay.empty() || a.compare) {
       std::cerr << "--fleet generates its own job stream; it cannot be "
                    "combined with --bench/--mix/--bench-at/--thread-trace/"
-                   "--compare\n";
+                   "--replay/--compare\n";
       usage(2);
     }
   } else if (a.benches.empty() && a.mixes.empty() && a.arrivals.empty() &&
-             a.thread_traces.empty() && a.save_model.empty()) {
+             a.thread_traces.empty() && a.replay.empty() &&
+             a.save_model.empty()) {
     std::cerr << "no workload given (need --bench/--mix/--bench-at/"
-                 "--thread-trace/--fleet)\n";
+                 "--thread-trace/--replay/--fleet)\n";
+    usage(2);
+  }
+  if (!a.fleet_arrivals.empty() && a.fleet.empty()) {
+    std::cerr << "--fleet-arrivals only applies to --fleet runs\n";
     usage(2);
   }
   return a;
@@ -347,6 +372,14 @@ sim::SimulationResult run_once(const Args& a, const arch::Platform& platform,
       s.add_thread(std::move(copy));
     }
   }
+  if (!a.replay.empty()) {
+    const auto trace = workload::load_replay_trace_file(a.replay);
+    workload::ReplayCompileOptions opts;
+    opts.ips_hint = a.replay_ips;
+    const std::size_t slash = a.replay.find_last_of('/');
+    if (slash != std::string::npos) opts.base_dir = a.replay.substr(0, slash);
+    s.add_replay(workload::compile_replay_schedule(trace, opts));
+  }
   auto r = s.run();
   r.policy = policy;
   return r;
@@ -361,6 +394,16 @@ int run_fleet(const Args& a, const arch::Platform& platform) {
   cfg.trace = !a.chrome_trace.empty();
   cfg.metrics = a.metrics;
   cfg.node_obs = a.metrics;
+  if (!a.fleet_arrivals.empty() && a.fleet_arrivals != "mmpp") {
+    constexpr std::string_view kReplay = "replay:";
+    if (a.fleet_arrivals.rfind(kReplay, 0) != 0 ||
+        a.fleet_arrivals.size() == kReplay.size()) {
+      std::cerr << "--fleet-arrivals: want mmpp or replay:<file>, got '"
+                << a.fleet_arrivals << "'\n";
+      usage(2);
+    }
+    cfg.arrival_replay = a.fleet_arrivals.substr(kReplay.size());
+  }
   fleet::FleetSimulation f(cfg, {platform});
   const fleet::FleetResult r = f.run();
 
