@@ -36,6 +36,7 @@
 #include "power/power_model.h"
 #include "sim/experiment.h"
 #include "sim/simulation.h"
+#include "sim/ts_sampler.h"
 #include "workload/benchmarks.h"
 
 namespace {
@@ -316,9 +317,11 @@ void emit_bench_sa_json() {
 // SmartBalancePolicy::on_balance directly (sense → predict → balance) on a
 // fixed quad-HMP workload, timing only the pass itself — the kernel advances
 // one epoch between passes outside the timed region so each pass sees fresh
-// sensing data. Three configurations: null sink (the shipping default —
-// hooks reduce to a branch on nullptr), metrics+tracing enabled, and the
-// prediction-audit flight recorder alone (join + record on every pass).
+// sensing data. Four configurations: null sink (the shipping default —
+// hooks reduce to a branch on nullptr), metrics+tracing enabled, the
+// prediction-audit flight recorder alone (join + record on every pass),
+// and the continuous-telemetry plane (metrics + timeseries recorder with a
+// sampler tick per pass — what `--timeseries` costs an epoch).
 //
 // Absolute pass times are not comparable across machines (or even across
 // runs on a shared/throttled runner: observed spread is >20% on the minimum
@@ -354,8 +357,12 @@ double thread_cpu_ns() {
 }
 
 // One round: fresh kernel + trained policy, 4 warmup passes, then kReps
-// timed passes; the per-round minimum folds into `point`.
-void measure_epoch_pass_round(obs::Sink* sink, ObsPoint& point) {
+// timed passes; the per-round minimum folds into `point`. With
+// `tick_sampler`, a telemetry-plane sampler tick (one frame of the
+// continuous time series) runs inside the timed region after each pass —
+// pricing exactly what `--timeseries` adds to an epoch.
+void measure_epoch_pass_round(obs::Sink* sink, ObsPoint& point,
+                              bool tick_sampler = false) {
   constexpr int kWarmup = 4;
   constexpr int kReps = 32;
   const auto platform = arch::Platform::quad_heterogeneous();
@@ -375,10 +382,16 @@ void measure_epoch_pass_round(obs::Sink* sink, ObsPoint& point) {
     k.fork(std::move(tb));
   }
 
+  std::unique_ptr<sim::TimeseriesSampler> sampler;
+  if (tick_sampler) {
+    sampler = std::make_unique<sim::TimeseriesSampler>(platform, *sink);
+  }
+
   const TimeNs epoch = policy.interval();
   for (int i = 0; i < kWarmup; ++i) {
     k.run_for(epoch);
     policy.on_balance(k, k.now());
+    if (sampler) sampler->tick(k, k.now(), epoch);
   }
   std::uint64_t total_allocs = 0;
   for (int i = 0; i < kReps; ++i) {
@@ -386,6 +399,7 @@ void measure_epoch_pass_round(obs::Sink* sink, ObsPoint& point) {
     const std::uint64_t a0 = bench::alloc_count();
     const double t0 = thread_cpu_ns();
     policy.on_balance(k, k.now());
+    if (sampler) sampler->tick(k, k.now(), epoch);
     const double t1 = thread_cpu_ns();
     total_allocs += bench::alloc_count() - a0;
     point.min_pass_ns = std::min(point.min_pass_ns, t1 - t0);
@@ -427,6 +441,12 @@ void emit_bench_obs_json() {
   obs::ObsConfig acfg;
   acfg.audit = true;
   obs::Sink audit_sink(acfg);
+  // Telemetry plane: metrics + timeseries recorder, a sampler tick (one
+  // full frame of the continuous time series) added to every timed pass.
+  obs::ObsConfig tcfg;
+  tcfg.metrics = true;
+  tcfg.timeseries.enabled = true;
+  obs::Sink tsdb_sink(tcfg);
 
   // Interleave yardstick / off / on within each round so all three see the
   // same spread of environmental conditions; the index divides the global
@@ -438,16 +458,19 @@ void emit_bench_obs_json() {
   ObsPoint off;
   ObsPoint on;
   ObsPoint audit;
+  ObsPoint tsdb;
   double yard_ns = std::numeric_limits<double>::infinity();
   for (int round = 0; round < kRounds; ++round) {
     yard_ns = std::min(yard_ns, yardstick_round());
     measure_epoch_pass_round(nullptr, off);
     measure_epoch_pass_round(&sink, on);
     measure_epoch_pass_round(&audit_sink, audit);
+    measure_epoch_pass_round(&tsdb_sink, tsdb, /*tick_sampler=*/true);
   }
   const double off_index = off.min_pass_ns / yard_ns;
   const double on_index = on.min_pass_ns / yard_ns;
   const double audit_index = audit.min_pass_ns / yard_ns;
+  const double tsdb_index = tsdb.min_pass_ns / yard_ns;
 
   bench::Json j;
   j.begin_object()
@@ -456,7 +479,9 @@ void emit_bench_obs_json() {
              "SmartBalance epoch pass (on_balance: sense+predict+balance) "
              "with observability hooks disabled (null sink, the shipping "
              "default) vs metrics+tracing enabled vs the prediction-audit "
-             "recorder alone; quad HMP, canneal:2+swaptions:2; "
+             "recorder alone vs the continuous-telemetry plane (metrics + "
+             "timeseries with one sampler tick per pass); quad HMP, "
+             "canneal:2+swaptions:2; "
              "pass_cost_index = min pass CPU time / min yardstick CPU time "
              "over 6 interleaved rounds x 32 passes")
       .field("build", "-O2 -DNDEBUG")
@@ -482,6 +507,12 @@ void emit_bench_obs_json() {
       .field("min_pass_ns", audit.min_pass_ns)
       .field("allocs_per_pass", audit.allocs_per_pass)
       .field("overhead_vs_off_pct", 100.0 * (audit_index / off_index - 1.0))
+      .end_object();
+  j.begin_object("epoch_pass_tsdb_on")
+      .field("pass_cost_index", tsdb_index)
+      .field("min_pass_ns", tsdb.min_pass_ns)
+      .field("allocs_per_pass", tsdb.allocs_per_pass)
+      .field("overhead_vs_off_pct", 100.0 * (tsdb_index / off_index - 1.0))
       .end_object();
   j.end_object();
   j.write("BENCH_obs.json");

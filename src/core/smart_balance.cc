@@ -398,6 +398,11 @@ void SmartBalancePolicy::on_balance(os::Kernel& kernel, TimeNs now) {
           ? result.initial_objective * (1.0 + cfg_.min_relative_gain)
           : 0.0;
   const bool applied = result.objective > gain_threshold;
+  last_sa_accept_rate_ =
+      result.iterations > 0
+          ? static_cast<double>(result.accepted_worse) /
+                static_cast<double>(result.iterations)
+          : 0.0;
 
   // Prediction audit (Phase B): open this pass's ledger entry before the
   // apply loop so per-migration attribution can be registered against it.

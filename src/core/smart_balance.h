@@ -152,6 +152,13 @@ class SmartBalancePolicy final : public os::LoadBalancer {
   std::uint64_t faults_detected() const { return faults_detected_; }
   std::uint64_t faults_absorbed() const { return faults_absorbed_; }
 
+  // --- Telemetry-plane signals (sim::TimeseriesSampler) ---
+  /// The most recent pass ran in degraded (vanilla-fallback) mode.
+  bool degraded_active() const { return degraded_prev_; }
+  /// SA accepted-worse fraction of the most recent optimized pass
+  /// (0 before the first pass or when the pass had no iterations).
+  double last_accept_rate() const { return last_sa_accept_rate_; }
+
  private:
   static SensingSubsystem::Config resolve_sensing(const SmartBalanceConfig& cfg);
   const arch::Platform& platform_;
@@ -191,6 +198,8 @@ class SmartBalancePolicy final : public os::LoadBalancer {
   std::uint64_t faults_absorbed_ = 0;
   /// Injector total at the last audited pass (per-epoch delta attribution).
   std::uint64_t audit_faults_prev_ = 0;
+  /// accepted_worse / iterations of the most recent SA result.
+  double last_sa_accept_rate_ = 0;
 };
 
 }  // namespace sb::core

@@ -127,11 +127,17 @@ FleetSimulation::FleetSimulation(FleetConfig cfg,
         "FleetSimulation: need 1 platform (replicated) or exactly "
         "cfg.nodes platforms");
   }
-  if (cfg_.trace || cfg_.metrics) {
+  const bool want_ts = cfg_.timeseries || !cfg_.slo.empty();
+  if (cfg_.trace || cfg_.metrics || want_ts) {
     obs::ObsConfig ocfg;
     ocfg.metrics = cfg_.metrics;
     ocfg.trace = cfg_.trace;
+    ocfg.timeseries.enabled = want_ts;
+    ocfg.timeseries.window = cfg_.obs_window;
+    ocfg.timeseries.capacity = cfg_.obs_capacity;
+    if (!cfg_.slo.empty()) ocfg.slo = obs::SloConfig::parse(cfg_.slo);
     obs_ = std::make_unique<obs::Sink>(ocfg);
+    ts_next_ = cfg_.obs_window;
   }
   if (!cfg_.arrival_replay.empty()) {
     // Replace the MMPP clock with the trace's spawn instants. The trace is
@@ -181,6 +187,14 @@ void FleetSimulation::build_nodes(
                                 0x9e3779b97f4a7c15ULL;
     scfg.label = "node" + std::to_string(i);
     scfg.obs.metrics = cfg_.node_obs;
+    // With node_obs, every node runs its own sampler at the fleet cadence;
+    // the per-node series ride into the export as run = node index + 1.
+    // SLO objectives stay fleet-level (they score the fleet's signals).
+    if (cfg_.node_obs && (cfg_.timeseries || !cfg_.slo.empty())) {
+      scfg.obs.timeseries.enabled = true;
+      scfg.obs.timeseries.window = cfg_.obs_window;
+      scfg.obs.timeseries.capacity = cfg_.obs_capacity;
+    }
     node->sim = std::make_unique<sim::Simulation>(node->platform, scfg);
     node->sim->set_balancer(factory(*node->sim));
     if (const auto* sb = dynamic_cast<const core::SmartBalancePolicy*>(
@@ -403,6 +417,55 @@ void FleetSimulation::step_nodes(TimeNs dt) {
   }
 }
 
+void FleetSimulation::sample_timeseries(TimeNs now) {
+  if (!obs_ || obs_->timeseries() == nullptr) return;
+  obs::TimeseriesRecorder& rec = *obs_->timeseries();
+  obs::MetricsRegistry& m = obs_->metrics();
+  while (ts_next_ <= now) {
+    double insts = 0;
+    double joules = 0;
+    for (const auto& np : nodes_) {
+      insts += static_cast<double>(np->sim->kernel().total_instructions());
+      joules += np->sim->kernel().energy().total_joules();
+    }
+    const double secs = to_seconds(ts_next_ - ts_last_);
+    rec.begin_frame(static_cast<std::uint64_t>(ts_next_));
+    rec.record("je", joules > 0 ? insts / joules : 0.0);
+    // Windowed efficiency: inst/J over this frame alone. Unlike cumulative
+    // J_E it has no cold-start ramp and tracks the rack's *current*
+    // operating point — the natural target for burn-rate SLO floors.
+    const double d_joules = joules - ts_prev_joules_;
+    rec.record("je_w",
+               d_joules > 0 ? (insts - ts_prev_insts_) / d_joules : 0.0);
+    rec.record("gips", (insts - ts_prev_insts_) / secs / 1e9);
+    rec.record("watts", (joules - ts_prev_joules_) / secs);
+    ts_prev_insts_ = insts;
+    ts_prev_joules_ = joules;
+    rec.record("fleet.pending", static_cast<double>(pending_.size()));
+    rec.record("fleet.jobs.arrived", static_cast<double>(jobs_.size()));
+    rec.record("fleet.jobs.dispatched",
+               static_cast<double>(m.counter("fleet.jobs.dispatched").value));
+    rec.record("fleet.jobs.completed",
+               static_cast<double>(m.counter("fleet.jobs.completed").value));
+    rec.record("fleet.jobs.deferred", static_cast<double>(jobs_deferred_));
+    const obs::Histogram& wake = m.histogram("fleet.job.wake_to_run_ns");
+    rec.record("p99_wake_us",
+               wake.count() > 0
+                   ? static_cast<double>(wake.quantile(0.99)) / 1e3
+                   : 0.0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const std::string prefix = "node." + std::to_string(i);
+      rec.record(prefix + ".live_threads",
+                 static_cast<double>(nodes_[i]->live_threads));
+      rec.record(prefix + ".active_jobs",
+                 static_cast<double>(nodes_[i]->active.size()));
+    }
+    obs_->complete_frame();
+    ts_last_ = ts_next_;
+    ts_next_ += cfg_.obs_window;
+  }
+}
+
 void FleetSimulation::scan_completions() {
   for (auto& node_ptr : nodes_) {
     Node& n = *node_ptr;
@@ -466,6 +529,7 @@ FleetResult FleetSimulation::run() {
     const std::size_t dispatched_now = queued_before - pending_.size();
     step_nodes(step);
     scan_completions();
+    sample_timeseries(t + step);
     if (obs_ && obs_->tracer() != nullptr) {
       // Simulated timeline, simulated duration: the span is a deterministic
       // function of the run, unlike the wall-clock spans of the balancing

@@ -154,6 +154,10 @@ class FleetSimulation {
   void dispatch_pending(TimeNs now, std::uint64_t quantum_idx);
   void step_nodes(TimeNs dt);
   void scan_completions();
+  /// Records fleet-level telemetry frames for every --obs-window boundary
+  /// crossed up to `now`. Runs after the step_nodes join, so it reads only
+  /// settled node state — deterministic for any step_jobs worker count.
+  void sample_timeseries(TimeNs now);
 
   FleetConfig cfg_;
   std::vector<JobClass> catalog_;
@@ -180,6 +184,11 @@ class FleetSimulation {
   std::map<std::string, std::vector<std::vector<double>>> eff_cache_;
   std::uint64_t jobs_deferred_ = 0;
   std::unique_ptr<obs::Sink> obs_;
+  /// Telemetry-plane cadence state (cfg.timeseries / cfg.slo).
+  TimeNs ts_next_ = 0;
+  TimeNs ts_last_ = 0;
+  double ts_prev_insts_ = 0;
+  double ts_prev_joules_ = 0;
   bool ran_ = false;
 };
 

@@ -65,6 +65,16 @@ struct FleetConfig {
   bool metrics = false;
   /// Also collect each node's metrics registry (merged into exports).
   bool node_obs = false;
+  /// Continuous telemetry plane (obs/timeseries.h): samples the fleet —
+  /// and, with node_obs, every node — at obs_window cadence of simulated
+  /// time. Exports stay byte-identical across step_jobs worker counts.
+  bool timeseries = false;
+  TimeNs obs_window = milliseconds(10);
+  std::size_t obs_capacity = std::size_t{1} << 16;
+  /// Non-empty: SLO burn-rate objectives over the fleet's sampled signals
+  /// (obs/slo.h grammar, e.g. "p99_wake_us<2000:burn=0.02"); implies
+  /// timeseries.
+  std::string slo;
 
   /// Parses "N[:policy[:rate]]", e.g. "8", "8:rr", "8:energy:450".
   static FleetConfig parse(const std::string& text);

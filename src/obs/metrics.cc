@@ -99,11 +99,20 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return histograms_.emplace(std::string(name), Histogram{}).first->second;
 }
 
-void MetricsRegistry::merge(const MetricsRegistry& other) {
+void MetricsRegistry::merge(const MetricsRegistry& other,
+                            std::int64_t other_run) {
   for (const auto& [name, c] : other.counters_) counter(name).value += c.value;
   for (const auto& [name, g] : other.gauges_) {
     Gauge& mine = gauge(name);
-    if (g.updates > 0) mine.value = g.value;
+    if (g.updates > 0) {
+      // A registry that is itself a merge result carries per-gauge stamps;
+      // take the stronger of those and the caller-supplied run index.
+      const std::int64_t stamp = std::max(g.last_run, other_run);
+      if (stamp >= mine.last_run) {
+        mine.value = g.value;
+        mine.last_run = stamp;
+      }
+    }
     mine.updates += g.updates;
   }
   for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);

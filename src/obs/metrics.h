@@ -33,10 +33,14 @@ struct Counter {
 };
 
 /// Last-written value (plus how many times it was written, so merges can
-/// tell "never set" from "set to 0").
+/// tell "never set" from "set to 0"). `last_run` is the submission index of
+/// the run whose value this gauge currently holds — stamped by merge(), not
+/// by set(), and used as the last-writer tiebreaker so merged gauges are a
+/// function of the run set rather than of merge order.
 struct Gauge {
   double value = 0;
   std::uint64_t updates = 0;
+  std::int64_t last_run = -1;
   void set(double v) {
     value = v;
     ++updates;
@@ -120,11 +124,15 @@ class MetricsRegistry {
   }
 
   /// Name-wise merge: counters and histograms accumulate; a gauge adopts
-  /// the merged-in value when the other side ever wrote it. Metrics absent
-  /// on one side are copied. Associative; commutative except for the gauge
-  /// last-writer rule (merge runs in submission order, which is
-  /// deterministic).
-  void merge(const MetricsRegistry& other);
+  /// the merged-in value when the other side ever wrote it AND its run
+  /// stamp (max of `other_run` and the gauge's own last_run) is >= the
+  /// current holder's — the highest-submission-index writer wins, so the
+  /// result is independent of the order registries are merged in (see the
+  /// merge-permutation property test in tests/obs/). Metrics absent on one
+  /// side are copied. Pass `other_run` = the run's submission index when
+  /// merging per-run registries; the default -1 preserves plain
+  /// last-merged-wins for unstamped merges.
+  void merge(const MetricsRegistry& other, std::int64_t other_run = -1);
 
   /// Compact JSON object:
   ///   {"counters":{...},"gauges":{...},

@@ -18,6 +18,8 @@
 
 #include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace sb::obs {
@@ -30,8 +32,15 @@ struct ObsConfig {
   /// Prediction-audit flight recorder (see obs/audit.h).
   bool audit = false;
   AuditConfig audit_config;
+  /// Windowed time-series sampler (see obs/timeseries.h).
+  TimeseriesConfig timeseries;
+  /// Burn-rate objectives over the sampled signals (see obs/slo.h);
+  /// non-empty implies the timeseries sampler.
+  SloConfig slo;
 
-  bool enabled() const { return metrics || trace || audit; }
+  bool enabled() const {
+    return metrics || trace || audit || timeseries.enabled || !slo.empty();
+  }
 };
 
 class Sink {
@@ -51,6 +60,19 @@ class Sink {
   AuditRecorder* audit() { return audit_.get(); }
   const AuditRecorder* audit() const { return audit_.get(); }
 
+  /// Null when the timeseries sampler is off — check before recording.
+  TimeseriesRecorder* timeseries() { return timeseries_.get(); }
+  const TimeseriesRecorder* timeseries() const { return timeseries_.get(); }
+
+  /// Null when no SLO objectives are attached.
+  SloEngine* slo() { return slo_.get(); }
+  const SloEngine* slo() const { return slo_.get(); }
+
+  /// Closes the frame a sampler opened with timeseries()->begin_frame():
+  /// bumps the tsdb.* counters and scores every SLO objective against the
+  /// frame's signals. No-op without the recorder.
+  void complete_frame();
+
   /// Positions subsequent events on the simulated timeline: `epoch` is the
   /// balance-pass index and `now_ns` its simulated timestamp.
   void begin_epoch(std::uint64_t epoch, std::uint64_t now_ns) {
@@ -68,6 +90,8 @@ class Sink {
   MetricsRegistry metrics_;
   std::unique_ptr<EpochTracer> tracer_;
   std::unique_ptr<AuditRecorder> audit_;
+  std::unique_ptr<TimeseriesRecorder> timeseries_;
+  std::unique_ptr<SloEngine> slo_;
   std::uint64_t epoch_ = 0;
   std::uint64_t now_ns_ = 0;
 };

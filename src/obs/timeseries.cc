@@ -1,0 +1,338 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/trace.h"
+
+namespace sb::obs {
+
+namespace {
+
+constexpr char kSampleCols[] = "t_ns,signal,value";
+
+/// Shortest round-trip double (see obs/audit_writer.cc for rationale).
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += std::isnan(v) ? "nan" : (v > 0 ? "inf" : "-inf");
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+std::uint64_t parse_u64(std::string_view token, std::string_view what,
+                        std::uint64_t lo, std::uint64_t hi) {
+  std::uint64_t v = 0;
+  const auto res = std::from_chars(token.data(), token.data() + token.size(), v);
+  if (res.ec != std::errc() || res.ptr != token.data() + token.size()) {
+    throw std::invalid_argument("timeseries config: bad " + std::string(what) +
+                                " '" + std::string(token) + "'");
+  }
+  if (v < lo || v > hi) {
+    throw std::invalid_argument("timeseries config: " + std::string(what) +
+                                " " + std::string(token) + " out of [" +
+                                std::to_string(lo) + ", " + std::to_string(hi) +
+                                "]");
+  }
+  return v;
+}
+
+/// Ordered, deduped run list for the exporters: stamped run index is the
+/// merge key, exactly like the audit writer.
+std::vector<const RunObs*> ordered_runs(const std::vector<const RunObs*>& runs,
+                                        bool timeseries_only) {
+  std::vector<const RunObs*> ordered;
+  ordered.reserve(runs.size());
+  for (const RunObs* r : runs) {
+    if (r == nullptr) continue;
+    if (timeseries_only && !r->timeseries_enabled) continue;
+    ordered.push_back(r);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const RunObs* a, const RunObs* b) {
+                     return a->run < b->run;
+                   });
+  return ordered;
+}
+
+}  // namespace
+
+TimeseriesConfig TimeseriesConfig::parse(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("timeseries config: empty spec");
+  }
+  TimeseriesConfig cfg;
+  cfg.enabled = true;
+  const std::size_t colon = text.find(':');
+  const std::string_view window_tok =
+      std::string_view(text).substr(0, colon);
+  // Integer milliseconds round-trip exactly (no float ms -> ns drift).
+  cfg.window = milliseconds(static_cast<std::int64_t>(
+      parse_u64(window_tok, "window ms", 1, 60'000)));
+  if (colon != std::string::npos) {
+    const std::string_view cap_tok = std::string_view(text).substr(colon + 1);
+    cfg.capacity = static_cast<std::size_t>(
+        parse_u64(cap_tok, "capacity", 64, std::size_t{1} << 24));
+    if (text.find(':', colon + 1) != std::string::npos) {
+      throw std::invalid_argument(
+          "timeseries config: want <window_ms>[:<capacity>], got '" + text +
+          "'");
+    }
+  }
+  return cfg;
+}
+
+std::string TimeseriesConfig::canonical() const {
+  std::string out;
+  append_u64(out, static_cast<std::uint64_t>(window / milliseconds(1)));
+  out += ':';
+  append_u64(out, capacity);
+  return out;
+}
+
+TimeseriesRecorder::TimeseriesRecorder(TimeseriesConfig cfg)
+    : cfg_(cfg) {
+  cfg_.capacity = std::max<std::size_t>(cfg_.capacity, 1);
+  if (cfg_.window <= 0) cfg_.window = milliseconds(10);
+  // Pre-grow everything the record path touches: sampling must stay
+  // allocation-free so the tsdb-on epoch-pass alloc gate is exact.
+  ring_.reserve(std::min<std::size_t>(cfg_.capacity, std::size_t{1} << 16));
+  frame_.reserve(64);
+}
+
+std::uint32_t TimeseriesRecorder::intern(std::string_view name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void TimeseriesRecorder::begin_frame(std::uint64_t t_ns) {
+  frame_t_ns_ = t_ns;
+  frame_.clear();
+  ++frames_;
+}
+
+void TimeseriesRecorder::record(std::uint32_t signal, double value) {
+  TimeseriesSample s;
+  s.t_ns = frame_t_ns_;
+  s.signal = signal;
+  s.value = value;
+  if (ring_.size() < cfg_.capacity) {
+    ring_.push_back(s);
+  } else {
+    // Sample k lives at slot k % capacity, so the slot of the oldest held
+    // sample (seq_ - capacity) is exactly seq_ % capacity.
+    ring_[static_cast<std::size_t>(seq_ % cfg_.capacity)] = s;
+    ++dropped_;
+  }
+  ++seq_;
+  frame_.emplace_back(signal, value);
+}
+
+double TimeseriesRecorder::frame_value(std::uint32_t signal,
+                                       double fallback) const {
+  for (auto it = frame_.rbegin(); it != frame_.rend(); ++it) {
+    if (it->first == signal) return it->second;
+  }
+  return fallback;
+}
+
+TimeseriesRecorder::Snapshot TimeseriesRecorder::snapshot() const {
+  Snapshot out;
+  out.names = names_;
+  out.dropped = dropped_;
+  out.frames = frames_;
+  out.window = cfg_.window;
+  out.samples.reserve(ring_.size());
+  if (ring_.size() < cfg_.capacity) {
+    out.samples = ring_;
+  } else {
+    const std::size_t head = static_cast<std::size_t>(seq_ % cfg_.capacity);
+    out.samples.insert(out.samples.end(), ring_.begin() + head, ring_.end());
+    out.samples.insert(out.samples.end(), ring_.begin(), ring_.begin() + head);
+  }
+  return out;
+}
+
+// --- exporters ------------------------------------------------------------
+
+const char* timeseries_sample_columns() { return kSampleCols; }
+
+void write_timeseries(std::ostream& os,
+                      const std::vector<const RunObs*>& runs) {
+  os << "#sb-tsdb v" << kTimeseriesSchemaVersion << '\n';
+  os << "#columns sample " << kSampleCols << '\n';
+  const auto ordered = ordered_runs(runs, /*timeseries_only=*/true);
+  std::string line;
+  for (const RunObs* r : ordered) {
+    const auto& ts = r->timeseries;
+    os << "#run " << r->run << ' ' << (r->label.empty() ? "run" : r->label)
+       << '\n';
+    os << "#meta " << r->run << " window_ns=" << ts.window << '\n';
+    for (const TimeseriesSample& s : ts.samples) {
+      line = "sample,";
+      append_u64(line, s.t_ns);
+      line += ',';
+      line += ts.name_of(s.signal);
+      line += ',';
+      append_double(line, s.value);
+      line += '\n';
+      os << line;
+    }
+    os << "#counters " << r->run << " samples=" << ts.samples.size()
+       << " frames=" << ts.frames << " dropped=" << ts.dropped << '\n';
+  }
+  os << "#summary runs=" << ordered.size() << '\n';
+}
+
+void write_timeseries_json(std::ostream& os,
+                           const std::vector<const RunObs*>& runs) {
+  const auto ordered = ordered_runs(runs, /*timeseries_only=*/true);
+  os << "{\"schema\":\"sb-tsdb\",\"version\":" << kTimeseriesSchemaVersion
+     << ",\"runs\":[";
+  bool first_run = true;
+  std::string num;
+  for (const RunObs* r : ordered) {
+    const auto& ts = r->timeseries;
+    if (!first_run) os << ',';
+    first_run = false;
+    os << "{\"run\":" << r->run << ",\"label\":\""
+       << (r->label.empty() ? "run" : r->label) << "\",\"window_ns\":"
+       << ts.window << ",\"frames\":" << ts.frames << ",\"dropped\":"
+       << ts.dropped << ",\"samples\":[";
+    bool first = true;
+    for (const TimeseriesSample& s : ts.samples) {
+      if (!first) os << ',';
+      first = false;
+      os << "[" << s.t_ns << ",\"" << ts.name_of(s.signal) << "\",";
+      num.clear();
+      append_double(num, s.value);
+      // JSON has no inf/nan literals; the recorder never produces them,
+      // render defensively as null.
+      os << (std::isfinite(s.value) ? num : "null") << ']';
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+void write_timeseries_file(const std::string& path,
+                           const std::vector<const RunObs*>& runs) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open timeseries export: " + path);
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    write_timeseries_json(os, runs);
+  } else {
+    write_timeseries(os, runs);
+  }
+}
+
+// --- Prometheus exposition ------------------------------------------------
+
+namespace {
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+/// (dots, dashes) maps to '_', prefixed "sb_".
+std::string prom_name(std::string_view name) {
+  std::string out = "sb_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Label set for a run: run 0 is the fleet itself (no labels); run i > 0
+/// is node i-1.
+std::string prom_labels(int run) {
+  if (run <= 0) return {};
+  return "{node=\"" + std::to_string(run - 1) + "\"}";
+}
+
+std::string prom_quantile_labels(int run, const char* q) {
+  std::string out = "{";
+  if (run > 0) out += "node=\"" + std::to_string(run - 1) + "\",";
+  out += "quantile=\"";
+  out += q;
+  out += "\"}";
+  return out;
+}
+
+void prom_value(std::ostream& os, double v) {
+  std::string num;
+  append_double(num, v);
+  os << num;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os,
+                      const std::vector<const RunObs*>& runs) {
+  const auto ordered = ordered_runs(runs, /*timeseries_only=*/false);
+  // One HELP/TYPE block per metric name, then one sample line per run that
+  // carries the metric — the exposition-format shape scrapers expect.
+  std::map<std::string, char> kinds;  // name -> 'c' | 'g' | 'h'
+  for (const RunObs* r : ordered) {
+    for (const auto& [name, c] : r->metrics.counters()) kinds[name] = 'c';
+    for (const auto& [name, g] : r->metrics.gauges()) kinds[name] = 'g';
+    for (const auto& [name, h] : r->metrics.histograms()) kinds[name] = 'h';
+  }
+  for (const auto& [name, kind] : kinds) {
+    const std::string pname = prom_name(name);
+    os << "# HELP " << pname << " smartbalance metric " << name << '\n';
+    os << "# TYPE " << pname << ' '
+       << (kind == 'c' ? "counter" : kind == 'g' ? "gauge" : "summary")
+       << '\n';
+    for (const RunObs* r : ordered) {
+      if (kind == 'c') {
+        const auto it = r->metrics.counters().find(name);
+        if (it == r->metrics.counters().end()) continue;
+        os << pname << prom_labels(r->run) << ' ' << it->second.value << '\n';
+      } else if (kind == 'g') {
+        const auto it = r->metrics.gauges().find(name);
+        if (it == r->metrics.gauges().end()) continue;
+        os << pname << prom_labels(r->run) << ' ';
+        prom_value(os, it->second.value);
+        os << '\n';
+      } else {
+        const auto it = r->metrics.histograms().find(name);
+        if (it == r->metrics.histograms().end()) continue;
+        const Histogram& h = it->second;
+        os << pname << prom_quantile_labels(r->run, "0.5") << ' '
+           << h.quantile(0.50) << '\n';
+        os << pname << prom_quantile_labels(r->run, "0.9") << ' '
+           << h.quantile(0.90) << '\n';
+        os << pname << prom_quantile_labels(r->run, "0.99") << ' '
+           << h.quantile(0.99) << '\n';
+        os << pname << "_sum" << prom_labels(r->run) << ' ' << h.sum() << '\n';
+        os << pname << "_count" << prom_labels(r->run) << ' ' << h.count()
+           << '\n';
+      }
+    }
+  }
+}
+
+void write_prometheus_file(const std::string& path,
+                           const std::vector<const RunObs*>& runs) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open prometheus export: " + path);
+  write_prometheus(os, runs);
+}
+
+}  // namespace sb::obs

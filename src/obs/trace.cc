@@ -206,7 +206,7 @@ MetricsRegistry merge_metrics(const std::vector<const RunObs*>& runs) {
                      return a->run < b->run;
                    });
   MetricsRegistry merged;
-  for (const RunObs* run : ordered) merged.merge(run->metrics);
+  for (const RunObs* run : ordered) merged.merge(run->metrics, run->run);
   return merged;
 }
 

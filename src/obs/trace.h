@@ -27,6 +27,7 @@
 
 #include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace sb::obs {
 
@@ -105,9 +106,11 @@ struct RunObs {
   bool metrics_enabled = false;
   bool trace_enabled = false;
   bool audit_enabled = false;
+  bool timeseries_enabled = false;
   MetricsRegistry metrics;
   EpochTracer::Snapshot trace;
   AuditSnapshot audit;
+  TimeseriesRecorder::Snapshot timeseries;
 };
 
 /// Merges per-run traces into one Chrome trace-event JSON document:

@@ -123,6 +123,7 @@ class Kernel {
   // --- Policy installation -------------------------------------------------
   void set_balancer(std::unique_ptr<LoadBalancer> balancer);
   LoadBalancer* balancer() { return balancer_.get(); }
+  const LoadBalancer* balancer() const { return balancer_.get(); }
 
   /// Installs a DVFS governor (requires KernelConfig::enable_dvfs).
   void set_governor(std::unique_ptr<DvfsGovernor> governor);

@@ -19,6 +19,7 @@ Simulation::Simulation(const arch::Platform& platform, SimulationConfig cfg)
   kernel_ = std::make_unique<os::Kernel>(platform_, *perf_, *power_, kcfg);
   if (!cfg_.chrome_trace_path.empty()) cfg_.obs.trace = true;
   if (!cfg_.audit_path.empty()) cfg_.obs.audit = true;
+  if (!cfg_.timeseries_path.empty()) cfg_.obs.timeseries.enabled = true;
   if (cfg_.obs.enabled()) {
     obs_ = std::make_unique<obs::Sink>(cfg_.obs);
     kernel_->set_obs(obs_.get());
@@ -110,6 +111,22 @@ void Simulation::prepare_run() {
     prev_core_joules_.assign(static_cast<std::size_t>(platform_.num_cores()),
                              0.0);
   }
+  if (obs_ && obs_->timeseries() != nullptr) {
+    ts_sampler_ = std::make_unique<TimeseriesSampler>(platform_, *obs_);
+    ts_last_ = kernel_->now();
+    ts_next_ = ts_last_ + obs_->timeseries()->window();
+  }
+}
+
+// Runs the sampler for every window boundary the last step crossed (the
+// stepping loops cap chunks at ts_next_, so this fires at exact boundaries).
+void Simulation::ts_tick() {
+  if (!ts_sampler_) return;
+  while (kernel_->now() >= ts_next_) {
+    ts_sampler_->tick(*kernel_, ts_next_, ts_next_ - ts_last_);
+    ts_last_ = ts_next_;
+    ts_next_ += obs_->timeseries()->window();
+  }
 }
 
 SimulationResult Simulation::finalize_run() {
@@ -120,6 +137,9 @@ SimulationResult Simulation::finalize_run() {
   if (!cfg_.audit_path.empty() && r.obs) {
     obs::write_audit_file(cfg_.audit_path, {r.obs.get()});
   }
+  if (!cfg_.timeseries_path.empty() && r.obs) {
+    obs::write_timeseries_file(cfg_.timeseries_path, {r.obs.get()});
+  }
   return r;
 }
 
@@ -128,13 +148,15 @@ SimulationResult Simulation::run() {
   ran_ = true;
   prepare_run();
 
-  if (cfg_.run_to_completion || sampled_ || !arrivals_.empty()) {
+  if (cfg_.run_to_completion || sampled_ || ts_sampler_ != nullptr ||
+      !arrivals_.empty()) {
     // Advance in steps: fine-grained when sampling, epoch-sized otherwise.
     const TimeNs step = sampled_ ? cfg_.sample_interval : milliseconds(20);
     while (kernel_->now() < cfg_.duration &&
            !(cfg_.run_to_completion && kernel_->all_exited() &&
              arrivals_.empty())) {
       TimeNs chunk = std::min<TimeNs>(step, cfg_.duration - kernel_->now());
+      if (ts_sampler_) chunk = std::min(chunk, ts_next_ - kernel_->now());
       for (const Arrival& a : arrivals_) {
         if (a.at > kernel_->now()) {
           chunk = std::min(chunk, a.at - kernel_->now());
@@ -143,6 +165,7 @@ SimulationResult Simulation::run() {
       kernel_->run_for(chunk);
       apply_arrivals();
       if (sampled_) sample_tick(chunk);
+      ts_tick();
     }
   } else {
     kernel_->run_until(cfg_.duration);
@@ -163,6 +186,7 @@ void Simulation::advance_service(TimeNs dt) {
   while (kernel_->now() < until) {
     TimeNs chunk = until - kernel_->now();
     if (sampled_) chunk = std::min(chunk, cfg_.sample_interval);
+    if (ts_sampler_) chunk = std::min(chunk, ts_next_ - kernel_->now());
     for (const Arrival& a : arrivals_) {
       if (a.at > kernel_->now()) {
         chunk = std::min(chunk, a.at - kernel_->now());
@@ -171,6 +195,7 @@ void Simulation::advance_service(TimeNs dt) {
     kernel_->run_for(chunk);
     apply_arrivals();
     if (sampled_) sample_tick(chunk);
+    ts_tick();
   }
 }
 

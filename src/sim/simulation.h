@@ -17,6 +17,7 @@
 #include "power/power_model.h"
 #include "power/thermal.h"
 #include "sim/metrics.h"
+#include "sim/ts_sampler.h"
 #include "workload/benchmarks.h"
 #include "workload/mixes.h"
 #include "workload/sched_replay.h"
@@ -50,6 +51,10 @@ struct SimulationConfig {
   /// Non-empty: writes the run's prediction-audit export (packed CSV, see
   /// obs/audit_writer.h) at the end of run() (implies obs.audit).
   std::string audit_path;
+  /// Non-empty: writes the run's `#sb-tsdb v1` timeseries export (CSV, or
+  /// JSON for a .json path) at the end of run() (implies obs.timeseries).
+  /// Cadence and capacity come from obs.timeseries (--obs-window).
+  std::string timeseries_path;
 };
 
 class Simulation {
@@ -130,6 +135,7 @@ class Simulation {
   void prepare_run();
   SimulationResult finalize_run();
   void sample_tick(TimeNs window);
+  void ts_tick();
   void apply_arrivals();
 
   struct Arrival {
@@ -150,6 +156,12 @@ class Simulation {
   std::unique_ptr<power::ThermalModel> thermal_;
   std::unique_ptr<obs::Sink> obs_;
   std::unique_ptr<CsvWriter> trace_;
+  /// Telemetry-plane sampler (null unless obs.timeseries is on); ticks at
+  /// window boundaries of simulated time, so exports are a deterministic
+  /// function of the run.
+  std::unique_ptr<TimeseriesSampler> ts_sampler_;
+  TimeNs ts_next_ = 0;
+  TimeNs ts_last_ = 0;
   std::vector<double> prev_core_joules_;
   double max_temp_seen_c_ = 0;
   Rng spawn_rng_;

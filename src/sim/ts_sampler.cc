@@ -1,0 +1,93 @@
+#include "sim/ts_sampler.h"
+
+#include <string>
+
+#include "arch/platform.h"
+#include "core/smart_balance.h"
+#include "obs/sink.h"
+#include "os/kernel.h"
+
+namespace sb::sim {
+
+TimeseriesSampler::TimeseriesSampler(const arch::Platform& platform,
+                                     obs::Sink& sink)
+    : platform_(platform), sink_(sink) {
+  obs::TimeseriesRecorder& rec = *sink_.timeseries();
+  je_ = rec.intern("je");
+  je_w_ = rec.intern("je_w");
+  gips_ = rec.intern("gips");
+  watts_ = rec.intern("watts");
+  migrations_ = rec.intern("migrations");
+  degraded_ = rec.intern("degraded");
+  drift_ = rec.intern("drift");
+  accept_ = rec.intern("sa_accept_rate");
+  p99_wake_us_ = rec.intern("p99_wake_us");
+  const auto ntypes = static_cast<std::size_t>(platform_.num_types());
+  type_gips_.reserve(ntypes);
+  type_watts_.reserve(ntypes);
+  for (std::size_t t = 0; t < ntypes; ++t) {
+    const std::string& name =
+        platform_.params_of_type(static_cast<CoreTypeId>(t)).name;
+    type_gips_.push_back(rec.intern("gips." + name));
+    type_watts_.push_back(rec.intern("watts." + name));
+  }
+  prev_type_insts_.assign(ntypes, 0.0);
+  prev_type_joules_.assign(ntypes, 0.0);
+  // The kernel records wake-to-run latencies into this histogram whenever a
+  // sink is attached; holding the reference keeps tick() lookup-free.
+  wake_hist_ = &sink_.metrics().histogram("sched.wake_to_run_ns");
+}
+
+void TimeseriesSampler::tick(const os::Kernel& kernel, TimeNs t_ns,
+                             TimeNs window) {
+  if (window <= 0) return;
+  obs::TimeseriesRecorder& rec = *sink_.timeseries();
+  rec.begin_frame(static_cast<std::uint64_t>(t_ns));
+
+  const double secs = to_seconds(window);
+  const auto insts = static_cast<double>(kernel.total_instructions());
+  const double joules = kernel.energy().total_joules();
+  rec.record(je_, joules > 0 ? insts / joules : 0.0);
+  // Windowed inst/J: no cold-start ramp, tracks the current operating
+  // point — the natural target for burn-rate SLO floors.
+  const double d_joules = joules - prev_joules_;
+  rec.record(je_w_, d_joules > 0 ? (insts - prev_insts_) / d_joules : 0.0);
+  rec.record(gips_, (insts - prev_insts_) / secs / 1e9);
+  rec.record(watts_, (joules - prev_joules_) / secs);
+  prev_insts_ = insts;
+  prev_joules_ = joules;
+
+  // Per-type rates: accumulate core totals into the type slots, then delta.
+  const auto ntypes = type_gips_.size();
+  for (std::size_t t = 0; t < ntypes; ++t) {
+    double ti = 0;
+    double tj = 0;
+    for (CoreId c = 0; c < platform_.num_cores(); ++c) {
+      if (static_cast<std::size_t>(platform_.type_of(c)) != t) continue;
+      ti += static_cast<double>(kernel.core_instructions(c));
+      tj += kernel.energy().total_joules(c);
+    }
+    rec.record(type_gips_[t], (ti - prev_type_insts_[t]) / secs / 1e9);
+    rec.record(type_watts_[t], (tj - prev_type_joules_[t]) / secs);
+    prev_type_insts_[t] = ti;
+    prev_type_joules_[t] = tj;
+  }
+
+  rec.record(migrations_, static_cast<double>(kernel.total_migrations()));
+  if (const auto* sb = dynamic_cast<const core::SmartBalancePolicy*>(
+          kernel.balancer())) {
+    rec.record(degraded_, sb->degraded_active() ? 1.0 : 0.0);
+    rec.record(accept_, sb->last_accept_rate());
+  }
+  if (const obs::AuditRecorder* audit = sink_.audit()) {
+    rec.record(drift_, audit->drift_active() ? 1.0 : 0.0);
+  }
+  rec.record(p99_wake_us_,
+             wake_hist_->count() > 0
+                 ? static_cast<double>(wake_hist_->quantile(0.99)) / 1e3
+                 : 0.0);
+
+  sink_.complete_frame();
+}
+
+}  // namespace sb::sim

@@ -1,0 +1,66 @@
+// TimeseriesSampler: snapshots the node-level signal set into the sink's
+// TimeseriesRecorder once per --obs-window of simulated time.
+//
+// Lives in the sim layer (not obs) because the signal set reads the kernel,
+// the platform and the policy — layers obs must not depend on. The sampler
+// is strictly read-only with respect to the simulation: it reads settled
+// kernel state, records into obs buffers, and draws no randomness, so a
+// run with sampling enabled stays bit-identical to one without.
+//
+// Signal names are interned once at construction and every tick() records
+// into pre-grown buffers — the sampler adds zero allocations to the epoch
+// path (gated by the epoch_pass_tsdb_on section of BENCH_obs.json).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sb::arch {
+class Platform;
+}
+namespace sb::os {
+class Kernel;
+}
+namespace sb::obs {
+class Sink;
+class Histogram;
+}
+
+namespace sb::sim {
+
+class TimeseriesSampler {
+ public:
+  /// Requires sink.timeseries() != nullptr; interns the signal set.
+  TimeseriesSampler(const arch::Platform& platform, obs::Sink& sink);
+
+  /// Records one frame at simulated time `t_ns`. `window` is the elapsed
+  /// simulated time since the previous tick (rate signals are deltas over
+  /// it); a non-positive window is ignored.
+  void tick(const os::Kernel& kernel, TimeNs t_ns, TimeNs window);
+
+ private:
+  const arch::Platform& platform_;
+  obs::Sink& sink_;
+  const obs::Histogram* wake_hist_ = nullptr;
+
+  std::uint32_t je_ = 0;            // cumulative instructions per joule
+  std::uint32_t je_w_ = 0;          // windowed instructions per joule
+  std::uint32_t gips_ = 0;          // window-rate giga-instructions/s
+  std::uint32_t watts_ = 0;         // window-rate power draw
+  std::uint32_t migrations_ = 0;    // cumulative migration count
+  std::uint32_t degraded_ = 0;      // policy in vanilla-fallback mode (0/1)
+  std::uint32_t drift_ = 0;         // predictor drift detector active (0/1)
+  std::uint32_t accept_ = 0;        // SA accepted-worse rate, last pass
+  std::uint32_t p99_wake_us_ = 0;   // wake-to-run tail estimate
+  std::vector<std::uint32_t> type_gips_;   // gips.<type name>
+  std::vector<std::uint32_t> type_watts_;  // watts.<type name>
+
+  double prev_insts_ = 0;
+  double prev_joules_ = 0;
+  std::vector<double> prev_type_insts_;
+  std::vector<double> prev_type_joules_;
+};
+
+}  // namespace sb::sim

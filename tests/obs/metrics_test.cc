@@ -231,6 +231,100 @@ TEST(MetricsRegistry, JsonIsNameOrderedRegardlessOfTouchOrder) {
   EXPECT_LT(j.find("\"alpha\""), j.find("\"beta\""));
 }
 
+TEST(MetricsRegistry, HistogramJsonExportsExactMinMax) {
+  // min/max in the JSON export are the exact recorded extremes, not bucket
+  // bounds — the validators and the latency reports rely on that.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 131);
+    MetricsRegistry m;
+    std::uint64_t lo = ~0ULL;
+    std::uint64_t hi = 0;
+    const int n = 1 + static_cast<int>(rng.next_u64() % 400);
+    for (int i = 0; i < n; ++i) {
+      // Keep values below 2^48 so the JSON number round-trips through
+      // double without rounding — the comparison stays exact.
+      const std::uint64_t v = rng.next_u64() >> (16 + rng.next_u64() % 48);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      m.histogram("h").record(v);
+    }
+    ASSERT_EQ(m.histogram("h").min(), lo) << "seed " << seed;
+    ASSERT_EQ(m.histogram("h").max(), hi) << "seed " << seed;
+    const auto doc = testjson::parse(m.to_json());
+    const auto& h = doc.at("histograms").at("h");
+    EXPECT_EQ(h.at("min").num(), static_cast<double>(lo)) << "seed " << seed;
+    EXPECT_EQ(h.at("max").num(), static_cast<double>(hi)) << "seed " << seed;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Property: run-stamped merge is permutation-invariant
+// --------------------------------------------------------------------------
+
+// The experiment runner merges per-run registries in whatever order worker
+// threads finish. Counters and histograms are commutative by construction;
+// gauges carry a run stamp (merge(other, other_run)) so "last writer" means
+// highest run index, not latest wall-clock arrival. Property: any
+// permutation of merges yields the identical registry.
+TEST(MetricsRegistry, MergePermutationInvariantOverSeededRuns) {
+  constexpr int kIterations = 10'000;
+  const std::vector<std::string> gauge_names = {"g.a", "g.b", "g.c"};
+  const std::vector<std::string> counter_names = {"c.a", "c.b"};
+  for (std::uint64_t seed = 1; seed <= kIterations; ++seed) {
+    Rng rng(seed * 2654435761u);
+    const int runs = 2 + static_cast<int>(rng.next_u64() % 4);
+
+    // Build per-run registries; track the expected gauge winners.
+    std::vector<MetricsRegistry> regs(static_cast<std::size_t>(runs));
+    std::vector<double> expect_gauge(gauge_names.size(), 0.0);
+    std::vector<int> expect_run(gauge_names.size(), -1);
+    std::vector<std::uint64_t> expect_counter(counter_names.size(), 0);
+    for (int r = 0; r < runs; ++r) {
+      for (std::size_t g = 0; g < gauge_names.size(); ++g) {
+        if (rng.next_u64() % 2 == 0) continue;  // this run never sets it
+        const double v = static_cast<double>(rng.next_u64() % 1000);
+        regs[static_cast<std::size_t>(r)].gauge(gauge_names[g]).set(v);
+        if (r >= expect_run[g]) {
+          expect_run[g] = r;
+          expect_gauge[g] = v;
+        }
+      }
+      for (std::size_t c = 0; c < counter_names.size(); ++c) {
+        const std::uint64_t v = rng.next_u64() % 100;
+        regs[static_cast<std::size_t>(r)].counter(counter_names[c]).add(v);
+        expect_counter[c] += v;
+      }
+    }
+
+    // Merge in a random permutation and in reverse order.
+    std::vector<int> order(static_cast<std::size_t>(runs));
+    for (int r = 0; r < runs; ++r) order[static_cast<std::size_t>(r)] = r;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_u64() % i]);
+    }
+    MetricsRegistry shuffled;
+    for (const int r : order) {
+      shuffled.merge(regs[static_cast<std::size_t>(r)], r);
+    }
+    MetricsRegistry reversed;
+    for (int r = runs - 1; r >= 0; --r) {
+      reversed.merge(regs[static_cast<std::size_t>(r)], r);
+    }
+
+    for (std::size_t g = 0; g < gauge_names.size(); ++g) {
+      if (expect_run[g] < 0) continue;
+      ASSERT_EQ(shuffled.gauges().at(gauge_names[g]).value, expect_gauge[g])
+          << "seed " << seed;
+    }
+    for (std::size_t c = 0; c < counter_names.size(); ++c) {
+      ASSERT_EQ(shuffled.counters().at(counter_names[c]).value,
+                expect_counter[c])
+          << "seed " << seed;
+    }
+    ASSERT_EQ(shuffled.to_json(), reversed.to_json()) << "seed " << seed;
+  }
+}
+
 // --------------------------------------------------------------------------
 // Round-trip: metrics JSON through the ordered bench_json writer
 // --------------------------------------------------------------------------

@@ -1,0 +1,316 @@
+// SloEngine tests: the burn-rate grammar (parse/canonical + 10k seeded
+// fuzz, same contract as the FaultPlan fuzz harness) and the rolling-window
+// breach semantics — an objective breaches when the violating count of its
+// full window exceeds burn * window_frames, breach and recovery are edge
+// events with trace instants, and every scored frame appends slo.burn.* /
+// slo.breached.* rows back into the timeseries.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sb::obs {
+namespace {
+
+// --------------------------------------------------------------------------
+// Grammar
+// --------------------------------------------------------------------------
+
+TEST(SloConfig, ParsesObjectivesWithDefaults) {
+  const SloConfig cfg =
+      SloConfig::parse("p99_wake_us<2000:burn=0.02,je>55e6:window=200");
+  ASSERT_EQ(cfg.objectives.size(), 2u);
+  const SloObjective& a = cfg.objectives[0];
+  EXPECT_EQ(a.signal, "p99_wake_us");
+  EXPECT_TRUE(a.upper);
+  EXPECT_EQ(a.threshold, 2000.0);
+  EXPECT_EQ(a.burn, 0.02);
+  EXPECT_EQ(a.window, milliseconds(200));  // default window
+  const SloObjective& b = cfg.objectives[1];
+  EXPECT_EQ(b.signal, "je");
+  EXPECT_FALSE(b.upper);
+  EXPECT_EQ(b.threshold, 55e6);
+  EXPECT_EQ(b.burn, 0.0);  // default burn: first violation may breach
+  EXPECT_EQ(b.window, milliseconds(200));
+  EXPECT_FALSE(cfg.empty());
+}
+
+TEST(SloConfig, RejectsBadSpecs) {
+  for (const char* bad :
+       {"", "p99", "p99<", "p99<abc", "p99<nan", "p99<inf", "p99<1e999",
+        "<2000", "9sig<1", "sig-x<1", "p99<1:burn=1", "p99<1:burn=-0.1",
+        "p99<1:burn=2", "p99<1:window=0", "p99<1:window=600001",
+        "p99<1:window=1e3", "p99<1:wat=1", "p99<1:burn=", "p99<1,",
+        "p99<1:burn=0.1:"}) {
+    EXPECT_THROW((void)SloConfig::parse(bad), std::invalid_argument)
+        << "'" << bad << "'";
+  }
+}
+
+TEST(SloConfig, CanonicalRoundTrips) {
+  for (const char* spec :
+       {"p99_wake_us<2000:burn=0.02", "je>55e6:window=200",
+        "je_w>1e9:burn=0.3:window=200,p99_wake_us<20000:burn=0.3:window=200",
+        "a.b_c<0.125", "x>0:window=600000", "x>0:window=100000"}) {
+    const SloConfig cfg = SloConfig::parse(spec);
+    const std::string canon = cfg.canonical();
+    const SloConfig again = SloConfig::parse(canon);
+    EXPECT_EQ(again.canonical(), canon) << spec;
+    ASSERT_EQ(again.objectives.size(), cfg.objectives.size()) << spec;
+    for (std::size_t i = 0; i < cfg.objectives.size(); ++i) {
+      EXPECT_EQ(again.objectives[i].signal, cfg.objectives[i].signal);
+      EXPECT_EQ(again.objectives[i].upper, cfg.objectives[i].upper);
+      EXPECT_EQ(again.objectives[i].threshold, cfg.objectives[i].threshold);
+      EXPECT_EQ(again.objectives[i].burn, cfg.objectives[i].burn);
+      EXPECT_EQ(again.objectives[i].window, cfg.objectives[i].window);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Engine semantics
+// --------------------------------------------------------------------------
+
+TimeseriesRecorder make_recorder() {
+  TimeseriesConfig cfg;
+  cfg.enabled = true;
+  cfg.window = milliseconds(10);
+  cfg.capacity = 1024;
+  return TimeseriesRecorder(cfg);
+}
+
+/// Feeds one frame with `signal` = value and scores it.
+void feed(SloEngine& eng, TimeseriesRecorder& rec, MetricsRegistry& m,
+          EpochTracer* tracer, std::uint64_t frame, double value) {
+  rec.begin_frame(frame * 10'000'000);
+  rec.record(rec.intern("sig"), value);
+  eng.on_frame(rec, m, tracer, frame);
+}
+
+std::uint64_t counter_of(const MetricsRegistry& m, const char* name) {
+  const auto it = m.counters().find(name);
+  return it != m.counters().end() ? it->second.value : 0;
+}
+
+TEST(SloEngine, BreachesWhenViolationsExceedBurnBudget) {
+  // window=50ms over a 10ms sampler -> 5 frames; burn=0.3 tolerates
+  // floor(0.3*5)=1 violating frame: breach at the 2nd violation in window.
+  SloEngine eng(SloConfig::parse("sig<100:burn=0.3:window=50"),
+                milliseconds(10));
+  TimeseriesRecorder rec = make_recorder();
+  MetricsRegistry m;
+  EpochTracer tracer(64);
+
+  std::uint64_t f = 0;
+  feed(eng, rec, m, &tracer, f++, 50.0);   // ok
+  feed(eng, rec, m, &tracer, f++, 150.0);  // violation #1: within budget
+  EXPECT_EQ(eng.breaches(), 0u);
+  feed(eng, rec, m, &tracer, f++, 150.0);  // violation #2: breach edge
+  EXPECT_EQ(eng.breaches(), 1u);
+  EXPECT_TRUE(eng.ever_breached());
+  feed(eng, rec, m, &tracer, f++, 150.0);  // still breached: no new edge
+  EXPECT_EQ(eng.breaches(), 1u);
+  // Recovery: violations age out of the 5-frame window.
+  feed(eng, rec, m, &tracer, f++, 50.0);
+  feed(eng, rec, m, &tracer, f++, 50.0);
+  feed(eng, rec, m, &tracer, f++, 50.0);  // window still holds 2 violations
+  EXPECT_EQ(eng.recoveries(), 0u);
+  feed(eng, rec, m, &tracer, f++, 50.0);  // 1 violation left: recovered
+  EXPECT_EQ(eng.recoveries(), 1u);
+
+  EXPECT_EQ(counter_of(m, "slo.samples"), f);
+  EXPECT_EQ(counter_of(m, "slo.violations"), 3u);
+  EXPECT_EQ(counter_of(m, "slo.breaches"), 1u);
+  EXPECT_EQ(counter_of(m, "slo.recoveries"), 1u);
+  // Frames scored while breached: violations #2..#3 plus the aging-out
+  // frames until the budget is met again.
+  EXPECT_EQ(eng.breach_frames(), counter_of(m, "slo.breach_samples"));
+  EXPECT_GT(eng.breach_frames(), 0u);
+
+  // Edge events landed on the tracer as instants.
+  const auto snap = tracer.snapshot();
+  int breach_events = 0, recover_events = 0;
+  for (const TraceEvent& ev : snap.events) {
+    if (snap.name_of(ev.name) == "slo.breach") ++breach_events;
+    if (snap.name_of(ev.name) == "slo.recovered") ++recover_events;
+  }
+  EXPECT_EQ(breach_events, 1);
+  EXPECT_EQ(recover_events, 1);
+}
+
+TEST(SloEngine, ZeroBurnBreachesOnFirstViolation) {
+  SloEngine eng(SloConfig::parse("sig<100:window=50"), milliseconds(10));
+  TimeseriesRecorder rec = make_recorder();
+  MetricsRegistry m;
+  feed(eng, rec, m, nullptr, 0, 99.0);  // strictly below: ok
+  EXPECT_EQ(eng.breaches(), 0u);
+  feed(eng, rec, m, nullptr, 1, 100.0);  // at threshold: violation
+  EXPECT_EQ(eng.breaches(), 1u);
+}
+
+TEST(SloEngine, LowerBoundObjectiveViolatesBelowThreshold) {
+  SloEngine eng(SloConfig::parse("sig>10:window=50"), milliseconds(10));
+  TimeseriesRecorder rec = make_recorder();
+  MetricsRegistry m;
+  feed(eng, rec, m, nullptr, 0, 11.0);  // strictly above: ok
+  EXPECT_EQ(eng.breaches(), 0u);
+  feed(eng, rec, m, nullptr, 1, 10.0);  // at threshold: violation
+  EXPECT_EQ(eng.breaches(), 1u);
+}
+
+TEST(SloEngine, AbsentSignalFramesAreNotScored) {
+  SloEngine eng(SloConfig::parse("sig<100:window=50"), milliseconds(10));
+  TimeseriesRecorder rec = make_recorder();
+  MetricsRegistry m;
+  rec.begin_frame(0);
+  rec.record(rec.intern("other"), 1.0);  // frame without "sig"
+  eng.on_frame(rec, m, nullptr, 0);
+  EXPECT_EQ(counter_of(m, "slo.samples"), 0u);
+  feed(eng, rec, m, nullptr, 1, 50.0);
+  EXPECT_EQ(counter_of(m, "slo.samples"), 1u);
+}
+
+TEST(SloEngine, RecordsBurnAndBreachedRowsEveryScoredFrame) {
+  SloEngine eng(SloConfig::parse("sig<100:burn=0.5:window=40"),
+                milliseconds(10));  // 4-frame window, budget 2
+  TimeseriesRecorder rec = make_recorder();
+  MetricsRegistry m;
+  feed(eng, rec, m, nullptr, 0, 150.0);
+  const std::uint32_t burn_id = rec.intern("slo.burn.sig");
+  const std::uint32_t breached_id = rec.intern("slo.breached.sig");
+  EXPECT_EQ(rec.frame_value(burn_id, -1.0), 0.25);  // 1 of 4 frames
+  EXPECT_EQ(rec.frame_value(breached_id, -1.0), 0.0);
+  feed(eng, rec, m, nullptr, 1, 150.0);
+  EXPECT_EQ(rec.frame_value(burn_id, -1.0), 0.5);
+  EXPECT_EQ(rec.frame_value(breached_id, -1.0), 0.0);  // == budget: holds
+  feed(eng, rec, m, nullptr, 2, 150.0);
+  EXPECT_EQ(rec.frame_value(burn_id, -1.0), 0.75);
+  EXPECT_EQ(rec.frame_value(breached_id, -1.0), 1.0);  // > budget: breached
+}
+
+TEST(SloEngine, WindowShorterThanSamplerStillScoresEveryFrame) {
+  // window=1ms over a 10ms sampler clamps to a 1-frame window.
+  SloEngine eng(SloConfig::parse("sig<100:window=1"), milliseconds(10));
+  TimeseriesRecorder rec = make_recorder();
+  MetricsRegistry m;
+  feed(eng, rec, m, nullptr, 0, 150.0);
+  EXPECT_EQ(eng.breaches(), 1u);
+  feed(eng, rec, m, nullptr, 1, 50.0);
+  EXPECT_EQ(eng.recoveries(), 1u);
+  feed(eng, rec, m, nullptr, 2, 150.0);
+  EXPECT_EQ(eng.breaches(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Grammar fuzz: 10k seeded mutations (FaultPlan-fuzz contract)
+// --------------------------------------------------------------------------
+
+/// SplitMix64 mutation stream, independent of libc rand.
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  char random_char() {
+    static const char kAlphabet[] =
+        "0123456789.:,-+eE \tburn=window=<>_jep99wakeusw\0\x7f";
+    return kAlphabet[below(sizeof(kAlphabet) - 1)];
+  }
+
+  std::string mutate(std::string s) {
+    const int edits = 1 + static_cast<int>(below(4));
+    for (int e = 0; e < edits; ++e) {
+      switch (below(5)) {
+        case 0:
+          if (!s.empty()) s[below(s.size())] = random_char();
+          break;
+        case 1:
+          s.insert(s.begin() +
+                       static_cast<std::ptrdiff_t>(below(s.size() + 1)),
+                   random_char());
+          break;
+        case 2:
+          if (!s.empty()) s.erase(below(s.size()), 1);
+          break;
+        case 3:
+          if (!s.empty()) s.resize(below(s.size()));
+          break;
+        case 4:
+          if (!s.empty()) {
+            const std::size_t at = below(s.size());
+            s += s.substr(at, below(s.size() - at) + 1);
+          }
+          break;
+      }
+    }
+    return s;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// parse() must return or throw std::invalid_argument; nothing else. An
+/// accepted spec must round-trip through canonical().
+void expect_contract(const std::string& input) {
+  try {
+    const SloConfig cfg = SloConfig::parse(input);
+    const std::string canon = cfg.canonical();
+    const SloConfig again = SloConfig::parse(canon);
+    EXPECT_EQ(again.canonical(), canon)
+        << "unstable round-trip for input '" << input << "'";
+    EXPECT_EQ(again.objectives.size(), cfg.objectives.size());
+  } catch (const std::invalid_argument&) {
+    // Documented rejection path.
+  } catch (const std::exception& e) {
+    FAIL() << "parse('" << input << "') leaked " << typeid(e).name() << ": "
+           << e.what();
+  }
+}
+
+TEST(SloConfigFuzz, TenThousandSeededMutations) {
+  const std::vector<std::string> corpus = {
+      "p99_wake_us<2000:burn=0.02",
+      "je>55e6:window=200",
+      "je_w>1e9:burn=0.3:window=200,p99_wake_us<20000:burn=0.3:window=200",
+      "a<1",
+      "sig_1.x>0:burn=0.5:window=1",
+      "x>0:window=600000",
+      "",
+  };
+  Mutator m(0x510f00dULL);
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::string input =
+        m.below(10) == 0
+            ? std::string(m.below(32), static_cast<char>(m.next() & 0xff))
+            : m.mutate(corpus[m.below(corpus.size())]);
+    try {
+      (void)SloConfig::parse(input);
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+    expect_contract(input);
+  }
+  EXPECT_GT(parsed, 100) << "mutations never produced a valid spec";
+  EXPECT_GT(rejected, 1000) << "mutations never produced an invalid spec";
+}
+
+}  // namespace
+}  // namespace sb::obs

@@ -21,7 +21,8 @@ speed cancels in the ratio, so a 1% budget is meaningful even when the
 fresh run executes on different hardware than the committed baseline.
 
 Usage:
-    check_bench.py [--max-regress 0.25] BASELINE FRESH [BASELINE FRESH ...]
+    check_bench.py [--max-regress 0.25] [--step-summary "$GITHUB_STEP_SUMMARY"]
+                   BASELINE FRESH [BASELINE FRESH ...]
 
 Exit status: 0 when every gated metric is within bounds, 1 otherwise.
 """
@@ -54,7 +55,10 @@ def sections(doc):
             yield key, value
 
 
-def compare(baseline_path, fresh_path, max_regress):
+def compare(baseline_path, fresh_path, max_regress, rows):
+    """Gates one baseline/fresh pair. Appends per-metric result rows
+    (metric label, baseline, fresh, bound label, ok) to `rows` for the
+    --step-summary table and returns the list of violations."""
     with open(baseline_path) as f:
         baseline = json.load(f)
     with open(fresh_path) as f:
@@ -84,6 +88,10 @@ def compare(baseline_path, fresh_path, max_regress):
                   f"{base_v:.3f} -> {fresh_v:.3f} "
                   f"({(fresh_v / base_v - 1.0) * 100.0:+.1f}%, "
                   f"limit {limit:.3f})")
+            rows.append((f"{name}/{sec_name}/{metric}", f"{base_v:.3f}",
+                         f"{fresh_v:.3f}",
+                         f"≤ +{sec_regress * 100.0:.0f}%",
+                         fresh_v <= limit))
             if fresh_v > limit:
                 failures.append(
                     f"{name}/{sec_name}/{metric}: {fresh_v:.3f} exceeds "
@@ -96,6 +104,9 @@ def compare(baseline_path, fresh_path, max_regress):
             status = "FAIL" if fresh_v > base_v + EPSILON else "ok"
             print(f"  [{status}] {name}/{sec_name}/{metric}: "
                   f"{base_v:g} -> {fresh_v:g} (no increase allowed)")
+            rows.append((f"{name}/{sec_name}/{metric}", f"{base_v:g}",
+                         f"{fresh_v:g}", "no increase",
+                         fresh_v <= base_v + EPSILON))
             if fresh_v > base_v + EPSILON:
                 failures.append(
                     f"{name}/{sec_name}/{metric}: increased "
@@ -117,6 +128,8 @@ def compare(baseline_path, fresh_path, max_regress):
             status = "FAIL" if fresh_v > ceiling + EPSILON else "ok"
             print(f"  [{status}] {name}/{sec_name}/{metric}: "
                   f"{fresh_v:g} (ceiling {ceiling:g})")
+            rows.append((f"{name}/{sec_name}/{metric}", "—", f"{fresh_v:g}",
+                         f"≤ {ceiling:g}", fresh_v <= ceiling + EPSILON))
             if fresh_v > ceiling + EPSILON:
                 failures.append(
                     f"{name}/{sec_name}/{metric}: {fresh_v:g} exceeds "
@@ -133,16 +146,31 @@ def main():
                         help="alternating baseline/fresh json paths")
     parser.add_argument("--max-regress", type=float, default=0.25,
                         help="max fractional time regression (default 0.25)")
+    parser.add_argument("--step-summary",
+                        help="append a markdown results table to this file "
+                             "(pass $GITHUB_STEP_SUMMARY in CI)")
     args = parser.parse_args()
 
     if len(args.files) % 2 != 0:
         parser.error("expected an even number of paths: BASELINE FRESH ...")
 
     all_failures = []
+    rows = []
     for i in range(0, len(args.files), 2):
         baseline, fresh = args.files[i], args.files[i + 1]
         print(f"{baseline} vs {fresh}:")
-        all_failures += compare(baseline, fresh, args.max_regress)
+        all_failures += compare(baseline, fresh, args.max_regress, rows)
+
+    if args.step_summary:
+        with open(args.step_summary, "a") as f:
+            f.write("### Perf gate\n\n")
+            f.write("| Metric | Baseline | Fresh | Bound | Status |\n")
+            f.write("|---|---|---|---|---|\n")
+            for metric, base_v, fresh_v, bound, ok in rows:
+                f.write(f"| `{metric}` | {base_v} | {fresh_v} | {bound} "
+                        f"| {'✅' if ok else '❌'} |\n")
+            f.write(f"\n**{len(rows)} metric(s) checked, "
+                    f"{len(all_failures)} violation(s).**\n\n")
 
     if all_failures:
         print(f"\nPERF GATE FAILED ({len(all_failures)} violation(s)):",

@@ -14,6 +14,8 @@ Gates (any failing exits 1):
   --min-fleet PCT   minimum line coverage for src/fleet/ (default 0)
   --min-replay PCT  minimum line coverage for src/workload/sched_replay.*
                     (default 0)
+  --min-tsdb PCT    minimum line coverage for the telemetry plane
+                    (src/obs/timeseries.* + src/obs/slo.*, default 0)
   --min-total PCT   minimum overall line coverage for src/ (default 0)
 
 --json FILE writes the per-file numbers for the CI artifact.
@@ -32,17 +34,22 @@ import os
 import subprocess
 import sys
 
-# Gated areas: (name, path prefix relative to the source root). A prefix
-# ending in a separator selects a directory subtree; otherwise it is a
-# filename-prefix match (e.g. src/core/adapt. matches adapt.h/.cc). Adding
-# an area here is the whole change: the CLI flag, the report line, the JSON
-# key and the step-summary row all derive from this table.
+# Gated areas: (name, path prefix — or tuple of prefixes — relative to the
+# source root). A prefix ending in a separator selects a directory subtree;
+# otherwise it is a filename-prefix match (e.g. src/core/adapt. matches
+# adapt.h/.cc). Adding an area here is the whole change: the CLI flag, the
+# report line, the JSON key and the step-summary row all derive from this
+# table.
 AREAS = [
     ("obs", os.path.join("src", "obs") + os.sep),
     ("adapt", os.path.join("src", "core", "adapt.")),
     ("shard", os.path.join("src", "core", "shard.")),
     ("fleet", os.path.join("src", "fleet") + os.sep),
     ("replay", os.path.join("src", "workload", "sched_replay.")),
+    # The telemetry plane (timeseries recorder + SLO engine) spans two file
+    # stems inside src/obs/ and carries its own, stricter bar.
+    ("tsdb", (os.path.join("src", "obs", "timeseries."),
+              os.path.join("src", "obs", "slo."))),
 ]
 DEFAULT_MINIMUMS = {"obs": 90.0}
 
@@ -103,8 +110,12 @@ def coverage_of(files):
 
 
 def area_label(name, prefix):
-    return "src/ overall" if name == "total" else prefix.replace(os.sep, "/") \
-        + ("*" if not prefix.endswith(os.sep) else "")
+    if name == "total":
+        return "src/ overall"
+    parts = prefix if isinstance(prefix, tuple) else (prefix,)
+    return ", ".join(p.replace(os.sep, "/")
+                     + ("*" if not p.endswith(os.sep) else "")
+                     for p in parts)
 
 
 def main():

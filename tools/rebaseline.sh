@@ -40,6 +40,7 @@ HARNESSES=(
   "fig_shard_scaling;;BENCH_shard.json"
   "fig_fleet;;BENCH_fleet.json"
   "fig_latency;;BENCH_latency.json"
+  "fig_slo;;BENCH_slo.json"
 )
 
 REPS=5

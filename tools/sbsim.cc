@@ -25,6 +25,8 @@
 #include "core/predictor.h"
 #include "fleet/fleet.h"
 #include "obs/audit_writer.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "os/dvfs_governor.h"
 #include "os/iks_balancer.h"
@@ -74,6 +76,24 @@ using namespace sb;
                             (embedded as "metrics" in --json output)
   --metrics=<file>          ...and also write it (merged across --compare
                             runs) as standalone JSON to <file>
+  --timeseries=<file>       sample the continuous telemetry plane (J_E,
+                            per-type watts/GIPS, migrations, degraded/drift,
+                            SA accept rate, wake-to-run tail; fleet runs add
+                            queue depth, job counters and per-node health)
+                            and write the `#sb-tsdb v1` export (.json: JSON
+                            rendering). Byte-identical across --jobs; watch
+                            live with sbtop
+  --obs-window=<ms>[:cap]   sampling cadence in simulated ms and ring
+                            capacity for --timeseries/--slo (default 10)
+  --slo=<spec>              burn-rate SLO objectives over the sampled
+                            signals (implies sampling), e.g.
+                            "p99_wake_us<2000:burn=0.02,je>55e6"; breaches
+                            emit slo.breach trace instants + slo.* counters
+  --slo-strict              exit with status 3 if any SLO objective ever
+                            breached (requires --slo)
+  --prom=<file>             write a Prometheus text-exposition snapshot of
+                            the fleet metrics (fleet runs only; forces
+                            --metrics, nodes labelled node="i")
   --audit=<file>            record the prediction-audit flight recorder and
                             write its packed-CSV export (merged across
                             --compare runs; see obs/audit_writer.h; analyze
@@ -132,6 +152,11 @@ struct Args {
   bool metrics = false;
   std::string metrics_out;   // standalone metrics JSON file
   std::string audit;         // prediction-audit export (packed CSV)
+  std::string timeseries;    // #sb-tsdb export path (CSV, .json = JSON)
+  std::string obs_window;    // TimeseriesConfig::parse spec ("<ms>[:cap]")
+  std::string slo;           // SloConfig::parse spec
+  bool slo_strict = false;   // exit 3 when any objective breached
+  std::string prom;          // Prometheus exposition snapshot (fleet only)
   std::string adapt;         // AdaptationConfig::parse spec
   std::string shards;        // ShardingConfig::parse spec
   std::string faults;        // FaultPlan::parse spec
@@ -223,6 +248,13 @@ Args parse(int argc, char** argv) {
       a.metrics_out = value("--metrics=");
       a.metrics = true;
     } else if (arg.rfind("--audit=", 0) == 0) a.audit = value("--audit=");
+    else if (arg.rfind("--timeseries=", 0) == 0)
+      a.timeseries = value("--timeseries=");
+    else if (arg.rfind("--obs-window=", 0) == 0)
+      a.obs_window = value("--obs-window=");
+    else if (arg.rfind("--slo=", 0) == 0) a.slo = value("--slo=");
+    else if (arg == "--slo-strict") a.slo_strict = true;
+    else if (arg.rfind("--prom=", 0) == 0) a.prom = value("--prom=");
     else if (arg.rfind("--adapt=", 0) == 0) a.adapt = value("--adapt=");
     else if (arg.rfind("--shards=", 0) == 0) a.shards = value("--shards=");
     else if (arg.rfind("--faults=", 0) == 0) a.faults = value("--faults=");
@@ -256,6 +288,18 @@ Args parse(int argc, char** argv) {
   }
   if (!a.fleet_arrivals.empty() && a.fleet.empty()) {
     std::cerr << "--fleet-arrivals only applies to --fleet runs\n";
+    usage(2);
+  }
+  if (!a.prom.empty() && a.fleet.empty()) {
+    std::cerr << "--prom only applies to --fleet runs\n";
+    usage(2);
+  }
+  if (a.slo_strict && a.slo.empty()) {
+    std::cerr << "--slo-strict requires --slo\n";
+    usage(2);
+  }
+  if (!a.obs_window.empty() && a.timeseries.empty() && a.slo.empty()) {
+    std::cerr << "--obs-window requires --timeseries or --slo\n";
     usage(2);
   }
   return a;
@@ -294,6 +338,32 @@ core::SmartBalanceConfig sb_config(const Args& a) {
     usage(2);
   }
   return cfg;
+}
+
+obs::TimeseriesConfig ts_config(const Args& a) {
+  obs::TimeseriesConfig cfg;
+  if (!a.obs_window.empty()) cfg = obs::TimeseriesConfig::parse(a.obs_window);
+  cfg.enabled = true;
+  return cfg;
+}
+
+/// Total SLO breach transitions across a merged run set (0 without --slo).
+std::uint64_t slo_breaches(const std::vector<const obs::RunObs*>& runs) {
+  std::uint64_t total = 0;
+  for (const obs::RunObs* r : runs) {
+    if (r == nullptr) continue;
+    const auto it = r->metrics.counters().find("slo.breaches");
+    if (it != r->metrics.counters().end()) total += it->second.value;
+  }
+  return total;
+}
+
+int strict_exit(const std::vector<const obs::RunObs*>& runs) {
+  const std::uint64_t breaches = slo_breaches(runs);
+  if (breaches == 0) return 0;
+  std::cerr << "sbsim: --slo-strict: " << breaches
+            << " SLO breach(es) during the run\n";
+  return 3;
 }
 
 sim::BalancerFactory make_policy(const Args& a, const std::string& name) {
@@ -345,6 +415,12 @@ sim::SimulationResult run_once(const Args& a, const arch::Platform& platform,
   cfg.obs.trace = !a.chrome_trace.empty();
   cfg.obs.metrics = a.metrics;
   cfg.obs.audit = !a.audit.empty();
+  // The merged #sb-tsdb export (one run block per policy under --compare)
+  // is written once from main(); here we only turn the sampler on.
+  if (!a.timeseries.empty() || !a.slo.empty()) {
+    cfg.obs.timeseries = ts_config(a);
+    if (!a.slo.empty()) cfg.obs.slo = obs::SloConfig::parse(a.slo);
+  }
   sim::Simulation s(platform, cfg);
   s.set_balancer(policy_for(a, policy)(s));
   if (!a.governor.empty()) {
@@ -394,6 +470,19 @@ int run_fleet(const Args& a, const arch::Platform& platform) {
   cfg.trace = !a.chrome_trace.empty();
   cfg.metrics = a.metrics;
   cfg.node_obs = a.metrics;
+  cfg.timeseries = !a.timeseries.empty();
+  if (!a.obs_window.empty()) {
+    const obs::TimeseriesConfig tw = obs::TimeseriesConfig::parse(a.obs_window);
+    cfg.obs_window = tw.window;
+    cfg.obs_capacity = tw.capacity;
+  }
+  cfg.slo = a.slo;
+  if (!a.prom.empty()) {
+    // The exposition snapshot reads the metrics registries; collect them
+    // (and the per-node ones, for node="i" labels) even without --metrics.
+    cfg.metrics = true;
+    cfg.node_obs = true;
+  }
   if (!a.fleet_arrivals.empty() && a.fleet_arrivals != "mmpp") {
     constexpr std::string_view kReplay = "replay:";
     if (a.fleet_arrivals.rfind(kReplay, 0) != 0 ||
@@ -451,6 +540,15 @@ int run_fleet(const Args& a, const arch::Platform& platform) {
     js << '\n';
     std::cout << "metrics written to " << a.json_out << "\n";
   }
+  if (!a.timeseries.empty()) {
+    obs::write_timeseries_file(a.timeseries, runs);
+    std::cout << "timeseries written to " << a.timeseries << "\n";
+  }
+  if (!a.prom.empty()) {
+    obs::write_prometheus_file(a.prom, runs);
+    std::cout << "prometheus snapshot written to " << a.prom << "\n";
+  }
+  if (a.slo_strict) return strict_exit(runs);
   return 0;
 }
 
@@ -504,7 +602,7 @@ int main(int argc, char** argv) {
     // Merged per-policy observability exports: run index = policy order.
     std::vector<const obs::RunObs*> runs;
     if (!a.chrome_trace.empty() || !a.audit.empty() ||
-        !a.metrics_out.empty()) {
+        !a.metrics_out.empty() || !a.timeseries.empty() || !a.slo.empty()) {
       int idx = 0;
       for (auto& r : results) {
         if (r.obs) {
@@ -521,6 +619,10 @@ int main(int argc, char** argv) {
     if (!a.audit.empty()) {
       obs::write_audit_file(a.audit, runs);
       std::cout << "audit export written to " << a.audit << "\n";
+    }
+    if (!a.timeseries.empty()) {
+      obs::write_timeseries_file(a.timeseries, runs);
+      std::cout << "timeseries written to " << a.timeseries << "\n";
     }
     if (!a.metrics_out.empty()) {
       std::ofstream ms(a.metrics_out);
@@ -541,6 +643,7 @@ int main(int argc, char** argv) {
       std::cout << results.back().policy << " vs " << results.front().policy
                 << ": " << gain << " % energy-efficiency gain\n";
     }
+    if (a.slo_strict) return strict_exit(runs);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "sbsim: " << e.what() << "\n";
